@@ -1,0 +1,12 @@
+//! Criterion bench for the Figure 1 failure-cause demographics.
+use criterion::{criterion_group, criterion_main, Criterion};
+use selfheal_bench::{fig1_failure_causes, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig1_failure_causes_quick", |b| {
+        b.iter(|| fig1_failure_causes(ExperimentScale::quick(), 1))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

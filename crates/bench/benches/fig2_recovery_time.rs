@@ -1,0 +1,21 @@
+//! Criterion bench for the Figure 2 recovery-time model.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfheal_faults::{FailureCause, RecoveryTimeModel};
+
+fn bench(c: &mut Criterion) {
+    let model = RecoveryTimeModel::standard();
+    c.bench_function("fig2_recovery_sampling", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            FailureCause::ALL
+                .iter()
+                .map(|cause| model.sample_minutes(*cause, &mut rng))
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

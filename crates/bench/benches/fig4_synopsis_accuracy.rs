@@ -1,0 +1,19 @@
+//! Criterion bench for the Figure 4 / Table 3 synopsis comparison (reduced scale).
+use criterion::{criterion_group, criterion_main, Criterion};
+use selfheal_bench::{synopsis_comparison, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_synopsis_comparison");
+    group.sample_size(10);
+    let scale = ExperimentScale {
+        test_states: 20,
+        max_correct_fixes: 8,
+        failures_per_profile: 50,
+        comparison_ticks: 200,
+    };
+    group.bench_function("reduced_scale", |b| b.iter(|| synopsis_comparison(scale, 5)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for the multitier-service simulator (ticks per second).
+use criterion::{criterion_group, criterion_main, Criterion};
+use selfheal_faults::{FaultId, FaultKind, FaultSpec, FaultTarget};
+use selfheal_sim::{MultiTierService, ServiceConfig};
+use selfheal_workload::{ArrivalProcess, TraceGenerator, WorkloadMix};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.bench_function("healthy_tick_40rps", |b| {
+        let mut service = MultiTierService::new(ServiceConfig::rubis_default());
+        let mut workload = TraceGenerator::new(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+            1,
+        );
+        b.iter(|| {
+            let requests = workload.tick(service.current_tick());
+            service.tick(&requests)
+        })
+    });
+    group.bench_function("faulty_tick_40rps", |b| {
+        let mut service = MultiTierService::new(ServiceConfig::rubis_default());
+        service.inject(FaultSpec::new(
+            FaultId(1),
+            FaultKind::BufferContention,
+            FaultTarget::DatabaseTier,
+            0.9,
+        ));
+        let mut workload = TraceGenerator::new(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+            2,
+        );
+        b.iter(|| {
+            let requests = workload.tick(service.current_tick());
+            service.tick(&requests)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

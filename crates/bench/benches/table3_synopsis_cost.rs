@@ -1,0 +1,30 @@
+//! Criterion bench isolating the per-synopsis training cost that Table 3 compares.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfheal_core::synopsis::{Synopsis, SynopsisKind};
+use selfheal_faults::FixKind;
+
+fn train(kind: SynopsisKind, n: usize) -> Synopsis {
+    let mut synopsis = Synopsis::new(kind);
+    let fixes = [FixKind::RepartitionMemory, FixKind::MicrorebootEjb, FixKind::UpdateStatistics];
+    for i in 0..n {
+        let class = i % 3;
+        let mut symptoms = vec![1.0; 12];
+        symptoms[class * 4] = 9.0 + (i % 5) as f64 * 0.1;
+        synopsis.update(&symptoms, fixes[class], true);
+    }
+    synopsis
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_training_cost");
+    group.sample_size(10);
+    for kind in SynopsisKind::paper_set() {
+        group.bench_with_input(BenchmarkId::new("50_correct_fixes", kind.label()), &kind, |b, kind| {
+            b.iter(|| train(*kind, 50))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

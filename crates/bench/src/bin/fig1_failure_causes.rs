@@ -1,0 +1,7 @@
+//! Regenerates Figure 1: causes of failures in three large multitier services.
+use selfheal_bench::{emit, fig1_failure_causes, ExperimentScale};
+
+fn main() {
+    let table = fig1_failure_causes(ExperimentScale::full(), 1);
+    emit(&table, "fig1_failure_causes");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 2: time to recover from failures, by cause category.
+use selfheal_bench::{emit, fig2_recovery_time, ExperimentScale};
+
+fn main() {
+    let table = fig2_recovery_time(ExperimentScale::full(), 2);
+    emit(&table, "fig2_recovery_time");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 1: the failure / candidate-fix matrix, validated on the simulator.
+use selfheal_bench::{emit, table1_fault_fix_matrix};
+
+fn main() {
+    let table = table1_fault_fix_matrix(3);
+    emit(&table, "table1_fault_fix_matrix");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 2 as an empirical comparison: every fix-identification
+//! approach runs on the same recurring-failure scenario.
+use selfheal_bench::{emit, table2_approach_comparison, ExperimentScale};
+
+fn main() {
+    let table = table2_approach_comparison(ExperimentScale::full(), 4);
+    emit(&table, "table2_approach_comparison");
+}

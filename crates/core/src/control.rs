@@ -1,0 +1,153 @@
+//! Control-theoretic measurements of the healing loop (Section 5.4).
+//!
+//! "Since a self-healing service makes decisions based on data it observes
+//! about its own activity, the system design and implementation should
+//! consider control-theoretic issues like stability, steady-state error,
+//! settling times, and overshooting."
+//!
+//! These routines analyze a response-time (or any metric) trajectory around
+//! a disturbance: how long the metric stays outside the tolerance band after
+//! the disturbance (settling time), how far it overshoots the reference
+//! (overshoot), how much residual deviation remains once settled
+//! (steady-state error), and how many times it re-crosses the band
+//! boundaries (an oscillation count that flags instability — e.g. a healer
+//! that keeps applying and undoing fixes).
+
+/// Analysis of one disturbance/response trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlAnalysis {
+    /// Ticks from the disturbance until the metric last left the tolerance
+    /// band (`None` when the metric never settles within the trace).
+    pub settling_ticks: Option<u64>,
+    /// Maximum value reached relative to the reference (e.g. 3.0 = the
+    /// metric peaked at 3× the reference).
+    pub overshoot_ratio: f64,
+    /// Mean absolute relative deviation from the reference after settling
+    /// (0.0 when the metric never settles).
+    pub steady_state_error: f64,
+    /// Number of times the trajectory re-entered and then left the tolerance
+    /// band — a proxy for oscillation / instability.
+    pub oscillations: u32,
+}
+
+impl ControlAnalysis {
+    /// A loop is considered stable when it settles and does not oscillate
+    /// more than once.
+    pub fn is_stable(&self) -> bool {
+        self.settling_ticks.is_some() && self.oscillations <= 1
+    }
+}
+
+/// Analyzes `trajectory` (one value per tick, starting at the disturbance)
+/// against a `reference` value and a relative `tolerance` band
+/// (e.g. 0.2 = ±20% of the reference counts as settled).
+///
+/// # Panics
+/// Panics if `reference` is not positive or `tolerance` is not in `(0, 1)`.
+pub fn analyze(trajectory: &[f64], reference: f64, tolerance: f64) -> ControlAnalysis {
+    assert!(reference > 0.0, "reference must be positive");
+    assert!(tolerance > 0.0 && tolerance < 1.0, "tolerance must be in (0, 1)");
+    if trajectory.is_empty() {
+        return ControlAnalysis {
+            settling_ticks: Some(0),
+            overshoot_ratio: 1.0,
+            steady_state_error: 0.0,
+            oscillations: 0,
+        };
+    }
+
+    let upper = reference * (1.0 + tolerance);
+    let lower = reference * (1.0 - tolerance);
+    let in_band = |v: f64| v <= upper && v >= lower;
+
+    // Settling time: the last index at which the value is out of band; the
+    // trajectory is "settled" from the next index onward.
+    let last_out = trajectory.iter().rposition(|v| !in_band(*v));
+    let settling_ticks = match last_out {
+        None => Some(0),
+        Some(i) if i + 1 < trajectory.len() => Some((i + 1) as u64),
+        Some(_) => None,
+    };
+
+    let peak = trajectory.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let overshoot_ratio = (peak / reference).max(0.0);
+
+    let steady_state_error = match settling_ticks {
+        Some(t) if (t as usize) < trajectory.len() => {
+            let tail = &trajectory[t as usize..];
+            tail.iter().map(|v| (v - reference).abs() / reference).sum::<f64>() / tail.len() as f64
+        }
+        _ => 0.0,
+    };
+
+    // Oscillations: count transitions from in-band back to out-of-band.
+    let mut oscillations = 0u32;
+    let mut was_in_band = in_band(trajectory[0]);
+    for v in &trajectory[1..] {
+        let now_in_band = in_band(*v);
+        if was_in_band && !now_in_band {
+            oscillations += 1;
+        }
+        was_in_band = now_in_band;
+    }
+
+    ControlAnalysis { settling_ticks, overshoot_ratio, steady_state_error, oscillations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_damped_recovery_settles_without_oscillation() {
+        // Spike to 5x the reference, then exponential recovery.
+        let reference = 100.0;
+        let trajectory: Vec<f64> =
+            (0..60).map(|i| 100.0 + 400.0 * (-0.2 * i as f64).exp()).collect();
+        let analysis = analyze(&trajectory, reference, 0.2);
+        assert!(analysis.settling_ticks.is_some());
+        assert!(analysis.settling_ticks.unwrap() < 30);
+        assert!((analysis.overshoot_ratio - 5.0).abs() < 0.1);
+        assert!(analysis.steady_state_error < 0.2);
+        assert_eq!(analysis.oscillations, 0);
+        assert!(analysis.is_stable());
+    }
+
+    #[test]
+    fn oscillating_loop_is_flagged_unstable() {
+        // The healer keeps over-correcting: the metric bounces in and out of
+        // the band repeatedly and never stays settled.
+        let reference = 100.0;
+        let trajectory: Vec<f64> = (0..80)
+            .map(|i| if (i / 10) % 2 == 0 { 400.0 } else { 100.0 })
+            .collect();
+        let analysis = analyze(&trajectory, reference, 0.2);
+        assert!(analysis.oscillations >= 3);
+        assert!(!analysis.is_stable());
+    }
+
+    #[test]
+    fn never_recovering_trajectory_has_no_settling_time() {
+        let trajectory = vec![500.0; 40];
+        let analysis = analyze(&trajectory, 100.0, 0.2);
+        assert_eq!(analysis.settling_ticks, None);
+        assert_eq!(analysis.steady_state_error, 0.0);
+        assert!(!analysis.is_stable());
+    }
+
+    #[test]
+    fn already_settled_trajectory_settles_immediately() {
+        let trajectory = vec![100.0, 101.0, 99.0, 100.5];
+        let analysis = analyze(&trajectory, 100.0, 0.1);
+        assert_eq!(analysis.settling_ticks, Some(0));
+        assert!(analysis.overshoot_ratio < 1.1);
+        assert!(analysis.is_stable());
+        assert_eq!(analyze(&[], 100.0, 0.1).settling_ticks, Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be in")]
+    fn bad_tolerance_is_rejected() {
+        analyze(&[1.0], 1.0, 1.5);
+    }
+}

@@ -1,0 +1,233 @@
+//! Convenience wrapper bundling a simulated service with a healing policy.
+//!
+//! Examples and benchmarks repeatedly need the same assembly: build a
+//! RUBiS-like service, pick a workload, schedule fault injections, choose a
+//! healing policy, run, and summarize.  [`SelfHealingService`] packages that
+//! assembly behind a small builder so the examples read like the experiment
+//! descriptions in the paper.
+
+use crate::fixsym::FixSymHealer;
+use crate::hybrid::HybridHealer;
+use crate::policy::DiagnosisHealer;
+use crate::proactive::ProactiveHealer;
+use crate::synopsis::SynopsisKind;
+use selfheal_faults::InjectionPlan;
+use selfheal_sim::scenario::{Healer, NoHealing, ScenarioOutcome, ScenarioRunner};
+use selfheal_sim::{MultiTierService, ServiceConfig};
+use selfheal_workload::{ArrivalProcess, TraceGenerator, WorkloadMix};
+
+/// Which healing policy drives the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// No self-healing (baseline).
+    None,
+    /// The manual rule base.
+    ManualRules,
+    /// Anomaly-detection diagnosis.
+    AnomalyDetection,
+    /// Correlation-analysis diagnosis.
+    CorrelationAnalysis,
+    /// Bottleneck-analysis diagnosis.
+    BottleneckAnalysis,
+    /// Signature-based FixSym with the given synopsis.
+    FixSym(SynopsisKind),
+    /// FixSym + diagnosis hybrid.
+    Hybrid(SynopsisKind),
+    /// Forecast-driven proactive healing.
+    Proactive,
+}
+
+impl PolicyChoice {
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyChoice::None => "no_healing".to_string(),
+            PolicyChoice::ManualRules => "manual_rules".to_string(),
+            PolicyChoice::AnomalyDetection => "anomaly_detection".to_string(),
+            PolicyChoice::CorrelationAnalysis => "correlation_analysis".to_string(),
+            PolicyChoice::BottleneckAnalysis => "bottleneck_analysis".to_string(),
+            PolicyChoice::FixSym(kind) => format!("fixsym_{}", kind.label()),
+            PolicyChoice::Hybrid(kind) => format!("hybrid_{}", kind.label()),
+            PolicyChoice::Proactive => "proactive".to_string(),
+        }
+    }
+}
+
+/// Builder/runner bundling service, workload, injections, and policy.
+#[derive(Debug)]
+pub struct SelfHealingService {
+    config: ServiceConfig,
+    mix: WorkloadMix,
+    arrivals: ArrivalProcess,
+    injections: InjectionPlan,
+    policy: PolicyChoice,
+    seed: u64,
+}
+
+impl SelfHealingService {
+    /// Starts a builder with the RUBiS-like default configuration, the
+    /// bidding mix at 40 requests/tick, no injections, and no healing.
+    pub fn builder() -> Self {
+        SelfHealingService {
+            config: ServiceConfig::rubis_default(),
+            mix: WorkloadMix::bidding(),
+            arrivals: ArrivalProcess::Poisson { rate: 40.0 },
+            injections: InjectionPlan::empty(),
+            policy: PolicyChoice::None,
+            seed: 42,
+        }
+    }
+
+    /// Overrides the service configuration.
+    pub fn config(mut self, config: ServiceConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the workload mix.
+    pub fn workload(mut self, mix: WorkloadMix, arrivals: ArrivalProcess) -> Self {
+        self.mix = mix;
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the fault-injection plan.
+    pub fn injections(mut self, plan: InjectionPlan) -> Self {
+        self.injections = plan;
+        self
+    }
+
+    /// Chooses the healing policy.
+    pub fn policy(mut self, policy: PolicyChoice) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the workload seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The chosen policy.
+    pub fn policy_choice(&self) -> PolicyChoice {
+        self.policy
+    }
+
+    /// Runs the scenario for `ticks` ticks.
+    pub fn run(self, ticks: u64) -> ScenarioOutcome {
+        let service = MultiTierService::new(self.config.clone());
+        let schema = service.schema().clone();
+        let workload = TraceGenerator::new(self.mix.clone(), self.arrivals.clone(), self.seed);
+        let slo_rt = self.config.slo_response_ms;
+        let slo_err = self.config.slo_error_rate;
+
+        fn run_with<H: Healer>(
+            service: MultiTierService,
+            workload: TraceGenerator,
+            injections: InjectionPlan,
+            healer: H,
+            ticks: u64,
+        ) -> ScenarioOutcome {
+            let (outcome, _) = ScenarioRunner::new(service, workload, injections, healer).run(ticks);
+            outcome
+        }
+
+        match self.policy {
+            PolicyChoice::None => {
+                run_with(service, workload, self.injections, NoHealing, ticks)
+            }
+            PolicyChoice::ManualRules => {
+                let healer = DiagnosisHealer::manual(&schema, slo_rt, slo_err);
+                run_with(service, workload, self.injections, healer, ticks)
+            }
+            PolicyChoice::AnomalyDetection => {
+                let healer = DiagnosisHealer::anomaly(&schema, slo_rt, slo_err);
+                run_with(service, workload, self.injections, healer, ticks)
+            }
+            PolicyChoice::CorrelationAnalysis => {
+                let healer = DiagnosisHealer::correlation(&schema, slo_rt, slo_err);
+                run_with(service, workload, self.injections, healer, ticks)
+            }
+            PolicyChoice::BottleneckAnalysis => {
+                let healer = DiagnosisHealer::bottleneck(&schema, slo_rt, slo_err);
+                run_with(service, workload, self.injections, healer, ticks)
+            }
+            PolicyChoice::FixSym(kind) => {
+                let healer = FixSymHealer::new(&schema, kind);
+                run_with(service, workload, self.injections, healer, ticks)
+            }
+            PolicyChoice::Hybrid(kind) => {
+                let healer = HybridHealer::new(&schema, kind, slo_rt, slo_err);
+                run_with(service, workload, self.injections, healer, ticks)
+            }
+            PolicyChoice::Proactive => {
+                let healer = ProactiveHealer::new(&schema, slo_rt, slo_err);
+                run_with(service, workload, self.injections, healer, ticks)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfheal_faults::{FaultKind, FaultTarget, InjectionPlanBuilder};
+
+    #[test]
+    fn builder_defaults_run_cleanly() {
+        let outcome = SelfHealingService::builder()
+            .config(ServiceConfig::tiny())
+            .run(60);
+        assert_eq!(outcome.ticks, 60);
+        assert_eq!(outcome.violation_fraction, 0.0);
+    }
+
+    #[test]
+    fn hybrid_policy_beats_no_healing_on_an_injected_fault() {
+        let config = ServiceConfig::tiny();
+        let plan = InjectionPlanBuilder::new(config.ejb_count, config.table_count, 1)
+            .inject(40, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.9)
+            .build();
+
+        let unhealed = SelfHealingService::builder()
+            .config(config.clone())
+            .injections(plan.clone())
+            .policy(PolicyChoice::None)
+            .run(300);
+        let healed = SelfHealingService::builder()
+            .config(config)
+            .injections(plan)
+            .policy(PolicyChoice::Hybrid(SynopsisKind::NearestNeighbor))
+            .run(300);
+
+        assert!(
+            healed.violation_fraction < unhealed.violation_fraction,
+            "healed {} vs unhealed {}",
+            healed.violation_fraction,
+            unhealed.violation_fraction
+        );
+        assert!(healed.fixes_initiated >= 1);
+    }
+
+    #[test]
+    fn policy_labels_are_distinct() {
+        let labels: Vec<String> = [
+            PolicyChoice::None,
+            PolicyChoice::ManualRules,
+            PolicyChoice::AnomalyDetection,
+            PolicyChoice::CorrelationAnalysis,
+            PolicyChoice::BottleneckAnalysis,
+            PolicyChoice::FixSym(SynopsisKind::NearestNeighbor),
+            PolicyChoice::Hybrid(SynopsisKind::AdaBoost(60)),
+            PolicyChoice::Proactive,
+        ]
+        .iter()
+        .map(PolicyChoice::label)
+        .collect();
+        let mut unique = labels.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len());
+    }
+}

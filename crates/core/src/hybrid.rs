@@ -1,0 +1,252 @@
+//! Hybrid policy: FixSym + diagnosis-based fallback (Section 5.1).
+//!
+//! "The signature-based approach is good at dealing with scenarios where
+//! same workloads and failures tend to recur.  However, this approach can be
+//! ineffective at finding fixes for previously-unseen or rarely-seen
+//! failures.  This disadvantage could be overcome ... [by] combining the
+//! signature-based approach with one or more of the diagnosis-based
+//! approaches that find the cause of a new failure to recommend a fix."
+//!
+//! [`HybridHealer`] does exactly that: when FixSym's synopsis is confident
+//! about a failure signature it uses the signature-based suggestion (cheap,
+//! no diagnosis needed); when the synopsis is unsure — a novel failure — it
+//! falls back to the diagnosis engines, ranks their recommendations by
+//! confidence, applies the best one, and *teaches the synopsis* the outcome
+//! so that the next occurrence of the same signature is handled by the
+//! signature path.
+
+use crate::policy::{target_for_fix, EpisodeTracker};
+use crate::symptom::SymptomExtractor;
+use crate::synopsis::{Synopsis, SynopsisKind};
+use selfheal_diagnosis::{AnomalyDetector, BottleneckAnalyzer, DiagnosisContext, ManualRuleBase};
+use selfheal_faults::{FixAction, FixKind};
+use selfheal_sim::scenario::Healer;
+use selfheal_sim::service::TickOutcome;
+use selfheal_telemetry::{Schema, SeriesStore};
+
+/// Combined signature + diagnosis healer.
+#[derive(Debug)]
+pub struct HybridHealer {
+    synopsis: Synopsis,
+    extractor: SymptomExtractor,
+    tracker: EpisodeTracker,
+    series: SeriesStore,
+    ctx: DiagnosisContext,
+    anomaly: AnomalyDetector,
+    bottleneck: BottleneckAnalyzer,
+    manual: ManualRuleBase,
+    schema: Schema,
+    /// Synopsis confidence above which the signature path is trusted.
+    pub signature_confidence_threshold: f64,
+    current_symptoms: Option<Vec<f64>>,
+    signature_decisions: u64,
+    diagnosis_decisions: u64,
+}
+
+impl HybridHealer {
+    /// Creates a hybrid healer for a service with the given schema and SLO
+    /// thresholds.
+    pub fn new(
+        schema: &Schema,
+        kind: SynopsisKind,
+        slo_response_ms: f64,
+        slo_error_rate: f64,
+    ) -> Self {
+        HybridHealer {
+            synopsis: Synopsis::new(kind),
+            extractor: SymptomExtractor::new(schema, 30, 5),
+            tracker: EpisodeTracker::new(4, 25),
+            series: SeriesStore::new(schema.clone(), 4096),
+            ctx: DiagnosisContext::from_schema(schema, slo_response_ms, slo_error_rate),
+            anomaly: AnomalyDetector::standard(),
+            bottleneck: BottleneckAnalyzer::standard(),
+            manual: ManualRuleBase::standard(),
+            schema: schema.clone(),
+            signature_confidence_threshold: 0.5,
+            current_symptoms: None,
+            signature_decisions: 0,
+            diagnosis_decisions: 0,
+        }
+    }
+
+    /// The learned synopsis.
+    pub fn synopsis(&self) -> &Synopsis {
+        &self.synopsis
+    }
+
+    /// Mutable synopsis access (for preproduction bootstrapping).
+    pub fn synopsis_mut(&mut self) -> &mut Synopsis {
+        &mut self.synopsis
+    }
+
+    /// How many fixes were chosen by the signature path vs the diagnosis
+    /// fallback: `(signature, diagnosis)`.
+    pub fn decision_counts(&self) -> (u64, u64) {
+        (self.signature_decisions, self.diagnosis_decisions)
+    }
+
+    fn diagnose_fallback(&self, tried: &std::collections::HashSet<FixKind>) -> Option<FixAction> {
+        let mut candidates = Vec::new();
+        candidates.extend(self.anomaly.diagnose(&self.series, &self.ctx));
+        candidates.extend(self.bottleneck.diagnose(&self.series, &self.ctx));
+        let mut manual = self.manual.diagnose(&self.series, &self.ctx);
+        // The manual catch-all restart is a last resort, not a fallback peer.
+        manual.retain(|d| d.fix.kind != FixKind::FullServiceRestart);
+        candidates.extend(manual);
+        candidates.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).expect("finite confidence"));
+        candidates.into_iter().find(|d| !tried.contains(&d.fix.kind)).map(|d| d.fix)
+    }
+}
+
+impl Healer for HybridHealer {
+    fn name(&self) -> &str {
+        "hybrid_fixsym_diagnosis"
+    }
+
+    fn observe(&mut self, outcome: &TickOutcome) -> Vec<FixAction> {
+        let violated = !outcome.violations.is_empty();
+        self.series.push(outcome.sample.clone());
+        self.extractor.observe(&outcome.sample, !violated && !self.tracker.in_episode());
+
+        if let Some((fix, success)) = self.tracker.resolve(outcome, violated) {
+            if let Some(symptoms) = &self.current_symptoms {
+                self.synopsis.update(symptoms, fix.kind, success);
+            }
+            if success {
+                self.current_symptoms = None;
+            }
+        }
+
+        if !self.tracker.should_act(violated) {
+            return Vec::new();
+        }
+        let Some(symptoms) = self.extractor.symptoms() else {
+            return Vec::new();
+        };
+        if self.current_symptoms.is_none() {
+            self.current_symptoms = Some(symptoms.clone());
+        }
+
+        if self.tracker.exhausted() {
+            let action = FixAction::untargeted(FixKind::FullServiceRestart);
+            self.tracker.record_attempt(action);
+            return vec![action];
+        }
+
+        let tried = self.tracker.tried_kinds();
+
+        // Signature path: trust the synopsis when it is confident.
+        if let Some((fix, confidence)) = self.synopsis.suggest_excluding(&symptoms, &tried) {
+            if confidence >= self.signature_confidence_threshold {
+                self.signature_decisions += 1;
+                let action = target_for_fix(fix, &self.schema, &outcome.sample);
+                self.tracker.record_attempt(action);
+                return vec![action];
+            }
+        }
+
+        // Diagnosis fallback for novel / low-confidence failures.
+        if let Some(action) = self.diagnose_fallback(&tried) {
+            self.diagnosis_decisions += 1;
+            self.tracker.record_attempt(action);
+            return vec![action];
+        }
+
+        // Neither path has anything new: escalate.
+        let action = FixAction::untargeted(FixKind::FullServiceRestart);
+        self.tracker.record_attempt(action);
+        vec![action]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfheal_faults::{FaultId, FaultKind, FaultSpec, FaultTarget};
+    use selfheal_sim::{MultiTierService, ServiceConfig};
+    use selfheal_workload::{ArrivalProcess, TraceGenerator, WorkloadMix};
+
+    fn run(
+        healer: &mut HybridHealer,
+        service: &mut MultiTierService,
+        workload: &mut TraceGenerator,
+        ticks: u64,
+        inject: Option<(u64, FaultSpec)>,
+    ) {
+        for _ in 0..ticks {
+            let t = service.current_tick();
+            if let Some((at, fault)) = &inject {
+                if t == *at {
+                    service.inject(fault.clone());
+                }
+            }
+            let requests = workload.tick(t);
+            let outcome = service.tick(&requests);
+            for action in healer.observe(&outcome) {
+                service.apply_fix(action);
+            }
+        }
+    }
+
+    #[test]
+    fn novel_failure_uses_diagnosis_then_signature_handles_the_recurrence() {
+        let config = ServiceConfig::tiny();
+        let mut service = MultiTierService::new(config.clone());
+        let mut workload =
+            TraceGenerator::new(WorkloadMix::bidding(), ArrivalProcess::Constant { rate: 40.0 }, 9);
+        let mut healer = HybridHealer::new(
+            service.schema(),
+            SynopsisKind::NearestNeighbor,
+            config.slo_response_ms,
+            config.slo_error_rate,
+        );
+
+        // First occurrence: the synopsis is empty, so the diagnosis fallback
+        // must handle it.
+        let fault = FaultSpec::new(
+            FaultId(1),
+            FaultKind::BufferContention,
+            FaultTarget::DatabaseTier,
+            0.9,
+        );
+        run(&mut healer, &mut service, &mut workload, 250, Some((40, fault)));
+        assert!(service.active_faults().is_empty(), "first occurrence should be repaired");
+        let (sig_first, diag_first) = healer.decision_counts();
+        assert!(diag_first >= 1, "the first occurrence must use the diagnosis path");
+        assert!(healer.synopsis().correct_fixes_learned() >= 1, "the outcome must be learned");
+
+        // Second occurrence of the same failure signature: the signature
+        // path should now contribute.
+        let fault2 = FaultSpec::new(
+            FaultId(2),
+            FaultKind::BufferContention,
+            FaultTarget::DatabaseTier,
+            0.9,
+        );
+        let tick = service.current_tick();
+        run(&mut healer, &mut service, &mut workload, 250, Some((tick + 30, fault2)));
+        assert!(service.active_faults().is_empty(), "second occurrence should be repaired");
+        let (sig_second, _) = healer.decision_counts();
+        assert!(
+            sig_second > sig_first,
+            "the recurrence should be handled by the signature path ({sig_first} -> {sig_second})"
+        );
+    }
+
+    #[test]
+    fn healthy_run_takes_no_action() {
+        let config = ServiceConfig::tiny();
+        let mut service = MultiTierService::new(config.clone());
+        let mut workload =
+            TraceGenerator::new(WorkloadMix::browsing(), ArrivalProcess::Constant { rate: 20.0 }, 3);
+        let mut healer = HybridHealer::new(
+            service.schema(),
+            SynopsisKind::KMeans,
+            config.slo_response_ms,
+            config.slo_error_rate,
+        );
+        run(&mut healer, &mut service, &mut workload, 100, None);
+        assert_eq!(healer.decision_counts(), (0, 0));
+        assert_eq!(healer.name(), "hybrid_fixsym_diagnosis");
+    }
+}

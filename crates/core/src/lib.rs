@@ -1,0 +1,54 @@
+//! # selfheal-core
+//!
+//! The self-healing layer of *Toward Self-Healing Multitier Services*
+//! (Cook et al., ICDE 2007): signature-based fix identification (FixSym),
+//! pluggable synopses, healing policies that drive the simulated service,
+//! hybrid signature+diagnosis policies, proactive (forecast-driven) healing,
+//! and control-theoretic measurements of the healing loop.
+//!
+//! The crate's centrepiece is [`fixsym::FixSymEngine`], a faithful
+//! implementation of the paper's Figure 3 pseudocode:
+//!
+//! ```text
+//! while (true)
+//!   wait for next failure data point f
+//!   while (!fixed and count < THRESHOLD)
+//!     probFix = suggest_fix(S, f, F)     // query the synopsis
+//!     apply_fix(probFix)
+//!     fixed = check_fix(probFix)
+//!     update_synopsis(S, f, probFix, fixed)
+//!   if (!fixed) restart the service and notify the administrator
+//! ```
+//!
+//! The synopsis `S` is abstracted by [`synopsis::Synopsis`], which wraps the
+//! three learners the paper compares (nearest neighbor, k-means, AdaBoost
+//! with 60 weak learners) behind one interface and tracks the training cost
+//! needed for the Table 3 comparison.
+//!
+//! The crate also provides [`policy`] (healers wrapping the manual rule base
+//! and the three diagnosis-based engines so all approaches of Table 2 can be
+//! run head-to-head), [`hybrid`] (signature + diagnosis combination,
+//! Section 5.1), [`proactive`] (failure forecasting, Section 5.3),
+//! [`control`] (settling time / overshoot / oscillation of the healing loop,
+//! Section 5.4), and [`harness`] (a convenience wrapper that bundles a
+//! simulated service with a healing policy for the examples and benches).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod control;
+pub mod fixsym;
+pub mod harness;
+pub mod hybrid;
+pub mod policy;
+pub mod proactive;
+pub mod symptom;
+pub mod synopsis;
+
+pub use fixsym::{EpisodeResult, FixSymConfig, FixSymEngine, FixSymHealer};
+pub use harness::SelfHealingService;
+pub use hybrid::HybridHealer;
+pub use policy::{DiagnosisEngine, DiagnosisHealer, EpisodeTracker};
+pub use proactive::ProactiveHealer;
+pub use symptom::SymptomExtractor;
+pub use synopsis::{Synopsis, SynopsisKind};

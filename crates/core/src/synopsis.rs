@@ -1,0 +1,374 @@
+//! The synopsis `S` of the FixSym loop: a swappable learned model mapping
+//! failure signatures to fixes.
+//!
+//! Section 5.2 of the paper compares three synopsis implementations —
+//! nearest neighbor, k-means, and AdaBoost with 60 weak learners — on
+//! accuracy (Figure 4) and time-to-generate (Table 3).  [`Synopsis`] wraps
+//! all three behind one interface, records every training example (both
+//! successful and failed fixes — "FixSym requires synopses to learn from
+//! unsuccessful fixes ... in addition to successful fixes"), and tracks both
+//! wall-clock and a deterministic model-operation count for the cost
+//! comparison.
+
+use selfheal_faults::FixKind;
+use selfheal_learn::{AdaBoost, Classifier, Dataset, Example, KMeans, NearestNeighbor};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Which learner backs the synopsis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynopsisKind {
+    /// 1-nearest-neighbor over all successfully fixed failures.
+    NearestNeighbor,
+    /// One cluster per fix, nearest-centroid classification.
+    KMeans,
+    /// SAMME AdaBoost over decision stumps with the given number of weak
+    /// learners (the paper uses 60).
+    AdaBoost(usize),
+}
+
+impl SynopsisKind {
+    /// The three configurations compared in Figure 4 / Table 3.
+    pub fn paper_set() -> Vec<SynopsisKind> {
+        vec![SynopsisKind::AdaBoost(60), SynopsisKind::NearestNeighbor, SynopsisKind::KMeans]
+    }
+
+    /// Display label used in benchmark output.
+    pub fn label(self) -> String {
+        match self {
+            SynopsisKind::NearestNeighbor => "nearest_neighbor".to_string(),
+            SynopsisKind::KMeans => "k_means".to_string(),
+            SynopsisKind::AdaBoost(n) => format!("adaboost_{n}"),
+        }
+    }
+}
+
+enum Model {
+    NearestNeighbor(NearestNeighbor),
+    KMeans(KMeans),
+    AdaBoost(AdaBoost),
+}
+
+impl Model {
+    fn as_classifier(&self) -> &dyn Classifier {
+        match self {
+            Model::NearestNeighbor(m) => m,
+            Model::KMeans(m) => m,
+            Model::AdaBoost(m) => m,
+        }
+    }
+
+    fn as_classifier_mut(&mut self) -> &mut dyn Classifier {
+        match self {
+            Model::NearestNeighbor(m) => m,
+            Model::KMeans(m) => m,
+            Model::AdaBoost(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Debug for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Model::NearestNeighbor(_) => write!(f, "Model::NearestNeighbor"),
+            Model::KMeans(_) => write!(f, "Model::KMeans"),
+            Model::AdaBoost(_) => write!(f, "Model::AdaBoost"),
+        }
+    }
+}
+
+/// A learned mapping from failure signatures to fixes.
+#[derive(Debug)]
+pub struct Synopsis {
+    kind: SynopsisKind,
+    model: Model,
+    /// Successful (symptom, fix) examples — the positive training set.
+    positives: Dataset,
+    /// Failed fix attempts as (symptom, fix) pairs — kept for the negative
+    /// knowledge queries and the noisy-label ablation.
+    negatives: Vec<Example>,
+    training_wall_time: Duration,
+    training_ops: u64,
+    retrains: u64,
+}
+
+impl Synopsis {
+    /// Creates an empty synopsis of the given kind.
+    pub fn new(kind: SynopsisKind) -> Self {
+        let model = match kind {
+            SynopsisKind::NearestNeighbor => Model::NearestNeighbor(NearestNeighbor::new()),
+            SynopsisKind::KMeans => Model::KMeans(KMeans::new()),
+            SynopsisKind::AdaBoost(rounds) => Model::AdaBoost(AdaBoost::new(rounds.max(1))),
+        };
+        Synopsis {
+            kind,
+            model,
+            positives: Dataset::new(0),
+            negatives: Vec::new(),
+            training_wall_time: Duration::ZERO,
+            training_ops: 0,
+            retrains: 0,
+        }
+    }
+
+    /// The configured kind.
+    pub fn kind(&self) -> SynopsisKind {
+        self.kind
+    }
+
+    /// Number of successful-fix training examples seen so far (the x-axis of
+    /// Figure 4).
+    pub fn correct_fixes_learned(&self) -> usize {
+        self.positives.len()
+    }
+
+    /// Number of failed-fix examples recorded.
+    pub fn failed_fixes_recorded(&self) -> usize {
+        self.negatives.len()
+    }
+
+    /// Cumulative wall-clock time spent fitting the model.
+    pub fn training_wall_time(&self) -> Duration {
+        self.training_wall_time
+    }
+
+    /// Cumulative deterministic model-fitting operations (hardware
+    /// independent cost proxy for Table 3).
+    pub fn training_ops(&self) -> u64 {
+        self.training_ops
+    }
+
+    /// How many times the underlying model has been refitted.
+    pub fn retrains(&self) -> u64 {
+        self.retrains
+    }
+
+    /// Records the outcome of an attempted fix and updates the synopsis
+    /// (Figure 3, line 15).  Successful fixes become training examples and
+    /// trigger a refit; failed fixes are recorded as negative knowledge.
+    pub fn update(&mut self, symptoms: &[f64], fix: FixKind, success: bool) {
+        if success {
+            self.positives.push(Example::new(symptoms.to_vec(), fix.code()));
+            self.refit();
+        } else {
+            self.negatives.push(Example::new(symptoms.to_vec(), fix.code()));
+        }
+    }
+
+    /// Bulk-loads successful-fix examples (preproduction bootstrap /
+    /// Figure 4 training prefix) and refits once.
+    pub fn bootstrap(&mut self, examples: &[Example]) {
+        for e in examples {
+            self.positives.push(e.clone());
+        }
+        if !examples.is_empty() {
+            self.refit();
+        }
+    }
+
+    fn refit(&mut self) {
+        let start = Instant::now();
+        self.model.as_classifier_mut().fit(&self.positives);
+        self.training_wall_time += start.elapsed();
+        self.training_ops += self.model.as_classifier().last_fit_cost();
+        self.retrains += 1;
+    }
+
+    /// Suggests the most probable fix for a failure signature, together with
+    /// a confidence estimate.  Returns `None` before any successful fix has
+    /// been learned.
+    ///
+    /// For the instance-based nearest-neighbor synopsis the raw majority
+    /// vote is always unanimous (k = 1), so the confidence is additionally
+    /// discounted by how *far* the nearest stored failure signature is: a
+    /// signature unlike anything seen before yields low confidence, which is
+    /// what lets hybrid policies detect novel failures and fall back to a
+    /// diagnosis-based approach (Section 5.1 of the paper).
+    pub fn suggest(&self, symptoms: &[f64]) -> Option<(FixKind, f64)> {
+        if self.positives.is_empty() {
+            return None;
+        }
+        let (code, mut confidence) = self.model.as_classifier().predict_with_confidence(symptoms);
+        if let Model::NearestNeighbor(nn) = &self.model {
+            if let Some((distance, _)) = nn.neighbors(symptoms).first() {
+                confidence *= (-distance / 4.0).exp();
+            }
+        }
+        FixKind::from_code(code).map(|fix| (fix, confidence))
+    }
+
+    /// Suggests the best fix that is *not* in `excluded` — used by the
+    /// FixSym loop to avoid retrying a fix that already failed for the
+    /// current failure (line 9 of Figure 3 on subsequent iterations).
+    ///
+    /// For the instance-based models this re-ranks by voting among the fixes
+    /// of the stored examples closest in symptom space; for the ensemble it
+    /// uses the per-class vote scores.
+    pub fn suggest_excluding(
+        &self,
+        symptoms: &[f64],
+        excluded: &HashSet<FixKind>,
+    ) -> Option<(FixKind, f64)> {
+        if self.positives.is_empty() {
+            return None;
+        }
+        // Fast path: the primary suggestion is allowed.
+        if let Some((fix, confidence)) = self.suggest(symptoms) {
+            if !excluded.contains(&fix) {
+                return Some((fix, confidence));
+            }
+        }
+        match &self.model {
+            Model::AdaBoost(model) => {
+                let mut scores: Vec<(usize, f64)> = model.class_scores(symptoms).into_iter().collect();
+                scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite score"));
+                for (code, score) in scores {
+                    if let Some(fix) = FixKind::from_code(code) {
+                        if !excluded.contains(&fix) {
+                            return Some((fix, score));
+                        }
+                    }
+                }
+                None
+            }
+            _ => {
+                // Rank the labels of the k closest stored examples.
+                let mut nn = NearestNeighbor::with_k(self.positives.len().min(25));
+                nn.fit(&self.positives);
+                let neighbors = nn.neighbors(symptoms);
+                let total = neighbors.len() as f64;
+                let mut votes: Vec<(usize, f64)> = Vec::new();
+                for (_, label) in neighbors {
+                    match votes.iter_mut().find(|(l, _)| *l == label) {
+                        Some((_, v)) => *v += 1.0,
+                        None => votes.push((label, 1.0)),
+                    }
+                }
+                votes.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite vote"));
+                for (code, count) in votes {
+                    if let Some(fix) = FixKind::from_code(code) {
+                        if !excluded.contains(&fix) {
+                            return Some((fix, count / total));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Accuracy of the current synopsis on a labelled test set (the y-axis
+    /// of Figure 4).
+    pub fn accuracy_on(&self, test: &Dataset) -> f64 {
+        if self.positives.is_empty() || test.is_empty() {
+            return 0.0;
+        }
+        selfheal_learn::accuracy(self.model.as_classifier(), test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symptom(kind: usize) -> Vec<f64> {
+        // Three well-separated symptom archetypes.
+        match kind {
+            0 => vec![8.0, 1.0, 1.0],
+            1 => vec![1.0, 9.0, 1.0],
+            _ => vec![1.0, 1.0, 7.0],
+        }
+    }
+
+    fn train(synopsis: &mut Synopsis, n: usize) {
+        let fixes = [FixKind::RepartitionMemory, FixKind::MicrorebootEjb, FixKind::UpdateStatistics];
+        for i in 0..n {
+            let class = i % 3;
+            let mut s = symptom(class);
+            s[0] += (i as f64 * 0.01) % 0.3;
+            synopsis.update(&s, fixes[class], true);
+        }
+    }
+
+    #[test]
+    fn all_three_kinds_learn_the_symptom_to_fix_mapping() {
+        for kind in SynopsisKind::paper_set() {
+            let mut synopsis = Synopsis::new(kind);
+            assert!(synopsis.suggest(&symptom(0)).is_none());
+            train(&mut synopsis, 30);
+            assert_eq!(synopsis.correct_fixes_learned(), 30);
+            let (fix, confidence) = synopsis.suggest(&symptom(0)).unwrap();
+            assert_eq!(fix, FixKind::RepartitionMemory, "{}", kind.label());
+            assert!(confidence > 0.0);
+            assert_eq!(synopsis.suggest(&symptom(1)).unwrap().0, FixKind::MicrorebootEjb);
+            assert_eq!(synopsis.suggest(&symptom(2)).unwrap().0, FixKind::UpdateStatistics);
+        }
+    }
+
+    #[test]
+    fn failed_fixes_are_recorded_but_do_not_become_positive_examples() {
+        let mut synopsis = Synopsis::new(SynopsisKind::NearestNeighbor);
+        synopsis.update(&symptom(0), FixKind::KillHungQuery, false);
+        assert_eq!(synopsis.correct_fixes_learned(), 0);
+        assert_eq!(synopsis.failed_fixes_recorded(), 1);
+        assert!(synopsis.suggest(&symptom(0)).is_none());
+    }
+
+    #[test]
+    fn suggest_excluding_falls_back_to_the_next_best_fix() {
+        for kind in SynopsisKind::paper_set() {
+            let mut synopsis = Synopsis::new(kind);
+            train(&mut synopsis, 30);
+            let mut excluded = HashSet::new();
+            excluded.insert(FixKind::RepartitionMemory);
+            let (fix, _) = synopsis.suggest_excluding(&symptom(0), &excluded).unwrap();
+            assert_ne!(fix, FixKind::RepartitionMemory, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn adaboost_training_cost_dwarfs_nearest_neighbor() {
+        let mut nn = Synopsis::new(SynopsisKind::NearestNeighbor);
+        let mut ada = Synopsis::new(SynopsisKind::AdaBoost(20));
+        train(&mut nn, 30);
+        train(&mut ada, 30);
+        assert!(
+            ada.training_ops() > 50 * nn.training_ops(),
+            "ada {} vs nn {}",
+            ada.training_ops(),
+            nn.training_ops()
+        );
+        assert_eq!(nn.retrains(), 30);
+    }
+
+    #[test]
+    fn accuracy_on_a_test_set_reaches_one_for_separable_symptoms() {
+        let mut synopsis = Synopsis::new(SynopsisKind::KMeans);
+        train(&mut synopsis, 30);
+        let mut test = Dataset::new(3);
+        test.push(Example::new(symptom(0), FixKind::RepartitionMemory.code()));
+        test.push(Example::new(symptom(1), FixKind::MicrorebootEjb.code()));
+        test.push(Example::new(symptom(2), FixKind::UpdateStatistics.code()));
+        assert_eq!(synopsis.accuracy_on(&test), 1.0);
+        assert_eq!(Synopsis::new(SynopsisKind::KMeans).accuracy_on(&test), 0.0);
+    }
+
+    #[test]
+    fn bootstrap_loads_examples_in_one_refit() {
+        let mut synopsis = Synopsis::new(SynopsisKind::NearestNeighbor);
+        let examples: Vec<Example> = (0..10)
+            .map(|i| Example::new(symptom(i % 3), [5, 0, 4][i % 3]))
+            .collect();
+        synopsis.bootstrap(&examples);
+        assert_eq!(synopsis.correct_fixes_learned(), 10);
+        assert_eq!(synopsis.retrains(), 1);
+    }
+
+    #[test]
+    fn labels_round_trip_through_fixkind_codes() {
+        let mut synopsis = Synopsis::new(SynopsisKind::NearestNeighbor);
+        synopsis.update(&[1.0, 2.0], FixKind::ProvisionResources, true);
+        let (fix, _) = synopsis.suggest(&[1.0, 2.0]).unwrap();
+        assert_eq!(fix, FixKind::ProvisionResources);
+    }
+}

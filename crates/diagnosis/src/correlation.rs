@@ -1,0 +1,281 @@
+//! Diagnosis via correlation analysis (Section 4.3.2).
+//!
+//! "Correlation analysis proceeds by identifying attributes in the data that
+//! are correlated strongly with (or predictive of) a failure-indicator
+//! attribute."  The analyzer maintains a window of `(sample, violated)`
+//! observations, computes the point-biserial correlation of every candidate
+//! metric with the violation indicator, and maps the strongest correlate to
+//! a fix (Example 3: an EJB's invocation/error metric → microreboot that
+//! EJB; an index/table access metric → rebuild/repartition; and so on).
+//!
+//! Its documented weakness is reproduced faithfully: with few training
+//! observations of a failure mode, correlations are weak and the analyzer
+//! returns low-confidence or empty recommendations ("correlation-analysis
+//! may fail to find fixes for failures not seen previously and for failures
+//! that occur rarely").
+
+use crate::context::DiagnosisContext;
+use crate::report::{
+    busiest_component, fix_for_db_symptom, fix_for_tier_saturation, rank, Diagnosis,
+    DiagnosisMethod,
+};
+use selfheal_faults::{FaultTarget, FixAction, FixKind};
+use selfheal_learn::stats::point_biserial;
+use selfheal_telemetry::{MetricId, Sample, SeriesStore, Window, WindowSpec};
+use std::collections::VecDeque;
+
+/// Correlation-based fix recommender.
+#[derive(Debug, Clone)]
+pub struct CorrelationAnalyzer {
+    /// How many recent observations to correlate over.
+    pub window: usize,
+    /// Minimum absolute correlation before a metric is considered
+    /// predictive of failure.
+    pub min_correlation: f64,
+    history: VecDeque<(Vec<f64>, bool)>,
+    metric_ids: Vec<MetricId>,
+}
+
+impl CorrelationAnalyzer {
+    /// Analyzer correlating over the last 120 observations with a 0.3
+    /// minimum correlation.
+    pub fn standard(ctx: &DiagnosisContext) -> Self {
+        Self::new(ctx, 120, 0.3)
+    }
+
+    /// Creates an analyzer over the candidate metrics of `ctx`.
+    pub fn new(ctx: &DiagnosisContext, window: usize, min_correlation: f64) -> Self {
+        let mut metric_ids = vec![
+            ctx.web_util,
+            ctx.app_util,
+            ctx.db_util,
+            ctx.web_queue_ms,
+            ctx.app_queue_ms,
+            ctx.db_queue_ms,
+            ctx.buffer_miss_rate,
+            ctx.lock_wait_ms,
+            ctx.plan_misestimate,
+        ];
+        metric_ids.extend(ctx.ejb_calls.iter().copied());
+        metric_ids.extend(ctx.ejb_errors.iter().copied());
+        metric_ids.extend(ctx.table_accesses.iter().copied());
+        CorrelationAnalyzer {
+            window: window.max(10),
+            min_correlation: min_correlation.clamp(0.05, 0.99),
+            history: VecDeque::new(),
+            metric_ids,
+        }
+    }
+
+    /// Number of observations currently retained.
+    pub fn observations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Records one observation: the sample and whether the service was in
+    /// confirmed SLO violation at that time (the failure indicator Y).
+    pub fn observe(&mut self, sample: &Sample, violated: bool) {
+        if self.history.len() == self.window {
+            self.history.pop_front();
+        }
+        let values = self.metric_ids.iter().map(|id| sample.get(*id)).collect();
+        self.history.push_back((values, violated));
+    }
+
+    /// Diagnoses using the retained history; `series` supplies the recent
+    /// window used to pick component targets (busiest table / EJB).
+    pub fn diagnose(&self, series: &SeriesStore, ctx: &DiagnosisContext) -> Vec<Diagnosis> {
+        if self.history.len() < 20 {
+            return Vec::new();
+        }
+        let violated: Vec<bool> = self.history.iter().map(|(_, v)| *v).collect();
+        if !violated.iter().any(|v| *v) || violated.iter().all(|v| *v) {
+            // Correlation is undefined without both classes present.
+            return Vec::new();
+        }
+
+        let current = series
+            .window(WindowSpec::latest(series.len().min(8)))
+            .unwrap_or_else(|| Window::from_samples(series.schema().clone(), &[]));
+
+        let mut scored: Vec<(MetricId, f64)> = self
+            .metric_ids
+            .iter()
+            .enumerate()
+            .map(|(col, id)| {
+                let values: Vec<f64> = self.history.iter().map(|(row, _)| row[col]).collect();
+                (*id, point_biserial(&values, &violated))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite correlation"));
+
+        let mut diagnoses = Vec::new();
+        for (metric, correlation) in scored.into_iter().take(5) {
+            if correlation.abs() < self.min_correlation {
+                break;
+            }
+            let confidence = correlation.abs().min(0.95);
+            let explanation = format!(
+                "metric correlates with the failure indicator (r = {correlation:.2})"
+            );
+            // EJB metrics → microreboot the implicated EJB.
+            if let Some(pos) = ctx.ejb_errors.iter().chain(&ctx.ejb_calls).position(|id| *id == metric) {
+                let index = pos % ctx.ejb_errors.len().max(1);
+                diagnoses.push(Diagnosis::new(
+                    DiagnosisMethod::CorrelationAnalysis,
+                    FixAction::targeted(FixKind::MicrorebootEjb, FaultTarget::Ejb { index }),
+                    confidence,
+                    explanation,
+                ));
+                continue;
+            }
+            // Table access metrics → repartition the implicated table.
+            if let Some(pos) = ctx.table_accesses.iter().position(|id| *id == metric) {
+                diagnoses.push(Diagnosis::new(
+                    DiagnosisMethod::CorrelationAnalysis,
+                    FixAction::targeted(FixKind::RepartitionTable, FaultTarget::Table { index: pos }),
+                    confidence,
+                    explanation,
+                ));
+                continue;
+            }
+            // Database symptom metrics → the corresponding DB fix.
+            if let Some(fix) = fix_for_db_symptom(metric, ctx, &current) {
+                diagnoses.push(Diagnosis::new(
+                    DiagnosisMethod::CorrelationAnalysis,
+                    fix,
+                    confidence,
+                    explanation,
+                ));
+                continue;
+            }
+            // Tier saturation metrics → provision the tier.
+            if let Some(fix) = fix_for_tier_saturation(metric, ctx) {
+                diagnoses.push(Diagnosis::new(
+                    DiagnosisMethod::CorrelationAnalysis,
+                    fix,
+                    confidence,
+                    explanation,
+                ));
+            }
+        }
+
+        // Keep the most-accessed table handy for untargeted table fixes: the
+        // helper is exercised here so untargeted recommendations stay
+        // consistent with the anomaly detector's choices.
+        let _ = busiest_component(&ctx.table_accesses, &current);
+
+        rank(diagnoses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfheal_telemetry::{MetricKind, Schema, SchemaBuilder, Tier};
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new()
+            .metric("svc.response_ms", Tier::Service, MetricKind::LatencyMs)
+            .metric("svc.throughput", Tier::Service, MetricKind::Count)
+            .metric("svc.arrivals", Tier::Service, MetricKind::Count)
+            .metric("svc.error_rate", Tier::Service, MetricKind::Ratio)
+            .metric("web.util", Tier::Web, MetricKind::Utilization)
+            .metric("app.util", Tier::App, MetricKind::Utilization)
+            .metric("db.util", Tier::Database, MetricKind::Utilization)
+            .metric("web.queue_ms", Tier::Web, MetricKind::Gauge)
+            .metric("app.queue_ms", Tier::App, MetricKind::Gauge)
+            .metric("db.queue_ms", Tier::Database, MetricKind::Gauge)
+            .metric("db.buffer_miss_rate", Tier::Database, MetricKind::Ratio)
+            .metric("db.lock_wait_ms", Tier::Database, MetricKind::Gauge)
+            .metric("db.plan_misestimate", Tier::Database, MetricKind::Gauge);
+        for i in 0..2 {
+            b = b.metric(format!("app.ejb{i}_calls"), Tier::App, MetricKind::Count);
+            b = b.metric(format!("app.ejb{i}_errors"), Tier::App, MetricKind::Count);
+        }
+        for j in 0..2 {
+            b = b.metric(format!("db.table{j}_accesses"), Tier::Database, MetricKind::Count);
+        }
+        b.build()
+    }
+
+    fn sample(schema: &Schema, tick: u64, miss_rate: f64, ejb1_errors: f64) -> Sample {
+        let mut s = Sample::zeroed(schema, tick);
+        s.set(schema.expect_id("db.buffer_miss_rate"), miss_rate);
+        s.set(schema.expect_id("app.ejb1_errors"), ejb1_errors);
+        s.set(schema.expect_id("db.plan_misestimate"), 1.0);
+        s.set(schema.expect_id("db.table0_accesses"), 30.0);
+        s.set(schema.expect_id("db.table1_accesses"), 20.0);
+        s
+    }
+
+    #[test]
+    fn needs_both_failure_and_healthy_observations() {
+        let schema = schema();
+        let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
+        let mut analyzer = CorrelationAnalyzer::standard(&ctx);
+        let mut store = SeriesStore::new(schema.clone(), 256);
+        for t in 0..40u64 {
+            let s = sample(&schema, t, 0.02, 0.0);
+            analyzer.observe(&s, false);
+            store.push(s);
+        }
+        assert!(analyzer.diagnose(&store, &ctx).is_empty());
+        assert_eq!(analyzer.observations(), 40);
+    }
+
+    #[test]
+    fn buffer_miss_correlated_with_failure_recommends_memory_fix() {
+        let schema = schema();
+        let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
+        let mut analyzer = CorrelationAnalyzer::standard(&ctx);
+        let mut store = SeriesStore::new(schema.clone(), 256);
+        for t in 0..60u64 {
+            let failing = t >= 40;
+            let s = sample(&schema, t, if failing { 0.8 } else { 0.02 }, 0.0);
+            analyzer.observe(&s, failing);
+            store.push(s);
+        }
+        let diagnoses = analyzer.diagnose(&store, &ctx);
+        assert!(!diagnoses.is_empty());
+        assert_eq!(diagnoses[0].fix.kind, FixKind::RepartitionMemory);
+        assert!(diagnoses[0].confidence > 0.5);
+    }
+
+    #[test]
+    fn ejb_error_correlated_with_failure_recommends_targeted_microreboot() {
+        let schema = schema();
+        let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
+        let mut analyzer = CorrelationAnalyzer::standard(&ctx);
+        let mut store = SeriesStore::new(schema.clone(), 256);
+        for t in 0..60u64 {
+            let failing = t >= 40;
+            let s = sample(&schema, t, 0.02, if failing { 12.0 } else { 0.0 });
+            analyzer.observe(&s, failing);
+            store.push(s);
+        }
+        let diagnoses = analyzer.diagnose(&store, &ctx);
+        let top = &diagnoses[0];
+        assert_eq!(top.fix.kind, FixKind::MicrorebootEjb);
+        assert_eq!(top.fix.target, Some(FaultTarget::Ejb { index: 1 }));
+    }
+
+    #[test]
+    fn failures_without_correlated_symptoms_yield_no_recommendation() {
+        // A couple of observations are marked as failures, but no collected
+        // metric moves with them (the failure's symptoms are not represented
+        // in the data): every correlation is ~0 and no fix is recommended —
+        // the weakness the paper attributes to correlation analysis.
+        let schema = schema();
+        let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
+        let mut analyzer = CorrelationAnalyzer::new(&ctx, 120, 0.4);
+        let mut store = SeriesStore::new(schema.clone(), 256);
+        for t in 0..60u64 {
+            let failing = t == 30 || t == 31;
+            let s = sample(&schema, t, 0.02, 0.0);
+            analyzer.observe(&s, failing);
+            store.push(s);
+        }
+        assert!(analyzer.diagnose(&store, &ctx).is_empty());
+    }
+}

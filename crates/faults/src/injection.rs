@@ -1,0 +1,299 @@
+//! Fault-injection plans.
+//!
+//! Section 4.2 of the paper argues for *active* data collection during
+//! preproduction: "the service can be subjected to different types and rates
+//! of workloads, and injected with various failures; while recording data
+//! about observed behavior".  An [`InjectionPlan`] is the schedule of such
+//! injections — either hand-scripted (for targeted experiments such as the
+//! Table 1 fault/fix matrix) or randomly generated from a
+//! [`ServiceProfile`]'s cause mix (for the Figure 1/2 demographics and the
+//! FixSym training runs).
+
+use crate::fault::{FaultId, FaultKind, FaultSpec, FaultTarget};
+use crate::mix::ServiceProfile;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled injection: a fault to activate at a given tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InjectionEvent {
+    /// Tick at which the fault becomes active.
+    pub at_tick: u64,
+    /// The fault to inject.
+    pub fault: FaultSpec,
+}
+
+/// A time-ordered schedule of fault injections.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct InjectionPlan {
+    events: Vec<InjectionEvent>,
+}
+
+impl InjectionPlan {
+    /// Creates an empty plan.
+    pub fn empty() -> Self {
+        InjectionPlan { events: Vec::new() }
+    }
+
+    /// Creates a plan from events (sorted by tick internally).
+    pub fn from_events(mut events: Vec<InjectionEvent>) -> Self {
+        events.sort_by_key(|e| e.at_tick);
+        InjectionPlan { events }
+    }
+
+    /// Number of scheduled injections.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events in tick order.
+    pub fn events(&self) -> &[InjectionEvent] {
+        &self.events
+    }
+
+    /// Returns the faults that become active exactly at `tick`.
+    pub fn due_at(&self, tick: u64) -> Vec<&FaultSpec> {
+        self.events
+            .iter()
+            .filter(|e| e.at_tick == tick)
+            .map(|e| &e.fault)
+            .collect()
+    }
+
+    /// The tick of the last scheduled injection (0 for an empty plan).
+    pub fn horizon(&self) -> u64 {
+        self.events.last().map(|e| e.at_tick).unwrap_or(0)
+    }
+}
+
+/// Builder for [`InjectionPlan`]s.
+#[derive(Debug)]
+pub struct InjectionPlanBuilder {
+    events: Vec<InjectionEvent>,
+    next_id: u64,
+    ejb_count: usize,
+    table_count: usize,
+    index_count: usize,
+}
+
+impl InjectionPlanBuilder {
+    /// Creates a builder that will pick fault targets among `ejb_count`
+    /// EJBs, `table_count` tables, and `index_count` indexes (matching the
+    /// simulated service's topology).
+    pub fn new(ejb_count: usize, table_count: usize, index_count: usize) -> Self {
+        InjectionPlanBuilder {
+            events: Vec::new(),
+            next_id: 0,
+            ejb_count: ejb_count.max(1),
+            table_count: table_count.max(1),
+            index_count: index_count.max(1),
+        }
+    }
+
+    fn next_id(&mut self) -> FaultId {
+        let id = FaultId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Topology this builder draws random targets from, as
+    /// `(ejb_count, table_count, index_count)`.
+    pub fn topology(&self) -> (usize, usize, usize) {
+        (self.ejb_count, self.table_count, self.index_count)
+    }
+
+    /// Schedules a fully specified fault.
+    pub fn inject(mut self, at_tick: u64, kind: FaultKind, target: FaultTarget, severity: f64) -> Self {
+        let id = self.next_id();
+        self.events.push(InjectionEvent { at_tick, fault: FaultSpec::new(id, kind, target, severity) });
+        self
+    }
+
+    /// Schedules a fault of `kind` at `at_tick` with a target chosen
+    /// deterministically from the topology (component 0 of the natural
+    /// target class) and default severity 0.8.
+    pub fn inject_default(self, at_tick: u64, kind: FaultKind) -> Self {
+        let target = default_target(kind, 0);
+        self.inject(at_tick, kind, target, 0.8)
+    }
+
+    /// Schedules `count` faults drawn from `profile`'s cause mix, spaced
+    /// `spacing_ticks` apart starting at `start_tick`, with random targets
+    /// and severities in `[0.4, 1.0]`.
+    pub fn inject_from_profile<R: Rng + ?Sized>(
+        mut self,
+        profile: ServiceProfile,
+        count: usize,
+        start_tick: u64,
+        spacing_ticks: u64,
+        rng: &mut R,
+    ) -> Self {
+        for i in 0..count {
+            let (cause, kind) = profile.sample_kind(rng);
+            let target = self.random_target(kind, rng);
+            let severity = rng.gen_range(0.4..=1.0);
+            let id = self.next_id();
+            let fault = FaultSpec::new(id, kind, target, severity).with_cause(cause);
+            self.events.push(InjectionEvent {
+                at_tick: start_tick + i as u64 * spacing_ticks,
+                fault,
+            });
+        }
+        self
+    }
+
+    fn random_target<R: Rng + ?Sized>(&self, kind: FaultKind, rng: &mut R) -> FaultTarget {
+        match kind {
+            FaultKind::DeadlockedThreads | FaultKind::UnhandledException | FaultKind::SourceCodeBug => {
+                FaultTarget::Ejb { index: rng.gen_range(0..self.ejb_count) }
+            }
+            FaultKind::SoftwareAging => {
+                if rng.gen_bool(0.5) {
+                    FaultTarget::AppTier
+                } else {
+                    FaultTarget::Ejb { index: rng.gen_range(0..self.ejb_count) }
+                }
+            }
+            FaultKind::SuboptimalQueryPlan | FaultKind::TableBlockContention => {
+                FaultTarget::Table { index: rng.gen_range(0..self.table_count) }
+            }
+            FaultKind::BufferContention => FaultTarget::DatabaseTier,
+            FaultKind::BottleneckedTier => match rng.gen_range(0..3) {
+                0 => FaultTarget::WebTier,
+                1 => FaultTarget::AppTier,
+                _ => FaultTarget::DatabaseTier,
+            },
+            FaultKind::OperatorMisconfiguration => match rng.gen_range(0..3) {
+                0 => FaultTarget::AppTier,
+                1 => FaultTarget::DatabaseTier,
+                _ => FaultTarget::WebTier,
+            },
+            FaultKind::OperatorProceduralError => FaultTarget::WholeService,
+            FaultKind::HardwareFailure => match rng.gen_range(0..3) {
+                0 => FaultTarget::WebTier,
+                1 => FaultTarget::AppTier,
+                _ => FaultTarget::DatabaseTier,
+            },
+            FaultKind::NetworkPartition => FaultTarget::WholeService,
+        }
+    }
+
+    /// Finalizes the plan.
+    pub fn build(self) -> InjectionPlan {
+        InjectionPlan::from_events(self.events)
+    }
+}
+
+/// The "natural" target class for a fault kind, with the given component
+/// index (used by scripted experiments).
+pub fn default_target(kind: FaultKind, component: usize) -> FaultTarget {
+    match kind {
+        FaultKind::DeadlockedThreads
+        | FaultKind::UnhandledException
+        | FaultKind::SourceCodeBug => FaultTarget::Ejb { index: component },
+        FaultKind::SoftwareAging => FaultTarget::AppTier,
+        FaultKind::SuboptimalQueryPlan | FaultKind::TableBlockContention => {
+            FaultTarget::Table { index: component }
+        }
+        FaultKind::BufferContention => FaultTarget::DatabaseTier,
+        FaultKind::BottleneckedTier => FaultTarget::DatabaseTier,
+        FaultKind::OperatorMisconfiguration => FaultTarget::AppTier,
+        FaultKind::OperatorProceduralError => FaultTarget::WholeService,
+        FaultKind::HardwareFailure => FaultTarget::DatabaseTier,
+        FaultKind::NetworkPartition => FaultTarget::WholeService,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scripted_plan_is_sorted_and_queryable() {
+        let plan = InjectionPlanBuilder::new(4, 3, 2)
+            .inject(50, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.9)
+            .inject(10, FaultKind::DeadlockedThreads, FaultTarget::Ejb { index: 1 }, 0.7)
+            .build();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.events()[0].at_tick, 10);
+        assert_eq!(plan.horizon(), 50);
+        assert_eq!(plan.due_at(10).len(), 1);
+        assert_eq!(plan.due_at(10)[0].kind, FaultKind::DeadlockedThreads);
+        assert!(plan.due_at(11).is_empty());
+    }
+
+    #[test]
+    fn unique_fault_ids_are_assigned() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = InjectionPlanBuilder::new(4, 3, 2)
+            .inject_from_profile(ServiceProfile::Online, 50, 0, 100, &mut rng)
+            .build();
+        let mut ids: Vec<u64> = plan.events().iter().map(|e| e.fault.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 50);
+    }
+
+    #[test]
+    fn profile_plan_spaces_events_evenly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let plan = InjectionPlanBuilder::new(4, 3, 2)
+            .inject_from_profile(ServiceProfile::Content, 5, 100, 200, &mut rng)
+            .build();
+        let ticks: Vec<u64> = plan.events().iter().map(|e| e.at_tick).collect();
+        assert_eq!(ticks, vec![100, 300, 500, 700, 900]);
+    }
+
+    #[test]
+    fn random_targets_stay_within_topology() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let plan = InjectionPlanBuilder::new(3, 2, 1)
+            .inject_from_profile(ServiceProfile::ReadMostly, 200, 0, 1, &mut rng)
+            .build();
+        for e in plan.events() {
+            match e.fault.target {
+                FaultTarget::Ejb { index } => assert!(index < 3),
+                FaultTarget::Table { index } => assert!(index < 2),
+                FaultTarget::Index { index } => assert!(index < 1),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn default_targets_follow_fault_semantics() {
+        assert_eq!(
+            default_target(FaultKind::DeadlockedThreads, 2),
+            FaultTarget::Ejb { index: 2 }
+        );
+        assert_eq!(
+            default_target(FaultKind::SuboptimalQueryPlan, 1),
+            FaultTarget::Table { index: 1 }
+        );
+        assert_eq!(default_target(FaultKind::BufferContention, 0), FaultTarget::DatabaseTier);
+        assert_eq!(default_target(FaultKind::NetworkPartition, 0), FaultTarget::WholeService);
+    }
+
+    #[test]
+    fn empty_plan_has_zero_horizon() {
+        let plan = InjectionPlan::empty();
+        assert!(plan.is_empty());
+        assert_eq!(plan.horizon(), 0);
+    }
+
+    #[test]
+    fn inject_default_uses_component_zero() {
+        let plan = InjectionPlanBuilder::new(2, 2, 1)
+            .inject_default(5, FaultKind::UnhandledException)
+            .build();
+        assert_eq!(plan.events()[0].fault.target, FaultTarget::Ejb { index: 0 });
+        assert_eq!(plan.events()[0].fault.severity, 0.8);
+    }
+}

@@ -1,0 +1,50 @@
+//! # selfheal-faults
+//!
+//! Failure and fix catalog for database-centric multitier services,
+//! reproducing the failure taxonomy of *Toward Self-Healing Multitier
+//! Services* (Cook et al., ICDE 2007).
+//!
+//! The crate models three things the paper treats as inputs to any
+//! self-healing policy:
+//!
+//! 1. **What can go wrong** — [`FaultKind`] enumerates the failure classes of
+//!    Table 1 (deadlocked threads, unhandled Java exceptions, software aging,
+//!    suboptimal query plans from stale statistics, table-block contention,
+//!    buffer contention, bottlenecked tiers, source-code bugs) plus
+//!    hardware faults and the operator-error classes that dominate Figure 1.
+//! 2. **What can be done about it** — [`FixKind`] enumerates the candidate
+//!    fixes of Table 1 (microreboot an EJB, kill a hung query, reboot at the
+//!    appropriate level, update optimizer statistics, repartition a table,
+//!    repartition memory across buffers, provision more resources, full
+//!    service restart, notify an administrator) together with a cost model
+//!    ([`FixCost`]): how long the fix takes and how disruptive it is.
+//! 3. **Which fixes actually repair which failures** — [`FixCatalog`] encodes
+//!    the ground-truth failure → fix mapping used by the simulator to decide
+//!    whether an attempted fix works, and by the benchmarks to score fix
+//!    identification accuracy.
+//!
+//! On top of the catalog, the crate provides fault *injection* plans
+//! ([`injection::InjectionPlan`]) for preproduction active stimulation and
+//! for the evaluation runs, the failure-cause mix model behind Figure 1
+//! ([`mix::CauseMix`]), the per-category recovery-time model behind Figure 2
+//! ([`recovery_model::RecoveryTimeModel`]), and an operator-error model
+//! ([`operator::OperatorModel`]).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod catalog;
+pub mod fault;
+pub mod fix;
+pub mod injection;
+pub mod mix;
+pub mod operator;
+pub mod recovery_model;
+
+pub use catalog::{CatalogEntry, FixCatalog};
+pub use fault::{FailureCause, FaultId, FaultKind, FaultSpec, FaultTarget};
+pub use fix::{FixAction, FixCost, FixId, FixKind, FixOutcome};
+pub use injection::{InjectionEvent, InjectionPlan, InjectionPlanBuilder};
+pub use mix::{CauseMix, ServiceProfile};
+pub use operator::{OperatorAction, OperatorModel};
+pub use recovery_model::RecoveryTimeModel;

@@ -1,0 +1,132 @@
+//! Feature selection and transformation operators.
+//!
+//! Section 3 of the paper lists "operators for data transformation (e.g.,
+//! aggregation, feature selection)" among the synopses a learning-based
+//! approach maintains, and Section 4.3.4 describes how FixSym "identifies a
+//! subset Ω of attributes in X1,...,Xn that classify the symptoms of working
+//! and failed states of the service in the best manner".  These routines
+//! compute that subset.
+
+use crate::dataset::Dataset;
+use crate::stats::pearson;
+
+/// Returns the indexes of columns whose variance exceeds `min_variance`.
+///
+/// Constant (or near-constant) metrics carry no signal about which failure
+/// occurred and only slow the learners down.
+pub fn variance_filter(data: &Dataset, min_variance: f64) -> Vec<usize> {
+    data.column_stats()
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, std))| std * std > min_variance)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Scores each column by the absolute Pearson correlation between the column
+/// and the (numeric) label, returning `(column, |correlation|)` pairs sorted
+/// by decreasing score.
+///
+/// This is the simplest label-relevance ranking; the correlation-analysis
+/// diagnosis uses the same machinery with the failure indicator as the
+/// label.
+pub fn correlation_ranking(data: &Dataset) -> Vec<(usize, f64)> {
+    let labels: Vec<f64> = data.iter().map(|(_, l)| l as f64).collect();
+    let mut scores: Vec<(usize, f64)> = (0..data.width())
+        .map(|c| {
+            let column: Vec<f64> = data.iter().map(|(f, _)| f[c]).collect();
+            (c, pearson(&column, &labels).abs())
+        })
+        .collect();
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+    scores
+}
+
+/// Selects the signature attribute set Ω: drops near-constant columns, then
+/// keeps the `max_features` columns most correlated with the label.
+///
+/// Returns column indexes in ascending order so projections are stable.
+pub fn select_signature(data: &Dataset, max_features: usize) -> Vec<usize> {
+    let informative = variance_filter(data, 1e-12);
+    if informative.is_empty() || max_features == 0 {
+        return Vec::new();
+    }
+    let projected = data.project(&informative);
+    let ranked = correlation_ranking(&projected);
+    let mut selected: Vec<usize> = ranked
+        .into_iter()
+        .take(max_features)
+        .map(|(local_idx, _)| informative[local_idx])
+        .collect();
+    selected.sort_unstable();
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Example;
+
+    /// Column 0: constant.  Column 1: perfectly tracks the label.
+    /// Column 2: noise uncorrelated with the label.
+    fn data() -> Dataset {
+        let rows = [
+            (0.0, 0usize),
+            (1.0, 1usize),
+            (0.0, 0usize),
+            (1.0, 1usize),
+            (0.0, 0usize),
+            (1.0, 1usize),
+        ];
+        let noise = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        Dataset::from_examples(
+            rows.iter()
+                .zip(noise)
+                .map(|((signal, label), n)| Example::new(vec![7.0, *signal * 10.0, n], *label))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn variance_filter_drops_constant_columns() {
+        let cols = variance_filter(&data(), 1e-9);
+        assert_eq!(cols, vec![1, 2]);
+    }
+
+    #[test]
+    fn correlation_ranking_puts_the_signal_first() {
+        let ranked = correlation_ranking(&data());
+        assert_eq!(ranked[0].0, 1, "column 1 tracks the label exactly");
+        assert!(ranked[0].1 > 0.99);
+        // The constant column has zero correlation.
+        let constant = ranked.iter().find(|(c, _)| *c == 0).unwrap();
+        assert_eq!(constant.1, 0.0);
+    }
+
+    #[test]
+    fn select_signature_prefers_informative_columns() {
+        let sig = select_signature(&data(), 1);
+        assert_eq!(sig, vec![1]);
+        let sig2 = select_signature(&data(), 2);
+        assert_eq!(sig2, vec![1, 2]);
+        assert!(select_signature(&data(), 0).is_empty());
+    }
+
+    #[test]
+    fn select_signature_on_constant_data_is_empty() {
+        let d = Dataset::from_examples(vec![
+            Example::new(vec![1.0, 1.0], 0),
+            Example::new(vec![1.0, 1.0], 1),
+        ]);
+        assert!(select_signature(&d, 3).is_empty());
+    }
+
+    #[test]
+    fn signature_indices_are_sorted_and_unique() {
+        let sig = select_signature(&data(), 10);
+        let mut sorted = sig.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sig, sorted);
+    }
+}

@@ -1,0 +1,244 @@
+//! Time-series forecasting for proactive healing.
+//!
+//! Section 5.3 of the paper: "an approach where failures are predicted in
+//! advance and fixes applied proactively, can be more attractive.  Such
+//! strategies need synopses that can forecast failures."  The proactive
+//! controller in `selfheal-core` uses these forecasters to extrapolate a
+//! degradation metric (e.g. response time under software aging) and apply a
+//! fix *before* the SLO is violated.
+
+/// A forecaster for a univariate series observed one value at a time.
+pub trait Forecaster {
+    /// Feeds the next observation.
+    fn observe(&mut self, value: f64);
+
+    /// Forecasts the value `horizon` steps after the last observation.
+    /// Returns `None` until enough observations have been seen.
+    fn forecast(&self, horizon: usize) -> Option<f64>;
+
+    /// Number of observations seen so far.
+    fn observations(&self) -> usize;
+}
+
+/// Holt's double exponential smoothing (level + trend).
+#[derive(Debug, Clone)]
+pub struct HoltLinear {
+    alpha: f64,
+    beta: f64,
+    level: Option<f64>,
+    trend: f64,
+    count: usize,
+}
+
+impl HoltLinear {
+    /// Creates a Holt forecaster with level smoothing `alpha` and trend
+    /// smoothing `beta`, both in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if the smoothing factors are out of range.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        HoltLinear { alpha, beta, level: None, trend: 0.0, count: 0 }
+    }
+
+    /// Current estimated trend (change per step).
+    pub fn trend(&self) -> f64 {
+        self.trend
+    }
+
+    /// Current estimated level.
+    pub fn level(&self) -> Option<f64> {
+        self.level
+    }
+}
+
+impl Forecaster for HoltLinear {
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        match self.level {
+            None => {
+                self.level = Some(value);
+                self.trend = 0.0;
+            }
+            Some(level) => {
+                let new_level = self.alpha * value + (1.0 - self.alpha) * (level + self.trend);
+                self.trend = self.beta * (new_level - level) + (1.0 - self.beta) * self.trend;
+                self.level = Some(new_level);
+            }
+        }
+    }
+
+    fn forecast(&self, horizon: usize) -> Option<f64> {
+        self.level.map(|l| l + self.trend * horizon as f64)
+    }
+
+    fn observations(&self) -> usize {
+        self.count
+    }
+}
+
+/// Ordinary-least-squares linear trend over a sliding window of the most
+/// recent observations.
+#[derive(Debug, Clone)]
+pub struct SlidingLinearTrend {
+    window: usize,
+    values: Vec<f64>,
+    count: usize,
+}
+
+impl SlidingLinearTrend {
+    /// Creates a forecaster fitting a line to the last `window` observations.
+    ///
+    /// # Panics
+    /// Panics if `window < 2`.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2, "window must hold at least two observations");
+        SlidingLinearTrend { window, values: Vec::new(), count: 0 }
+    }
+
+    /// Estimated slope (change per step) over the current window, or `None`
+    /// until two observations are available.
+    pub fn slope(&self) -> Option<f64> {
+        self.fit().map(|(slope, _)| slope)
+    }
+
+    fn fit(&self) -> Option<(f64, f64)> {
+        let n = self.values.len();
+        if n < 2 {
+            return None;
+        }
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mean_x = xs.iter().sum::<f64>() / n as f64;
+        let mean_y = self.values.iter().sum::<f64>() / n as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..n {
+            num += (xs[i] - mean_x) * (self.values[i] - mean_y);
+            den += (xs[i] - mean_x) * (xs[i] - mean_x);
+        }
+        if den <= f64::EPSILON {
+            return None;
+        }
+        let slope = num / den;
+        let intercept = mean_y - slope * mean_x;
+        Some((slope, intercept))
+    }
+}
+
+impl Forecaster for SlidingLinearTrend {
+    fn observe(&mut self, value: f64) {
+        if self.values.len() == self.window {
+            self.values.remove(0);
+        }
+        self.values.push(value);
+        self.count += 1;
+    }
+
+    fn forecast(&self, horizon: usize) -> Option<f64> {
+        let (slope, intercept) = self.fit()?;
+        let x = (self.values.len() - 1 + horizon) as f64;
+        Some(intercept + slope * x)
+    }
+
+    fn observations(&self) -> usize {
+        self.count
+    }
+}
+
+/// Predicts how many steps remain until the series crosses `threshold`
+/// (from below), according to `forecaster`.  Returns `None` when no crossing
+/// is forecast within `max_horizon` steps.
+pub fn steps_until_threshold<F: Forecaster>(
+    forecaster: &F,
+    threshold: f64,
+    max_horizon: usize,
+) -> Option<usize> {
+    for h in 1..=max_horizon {
+        if let Some(v) = forecaster.forecast(h) {
+            if v >= threshold {
+                return Some(h);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holt_tracks_a_linear_ramp() {
+        let mut h = HoltLinear::new(0.5, 0.5);
+        assert!(h.forecast(1).is_none());
+        for i in 0..50 {
+            h.observe(10.0 + 2.0 * i as f64);
+        }
+        let f = h.forecast(5).unwrap();
+        let expected = 10.0 + 2.0 * 54.0;
+        assert!((f - expected).abs() < 2.0, "forecast {f} vs expected {expected}");
+        assert!((h.trend() - 2.0).abs() < 0.2);
+        assert_eq!(h.observations(), 50);
+    }
+
+    #[test]
+    fn holt_on_constant_series_forecasts_the_constant() {
+        let mut h = HoltLinear::new(0.3, 0.3);
+        for _ in 0..30 {
+            h.observe(42.0);
+        }
+        assert!((h.forecast(10).unwrap() - 42.0).abs() < 1e-9);
+        assert!(h.trend().abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_trend_estimates_slope_and_forecasts() {
+        let mut t = SlidingLinearTrend::new(10);
+        assert!(t.forecast(1).is_none());
+        for i in 0..20 {
+            t.observe(5.0 + 3.0 * i as f64);
+        }
+        assert!((t.slope().unwrap() - 3.0).abs() < 1e-9);
+        // Window holds observations 10..19 (values 35..62); one step ahead is 65.
+        assert!((t.forecast(1).unwrap() - 65.0).abs() < 1e-9);
+        assert_eq!(t.observations(), 20);
+    }
+
+    #[test]
+    fn sliding_trend_on_flat_series_has_zero_slope() {
+        let mut t = SlidingLinearTrend::new(5);
+        for _ in 0..10 {
+            t.observe(7.0);
+        }
+        assert!(t.slope().unwrap().abs() < 1e-12);
+        assert!((t.forecast(100).unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steps_until_threshold_detects_upcoming_crossings() {
+        let mut t = SlidingLinearTrend::new(10);
+        for i in 0..10 {
+            t.observe(i as f64); // slope 1, last value 9
+        }
+        assert_eq!(steps_until_threshold(&t, 12.0, 100), Some(3));
+        assert_eq!(steps_until_threshold(&t, 1000.0, 10), None);
+        let mut flat = SlidingLinearTrend::new(5);
+        for _ in 0..5 {
+            flat.observe(1.0);
+        }
+        assert_eq!(steps_until_threshold(&flat, 2.0, 50), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn holt_rejects_bad_alpha() {
+        HoltLinear::new(0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two observations")]
+    fn sliding_trend_rejects_tiny_window() {
+        SlidingLinearTrend::new(1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Gaussian naive Bayes classifier.
+//!
+//! The paper's correlation-analysis diagnosis builds probabilistic models of
+//! the relationship between metrics and a failure indicator ("e.g., by
+//! building a Bayesian network as in [10]"), and Section 5.2 highlights that
+//! "synopses that give confidence estimates naturally with predicted values
+//! (e.g., Bayesian networks) are very useful" for ranking fixes.  A Gaussian
+//! naive Bayes model is the simplest member of that family: it assumes the
+//! metrics are conditionally independent given the class, which is the same
+//! structural assumption as a two-layer Bayesian network with the class as
+//! the single parent.
+
+use crate::dataset::Dataset;
+use crate::{Classifier, Label};
+use serde::{Deserialize, Serialize};
+
+/// Per-class Gaussian parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ClassModel {
+    label: Label,
+    prior: f64,
+    means: Vec<f64>,
+    variances: Vec<f64>,
+}
+
+/// Gaussian naive Bayes classifier with Laplace-smoothed priors and a
+/// variance floor for numerically stable likelihoods.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GaussianNaiveBayes {
+    classes: Vec<ClassModel>,
+    variance_floor: f64,
+    last_fit_cost: u64,
+}
+
+impl GaussianNaiveBayes {
+    /// Creates an untrained model.
+    pub fn new() -> Self {
+        GaussianNaiveBayes { classes: Vec::new(), variance_floor: 1e-6, last_fit_cost: 0 }
+    }
+
+    /// Returns the per-class posterior probabilities for a feature vector,
+    /// as `(label, probability)` pairs summing to 1.0 (empty before fit).
+    pub fn posteriors(&self, features: &[f64]) -> Vec<(Label, f64)> {
+        if self.classes.is_empty() {
+            return Vec::new();
+        }
+        // Work in log space then normalize with the log-sum-exp trick.
+        let log_posteriors: Vec<(Label, f64)> = self
+            .classes
+            .iter()
+            .map(|c| (c.label, c.prior.ln() + self.log_likelihood(c, features)))
+            .collect();
+        let max = log_posteriors
+            .iter()
+            .map(|(_, lp)| *lp)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let unnormalized: Vec<(Label, f64)> = log_posteriors
+            .into_iter()
+            .map(|(l, lp)| (l, (lp - max).exp()))
+            .collect();
+        let total: f64 = unnormalized.iter().map(|(_, p)| p).sum();
+        unnormalized
+            .into_iter()
+            .map(|(l, p)| (l, if total > 0.0 { p / total } else { 0.0 }))
+            .collect()
+    }
+
+    fn log_likelihood(&self, class: &ClassModel, features: &[f64]) -> f64 {
+        features
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let mean = class.means[i];
+                let var = class.variances[i].max(self.variance_floor);
+                -0.5 * ((x - mean).powi(2) / var + var.ln() + (2.0 * std::f64::consts::PI).ln())
+            })
+            .sum()
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn fit(&mut self, data: &Dataset) {
+        self.classes.clear();
+        self.last_fit_cost = 0;
+        if data.is_empty() {
+            return;
+        }
+        let n = data.len() as f64;
+        let labels = data.labels();
+        let k = labels.len() as f64;
+        for label in labels {
+            let members: Vec<&[f64]> = data
+                .iter()
+                .filter(|(_, l)| *l == label)
+                .map(|(f, _)| f)
+                .collect();
+            let m = members.len() as f64;
+            let mut means = vec![0.0; data.width()];
+            for features in &members {
+                for (acc, v) in means.iter_mut().zip(*features) {
+                    *acc += v;
+                }
+            }
+            for mean in &mut means {
+                *mean /= m;
+            }
+            let mut variances = vec![0.0; data.width()];
+            for features in &members {
+                for (i, v) in features.iter().enumerate() {
+                    variances[i] += (v - means[i]).powi(2);
+                }
+            }
+            for var in &mut variances {
+                *var /= m;
+            }
+            self.last_fit_cost += members.len() as u64 * data.width() as u64;
+            self.classes.push(ClassModel {
+                label,
+                // Laplace-smoothed prior.
+                prior: (m + 1.0) / (n + k),
+                means,
+                variances,
+            });
+        }
+    }
+
+    fn predict(&self, features: &[f64]) -> Label {
+        self.predict_with_confidence(features).0
+    }
+
+    fn predict_with_confidence(&self, features: &[f64]) -> (Label, f64) {
+        let posteriors = self.posteriors(features);
+        posteriors
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite posterior").then(b.0.cmp(&a.0)))
+            .unwrap_or((0, 0.0))
+    }
+
+    fn last_fit_cost(&self) -> u64 {
+        self.last_fit_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Example;
+    use crate::eval::accuracy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn gaussian_blobs(n_per_class: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut examples = Vec::new();
+        for _ in 0..n_per_class {
+            examples.push(Example::new(
+                vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
+                0,
+            ));
+            examples.push(Example::new(
+                vec![6.0 + rng.gen_range(-1.0..1.0), 6.0 + rng.gen_range(-1.0..1.0)],
+                1,
+            ));
+        }
+        Dataset::from_examples(examples)
+    }
+
+    #[test]
+    fn separable_gaussians_are_classified_correctly() {
+        let train = gaussian_blobs(100, 1);
+        let test = gaussian_blobs(50, 2);
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&train);
+        assert!(accuracy(&nb, &test) > 0.98);
+    }
+
+    #[test]
+    fn posteriors_sum_to_one_and_favor_the_right_class() {
+        let train = gaussian_blobs(100, 3);
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&train);
+        let posteriors = nb.posteriors(&[0.0, 0.0]);
+        let total: f64 = posteriors.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let class0 = posteriors.iter().find(|(l, _)| *l == 0).unwrap().1;
+        assert!(class0 > 0.99);
+    }
+
+    #[test]
+    fn confidence_drops_near_the_decision_boundary() {
+        let train = gaussian_blobs(100, 4);
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&train);
+        let (_, deep) = nb.predict_with_confidence(&[0.0, 0.0]);
+        let (_, boundary) = nb.predict_with_confidence(&[3.0, 3.0]);
+        assert!(deep > boundary);
+    }
+
+    #[test]
+    fn constant_features_do_not_produce_nan() {
+        let train = Dataset::from_examples(vec![
+            Example::new(vec![1.0, 5.0], 0),
+            Example::new(vec![1.0, 6.0], 0),
+            Example::new(vec![1.0, 50.0], 1),
+            Example::new(vec![1.0, 52.0], 1),
+        ]);
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&train);
+        let (label, conf) = nb.predict_with_confidence(&[1.0, 51.0]);
+        assert_eq!(label, 1);
+        assert!(conf.is_finite());
+    }
+
+    #[test]
+    fn unfitted_model_returns_defaults() {
+        let nb = GaussianNaiveBayes::new();
+        assert!(nb.posteriors(&[1.0]).is_empty());
+        assert_eq!(nb.predict_with_confidence(&[1.0]), (0, 0.0));
+    }
+
+    #[test]
+    fn fit_cost_reflects_dataset_size() {
+        let train = gaussian_blobs(50, 5);
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&train);
+        assert_eq!(Classifier::last_fit_cost(&nb), (train.len() * train.width()) as u64);
+    }
+}

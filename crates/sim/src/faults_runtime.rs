@@ -1,0 +1,358 @@
+//! Runtime state of active faults and their effects on the service.
+//!
+//! The injection plan says *when* faults activate; this module tracks which
+//! faults are currently active, ages them (some effects grow over time, e.g.
+//! software aging), and answers the service's per-tick questions: how much
+//! capacity does each tier lose, which EJBs are throwing, which tables have
+//! bad plans, and so on.
+
+use selfheal_faults::{FaultId, FaultKind, FaultSpec, FaultTarget, FixAction, FixCatalog};
+use serde::{Deserialize, Serialize};
+
+/// The three physical tiers of the simulated service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimTier {
+    /// Web / servlet tier.
+    Web,
+    /// Application (EJB) tier.
+    App,
+    /// Database tier.
+    Db,
+}
+
+impl SimTier {
+    /// All tiers.
+    pub const ALL: [SimTier; 3] = [SimTier::Web, SimTier::App, SimTier::Db];
+
+    /// Maps a fault target to the tier it affects (whole-service targets
+    /// return `None`).
+    pub fn of_target(target: &FaultTarget) -> Option<SimTier> {
+        match target {
+            FaultTarget::WebTier => Some(SimTier::Web),
+            FaultTarget::Ejb { .. } | FaultTarget::AppTier => Some(SimTier::App),
+            FaultTarget::Table { .. } | FaultTarget::Index { .. } | FaultTarget::DatabaseTier => {
+                Some(SimTier::Db)
+            }
+            FaultTarget::WholeService => None,
+        }
+    }
+}
+
+/// One active fault instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActiveFault {
+    /// The injected specification.
+    pub spec: FaultSpec,
+    /// Tick at which the fault became active.
+    pub activated_at: u64,
+    /// Ticks the fault has been active.
+    pub age: u64,
+}
+
+/// The set of currently active faults.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActiveFaults {
+    faults: Vec<ActiveFault>,
+}
+
+impl ActiveFaults {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of active faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Returns `true` if no faults are active.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// All active faults.
+    pub fn iter(&self) -> impl Iterator<Item = &ActiveFault> {
+        self.faults.iter()
+    }
+
+    /// Activates a fault at `tick` (idempotent per fault id).
+    pub fn activate(&mut self, spec: FaultSpec, tick: u64) {
+        if self.faults.iter().any(|f| f.spec.id == spec.id) {
+            return;
+        }
+        self.faults.push(ActiveFault { spec, activated_at: tick, age: 0 });
+    }
+
+    /// Ages every active fault by one tick.
+    pub fn advance_tick(&mut self) {
+        for f in &mut self.faults {
+            f.age += 1;
+        }
+    }
+
+    /// Removes the faults that `fix` repairs according to the ground-truth
+    /// `catalog`, returning the removed fault ids.
+    pub fn resolve_with_fix(&mut self, fix: &FixAction, catalog: &FixCatalog) -> Vec<FaultId> {
+        let mut removed = Vec::new();
+        self.faults.retain(|f| {
+            if catalog.repairs(&f.spec, fix) {
+                removed.push(f.spec.id);
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Removes every active fault (used by tests and by scenario resets).
+    pub fn clear(&mut self) -> Vec<FaultId> {
+        let removed = self.faults.iter().map(|f| f.spec.id).collect();
+        self.faults.clear();
+        removed
+    }
+
+    /// The capacity factor (≤ 1.0) that active faults impose on a tier this
+    /// tick.  Several faults multiply together.
+    pub fn capacity_factor(&self, tier: SimTier) -> f64 {
+        let mut factor = 1.0;
+        for f in &self.faults {
+            let s = f.spec.severity;
+            let target_tier = SimTier::of_target(&f.spec.target);
+            let hits_tier = target_tier == Some(tier);
+            match f.spec.kind {
+                FaultKind::BottleneckedTier if hits_tier => factor *= 1.0 - 0.9 * s,
+                FaultKind::HardwareFailure if hits_tier => factor *= 1.0 - 0.7 * s,
+                FaultKind::OperatorMisconfiguration if hits_tier => factor *= 1.0 - 0.6 * s,
+                FaultKind::SoftwareAging if tier == SimTier::App && matches!(target_tier, Some(SimTier::App)) => {
+                    // Leaks accumulate: the capacity loss grows with age and
+                    // saturates after ~120 ticks.
+                    let growth = (f.age as f64 / 120.0).min(1.0);
+                    factor *= 1.0 - 0.8 * s * growth;
+                }
+                FaultKind::DeadlockedThreads if tier == SimTier::App && hits_tier => {
+                    // Stuck threads occupy part of the thread pool.
+                    factor *= 1.0 - 0.4 * s;
+                }
+                _ => {}
+            }
+        }
+        factor.clamp(0.02, 1.0)
+    }
+
+    /// Probability that a request *touching the given EJB* fails outright
+    /// this tick due to application-tier faults.
+    pub fn ejb_error_probability(&self, ejb: usize) -> f64 {
+        let mut p_ok = 1.0;
+        for f in &self.faults {
+            let s = f.spec.severity;
+            let hits = matches!(f.spec.target, FaultTarget::Ejb { index } if index == ejb)
+                || matches!(f.spec.target, FaultTarget::AppTier);
+            if !hits {
+                continue;
+            }
+            let p = match f.spec.kind {
+                FaultKind::UnhandledException => 0.6 * s,
+                FaultKind::SourceCodeBug => 0.35 * s,
+                FaultKind::DeadlockedThreads => 0.5 * s,
+                _ => 0.0,
+            };
+            p_ok *= 1.0 - p.clamp(0.0, 1.0);
+        }
+        1.0 - p_ok
+    }
+
+    /// Extra latency (ms) added to a request touching the given EJB
+    /// (deadlocked threads stall requests until timeouts fire).
+    pub fn ejb_extra_latency_ms(&self, ejb: usize) -> f64 {
+        self.faults
+            .iter()
+            .filter(|f| {
+                f.spec.kind == FaultKind::DeadlockedThreads
+                    && matches!(f.spec.target, FaultTarget::Ejb { index } if index == ejb)
+            })
+            .map(|f| 400.0 * f.spec.severity)
+            .sum()
+    }
+
+    /// Probability that any request fails this tick due to whole-service
+    /// faults (network partitions, operator procedural errors).
+    pub fn service_error_probability(&self) -> f64 {
+        let mut p_ok = 1.0;
+        for f in &self.faults {
+            let s = f.spec.severity;
+            let p = match f.spec.kind {
+                FaultKind::NetworkPartition => 0.6 * s,
+                FaultKind::OperatorProceduralError
+                    if f.spec.target == FaultTarget::WholeService =>
+                {
+                    0.4 * s
+                }
+                _ => 0.0,
+            };
+            p_ok *= 1.0 - p.clamp(0.0, 1.0);
+        }
+        1.0 - p_ok
+    }
+
+    /// Returns `true` if an injected suboptimal-plan fault is active for the
+    /// table.
+    pub fn plan_fault(&self, table: usize) -> bool {
+        self.faults.iter().any(|f| {
+            f.spec.kind == FaultKind::SuboptimalQueryPlan
+                && matches!(f.spec.target, FaultTarget::Table { index } if index == table)
+        })
+    }
+
+    /// Returns `true` if an injected block-contention fault is active for
+    /// the table.
+    pub fn contention_fault(&self, table: usize) -> bool {
+        self.faults.iter().any(|f| {
+            f.spec.kind == FaultKind::TableBlockContention
+                && matches!(f.spec.target, FaultTarget::Table { index } if index == table)
+        })
+    }
+
+    /// The severity of an active buffer-contention fault, if any (also
+    /// triggered when an operator misconfiguration targets the database
+    /// tier, since a botched buffer resize manifests the same way).
+    pub fn buffer_fault_severity(&self) -> Option<f64> {
+        self.faults
+            .iter()
+            .filter(|f| {
+                f.spec.kind == FaultKind::BufferContention
+                    || (f.spec.kind == FaultKind::OperatorMisconfiguration
+                        && SimTier::of_target(&f.spec.target) == Some(SimTier::Db))
+            })
+            .map(|f| f.spec.severity)
+            .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
+    }
+
+    /// Extra whole-service latency (ms) per request from network trouble.
+    pub fn network_extra_latency_ms(&self) -> f64 {
+        self.faults
+            .iter()
+            .filter(|f| f.spec.kind == FaultKind::NetworkPartition)
+            .map(|f| 150.0 * f.spec.severity)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfheal_faults::FixKind;
+
+    fn spec(id: u64, kind: FaultKind, target: FaultTarget, severity: f64) -> FaultSpec {
+        FaultSpec::new(FaultId(id), kind, target, severity)
+    }
+
+    #[test]
+    fn activation_is_idempotent_per_fault_id() {
+        let mut af = ActiveFaults::new();
+        let f = spec(1, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.8);
+        af.activate(f.clone(), 10);
+        af.activate(f, 12);
+        assert_eq!(af.len(), 1);
+        assert!(!af.is_empty());
+    }
+
+    #[test]
+    fn bottleneck_reduces_only_the_targeted_tier() {
+        let mut af = ActiveFaults::new();
+        af.activate(spec(1, FaultKind::BottleneckedTier, FaultTarget::DatabaseTier, 1.0), 0);
+        assert!(af.capacity_factor(SimTier::Db) < 0.2);
+        assert_eq!(af.capacity_factor(SimTier::Web), 1.0);
+        assert_eq!(af.capacity_factor(SimTier::App), 1.0);
+    }
+
+    #[test]
+    fn software_aging_degrades_gradually() {
+        let mut af = ActiveFaults::new();
+        af.activate(spec(1, FaultKind::SoftwareAging, FaultTarget::AppTier, 1.0), 0);
+        let fresh = af.capacity_factor(SimTier::App);
+        for _ in 0..60 {
+            af.advance_tick();
+        }
+        let aged = af.capacity_factor(SimTier::App);
+        for _ in 0..200 {
+            af.advance_tick();
+        }
+        let old = af.capacity_factor(SimTier::App);
+        assert!(fresh > aged, "fresh {fresh} should exceed aged {aged}");
+        assert!(aged > old, "aged {aged} should exceed old {old}");
+        assert!(old >= 0.02);
+    }
+
+    #[test]
+    fn ejb_faults_hit_only_their_component() {
+        let mut af = ActiveFaults::new();
+        af.activate(spec(1, FaultKind::UnhandledException, FaultTarget::Ejb { index: 2 }, 1.0), 0);
+        assert!(af.ejb_error_probability(2) > 0.5);
+        assert_eq!(af.ejb_error_probability(3), 0.0);
+        af.activate(spec(2, FaultKind::DeadlockedThreads, FaultTarget::Ejb { index: 3 }, 1.0), 0);
+        assert!(af.ejb_extra_latency_ms(3) > 100.0);
+        assert_eq!(af.ejb_extra_latency_ms(2), 0.0);
+    }
+
+    #[test]
+    fn table_faults_are_reported_per_table() {
+        let mut af = ActiveFaults::new();
+        af.activate(spec(1, FaultKind::SuboptimalQueryPlan, FaultTarget::Table { index: 1 }, 0.9), 0);
+        af.activate(spec(2, FaultKind::TableBlockContention, FaultTarget::Table { index: 0 }, 0.9), 0);
+        assert!(af.plan_fault(1));
+        assert!(!af.plan_fault(0));
+        assert!(af.contention_fault(0));
+        assert!(!af.contention_fault(1));
+    }
+
+    #[test]
+    fn buffer_fault_severity_takes_the_worst_offender() {
+        let mut af = ActiveFaults::new();
+        assert!(af.buffer_fault_severity().is_none());
+        af.activate(spec(1, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.5), 0);
+        af.activate(spec(2, FaultKind::OperatorMisconfiguration, FaultTarget::DatabaseTier, 0.9), 0);
+        assert_eq!(af.buffer_fault_severity(), Some(0.9));
+    }
+
+    #[test]
+    fn whole_service_faults_raise_global_error_probability_and_latency() {
+        let mut af = ActiveFaults::new();
+        assert_eq!(af.service_error_probability(), 0.0);
+        af.activate(spec(1, FaultKind::NetworkPartition, FaultTarget::WholeService, 1.0), 0);
+        assert!(af.service_error_probability() > 0.5);
+        assert!(af.network_extra_latency_ms() > 100.0);
+    }
+
+    #[test]
+    fn resolve_with_fix_removes_only_repaired_faults() {
+        let catalog = FixCatalog::standard();
+        let mut af = ActiveFaults::new();
+        af.activate(spec(1, FaultKind::DeadlockedThreads, FaultTarget::Ejb { index: 1 }, 0.9), 0);
+        af.activate(spec(2, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.9), 0);
+
+        let wrong_target =
+            FixAction::targeted(FixKind::MicrorebootEjb, FaultTarget::Ejb { index: 0 });
+        assert!(af.resolve_with_fix(&wrong_target, &catalog).is_empty());
+        assert_eq!(af.len(), 2);
+
+        let right_target =
+            FixAction::targeted(FixKind::MicrorebootEjb, FaultTarget::Ejb { index: 1 });
+        let removed = af.resolve_with_fix(&right_target, &catalog);
+        assert_eq!(removed, vec![FaultId(1)]);
+        assert_eq!(af.len(), 1);
+
+        let restart = FixAction::untargeted(FixKind::FullServiceRestart);
+        assert_eq!(af.resolve_with_fix(&restart, &catalog).len(), 1);
+        assert!(af.is_empty());
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let mut af = ActiveFaults::new();
+        af.activate(spec(1, FaultKind::SourceCodeBug, FaultTarget::Ejb { index: 0 }, 0.5), 0);
+        assert_eq!(af.clear().len(), 1);
+        assert!(af.is_empty());
+    }
+}

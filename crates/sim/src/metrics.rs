@@ -1,0 +1,179 @@
+//! The service's metric schema (the attributes `X1..Xn` of Section 4.2).
+
+use crate::config::ServiceConfig;
+use selfheal_telemetry::{
+    InstrumentationCost, MetricDef, MetricId, MetricKind, Schema, SchemaBuilder, Tier,
+};
+
+/// The metric ids the simulator writes each tick, resolved once at startup.
+#[derive(Debug, Clone)]
+pub struct MetricsCatalog {
+    schema: Schema,
+    /// Mean end-to-end response time (ms).
+    pub response_ms: MetricId,
+    /// Requests completed this tick.
+    pub throughput: MetricId,
+    /// Requests arrived this tick.
+    pub arrivals: MetricId,
+    /// Fraction of requests that failed this tick.
+    pub error_rate: MetricId,
+    /// Per-tier utilization: web, app, db.
+    pub web_util: MetricId,
+    /// Application-tier utilization.
+    pub app_util: MetricId,
+    /// Database-tier utilization.
+    pub db_util: MetricId,
+    /// Per-tier queue backlog (ms): web, app, db.
+    pub web_queue_ms: MetricId,
+    /// Application-tier queue backlog (ms).
+    pub app_queue_ms: MetricId,
+    /// Database-tier queue backlog (ms).
+    pub db_queue_ms: MetricId,
+    /// Buffer-pool miss rate.
+    pub buffer_miss_rate: MetricId,
+    /// Rows read this tick.
+    pub rows_read: MetricId,
+    /// Rows written this tick.
+    pub rows_written: MetricId,
+    /// Lock wait accumulated this tick (ms).
+    pub lock_wait_ms: MetricId,
+    /// Mean optimizer misestimate factor (actual/estimated rows).
+    pub plan_misestimate: MetricId,
+    /// Per-EJB method invocation counts (invasive instrumentation).
+    pub ejb_calls: Vec<MetricId>,
+    /// Per-EJB error counts (invasive instrumentation).
+    pub ejb_errors: Vec<MetricId>,
+    /// Per-table access counts (invasive instrumentation).
+    pub table_accesses: Vec<MetricId>,
+}
+
+impl MetricsCatalog {
+    /// Builds the schema for a service with the given configuration.
+    pub fn build(config: &ServiceConfig) -> Self {
+        let mut b = SchemaBuilder::new()
+            .metric_def(
+                MetricDef::new("svc.response_ms", Tier::Service, MetricKind::LatencyMs)
+                    .with_description("mean end-to-end response time of completed requests"),
+            )
+            .metric_def(
+                MetricDef::new("svc.throughput", Tier::Service, MetricKind::Count)
+                    .with_description("requests completed in the tick"),
+            )
+            .metric_def(
+                MetricDef::new("svc.arrivals", Tier::Service, MetricKind::Count)
+                    .with_description("requests that arrived in the tick"),
+            )
+            .metric_def(
+                MetricDef::new("svc.error_rate", Tier::Service, MetricKind::Ratio)
+                    .with_description("fraction of requests that failed in the tick"),
+            )
+            .metric("web.util", Tier::Web, MetricKind::Utilization)
+            .metric("app.util", Tier::App, MetricKind::Utilization)
+            .metric("db.util", Tier::Database, MetricKind::Utilization)
+            .metric("web.queue_ms", Tier::Web, MetricKind::Gauge)
+            .metric("app.queue_ms", Tier::App, MetricKind::Gauge)
+            .metric("db.queue_ms", Tier::Database, MetricKind::Gauge)
+            .metric("db.buffer_miss_rate", Tier::Database, MetricKind::Ratio)
+            .metric("db.rows_read", Tier::Database, MetricKind::Count)
+            .metric("db.rows_written", Tier::Database, MetricKind::Count)
+            .metric("db.lock_wait_ms", Tier::Database, MetricKind::Gauge)
+            .metric_def(
+                MetricDef::new("db.plan_misestimate", Tier::Database, MetricKind::Gauge)
+                    .with_cost(InstrumentationCost::Invasive)
+                    .with_description("mean ratio of actual to estimated rows across query plans"),
+            );
+
+        for i in 0..config.ejb_count {
+            b = b.metric_def(
+                MetricDef::new(format!("app.ejb{i}_calls"), Tier::App, MetricKind::Count)
+                    .with_cost(InstrumentationCost::Invasive)
+                    .with_description(format!("method invocations of EJB {i}")),
+            );
+        }
+        for i in 0..config.ejb_count {
+            b = b.metric_def(
+                MetricDef::new(format!("app.ejb{i}_errors"), Tier::App, MetricKind::Count)
+                    .with_cost(InstrumentationCost::Invasive)
+                    .with_description(format!("failed requests attributed to EJB {i}")),
+            );
+        }
+        for j in 0..config.table_count {
+            b = b.metric_def(
+                MetricDef::new(format!("db.table{j}_accesses"), Tier::Database, MetricKind::Count)
+                    .with_cost(InstrumentationCost::Invasive)
+                    .with_description(format!("accesses to table {j}")),
+            );
+        }
+
+        let schema = b.build();
+        MetricsCatalog {
+            response_ms: schema.expect_id("svc.response_ms"),
+            throughput: schema.expect_id("svc.throughput"),
+            arrivals: schema.expect_id("svc.arrivals"),
+            error_rate: schema.expect_id("svc.error_rate"),
+            web_util: schema.expect_id("web.util"),
+            app_util: schema.expect_id("app.util"),
+            db_util: schema.expect_id("db.util"),
+            web_queue_ms: schema.expect_id("web.queue_ms"),
+            app_queue_ms: schema.expect_id("app.queue_ms"),
+            db_queue_ms: schema.expect_id("db.queue_ms"),
+            buffer_miss_rate: schema.expect_id("db.buffer_miss_rate"),
+            rows_read: schema.expect_id("db.rows_read"),
+            rows_written: schema.expect_id("db.rows_written"),
+            lock_wait_ms: schema.expect_id("db.lock_wait_ms"),
+            plan_misestimate: schema.expect_id("db.plan_misestimate"),
+            ejb_calls: (0..config.ejb_count)
+                .map(|i| schema.expect_id(&format!("app.ejb{i}_calls")))
+                .collect(),
+            ejb_errors: (0..config.ejb_count)
+                .map(|i| schema.expect_id(&format!("app.ejb{i}_errors")))
+                .collect(),
+            table_accesses: (0..config.table_count)
+                .map(|j| schema.expect_id(&format!("db.table{j}_accesses")))
+                .collect(),
+            schema,
+        }
+    }
+
+    /// The full schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_width_matches_topology() {
+        let config = ServiceConfig::tiny();
+        let catalog = MetricsCatalog::build(&config);
+        let expected = 15 + 2 * config.ejb_count + config.table_count;
+        assert_eq!(catalog.schema().len(), expected);
+        assert_eq!(catalog.ejb_calls.len(), config.ejb_count);
+        assert_eq!(catalog.ejb_errors.len(), config.ejb_count);
+        assert_eq!(catalog.table_accesses.len(), config.table_count);
+    }
+
+    #[test]
+    fn per_component_metrics_are_invasive() {
+        let config = ServiceConfig::tiny();
+        let catalog = MetricsCatalog::build(&config);
+        let schema = catalog.schema();
+        for id in catalog.ejb_calls.iter().chain(&catalog.table_accesses) {
+            assert_eq!(schema.def(*id).cost, InstrumentationCost::Invasive);
+        }
+        assert_eq!(schema.def(catalog.response_ms).cost, InstrumentationCost::NonInvasive);
+        assert_eq!(schema.def(catalog.web_util).cost, InstrumentationCost::NonInvasive);
+    }
+
+    #[test]
+    fn metric_names_are_resolvable_by_name() {
+        let catalog = MetricsCatalog::build(&ServiceConfig::rubis_default());
+        let schema = catalog.schema();
+        assert_eq!(schema.expect_id("svc.response_ms"), catalog.response_ms);
+        assert_eq!(schema.expect_id("app.ejb0_calls"), catalog.ejb_calls[0]);
+        assert_eq!(schema.expect_id("db.table5_accesses"), catalog.table_accesses[5]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Scenario runner: workload + fault injection + a pluggable healing policy.
+//!
+//! The runner is the harness every experiment uses: it drives the
+//! [`MultiTierService`] over a workload trace and an injection plan, hands
+//! each tick's observations to a [`Healer`], applies whatever fixes the
+//! healer requests, and keeps the books (metric series, failure episodes,
+//! recovery times, fix attempts).
+
+use crate::recovery::RecoveryLog;
+use crate::service::{MultiTierService, TickOutcome};
+use selfheal_faults::{FixAction, InjectionPlan};
+use selfheal_telemetry::SeriesStore;
+use selfheal_workload::TraceGenerator;
+
+/// A healing policy plugged into the scenario runner.
+///
+/// The healer sees exactly what a production monitoring pipeline would see —
+/// the per-tick metric sample, confirmed SLO violations, and the completion
+/// of fixes it previously requested — and returns the fixes to apply now.
+/// It must *not* look at the simulator's ground-truth fault state.
+pub trait Healer {
+    /// Short name used in benchmark output.
+    fn name(&self) -> &str;
+
+    /// Observes one tick and returns the fixes to initiate.
+    fn observe(&mut self, outcome: &TickOutcome) -> Vec<FixAction>;
+}
+
+/// A healer that never does anything (the "no self-healing" baseline: the
+/// service stays broken until an injected fault is the kind that a human
+/// would eventually notice — which in these experiments means it stays
+/// broken).
+#[derive(Debug, Clone, Default)]
+pub struct NoHealing;
+
+impl Healer for NoHealing {
+    fn name(&self) -> &str {
+        "no_healing"
+    }
+
+    fn observe(&mut self, _outcome: &TickOutcome) -> Vec<FixAction> {
+        Vec::new()
+    }
+}
+
+/// Summary of a completed scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The full metric time series of the run.
+    pub series: SeriesStore,
+    /// Failure episodes and recovery times.
+    pub recovery: RecoveryLog,
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Requests that arrived over the run.
+    pub arrived: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that failed.
+    pub errors: u64,
+    /// Fraction of ticks with a confirmed SLO violation.
+    pub violation_fraction: f64,
+    /// Total fixes initiated by the healer.
+    pub fixes_initiated: u64,
+}
+
+impl ScenarioOutcome {
+    /// Fraction of arrived requests that completed successfully.
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.arrived == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.arrived as f64
+        }
+    }
+}
+
+/// Drives a service + workload + injection plan + healer for a fixed number
+/// of ticks.
+pub struct ScenarioRunner<H: Healer> {
+    service: MultiTierService,
+    workload: TraceGenerator,
+    injections: InjectionPlan,
+    healer: H,
+    series_capacity: usize,
+}
+
+impl<H: Healer> ScenarioRunner<H> {
+    /// Creates a runner.
+    pub fn new(
+        service: MultiTierService,
+        workload: TraceGenerator,
+        injections: InjectionPlan,
+        healer: H,
+    ) -> Self {
+        ScenarioRunner { service, workload, injections, healer, series_capacity: 100_000 }
+    }
+
+    /// Limits how many samples of history are retained (older samples are
+    /// evicted); the default retains the full run for typical lengths.
+    pub fn with_series_capacity(mut self, capacity: usize) -> Self {
+        self.series_capacity = capacity.max(1);
+        self
+    }
+
+    /// Read access to the healer (e.g. to inspect learned state afterwards).
+    pub fn healer(&self) -> &H {
+        &self.healer
+    }
+
+    /// Read access to the service.
+    pub fn service(&self) -> &MultiTierService {
+        &self.service
+    }
+
+    /// Runs the scenario for `ticks` ticks and returns the outcome together
+    /// with the runner itself (so learned healer state can be reused).
+    pub fn run(mut self, ticks: u64) -> (ScenarioOutcome, Self) {
+        let mut series = SeriesStore::new(self.service.schema().clone(), self.series_capacity);
+        let mut recovery = RecoveryLog::new();
+        let mut fixes_initiated = 0u64;
+
+        for _ in 0..ticks {
+            let tick = self.service.current_tick();
+
+            // Inject scheduled faults.
+            for fault in self.injections.due_at(tick) {
+                self.service.inject(fault.clone());
+            }
+
+            // Serve the tick's traffic.
+            let requests = self.workload.tick(tick);
+            let outcome = self.service.tick(&requests);
+
+            // Episode bookkeeping: open on first confirmed violation, close
+            // when the monitor reports the service compliant again.
+            if !outcome.violations.is_empty() && !recovery.in_episode() {
+                let kinds = self.service.active_faults().iter().map(|f| f.spec.kind).collect();
+                let causes = self.service.active_faults().iter().map(|f| f.spec.cause).collect();
+                recovery.open_episode(outcome.tick, kinds, causes);
+            } else if recovery.in_episode() && !self.service.slo_violated() {
+                recovery.close_episode(outcome.tick);
+            }
+
+            // Let the healing policy react.
+            let actions = self.healer.observe(&outcome);
+            for action in actions {
+                recovery.record_fix(action);
+                self.service.apply_fix(action);
+                fixes_initiated += 1;
+            }
+
+            series.push(outcome.sample.clone());
+        }
+
+        recovery.finish();
+        let (arrived, completed, errors) = self.service.totals();
+        let outcome = ScenarioOutcome {
+            series,
+            recovery,
+            ticks,
+            arrived,
+            completed,
+            errors,
+            violation_fraction: self.service.violation_fraction(),
+            fixes_initiated,
+        };
+        (outcome, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceConfig;
+    use selfheal_faults::{FaultKind, FaultTarget, FixKind, InjectionPlanBuilder};
+    use selfheal_workload::{ArrivalProcess, WorkloadMix};
+
+    fn runner<H: Healer>(healer: H, plan: InjectionPlan) -> ScenarioRunner<H> {
+        let config = ServiceConfig::tiny();
+        let service = MultiTierService::new(config);
+        let workload = TraceGenerator::new(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+            11,
+        );
+        ScenarioRunner::new(service, workload, plan, healer)
+    }
+
+    /// A trivial healer that always requests a full restart when a violation
+    /// is confirmed and nothing is already in progress.
+    struct RestartOnViolation {
+        in_flight: bool,
+    }
+
+    impl Healer for RestartOnViolation {
+        fn name(&self) -> &str {
+            "restart_on_violation"
+        }
+
+        fn observe(&mut self, outcome: &TickOutcome) -> Vec<FixAction> {
+            if !outcome.completed_fixes.is_empty() {
+                self.in_flight = false;
+            }
+            if !outcome.violations.is_empty() && !self.in_flight {
+                self.in_flight = true;
+                vec![FixAction::untargeted(FixKind::FullServiceRestart)]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_run_has_no_episodes() {
+        let (outcome, _) = runner(NoHealing, InjectionPlan::empty()).run(80);
+        assert_eq!(outcome.recovery.len(), 0);
+        assert_eq!(outcome.violation_fraction, 0.0);
+        assert_eq!(outcome.fixes_initiated, 0);
+        assert!(outcome.goodput_fraction() > 0.99);
+        assert_eq!(outcome.series.len(), 80);
+        assert_eq!(outcome.ticks, 80);
+    }
+
+    #[test]
+    fn unhealed_fault_leaves_an_open_ended_episode() {
+        let plan = InjectionPlanBuilder::new(4, 3, 1)
+            .inject(20, FaultKind::BottleneckedTier, FaultTarget::DatabaseTier, 0.95)
+            .build();
+        let (outcome, runner) = runner(NoHealing, plan).run(120);
+        assert_eq!(outcome.recovery.len(), 1);
+        assert_eq!(outcome.recovery.episodes()[0].recovery_ticks(), None);
+        assert!(outcome.violation_fraction > 0.3);
+        assert_eq!(runner.healer().name(), "no_healing");
+    }
+
+    #[test]
+    fn restart_healer_recovers_and_is_recorded() {
+        let plan = InjectionPlanBuilder::new(4, 3, 1)
+            .inject(20, FaultKind::UnhandledException, FaultTarget::Ejb { index: 1 }, 0.9)
+            .build();
+        let (outcome, _) = runner(RestartOnViolation { in_flight: false }, plan).run(600);
+        assert!(outcome.fixes_initiated >= 1);
+        assert_eq!(outcome.recovery.len(), 1);
+        let ep = &outcome.recovery.episodes()[0];
+        assert!(ep.recovery_ticks().is_some(), "restart must eventually recover the service");
+        assert!(ep.escalated);
+        // The restart is slow: recovery takes at least the restart duration.
+        assert!(ep.recovery_ticks().unwrap() >= 300);
+    }
+
+    #[test]
+    fn series_capacity_limits_history() {
+        let (outcome, _) = runner(NoHealing, InjectionPlan::empty())
+            .with_series_capacity(10)
+            .run(50);
+        assert_eq!(outcome.series.len(), 10);
+    }
+}

@@ -1,0 +1,173 @@
+//! One timestamped row of the multidimensional time series.
+
+use crate::metric::MetricId;
+use crate::schema::Schema;
+use crate::{Tick, Value};
+use serde::{Deserialize, Serialize};
+
+/// A single observation of all metrics at one tick.
+///
+/// A sample is a dense row: it always carries a value for every column of the
+/// schema it was created from (missing measurements are represented as 0.0 by
+/// the simulator, matching how counters read when nothing happened in the
+/// interval).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    tick: Tick,
+    values: Vec<Value>,
+}
+
+impl Sample {
+    /// Creates a sample with every metric set to zero.
+    pub fn zeroed(schema: &Schema, tick: Tick) -> Self {
+        Sample {
+            tick,
+            values: vec![0.0; schema.len()],
+        }
+    }
+
+    /// Creates a sample from a raw row of values.
+    ///
+    /// # Panics
+    /// Panics if the number of values does not match the schema width.
+    pub fn from_values(schema: &Schema, tick: Tick, values: Vec<Value>) -> Self {
+        assert_eq!(
+            values.len(),
+            schema.len(),
+            "sample width {} does not match schema width {}",
+            values.len(),
+            schema.len()
+        );
+        Sample { tick, values }
+    }
+
+    /// The tick at which this sample was collected.
+    #[inline]
+    pub fn tick(&self) -> Tick {
+        self.tick
+    }
+
+    /// Number of columns in the sample.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Reads the value of one metric.
+    #[inline]
+    pub fn get(&self, id: MetricId) -> Value {
+        self.values[id.index()]
+    }
+
+    /// Sets the value of one metric.
+    #[inline]
+    pub fn set(&mut self, id: MetricId, value: Value) {
+        self.values[id.index()] = value;
+    }
+
+    /// Adds `delta` to the value of one metric (useful for counters that are
+    /// incremented as events occur during a tick).
+    #[inline]
+    pub fn add(&mut self, id: MetricId, delta: Value) {
+        self.values[id.index()] += delta;
+    }
+
+    /// Takes the element-wise maximum of the current value and `value`
+    /// (useful for peak gauges within a tick).
+    #[inline]
+    pub fn max_in_place(&mut self, id: MetricId, value: Value) {
+        let slot = &mut self.values[id.index()];
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Borrow the full row of values in column order.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consumes the sample and returns the raw row.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Returns the subset of values selected by `ids`, in the order of `ids`.
+    ///
+    /// This is the operation that turns a raw sample into a *symptom vector*
+    /// over a chosen feature set `Ω` (Section 4.3.4 of the paper).
+    pub fn project(&self, ids: &[MetricId]) -> Vec<Value> {
+        ids.iter().map(|id| self.get(*id)).collect()
+    }
+
+    /// Returns `true` if every value is finite (no NaN / infinity).
+    pub fn is_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{MetricKind, Tier};
+    use crate::schema::SchemaBuilder;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .metric("a", Tier::Web, MetricKind::Count)
+            .metric("b", Tier::App, MetricKind::Gauge)
+            .metric("c", Tier::Database, MetricKind::Ratio)
+            .build()
+    }
+
+    #[test]
+    fn zeroed_sample_has_schema_width() {
+        let s = schema();
+        let sample = Sample::zeroed(&s, 42);
+        assert_eq!(sample.width(), 3);
+        assert_eq!(sample.tick(), 42);
+        assert!(sample.values().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn set_get_add_and_max() {
+        let s = schema();
+        let a = s.expect_id("a");
+        let b = s.expect_id("b");
+        let mut sample = Sample::zeroed(&s, 0);
+        sample.set(a, 3.0);
+        sample.add(a, 2.0);
+        sample.max_in_place(b, 7.0);
+        sample.max_in_place(b, 4.0);
+        assert_eq!(sample.get(a), 5.0);
+        assert_eq!(sample.get(b), 7.0);
+    }
+
+    #[test]
+    fn projection_follows_requested_order() {
+        let s = schema();
+        let mut sample = Sample::zeroed(&s, 0);
+        sample.set(s.expect_id("a"), 1.0);
+        sample.set(s.expect_id("b"), 2.0);
+        sample.set(s.expect_id("c"), 3.0);
+        let projected = sample.project(&[s.expect_id("c"), s.expect_id("a")]);
+        assert_eq!(projected, vec![3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match schema width")]
+    fn from_values_rejects_wrong_width() {
+        let s = schema();
+        Sample::from_values(&s, 0, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn finiteness_check_detects_nan() {
+        let s = schema();
+        let mut sample = Sample::zeroed(&s, 0);
+        assert!(sample.is_finite());
+        sample.set(s.expect_id("b"), f64::NAN);
+        assert!(!sample.is_finite());
+    }
+}

@@ -1,0 +1,252 @@
+//! Bounded in-memory store of time-series samples.
+
+use crate::metric::MetricId;
+use crate::sample::Sample;
+use crate::schema::Schema;
+use crate::window::{Window, WindowSpec};
+use crate::{Tick, Value};
+use std::collections::VecDeque;
+
+/// A bounded, append-only store of [`Sample`]s in tick order.
+///
+/// The store keeps at most `capacity` samples; the oldest are evicted as new
+/// ones arrive.  This mirrors how a monitoring pipeline only retains a finite
+/// history for online analysis — the anomaly detector's baseline window `Nb`
+/// must fit in the retained history.
+#[derive(Debug, Clone)]
+pub struct SeriesStore {
+    schema: Schema,
+    capacity: usize,
+    samples: VecDeque<Sample>,
+}
+
+impl SeriesStore {
+    /// Creates a store that retains at most `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(schema: Schema, capacity: usize) -> Self {
+        assert!(capacity > 0, "series store capacity must be positive");
+        SeriesStore {
+            schema,
+            capacity,
+            samples: VecDeque::with_capacity(capacity.min(4096)),
+        }
+    }
+
+    /// The schema of all stored samples.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of samples currently retained.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if the store holds no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Maximum number of samples retained.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a sample, evicting the oldest if the store is full.
+    ///
+    /// # Panics
+    /// Panics if the sample's width does not match the schema, or if its tick
+    /// is older than the most recent stored tick (samples must arrive in
+    /// nondecreasing tick order).
+    pub fn push(&mut self, sample: Sample) {
+        assert_eq!(
+            sample.width(),
+            self.schema.len(),
+            "sample width does not match store schema"
+        );
+        if let Some(last) = self.samples.back() {
+            assert!(
+                sample.tick() >= last.tick(),
+                "samples must be pushed in nondecreasing tick order ({} < {})",
+                sample.tick(),
+                last.tick()
+            );
+        }
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// The most recent sample, if any.
+    pub fn latest(&self) -> Option<&Sample> {
+        self.samples.back()
+    }
+
+    /// The tick of the most recent sample, if any.
+    pub fn latest_tick(&self) -> Option<Tick> {
+        self.samples.back().map(Sample::tick)
+    }
+
+    /// Iterates over all retained samples in tick order.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+
+    /// Returns the last `n` samples (or fewer if not enough are retained),
+    /// oldest first.
+    pub fn last_n(&self, n: usize) -> Vec<&Sample> {
+        let start = self.samples.len().saturating_sub(n);
+        self.samples.iter().skip(start).collect()
+    }
+
+    /// Returns all samples with tick in `[from, to)`, oldest first.
+    pub fn range(&self, from: Tick, to: Tick) -> Vec<&Sample> {
+        self.samples
+            .iter()
+            .filter(|s| s.tick() >= from && s.tick() < to)
+            .collect()
+    }
+
+    /// Extracts the values of one metric over the last `n` samples, oldest
+    /// first.
+    pub fn metric_tail(&self, id: MetricId, n: usize) -> Vec<Value> {
+        self.last_n(n).iter().map(|s| s.get(id)).collect()
+    }
+
+    /// Materializes a [`Window`] according to `spec`, anchored at the most
+    /// recent sample.
+    ///
+    /// Returns `None` if fewer samples are retained than the window requires.
+    pub fn window(&self, spec: WindowSpec) -> Option<Window> {
+        Window::from_store(self, spec)
+    }
+
+    /// Materializes the paper's baseline/current window pair: a baseline
+    /// window of `nb` samples immediately preceding a current window of `nc`
+    /// samples ending at the most recent sample.
+    ///
+    /// Returns `None` until at least `nb + nc` samples are retained.
+    pub fn baseline_current(&self, nb: usize, nc: usize) -> Option<(Window, Window)> {
+        if self.samples.len() < nb + nc || nb == 0 || nc == 0 {
+            return None;
+        }
+        let total = self.samples.len();
+        let current: Vec<&Sample> = self.samples.iter().skip(total - nc).collect();
+        let baseline: Vec<&Sample> = self
+            .samples
+            .iter()
+            .skip(total - nc - nb)
+            .take(nb)
+            .collect();
+        Some((
+            Window::from_samples(self.schema.clone(), &baseline),
+            Window::from_samples(self.schema.clone(), &current),
+        ))
+    }
+
+    /// Removes all samples (the schema and capacity are kept).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{MetricKind, Tier};
+    use crate::schema::SchemaBuilder;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .metric("a", Tier::Web, MetricKind::Count)
+            .metric("b", Tier::Database, MetricKind::Gauge)
+            .build()
+    }
+
+    fn sample(schema: &Schema, tick: Tick, a: f64, b: f64) -> Sample {
+        let mut s = Sample::zeroed(schema, tick);
+        s.set(schema.expect_id("a"), a);
+        s.set(schema.expect_id("b"), b);
+        s
+    }
+
+    #[test]
+    fn push_and_query_in_order() {
+        let sc = schema();
+        let mut store = SeriesStore::new(sc.clone(), 10);
+        for t in 0..5 {
+            store.push(sample(&sc, t, t as f64, 0.0));
+        }
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.latest_tick(), Some(4));
+        let tail = store.metric_tail(sc.expect_id("a"), 3);
+        assert_eq!(tail, vec![2.0, 3.0, 4.0]);
+        assert_eq!(store.range(1, 3).len(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let sc = schema();
+        let mut store = SeriesStore::new(sc.clone(), 3);
+        for t in 0..10 {
+            store.push(sample(&sc, t, t as f64, 0.0));
+        }
+        assert_eq!(store.len(), 3);
+        let ticks: Vec<Tick> = store.iter().map(Sample::tick).collect();
+        assert_eq!(ticks, vec![7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing tick order")]
+    fn out_of_order_push_is_rejected() {
+        let sc = schema();
+        let mut store = SeriesStore::new(sc.clone(), 10);
+        store.push(sample(&sc, 5, 0.0, 0.0));
+        store.push(sample(&sc, 4, 0.0, 0.0));
+    }
+
+    #[test]
+    fn baseline_current_splits_history() {
+        let sc = schema();
+        let mut store = SeriesStore::new(sc.clone(), 100);
+        assert!(store.baseline_current(5, 2).is_none());
+        for t in 0..10 {
+            store.push(sample(&sc, t, t as f64, 0.0));
+        }
+        let (baseline, current) = store.baseline_current(5, 2).unwrap();
+        assert_eq!(baseline.len(), 5);
+        assert_eq!(current.len(), 2);
+        // Current window holds the newest two samples (ticks 8, 9);
+        // baseline holds the five before them (ticks 3..=7).
+        assert_eq!(current.column(sc.expect_id("a")), vec![8.0, 9.0]);
+        assert_eq!(
+            baseline.column(sc.expect_id("a")),
+            vec![3.0, 4.0, 5.0, 6.0, 7.0]
+        );
+    }
+
+    #[test]
+    fn last_n_handles_short_history() {
+        let sc = schema();
+        let mut store = SeriesStore::new(sc.clone(), 10);
+        store.push(sample(&sc, 0, 1.0, 2.0));
+        assert_eq!(store.last_n(5).len(), 1);
+    }
+
+    #[test]
+    fn clear_retains_schema() {
+        let sc = schema();
+        let mut store = SeriesStore::new(sc.clone(), 10);
+        store.push(sample(&sc, 0, 1.0, 2.0));
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.schema().len(), 2);
+    }
+}

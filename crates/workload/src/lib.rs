@@ -1,0 +1,41 @@
+//! # selfheal-workload
+//!
+//! Workload generation for a RUBiS-like multitier auction service.
+//!
+//! The paper's running example (Example 1) is RUBiS — "an auction site
+//! written as a J2EE application and modeled after eBay" — running on JBoss
+//! with a MySQL database tier.  This crate generates the request streams the
+//! simulated service processes:
+//!
+//! * [`RequestKind`] — the auction-site interaction types (browse, search,
+//!   view item, bid, buy-now, sell, register, login, about-me), each with a
+//!   nominal demand profile across the three tiers.
+//! * [`WorkloadMix`] — a probability distribution over request kinds (the
+//!   standard RUBiS *browsing* and *bidding* mixes plus custom mixes).
+//! * [`ArrivalProcess`] — open-loop arrival models: constant rate, Poisson,
+//!   diurnal pattern, and a flash-crowd *surge* (the paper's Walmart.com
+//!   Thanksgiving example is exactly such a surge).
+//! * [`SessionPool`] — a simple closed-loop session model with think times,
+//!   used by the closed-loop examples.
+//! * [`stimulation`] — preproduction *active stimulation* schedules
+//!   (Section 4.2: subject the service to "different types and rates of
+//!   workloads ... while recording data about observed behavior").
+//! * [`TraceGenerator`] — ties a mix and an arrival process together and
+//!   emits the per-tick batch of requests the simulator consumes.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod arrival;
+pub mod mix;
+pub mod request;
+pub mod session;
+pub mod stimulation;
+pub mod trace;
+
+pub use arrival::ArrivalProcess;
+pub use mix::WorkloadMix;
+pub use request::{Request, RequestKind, TierDemand};
+pub use session::SessionPool;
+pub use stimulation::{StimulationPhase, StimulationSchedule};
+pub use trace::TraceGenerator;

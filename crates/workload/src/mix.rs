@@ -1,0 +1,183 @@
+//! Workload mixes: probability distributions over request kinds.
+
+use crate::request::RequestKind;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A probability distribution over [`RequestKind`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    name: String,
+    weights: Vec<(RequestKind, f64)>,
+}
+
+impl WorkloadMix {
+    /// Creates a mix from `(kind, weight)` pairs; weights are normalized.
+    ///
+    /// # Panics
+    /// Panics if no pair has positive weight.
+    pub fn new(name: impl Into<String>, weights: Vec<(RequestKind, f64)>) -> Self {
+        let total: f64 = weights.iter().map(|(_, w)| w.max(0.0)).sum();
+        assert!(total > 0.0, "workload mix must have positive total weight");
+        WorkloadMix {
+            name: name.into(),
+            weights: weights.into_iter().map(|(k, w)| (k, w.max(0.0) / total)).collect(),
+        }
+    }
+
+    /// The RUBiS *browsing* mix: read-only interactions only.
+    pub fn browsing() -> Self {
+        WorkloadMix::new(
+            "browsing",
+            vec![
+                (RequestKind::Home, 0.10),
+                (RequestKind::Browse, 0.28),
+                (RequestKind::Search, 0.22),
+                (RequestKind::ViewItem, 0.25),
+                (RequestKind::ViewUser, 0.08),
+                (RequestKind::Login, 0.04),
+                (RequestKind::AboutMe, 0.03),
+            ],
+        )
+    }
+
+    /// The RUBiS *bidding* mix: roughly 15% read-write interactions, which
+    /// is the mix the RUBiS bottleneck studies use.
+    pub fn bidding() -> Self {
+        WorkloadMix::new(
+            "bidding",
+            vec![
+                (RequestKind::Home, 0.06),
+                (RequestKind::Browse, 0.20),
+                (RequestKind::Search, 0.16),
+                (RequestKind::ViewItem, 0.20),
+                (RequestKind::ViewUser, 0.07),
+                (RequestKind::Bid, 0.11),
+                (RequestKind::Buy, 0.03),
+                (RequestKind::Sell, 0.05),
+                (RequestKind::Register, 0.02),
+                (RequestKind::Login, 0.07),
+                (RequestKind::AboutMe, 0.03),
+            ],
+        )
+    }
+
+    /// A write-heavy mix used for stress experiments (statistics staleness
+    /// builds up fastest under heavy update traffic, Example 5 of the paper).
+    pub fn write_heavy() -> Self {
+        WorkloadMix::new(
+            "write_heavy",
+            vec![
+                (RequestKind::Browse, 0.10),
+                (RequestKind::Search, 0.10),
+                (RequestKind::ViewItem, 0.15),
+                (RequestKind::Bid, 0.30),
+                (RequestKind::Buy, 0.10),
+                (RequestKind::Sell, 0.15),
+                (RequestKind::Register, 0.05),
+                (RequestKind::Login, 0.05),
+            ],
+        )
+    }
+
+    /// Name of the mix.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Normalized `(kind, probability)` pairs.
+    pub fn probabilities(&self) -> &[(RequestKind, f64)] {
+        &self.weights
+    }
+
+    /// Probability of one request kind (0.0 when absent).
+    pub fn probability(&self, kind: RequestKind) -> f64 {
+        self.weights.iter().find(|(k, _)| *k == kind).map(|(_, w)| *w).unwrap_or(0.0)
+    }
+
+    /// The fraction of requests that write to the database.
+    pub fn write_fraction(&self) -> f64 {
+        self.weights
+            .iter()
+            .filter(|(k, _)| k.is_write())
+            .map(|(_, w)| w)
+            .sum()
+    }
+
+    /// Expected database demand (ms) of one request drawn from the mix.
+    pub fn expected_db_demand_ms(&self) -> f64 {
+        self.weights
+            .iter()
+            .map(|(k, w)| k.demand().db_ms * w)
+            .sum()
+    }
+
+    /// Samples a request kind.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> RequestKind {
+        let mut r: f64 = rng.gen_range(0.0..1.0);
+        for (kind, w) in &self.weights {
+            if r < *w {
+                return *kind;
+            }
+            r -= *w;
+        }
+        self.weights.last().expect("nonempty mix").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_mixes_are_normalized() {
+        for mix in [WorkloadMix::browsing(), WorkloadMix::bidding(), WorkloadMix::write_heavy()] {
+            let total: f64 = mix.probabilities().iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-12, "{}", mix.name());
+        }
+    }
+
+    #[test]
+    fn browsing_mix_has_no_writes_and_bidding_mix_does() {
+        assert_eq!(WorkloadMix::browsing().write_fraction(), 0.0);
+        let bidding = WorkloadMix::bidding().write_fraction();
+        assert!(bidding > 0.1 && bidding < 0.3, "bidding write fraction {bidding}");
+        assert!(WorkloadMix::write_heavy().write_fraction() > 0.5);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let mix = WorkloadMix::bidding();
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 50_000;
+        let mut bids = 0usize;
+        for _ in 0..n {
+            if mix.sample(&mut rng) == RequestKind::Bid {
+                bids += 1;
+            }
+        }
+        let freq = bids as f64 / n as f64;
+        assert!((freq - mix.probability(RequestKind::Bid)).abs() < 0.01);
+    }
+
+    #[test]
+    fn probability_of_absent_kind_is_zero() {
+        let mix = WorkloadMix::browsing();
+        assert_eq!(mix.probability(RequestKind::Bid), 0.0);
+        assert!(mix.probability(RequestKind::Browse) > 0.2);
+    }
+
+    #[test]
+    fn expected_db_demand_is_positive_and_higher_for_search_heavy_mixes() {
+        let browsing = WorkloadMix::browsing().expected_db_demand_ms();
+        assert!(browsing > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn empty_mix_is_rejected() {
+        WorkloadMix::new("bad", vec![(RequestKind::Home, 0.0)]);
+    }
+}

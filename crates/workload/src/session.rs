@@ -1,0 +1,146 @@
+//! Closed-loop session model.
+//!
+//! RUBiS drives the service with emulated user sessions: each user issues a
+//! request, waits for the response, "thinks" for a while, and issues the
+//! next request.  The closed-loop model matters for self-healing experiments
+//! because throughput collapses differently under closed-loop load (users
+//! back off when the service slows down) than under open-loop load (requests
+//! keep arriving and queues explode).
+
+use crate::mix::WorkloadMix;
+use crate::request::RequestKind;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// State of one emulated user.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum UserState {
+    /// Thinking; will issue the next request at the stored tick.
+    ThinkingUntil(u64),
+    /// Waiting for an outstanding request to complete.
+    WaitingForResponse,
+}
+
+/// A pool of emulated users driving the service in closed loop.
+#[derive(Debug, Clone)]
+pub struct SessionPool {
+    mix: WorkloadMix,
+    think_time_ticks: u64,
+    users: Vec<UserState>,
+}
+
+impl SessionPool {
+    /// Creates a pool of `users` emulated users with the given mix and mean
+    /// think time (ticks).
+    pub fn new(users: usize, mix: WorkloadMix, think_time_ticks: u64) -> Self {
+        SessionPool {
+            mix,
+            think_time_ticks: think_time_ticks.max(1),
+            users: vec![UserState::ThinkingUntil(0); users],
+        }
+    }
+
+    /// Number of emulated users.
+    pub fn users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of users currently waiting for a response.
+    pub fn waiting(&self) -> usize {
+        self.users
+            .iter()
+            .filter(|u| matches!(u, UserState::WaitingForResponse))
+            .count()
+    }
+
+    /// Advances to `tick`: users whose think time has expired issue a new
+    /// request.  Returns the kinds of the issued requests.
+    pub fn issue_requests<R: Rng + ?Sized>(&mut self, tick: u64, rng: &mut R) -> Vec<RequestKind> {
+        let mut issued = Vec::new();
+        for user in &mut self.users {
+            if let UserState::ThinkingUntil(t) = user {
+                if *t <= tick {
+                    issued.push(self.mix.sample(rng));
+                    *user = UserState::WaitingForResponse;
+                }
+            }
+        }
+        issued
+    }
+
+    /// Records that `count` outstanding requests completed at `tick`; that
+    /// many waiting users re-enter the thinking state with an exponential-ish
+    /// think time around the configured mean.
+    pub fn complete_requests<R: Rng + ?Sized>(&mut self, count: usize, tick: u64, rng: &mut R) {
+        let mut remaining = count;
+        for user in &mut self.users {
+            if remaining == 0 {
+                break;
+            }
+            if matches!(user, UserState::WaitingForResponse) {
+                // Geometric-ish think time: uniform in [0.5, 1.5] × mean.
+                let think = (self.think_time_ticks as f64 * rng.gen_range(0.5..1.5)).round() as u64;
+                *user = UserState::ThinkingUntil(tick + think.max(1));
+                remaining -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_users_issue_initially_then_wait() {
+        let mut pool = SessionPool::new(10, WorkloadMix::browsing(), 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let issued = pool.issue_requests(0, &mut rng);
+        assert_eq!(issued.len(), 10);
+        assert_eq!(pool.waiting(), 10);
+        // No one issues again until responses come back.
+        assert!(pool.issue_requests(1, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn completions_return_users_to_thinking() {
+        let mut pool = SessionPool::new(4, WorkloadMix::bidding(), 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        pool.issue_requests(0, &mut rng);
+        pool.complete_requests(2, 10, &mut rng);
+        assert_eq!(pool.waiting(), 2);
+        // The two released users think for at least one tick, then reissue.
+        let issued_soon = pool.issue_requests(11, &mut rng);
+        assert!(issued_soon.len() <= 2);
+        let issued_later = pool.issue_requests(20, &mut rng);
+        assert_eq!(issued_soon.len() + issued_later.len(), 2);
+    }
+
+    #[test]
+    fn completing_more_than_waiting_is_safe() {
+        let mut pool = SessionPool::new(3, WorkloadMix::browsing(), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        pool.issue_requests(0, &mut rng);
+        pool.complete_requests(100, 5, &mut rng);
+        assert_eq!(pool.waiting(), 0);
+        assert_eq!(pool.users(), 3);
+    }
+
+    #[test]
+    fn closed_loop_throughput_is_bounded_by_population() {
+        let mut pool = SessionPool::new(5, WorkloadMix::browsing(), 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut total_issued = 0usize;
+        for tick in 0..50 {
+            total_issued += pool.issue_requests(tick, &mut rng).len();
+            // Immediately complete everything outstanding.
+            pool.complete_requests(pool.waiting(), tick, &mut rng);
+        }
+        // With think time ≥ 1 tick and instant responses, each user can issue
+        // at most one request every other tick.
+        assert!(total_issued <= 5 * 50);
+        assert!(total_issued > 50);
+    }
+}

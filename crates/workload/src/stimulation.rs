@@ -1,0 +1,172 @@
+//! Preproduction active-stimulation schedules.
+//!
+//! Section 4.2 of the paper: "it may be inadequate to rely solely on data
+//! collected through passive observations of the service in production use
+//! ... during preproduction (e.g., testing and deployment), the service can
+//! be subjected to different types and rates of workloads, and injected with
+//! various failures; while recording data about observed behavior."
+//!
+//! A [`StimulationSchedule`] is a sequence of [`StimulationPhase`]s, each
+//! pairing a workload (mix + arrival process) with an optional note about
+//! the faults to inject during the phase; the simulator's scenario runner
+//! replays it to bootstrap the synopses with labelled training data.
+
+use crate::arrival::ArrivalProcess;
+use crate::mix::WorkloadMix;
+use serde::{Deserialize, Serialize};
+
+/// One phase of an active-stimulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StimulationPhase {
+    /// Human-readable name of the phase.
+    pub name: String,
+    /// Workload mix used during the phase.
+    pub mix: WorkloadMix,
+    /// Arrival process used during the phase.
+    pub arrivals: ArrivalProcess,
+    /// Length of the phase in ticks.
+    pub duration_ticks: u64,
+}
+
+impl StimulationPhase {
+    /// Creates a phase.
+    pub fn new(
+        name: impl Into<String>,
+        mix: WorkloadMix,
+        arrivals: ArrivalProcess,
+        duration_ticks: u64,
+    ) -> Self {
+        StimulationPhase { name: name.into(), mix, arrivals, duration_ticks: duration_ticks.max(1) }
+    }
+}
+
+/// A sequence of stimulation phases.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StimulationSchedule {
+    phases: Vec<StimulationPhase>,
+}
+
+impl StimulationSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a phase.
+    pub fn push(mut self, phase: StimulationPhase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// All phases, in order.
+    pub fn phases(&self) -> &[StimulationPhase] {
+        &self.phases
+    }
+
+    /// Total duration of the schedule in ticks.
+    pub fn total_ticks(&self) -> u64 {
+        self.phases.iter().map(|p| p.duration_ticks).sum()
+    }
+
+    /// Returns the phase active at `tick` (relative to the start of the
+    /// schedule), or `None` if the schedule has ended.
+    pub fn phase_at(&self, tick: u64) -> Option<&StimulationPhase> {
+        let mut offset = 0u64;
+        for phase in &self.phases {
+            if tick < offset + phase.duration_ticks {
+                return Some(phase);
+            }
+            offset += phase.duration_ticks;
+        }
+        None
+    }
+
+    /// The standard preproduction schedule: ramp through light browsing,
+    /// heavy bidding, a write-heavy stress phase, and a surge, so that the
+    /// recorded baselines cover the workload space.
+    pub fn standard_preproduction(ticks_per_phase: u64) -> Self {
+        StimulationSchedule::new()
+            .push(StimulationPhase::new(
+                "light_browsing",
+                WorkloadMix::browsing(),
+                ArrivalProcess::Poisson { rate: 20.0 },
+                ticks_per_phase,
+            ))
+            .push(StimulationPhase::new(
+                "steady_bidding",
+                WorkloadMix::bidding(),
+                ArrivalProcess::Poisson { rate: 40.0 },
+                ticks_per_phase,
+            ))
+            .push(StimulationPhase::new(
+                "write_stress",
+                WorkloadMix::write_heavy(),
+                ArrivalProcess::Poisson { rate: 35.0 },
+                ticks_per_phase,
+            ))
+            .push(StimulationPhase::new(
+                "flash_crowd",
+                WorkloadMix::bidding(),
+                ArrivalProcess::Surge {
+                    base: 40.0,
+                    factor: 3.0,
+                    surge_start: 0,
+                    surge_end: ticks_per_phase,
+                },
+                ticks_per_phase,
+            ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_schedule_covers_four_phases() {
+        let s = StimulationSchedule::standard_preproduction(100);
+        assert_eq!(s.phases().len(), 4);
+        assert_eq!(s.total_ticks(), 400);
+        assert_eq!(s.phase_at(0).unwrap().name, "light_browsing");
+        assert_eq!(s.phase_at(150).unwrap().name, "steady_bidding");
+        assert_eq!(s.phase_at(399).unwrap().name, "flash_crowd");
+        assert!(s.phase_at(400).is_none());
+    }
+
+    #[test]
+    fn empty_schedule_has_no_active_phase() {
+        let s = StimulationSchedule::new();
+        assert_eq!(s.total_ticks(), 0);
+        assert!(s.phase_at(0).is_none());
+    }
+
+    #[test]
+    fn phase_duration_is_clamped_to_at_least_one() {
+        let p = StimulationPhase::new(
+            "zero",
+            WorkloadMix::browsing(),
+            ArrivalProcess::Constant { rate: 1.0 },
+            0,
+        );
+        assert_eq!(p.duration_ticks, 1);
+    }
+
+    #[test]
+    fn phases_are_traversed_in_insertion_order() {
+        let s = StimulationSchedule::new()
+            .push(StimulationPhase::new(
+                "a",
+                WorkloadMix::browsing(),
+                ArrivalProcess::Constant { rate: 1.0 },
+                10,
+            ))
+            .push(StimulationPhase::new(
+                "b",
+                WorkloadMix::bidding(),
+                ArrivalProcess::Constant { rate: 2.0 },
+                10,
+            ));
+        assert_eq!(s.phase_at(9).unwrap().name, "a");
+        assert_eq!(s.phase_at(10).unwrap().name, "b");
+    }
+}

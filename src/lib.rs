@@ -1,0 +1,46 @@
+//! # selfheal
+//!
+//! Umbrella crate for the *Toward Self-Healing Multitier Services*
+//! reproduction: re-exports every workspace crate under one roof so
+//! examples, integration tests, and downstream users can depend on a single
+//! package.
+//!
+//! * [`telemetry`] — multidimensional metric time series, SLO monitoring.
+//! * [`workload`] — RUBiS-like workload generation.
+//! * [`faults`] — failure/fix catalog, injection plans, cause mixes.
+//! * [`sim`] — the three-tier (web / EJB / database) service simulator.
+//! * [`learn`] — from-scratch ML substrate (kNN, k-means, AdaBoost, ...).
+//! * [`diagnosis`] — anomaly / correlation / bottleneck diagnosis and the
+//!   manual rule baseline.
+//! * [`healing`] — FixSym, synopses, hybrid and proactive policies, the
+//!   healing-loop harness (the paper's contribution).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use selfheal::healing::harness::{PolicyChoice, SelfHealingService};
+//! use selfheal::healing::synopsis::SynopsisKind;
+//! use selfheal::faults::{FaultKind, FaultTarget, InjectionPlanBuilder};
+//! use selfheal::sim::ServiceConfig;
+//!
+//! let plan = InjectionPlanBuilder::new(4, 3, 1)
+//!     .inject(60, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.9)
+//!     .build();
+//! let outcome = SelfHealingService::builder()
+//!     .config(ServiceConfig::tiny())
+//!     .injections(plan)
+//!     .policy(PolicyChoice::Hybrid(SynopsisKind::NearestNeighbor))
+//!     .run(300);
+//! assert!(outcome.fixes_initiated >= 1);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use selfheal_core as healing;
+pub use selfheal_diagnosis as diagnosis;
+pub use selfheal_faults as faults;
+pub use selfheal_learn as learn;
+pub use selfheal_sim as sim;
+pub use selfheal_telemetry as telemetry;
+pub use selfheal_workload as workload;

@@ -1,0 +1,118 @@
+//! Property-based tests over cross-crate invariants.
+
+use proptest::prelude::*;
+use selfheal::faults::{FaultId, FaultKind, FaultSpec, FixAction, FixCatalog, FixKind};
+use selfheal::faults::injection::default_target;
+use selfheal::learn::{Classifier, Dataset, Example, NearestNeighbor};
+use selfheal::sim::{MultiTierService, ServiceConfig};
+use selfheal::telemetry::{Sample, SeriesStore};
+use selfheal::workload::{ArrivalProcess, TraceGenerator, WorkloadMix};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The simulator never produces NaN/infinite metrics and never loses or
+    /// invents requests, whatever (kind, severity) is injected.
+    #[test]
+    fn simulator_samples_are_finite_and_requests_are_conserved(
+        kind_idx in 0usize..FaultKind::ALL.len(),
+        severity in 0.05f64..1.0,
+        rate in 5.0f64..60.0,
+        seed in 0u64..1_000,
+    ) {
+        let kind = FaultKind::ALL[kind_idx];
+        let config = ServiceConfig::tiny();
+        let mut service = MultiTierService::new(config.clone());
+        let mut workload = TraceGenerator::new(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate },
+            seed,
+        );
+        for _ in 0..10 {
+            let requests = workload.tick(service.current_tick());
+            service.tick(&requests);
+        }
+        service.inject(FaultSpec::new(FaultId(1), kind, default_target(kind, 1), severity));
+        for _ in 0..30 {
+            let requests = workload.tick(service.current_tick());
+            let outcome = service.tick(&requests);
+            prop_assert!(outcome.sample.is_finite(), "sample must stay finite");
+            prop_assert_eq!(outcome.arrived, outcome.completed + outcome.errors);
+        }
+        let (arrived, completed, errors) = service.totals();
+        prop_assert_eq!(arrived, completed + errors);
+    }
+
+    /// The ground-truth catalog is consistent: the preferred fix for every
+    /// fault kind, applied to its natural target, repairs a fault of that
+    /// kind — and the universal restart never repairs a hardware failure.
+    #[test]
+    fn catalog_preferred_fixes_repair_their_faults(
+        kind_idx in 0usize..FaultKind::ALL.len(),
+        severity in 0.1f64..1.0,
+        component in 0usize..4,
+    ) {
+        let kind = FaultKind::ALL[kind_idx];
+        let catalog = FixCatalog::standard();
+        let fault = FaultSpec::new(FaultId(0), kind, default_target(kind, component), severity);
+        let preferred = catalog.preferred_fix(kind);
+        let action = if preferred.needs_target() {
+            FixAction::targeted(preferred, default_target(kind, component))
+        } else {
+            FixAction::untargeted(preferred)
+        };
+        prop_assert!(catalog.repairs(&fault, &action), "{kind}: preferred fix must repair it");
+        let restart = FixAction::untargeted(FixKind::FullServiceRestart);
+        if kind == FaultKind::HardwareFailure {
+            prop_assert!(!catalog.repairs(&fault, &restart));
+        }
+    }
+
+    /// A 1-NN classifier always reproduces the label of every training point
+    /// it has stored (a basic sanity invariant the FixSym synopsis relies
+    /// on: a previously seen failure signature gets the fix that worked).
+    #[test]
+    fn nearest_neighbor_memorizes_training_points(
+        points in prop::collection::vec((prop::collection::vec(-50.0f64..50.0, 4), 0usize..8), 1..40)
+    ) {
+        // Deduplicate identical feature vectors (they may carry conflicting
+        // labels, which 1-NN cannot be expected to reproduce).
+        let mut seen: Vec<Vec<f64>> = Vec::new();
+        let mut examples = Vec::new();
+        for (features, label) in points {
+            if seen.iter().any(|f| f == &features) {
+                continue;
+            }
+            seen.push(features.clone());
+            examples.push(Example::new(features, label));
+        }
+        let data = Dataset::from_examples(examples);
+        let mut nn = NearestNeighbor::new();
+        nn.fit(&data);
+        for (features, label) in data.iter() {
+            prop_assert_eq!(nn.predict(features), label);
+        }
+    }
+
+    /// The telemetry store respects its capacity and keeps samples in tick
+    /// order under any push pattern.
+    #[test]
+    fn series_store_is_bounded_and_ordered(
+        capacity in 1usize..64,
+        pushes in 0usize..200,
+    ) {
+        let schema = selfheal::telemetry::SchemaBuilder::new()
+            .metric("x", selfheal::telemetry::Tier::Service, selfheal::telemetry::MetricKind::Gauge)
+            .build();
+        let mut store = SeriesStore::new(schema.clone(), capacity);
+        for t in 0..pushes {
+            store.push(Sample::zeroed(&schema, t as u64));
+        }
+        prop_assert!(store.len() <= capacity);
+        prop_assert_eq!(store.len(), pushes.min(capacity));
+        let ticks: Vec<u64> = store.iter().map(|s| s.tick()).collect();
+        let mut sorted = ticks.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(ticks, sorted);
+    }
+}
