@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
         failures_per_profile: 50,
         comparison_ticks: 200,
     };
-    group.bench_function("reduced_scale", |b| b.iter(|| synopsis_comparison(scale, 5)));
+    group.bench_function("reduced_scale", |b| {
+        b.iter(|| synopsis_comparison(scale, 5))
+    });
     group.finish();
 }
 

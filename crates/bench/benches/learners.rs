@@ -2,7 +2,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use selfheal_learn::{AdaBoost, Classifier, Dataset, Example, GaussianNaiveBayes, KMeans, NearestNeighbor};
+use selfheal_learn::{
+    AdaBoost, Classifier, Dataset, Example, GaussianNaiveBayes, KMeans, NearestNeighbor,
+};
 
 fn blobs(n: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -5,7 +5,11 @@ use selfheal_faults::FixKind;
 
 fn train(kind: SynopsisKind, n: usize) -> Synopsis {
     let mut synopsis = Synopsis::new(kind);
-    let fixes = [FixKind::RepartitionMemory, FixKind::MicrorebootEjb, FixKind::UpdateStatistics];
+    let fixes = [
+        FixKind::RepartitionMemory,
+        FixKind::MicrorebootEjb,
+        FixKind::UpdateStatistics,
+    ];
     for i in 0..n {
         let class = i % 3;
         let mut symptoms = vec![1.0; 12];
@@ -19,9 +23,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_training_cost");
     group.sample_size(10);
     for kind in SynopsisKind::paper_set() {
-        group.bench_with_input(BenchmarkId::new("50_correct_fixes", kind.label()), &kind, |b, kind| {
-            b.iter(|| train(*kind, 50))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("50_correct_fixes", kind.label()),
+            &kind,
+            |b, kind| b.iter(|| train(*kind, 50)),
+        );
     }
     group.finish();
 }

@@ -1,0 +1,134 @@
+//! Fleet scaling benchmark: replicas-vs-throughput and shared-vs-isolated
+//! cold-start recovery, emitted as JSON for the bench trajectory.
+//!
+//! Two experiments:
+//!
+//! 1. **Scaling** — fleets of 1..=32 replicas × 5000 ticks each, run once
+//!    through the parallel engine (worker threads) and once through the
+//!    sequential tick-interleaver, reporting wall-clock, throughput, and the
+//!    parallel speedup.  The >2× speedup claim is only meaningful on 4+
+//!    cores; the JSON records the core count so single-core CI runs are
+//!    interpreted correctly.
+//! 2. **Cold start** — the same staggered fault hitting every replica in
+//!    turn, once with one fleet-shared synopsis and once with isolated
+//!    per-replica synopses.  Replicas whose fault arrives *after* another
+//!    replica has healed it should recover in fewer attempts (and no more
+//!    ticks) when the synopsis is shared.
+
+use selfheal_bench::fleet::{cold_start_comparison, scaling_curve, ColdStartReport, ScalingPoint};
+use std::fmt::Write as _;
+
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn scaling_json(points: &[ScalingPoint]) -> String {
+    let mut out = String::from("[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"replicas\": {}, \"ticks_per_replica\": {}, \"parallel_wall_s\": {}, \
+             \"sequential_wall_s\": {}, \"speedup\": {}, \"parallel_throughput_ticks_per_s\": {}}}",
+            p.replicas,
+            p.ticks_per_replica,
+            json_f64(p.parallel_wall_s),
+            json_f64(p.sequential_wall_s),
+            json_f64(p.speedup()),
+            json_f64(p.parallel_throughput)
+        );
+    }
+    out.push_str("\n  ]");
+    out
+}
+
+fn cold_start_json(report: &ColdStartReport) -> String {
+    let side = |label: &str, attempts: f64, recovery: f64, escalations: u64| {
+        format!(
+            "\"{label}\": {{\"warm_mean_fix_attempts\": {}, \"warm_mean_recovery_ticks\": {}, \
+             \"escalations\": {escalations}}}",
+            json_f64(attempts),
+            json_f64(recovery)
+        )
+    };
+    format!(
+        "{{\n    {},\n    {},\n    \"shared_recovery_leq_isolated\": {},\n    \
+         \"shared_attempts_leq_isolated\": {}\n  }}",
+        side(
+            "shared",
+            report.shared_warm_attempts,
+            report.shared_warm_recovery,
+            report.shared_escalations
+        ),
+        side(
+            "isolated",
+            report.isolated_warm_attempts,
+            report.isolated_warm_recovery,
+            report.isolated_escalations
+        ),
+        report.shared_warm_recovery <= report.isolated_warm_recovery,
+        report.shared_warm_attempts <= report.isolated_warm_attempts,
+    )
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let ticks = 5_000u64;
+    let replica_counts = [1usize, 2, 4, 8, 16, 32];
+
+    eprintln!("fleet_scaling: {cores} cores, {ticks} ticks/replica");
+    let points = scaling_curve(&replica_counts, ticks, 42);
+    for p in &points {
+        eprintln!(
+            "  replicas {:>2}: parallel {:>7.3}s  sequential {:>7.3}s  speedup {:>5.2}x  {:>9.0} ticks/s",
+            p.replicas,
+            p.parallel_wall_s,
+            p.sequential_wall_s,
+            p.speedup(),
+            p.parallel_throughput
+        );
+    }
+    let full = points.last().expect("at least one scaling point");
+
+    eprintln!("fleet_scaling: cold-start comparison (shared vs isolated synopsis)");
+    let cold = cold_start_comparison(8, 42);
+    eprintln!(
+        "  warm-replica mean fix attempts: shared {:.2} vs isolated {:.2}",
+        cold.shared_warm_attempts, cold.isolated_warm_attempts
+    );
+    eprintln!(
+        "  warm-replica mean recovery:     shared {:.1} vs isolated {:.1} ticks",
+        cold.shared_warm_recovery, cold.isolated_warm_recovery
+    );
+
+    let json = format!(
+        "{{\n  \"machine\": {{\"cores\": {cores}}},\n  \"scaling\": {},\n  \"acceptance\": \
+         {{\"replicas\": {}, \"ticks_per_replica\": {}, \"speedup\": {}, \
+         \"speedup_claim_applicable\": {}, \"speedup_above_2x\": {}}},\n  \"cold_start\": {}\n}}",
+        scaling_json(&points),
+        full.replicas,
+        full.ticks_per_replica,
+        json_f64(full.speedup()),
+        cores >= 4,
+        full.speedup() > 2.0,
+        cold_start_json(&cold),
+    );
+    println!("{json}");
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("fleet_scaling.json");
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!("(written to {})", path.display()),
+            Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+        }
+    }
+}

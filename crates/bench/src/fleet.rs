@@ -1,0 +1,237 @@
+//! Fleet-scaling experiments: replicas-vs-throughput curves and the
+//! shared-vs-isolated cold-start recovery comparison.
+//!
+//! Used by the `fleet_scaling` binary (full scale, JSON output) and the
+//! `fleet_scaling` Criterion bench (reduced scale).
+
+use selfheal_core::harness::PolicyChoice;
+use selfheal_core::synopsis::SynopsisKind;
+use selfheal_faults::{FaultKind, FaultTarget, InjectionPlanBuilder};
+use selfheal_fleet::{ExecutionMode, FleetConfig, FleetOutcome, LearningTopology};
+use selfheal_sim::ServiceConfig;
+use selfheal_workload::{ArrivalProcess, WorkloadMix};
+
+/// One point of the replicas-vs-throughput curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Fleet size.
+    pub replicas: usize,
+    /// Ticks each replica simulated.
+    pub ticks_per_replica: u64,
+    /// Wall-clock seconds for the parallel (worker-thread) engine.
+    pub parallel_wall_s: f64,
+    /// Wall-clock seconds for the sequential tick-interleaver.
+    pub sequential_wall_s: f64,
+    /// Simulated ticks per second achieved by the parallel engine.
+    pub parallel_throughput: f64,
+}
+
+impl ScalingPoint {
+    /// Sequential wall-clock over parallel wall-clock.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_wall_s <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.sequential_wall_s / self.parallel_wall_s
+        }
+    }
+}
+
+/// The fleet every scaling measurement runs: the tiny service under a
+/// constant bidding load, a mid-run buffer-contention fault per replica,
+/// and FixSym healing against one fleet-shared synopsis — i.e. the whole
+/// subsystem under test, not an idle loop.
+fn scaling_fleet(replicas: usize, ticks: u64, seed: u64) -> FleetConfig {
+    FleetConfig::builder()
+        .service(ServiceConfig::tiny())
+        .workload(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+        )
+        .replicas(replicas)
+        .ticks(ticks)
+        .base_seed(seed)
+        .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+        .topology(LearningTopology::shared())
+        .injections(
+            InjectionPlanBuilder::new(4, 3, 1)
+                .inject(
+                    ticks / 10,
+                    FaultKind::BufferContention,
+                    FaultTarget::DatabaseTier,
+                    0.9,
+                )
+                .build(),
+        )
+        // The scaling runs only need aggregate counters, not full metric
+        // history; a small ring keeps 32 × 5000-tick fleets lean.
+        .series_capacity(512)
+}
+
+/// Measures one fleet size in both execution modes.
+pub fn scaling_point(replicas: usize, ticks: u64, seed: u64) -> ScalingPoint {
+    let parallel = scaling_fleet(replicas, ticks, seed)
+        .mode(ExecutionMode::Parallel { threads: None })
+        .run();
+    let sequential = scaling_fleet(replicas, ticks, seed)
+        .mode(ExecutionMode::Sequential)
+        .run();
+    ScalingPoint {
+        replicas,
+        ticks_per_replica: ticks,
+        parallel_wall_s: parallel.wall().as_secs_f64(),
+        sequential_wall_s: sequential.wall().as_secs_f64(),
+        parallel_throughput: parallel.throughput_ticks_per_sec(),
+    }
+}
+
+/// Measures every fleet size in `replica_counts`.
+pub fn scaling_curve(replica_counts: &[usize], ticks: u64, seed: u64) -> Vec<ScalingPoint> {
+    replica_counts
+        .iter()
+        .map(|&r| scaling_point(r, ticks, seed))
+        .collect()
+}
+
+/// Shared-vs-isolated cold-start comparison.
+///
+/// `warm` statistics cover replicas 1..N — the replicas whose fault arrives
+/// only after replica 0 (and each predecessor) has already healed the same
+/// signature.  With a shared synopsis those replicas should need fewer fix
+/// attempts and recover at least as fast as with isolated synopses.
+#[derive(Debug, Clone, Copy)]
+pub struct ColdStartReport {
+    /// Mean fix attempts in the injected episode, warm replicas, shared.
+    pub shared_warm_attempts: f64,
+    /// Mean recovery ticks of the injected episode, warm replicas, shared.
+    pub shared_warm_recovery: f64,
+    /// Escalations across the whole shared fleet.
+    pub shared_escalations: u64,
+    /// Mean fix attempts in the injected episode, warm replicas, isolated.
+    pub isolated_warm_attempts: f64,
+    /// Mean recovery ticks of the injected episode, warm replicas, isolated.
+    pub isolated_warm_recovery: f64,
+    /// Escalations across the whole isolated fleet.
+    pub isolated_escalations: u64,
+}
+
+/// Stagger interval between successive replicas' injections, in ticks —
+/// long enough for the predecessor to heal and for the shared batch to
+/// drain before the next replica's fault lands.
+const STAGGER_TICKS: u64 = 500;
+
+fn cold_start_fleet(replicas: usize, seed: u64, topology: LearningTopology) -> FleetOutcome {
+    let ticks = 100 + STAGGER_TICKS * replicas as u64 + 400;
+    FleetConfig::builder()
+        .service(ServiceConfig::tiny())
+        .workload(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+        )
+        .replicas(replicas)
+        .ticks(ticks)
+        .base_seed(seed)
+        .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+        .topology(topology)
+        // Tick-interleaved execution so "replica r's fault happens after
+        // replica r-1 healed" holds by construction, independent of thread
+        // scheduling.
+        .mode(ExecutionMode::Sequential)
+        .injections_per_replica(move |replica| {
+            InjectionPlanBuilder::new(4, 3, 1)
+                .inject(
+                    100 + STAGGER_TICKS * replica as u64,
+                    FaultKind::BufferContention,
+                    FaultTarget::DatabaseTier,
+                    0.9,
+                )
+                .build()
+        })
+        .run()
+}
+
+/// Mean fix attempts and recovery ticks of the injected episode over warm
+/// replicas (1..N), plus fleet-wide escalations.
+fn warm_stats(outcome: &FleetOutcome) -> (f64, f64, u64) {
+    let mut attempts = Vec::new();
+    let mut recoveries = Vec::new();
+    let mut escalations = 0u64;
+    for replica in outcome.replicas() {
+        let episodes = replica.outcome.recovery.episodes();
+        escalations += episodes.iter().filter(|e| e.escalated).count() as u64;
+        if replica.replica == 0 {
+            continue;
+        }
+        // First injected (ground-truth-labelled) episode of the warm replica.
+        if let Some(episode) = episodes
+            .iter()
+            .find(|e| e.primary_fault() == Some(FaultKind::BufferContention))
+        {
+            attempts.push(episode.fixes_attempted.len() as f64);
+            if let Some(ticks) = episode.recovery_ticks() {
+                recoveries.push(ticks as f64);
+            }
+        }
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    (mean(&attempts), mean(&recoveries), escalations)
+}
+
+/// Runs the staggered-fault fleet under both learning topologies.
+pub fn cold_start_comparison(replicas: usize, seed: u64) -> ColdStartReport {
+    let shared = cold_start_fleet(replicas, seed, LearningTopology::shared());
+    let isolated = cold_start_fleet(replicas, seed, LearningTopology::Isolated);
+    let (shared_warm_attempts, shared_warm_recovery, shared_escalations) = warm_stats(&shared);
+    let (isolated_warm_attempts, isolated_warm_recovery, isolated_escalations) =
+        warm_stats(&isolated);
+    ColdStartReport {
+        shared_warm_attempts,
+        shared_warm_recovery,
+        shared_escalations,
+        isolated_warm_attempts,
+        isolated_warm_recovery,
+        isolated_escalations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_point_measures_both_modes() {
+        let point = scaling_point(2, 60, 7);
+        assert_eq!(point.replicas, 2);
+        assert!(point.parallel_wall_s > 0.0);
+        assert!(point.sequential_wall_s > 0.0);
+        assert!(point.parallel_throughput > 0.0);
+        assert!(point.speedup() > 0.0);
+    }
+
+    #[test]
+    fn cold_start_warm_replicas_benefit_from_sharing() {
+        let report = cold_start_comparison(4, 11);
+        assert!(
+            report.isolated_warm_attempts > 0.0,
+            "warm replicas must have episodes"
+        );
+        assert!(
+            report.shared_warm_attempts <= report.isolated_warm_attempts,
+            "shared {} vs isolated {}",
+            report.shared_warm_attempts,
+            report.isolated_warm_attempts
+        );
+        assert!(
+            report.shared_warm_recovery <= report.isolated_warm_recovery,
+            "shared {} vs isolated {}",
+            report.shared_warm_recovery,
+            report.isolated_warm_recovery
+        );
+    }
+}

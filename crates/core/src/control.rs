@@ -46,7 +46,10 @@ impl ControlAnalysis {
 /// Panics if `reference` is not positive or `tolerance` is not in `(0, 1)`.
 pub fn analyze(trajectory: &[f64], reference: f64, tolerance: f64) -> ControlAnalysis {
     assert!(reference > 0.0, "reference must be positive");
-    assert!(tolerance > 0.0 && tolerance < 1.0, "tolerance must be in (0, 1)");
+    assert!(
+        tolerance > 0.0 && tolerance < 1.0,
+        "tolerance must be in (0, 1)"
+    );
     if trajectory.is_empty() {
         return ControlAnalysis {
             settling_ticks: Some(0),
@@ -75,7 +78,10 @@ pub fn analyze(trajectory: &[f64], reference: f64, tolerance: f64) -> ControlAna
     let steady_state_error = match settling_ticks {
         Some(t) if (t as usize) < trajectory.len() => {
             let tail = &trajectory[t as usize..];
-            tail.iter().map(|v| (v - reference).abs() / reference).sum::<f64>() / tail.len() as f64
+            tail.iter()
+                .map(|v| (v - reference).abs() / reference)
+                .sum::<f64>()
+                / tail.len() as f64
         }
         _ => 0.0,
     };
@@ -91,7 +97,12 @@ pub fn analyze(trajectory: &[f64], reference: f64, tolerance: f64) -> ControlAna
         was_in_band = now_in_band;
     }
 
-    ControlAnalysis { settling_ticks, overshoot_ratio, steady_state_error, oscillations }
+    ControlAnalysis {
+        settling_ticks,
+        overshoot_ratio,
+        steady_state_error,
+        oscillations,
+    }
 }
 
 #[cfg(test)]
@@ -102,8 +113,9 @@ mod tests {
     fn well_damped_recovery_settles_without_oscillation() {
         // Spike to 5x the reference, then exponential recovery.
         let reference = 100.0;
-        let trajectory: Vec<f64> =
-            (0..60).map(|i| 100.0 + 400.0 * (-0.2 * i as f64).exp()).collect();
+        let trajectory: Vec<f64> = (0..60)
+            .map(|i| 100.0 + 400.0 * (-0.2 * i as f64).exp())
+            .collect();
         let analysis = analyze(&trajectory, reference, 0.2);
         assert!(analysis.settling_ticks.is_some());
         assert!(analysis.settling_ticks.unwrap() < 30);

@@ -2,7 +2,7 @@
 
 use crate::policy::{target_for_fix, EpisodeTracker};
 use crate::symptom::SymptomExtractor;
-use crate::synopsis::{Synopsis, SynopsisKind};
+use crate::synopsis::{Learner, Synopsis, SynopsisKind};
 use selfheal_faults::{FixAction, FixKind};
 use selfheal_sim::scenario::Healer;
 use selfheal_sim::service::TickOutcome;
@@ -26,7 +26,11 @@ pub struct FixSymConfig {
 
 impl Default for FixSymConfig {
     fn default() -> Self {
-        FixSymConfig { threshold: 4, min_confidence: 0.05, verify_ticks: 25 }
+        FixSymConfig {
+            threshold: 4,
+            min_confidence: 0.05,
+            verify_ticks: 25,
+        }
     }
 }
 
@@ -137,7 +141,11 @@ impl FixSymEngine {
             self.synopsis.update(symptoms, fix, fixed);
 
             if fixed {
-                return EpisodeResult { attempts, successful_fix: Some(fix), escalated: false };
+                return EpisodeResult {
+                    attempts,
+                    successful_fix: Some(fix),
+                    escalated: false,
+                };
             }
             count += 1;
         }
@@ -175,9 +183,13 @@ impl FixSymEngine {
 /// scenario runner as a [`Healer`], extracting symptoms from the live metric
 /// stream, applying fixes through the service's actuator, and judging
 /// success from SLO recovery.
+///
+/// Generic over the [`Learner`] backing it: the default is a privately owned
+/// [`Synopsis`]; a fleet passes a [`crate::shared::SharedSynopsis`] handle so
+/// every replica's healer learns from — and teaches — the same model.
 #[derive(Debug)]
-pub struct FixSymHealer {
-    synopsis: Synopsis,
+pub struct FixSymHealer<L: Learner = Synopsis> {
+    synopsis: L,
     extractor: SymptomExtractor,
     tracker: EpisodeTracker,
     config: FixSymConfig,
@@ -193,14 +205,7 @@ impl FixSymHealer {
 
     /// Creates a healer with an explicit configuration.
     pub fn with_config(schema: &Schema, kind: SynopsisKind, config: FixSymConfig) -> Self {
-        FixSymHealer {
-            synopsis: Synopsis::new(kind),
-            extractor: SymptomExtractor::new(schema, 30, 5),
-            tracker: EpisodeTracker::new(config.threshold, config.verify_ticks),
-            config,
-            schema: schema.clone(),
-            current_symptoms: None,
-        }
+        Self::with_learner(schema, Synopsis::new(kind), config)
     }
 
     /// The learned synopsis.
@@ -214,19 +219,40 @@ impl FixSymHealer {
     }
 }
 
-impl Healer for FixSymHealer {
+impl<L: Learner> FixSymHealer<L> {
+    /// Creates a healer around an existing learner (a fleet-shared synopsis
+    /// handle, or a pre-bootstrapped private synopsis).
+    pub fn with_learner(schema: &Schema, learner: L, config: FixSymConfig) -> Self {
+        FixSymHealer {
+            synopsis: learner,
+            extractor: SymptomExtractor::new(schema, 30, 5),
+            tracker: EpisodeTracker::new(config.threshold, config.verify_ticks),
+            config,
+            schema: schema.clone(),
+            current_symptoms: None,
+        }
+    }
+
+    /// The learner backing this healer.
+    pub fn learner(&self) -> &L {
+        &self.synopsis
+    }
+}
+
+impl<L: Learner> Healer for FixSymHealer<L> {
     fn name(&self) -> &str {
         "fixsym"
     }
 
     fn observe(&mut self, outcome: &TickOutcome) -> Vec<FixAction> {
         let violated = !outcome.violations.is_empty();
-        self.extractor.observe(&outcome.sample, !violated && !self.tracker.in_episode());
+        self.extractor
+            .observe(&outcome.sample, !violated && !self.tracker.in_episode());
 
         // Resolve the outcome of a previously applied fix (check_fix).
         if let Some((fix, success)) = self.tracker.resolve(outcome, violated) {
             if let Some(symptoms) = &self.current_symptoms {
-                self.synopsis.update(symptoms, fix.kind, success);
+                self.synopsis.record(symptoms, fix.kind, success);
             }
             if success {
                 self.current_symptoms = None;
@@ -315,14 +341,20 @@ mod tests {
 
     #[test]
     fn threshold_exceeded_escalates_to_full_restart() {
-        let config = FixSymConfig { threshold: 3, ..FixSymConfig::default() };
+        let config = FixSymConfig {
+            threshold: 3,
+            ..FixSymConfig::default()
+        };
         let mut engine = FixSymEngine::with_config(SynopsisKind::NearestNeighbor, config);
         // No narrow fix ever works; only the restart does.
-        let result =
-            engine.run_episode(&symptoms_for(1), |fix| fix == FixKind::FullServiceRestart);
+        let result = engine.run_episode(&symptoms_for(1), |fix| fix == FixKind::FullServiceRestart);
         assert!(result.escalated);
         assert_eq!(result.successful_fix, Some(FixKind::FullServiceRestart));
-        assert_eq!(result.attempts.len(), 4, "three narrow attempts plus the escalation");
+        assert_eq!(
+            result.attempts.len(),
+            4,
+            "three narrow attempts plus the escalation"
+        );
         assert_eq!(engine.escalations(), 1);
     }
 
@@ -333,7 +365,10 @@ mod tests {
         let result = engine.run_episode(&symptoms_for(2), |fix| fix == correct);
         let mut seen = HashSet::new();
         for fix in &result.attempts {
-            assert!(seen.insert(*fix), "fix {fix} was retried within the episode");
+            assert!(
+                seen.insert(*fix),
+                "fix {fix} was retried within the episode"
+            );
         }
         assert_eq!(result.successful_fix, Some(correct));
     }
@@ -345,7 +380,10 @@ mod tests {
         let mapping = [
             (0usize, catalog.preferred_fix(FaultKind::BufferContention)),
             (1usize, catalog.preferred_fix(FaultKind::DeadlockedThreads)),
-            (2usize, catalog.preferred_fix(FaultKind::SuboptimalQueryPlan)),
+            (
+                2usize,
+                catalog.preferred_fix(FaultKind::SuboptimalQueryPlan),
+            ),
         ];
         // Teach the engine by letting it heal each failure type a few times.
         for _ in 0..4 {

@@ -6,14 +6,16 @@
 //! assembly behind a small builder so the examples read like the experiment
 //! descriptions in the paper.
 
-use crate::fixsym::FixSymHealer;
+use crate::fixsym::{FixSymConfig, FixSymHealer};
 use crate::hybrid::HybridHealer;
 use crate::policy::DiagnosisHealer;
 use crate::proactive::ProactiveHealer;
+use crate::shared::SharedSynopsis;
 use crate::synopsis::SynopsisKind;
 use selfheal_faults::InjectionPlan;
 use selfheal_sim::scenario::{Healer, NoHealing, ScenarioOutcome, ScenarioRunner};
 use selfheal_sim::{MultiTierService, ServiceConfig};
+use selfheal_telemetry::Schema;
 use selfheal_workload::{ArrivalProcess, TraceGenerator, WorkloadMix};
 
 /// Which healing policy drives the service.
@@ -38,6 +40,97 @@ pub enum PolicyChoice {
 }
 
 impl PolicyChoice {
+    /// Builds the healer this policy describes, boxed so heterogeneous
+    /// policies can drive identical runners (the fleet engine and the
+    /// [`SelfHealingService`] builder both construct healers through here).
+    pub fn build_healer(
+        &self,
+        schema: &Schema,
+        slo_response_ms: f64,
+        slo_error_rate: f64,
+    ) -> Box<dyn Healer> {
+        match self {
+            PolicyChoice::None => Box::new(NoHealing),
+            PolicyChoice::ManualRules => Box::new(DiagnosisHealer::manual(
+                schema,
+                slo_response_ms,
+                slo_error_rate,
+            )),
+            PolicyChoice::AnomalyDetection => Box::new(DiagnosisHealer::anomaly(
+                schema,
+                slo_response_ms,
+                slo_error_rate,
+            )),
+            PolicyChoice::CorrelationAnalysis => Box::new(DiagnosisHealer::correlation(
+                schema,
+                slo_response_ms,
+                slo_error_rate,
+            )),
+            PolicyChoice::BottleneckAnalysis => Box::new(DiagnosisHealer::bottleneck(
+                schema,
+                slo_response_ms,
+                slo_error_rate,
+            )),
+            PolicyChoice::FixSym(kind) => Box::new(FixSymHealer::new(schema, *kind)),
+            PolicyChoice::Hybrid(kind) => Box::new(HybridHealer::new(
+                schema,
+                *kind,
+                slo_response_ms,
+                slo_error_rate,
+            )),
+            PolicyChoice::Proactive => Box::new(ProactiveHealer::new(
+                schema,
+                slo_response_ms,
+                slo_error_rate,
+            )),
+        }
+    }
+
+    /// Builds the healer with its signature path wired to a fleet-shared
+    /// synopsis instead of a private one.
+    ///
+    /// Only the signature-based policies (`FixSym`, `Hybrid`) have learned
+    /// state to share; every other policy is stateless across replicas and
+    /// falls back to [`PolicyChoice::build_healer`].  The `shared` handle's
+    /// own kind wins over the kind embedded in the policy, so one fleet
+    /// cannot accidentally mix synopsis models.
+    pub fn build_healer_shared(
+        &self,
+        schema: &Schema,
+        slo_response_ms: f64,
+        slo_error_rate: f64,
+        shared: &SharedSynopsis,
+    ) -> Box<dyn Healer> {
+        match self {
+            PolicyChoice::FixSym(_) => Box::new(FixSymHealer::with_learner(
+                schema,
+                shared.clone(),
+                FixSymConfig::default(),
+            )),
+            PolicyChoice::Hybrid(_) => Box::new(HybridHealer::with_learner(
+                schema,
+                shared.clone(),
+                slo_response_ms,
+                slo_error_rate,
+            )),
+            other => other.build_healer(schema, slo_response_ms, slo_error_rate),
+        }
+    }
+
+    /// Returns `true` when the policy learns a synopsis that a fleet can
+    /// share across replicas.
+    pub fn shares_learning(&self) -> bool {
+        matches!(self, PolicyChoice::FixSym(_) | PolicyChoice::Hybrid(_))
+    }
+
+    /// The synopsis kind embedded in the policy, if any.
+    pub fn synopsis_kind(&self) -> Option<SynopsisKind> {
+        match self {
+            PolicyChoice::FixSym(kind) | PolicyChoice::Hybrid(kind) => Some(*kind),
+            _ => None,
+        }
+    }
+
     /// Display label.
     pub fn label(&self) -> String {
         match self {
@@ -114,58 +207,33 @@ impl SelfHealingService {
         self.policy
     }
 
-    /// Runs the scenario for `ticks` ticks.
-    pub fn run(self, ticks: u64) -> ScenarioOutcome {
+    /// Assembles the runner this builder describes without driving it —
+    /// the fleet engine uses this to obtain resumable replicas it can step
+    /// itself, with an optional fleet-shared synopsis wired into the healer.
+    pub fn into_runner(self, shared: Option<&SharedSynopsis>) -> ScenarioRunner<Box<dyn Healer>> {
         let service = MultiTierService::new(self.config.clone());
         let schema = service.schema().clone();
         let workload = TraceGenerator::new(self.mix.clone(), self.arrivals.clone(), self.seed);
-        let slo_rt = self.config.slo_response_ms;
-        let slo_err = self.config.slo_error_rate;
+        let healer = match shared {
+            Some(shared) => self.policy.build_healer_shared(
+                &schema,
+                self.config.slo_response_ms,
+                self.config.slo_error_rate,
+                shared,
+            ),
+            None => self.policy.build_healer(
+                &schema,
+                self.config.slo_response_ms,
+                self.config.slo_error_rate,
+            ),
+        };
+        ScenarioRunner::new(service, workload, self.injections, healer)
+    }
 
-        fn run_with<H: Healer>(
-            service: MultiTierService,
-            workload: TraceGenerator,
-            injections: InjectionPlan,
-            healer: H,
-            ticks: u64,
-        ) -> ScenarioOutcome {
-            let (outcome, _) = ScenarioRunner::new(service, workload, injections, healer).run(ticks);
-            outcome
-        }
-
-        match self.policy {
-            PolicyChoice::None => {
-                run_with(service, workload, self.injections, NoHealing, ticks)
-            }
-            PolicyChoice::ManualRules => {
-                let healer = DiagnosisHealer::manual(&schema, slo_rt, slo_err);
-                run_with(service, workload, self.injections, healer, ticks)
-            }
-            PolicyChoice::AnomalyDetection => {
-                let healer = DiagnosisHealer::anomaly(&schema, slo_rt, slo_err);
-                run_with(service, workload, self.injections, healer, ticks)
-            }
-            PolicyChoice::CorrelationAnalysis => {
-                let healer = DiagnosisHealer::correlation(&schema, slo_rt, slo_err);
-                run_with(service, workload, self.injections, healer, ticks)
-            }
-            PolicyChoice::BottleneckAnalysis => {
-                let healer = DiagnosisHealer::bottleneck(&schema, slo_rt, slo_err);
-                run_with(service, workload, self.injections, healer, ticks)
-            }
-            PolicyChoice::FixSym(kind) => {
-                let healer = FixSymHealer::new(&schema, kind);
-                run_with(service, workload, self.injections, healer, ticks)
-            }
-            PolicyChoice::Hybrid(kind) => {
-                let healer = HybridHealer::new(&schema, kind, slo_rt, slo_err);
-                run_with(service, workload, self.injections, healer, ticks)
-            }
-            PolicyChoice::Proactive => {
-                let healer = ProactiveHealer::new(&schema, slo_rt, slo_err);
-                run_with(service, workload, self.injections, healer, ticks)
-            }
-        }
+    /// Runs the scenario for `ticks` ticks.
+    pub fn run(self, ticks: u64) -> ScenarioOutcome {
+        let (outcome, _) = self.into_runner(None).run(ticks);
+        outcome
     }
 }
 
@@ -187,7 +255,12 @@ mod tests {
     fn hybrid_policy_beats_no_healing_on_an_injected_fault() {
         let config = ServiceConfig::tiny();
         let plan = InjectionPlanBuilder::new(config.ejb_count, config.table_count, 1)
-            .inject(40, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.9)
+            .inject(
+                40,
+                FaultKind::BufferContention,
+                FaultTarget::DatabaseTier,
+                0.9,
+            )
             .build();
 
         let unhealed = SelfHealingService::builder()

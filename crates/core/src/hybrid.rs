@@ -17,7 +17,7 @@
 
 use crate::policy::{target_for_fix, EpisodeTracker};
 use crate::symptom::SymptomExtractor;
-use crate::synopsis::{Synopsis, SynopsisKind};
+use crate::synopsis::{Learner, Synopsis, SynopsisKind};
 use selfheal_diagnosis::{AnomalyDetector, BottleneckAnalyzer, DiagnosisContext, ManualRuleBase};
 use selfheal_faults::{FixAction, FixKind};
 use selfheal_sim::scenario::Healer;
@@ -25,9 +25,13 @@ use selfheal_sim::service::TickOutcome;
 use selfheal_telemetry::{Schema, SeriesStore};
 
 /// Combined signature + diagnosis healer.
+///
+/// Generic over the [`Learner`] backing the signature path (default: a
+/// privately owned [`Synopsis`]; fleets pass a
+/// [`crate::shared::SharedSynopsis`] handle).
 #[derive(Debug)]
-pub struct HybridHealer {
-    synopsis: Synopsis,
+pub struct HybridHealer<L: Learner = Synopsis> {
+    synopsis: L,
     extractor: SymptomExtractor,
     tracker: EpisodeTracker,
     series: SeriesStore,
@@ -52,8 +56,31 @@ impl HybridHealer {
         slo_response_ms: f64,
         slo_error_rate: f64,
     ) -> Self {
+        Self::with_learner(schema, Synopsis::new(kind), slo_response_ms, slo_error_rate)
+    }
+
+    /// The learned synopsis.
+    pub fn synopsis(&self) -> &Synopsis {
+        &self.synopsis
+    }
+
+    /// Mutable synopsis access (for preproduction bootstrapping).
+    pub fn synopsis_mut(&mut self) -> &mut Synopsis {
+        &mut self.synopsis
+    }
+}
+
+impl<L: Learner> HybridHealer<L> {
+    /// Creates a hybrid healer around an existing learner (e.g. a
+    /// fleet-shared synopsis handle).
+    pub fn with_learner(
+        schema: &Schema,
+        learner: L,
+        slo_response_ms: f64,
+        slo_error_rate: f64,
+    ) -> Self {
         HybridHealer {
-            synopsis: Synopsis::new(kind),
+            synopsis: learner,
             extractor: SymptomExtractor::new(schema, 30, 5),
             tracker: EpisodeTracker::new(4, 25),
             series: SeriesStore::new(schema.clone(), 4096),
@@ -69,14 +96,9 @@ impl HybridHealer {
         }
     }
 
-    /// The learned synopsis.
-    pub fn synopsis(&self) -> &Synopsis {
+    /// The learner backing the signature path.
+    pub fn learner(&self) -> &L {
         &self.synopsis
-    }
-
-    /// Mutable synopsis access (for preproduction bootstrapping).
-    pub fn synopsis_mut(&mut self) -> &mut Synopsis {
-        &mut self.synopsis
     }
 
     /// How many fixes were chosen by the signature path vs the diagnosis
@@ -93,12 +115,19 @@ impl HybridHealer {
         // The manual catch-all restart is a last resort, not a fallback peer.
         manual.retain(|d| d.fix.kind != FixKind::FullServiceRestart);
         candidates.extend(manual);
-        candidates.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).expect("finite confidence"));
-        candidates.into_iter().find(|d| !tried.contains(&d.fix.kind)).map(|d| d.fix)
+        candidates.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .expect("finite confidence")
+        });
+        candidates
+            .into_iter()
+            .find(|d| !tried.contains(&d.fix.kind))
+            .map(|d| d.fix)
     }
 }
 
-impl Healer for HybridHealer {
+impl<L: Learner> Healer for HybridHealer<L> {
     fn name(&self) -> &str {
         "hybrid_fixsym_diagnosis"
     }
@@ -106,11 +135,12 @@ impl Healer for HybridHealer {
     fn observe(&mut self, outcome: &TickOutcome) -> Vec<FixAction> {
         let violated = !outcome.violations.is_empty();
         self.series.push(outcome.sample.clone());
-        self.extractor.observe(&outcome.sample, !violated && !self.tracker.in_episode());
+        self.extractor
+            .observe(&outcome.sample, !violated && !self.tracker.in_episode());
 
         if let Some((fix, success)) = self.tracker.resolve(outcome, violated) {
             if let Some(symptoms) = &self.current_symptoms {
-                self.synopsis.update(symptoms, fix.kind, success);
+                self.synopsis.record(symptoms, fix.kind, success);
             }
             if success {
                 self.current_symptoms = None;
@@ -192,8 +222,11 @@ mod tests {
     fn novel_failure_uses_diagnosis_then_signature_handles_the_recurrence() {
         let config = ServiceConfig::tiny();
         let mut service = MultiTierService::new(config.clone());
-        let mut workload =
-            TraceGenerator::new(WorkloadMix::bidding(), ArrivalProcess::Constant { rate: 40.0 }, 9);
+        let mut workload = TraceGenerator::new(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+            9,
+        );
         let mut healer = HybridHealer::new(
             service.schema(),
             SynopsisKind::NearestNeighbor,
@@ -209,11 +242,26 @@ mod tests {
             FaultTarget::DatabaseTier,
             0.9,
         );
-        run(&mut healer, &mut service, &mut workload, 250, Some((40, fault)));
-        assert!(service.active_faults().is_empty(), "first occurrence should be repaired");
+        run(
+            &mut healer,
+            &mut service,
+            &mut workload,
+            250,
+            Some((40, fault)),
+        );
+        assert!(
+            service.active_faults().is_empty(),
+            "first occurrence should be repaired"
+        );
         let (sig_first, diag_first) = healer.decision_counts();
-        assert!(diag_first >= 1, "the first occurrence must use the diagnosis path");
-        assert!(healer.synopsis().correct_fixes_learned() >= 1, "the outcome must be learned");
+        assert!(
+            diag_first >= 1,
+            "the first occurrence must use the diagnosis path"
+        );
+        assert!(
+            healer.synopsis().correct_fixes_learned() >= 1,
+            "the outcome must be learned"
+        );
 
         // Second occurrence of the same failure signature: the signature
         // path should now contribute.
@@ -224,8 +272,17 @@ mod tests {
             0.9,
         );
         let tick = service.current_tick();
-        run(&mut healer, &mut service, &mut workload, 250, Some((tick + 30, fault2)));
-        assert!(service.active_faults().is_empty(), "second occurrence should be repaired");
+        run(
+            &mut healer,
+            &mut service,
+            &mut workload,
+            250,
+            Some((tick + 30, fault2)),
+        );
+        assert!(
+            service.active_faults().is_empty(),
+            "second occurrence should be repaired"
+        );
         let (sig_second, _) = healer.decision_counts();
         assert!(
             sig_second > sig_first,
@@ -237,8 +294,11 @@ mod tests {
     fn healthy_run_takes_no_action() {
         let config = ServiceConfig::tiny();
         let mut service = MultiTierService::new(config.clone());
-        let mut workload =
-            TraceGenerator::new(WorkloadMix::browsing(), ArrivalProcess::Constant { rate: 20.0 }, 3);
+        let mut workload = TraceGenerator::new(
+            WorkloadMix::browsing(),
+            ArrivalProcess::Constant { rate: 20.0 },
+            3,
+        );
         let mut healer = HybridHealer::new(
             service.schema(),
             SynopsisKind::KMeans,

@@ -42,6 +42,7 @@ pub mod harness;
 pub mod hybrid;
 pub mod policy;
 pub mod proactive;
+pub mod shared;
 pub mod symptom;
 pub mod synopsis;
 
@@ -50,5 +51,6 @@ pub use harness::SelfHealingService;
 pub use hybrid::HybridHealer;
 pub use policy::{DiagnosisEngine, DiagnosisHealer, EpisodeTracker};
 pub use proactive::ProactiveHealer;
+pub use shared::SharedSynopsis;
 pub use symptom::SymptomExtractor;
-pub use synopsis::{Synopsis, SynopsisKind};
+pub use synopsis::{Learner, Synopsis, SynopsisKind};

@@ -106,7 +106,10 @@ impl EpisodeTracker {
         if let Some(remaining) = self.verify_remaining {
             if remaining == 0 {
                 self.verify_remaining = None;
-                let action = *self.attempts.last().expect("verification implies an attempt");
+                let action = *self
+                    .attempts
+                    .last()
+                    .expect("verification implies an attempt");
                 let success = !violated;
                 if success {
                     self.close_episode();
@@ -176,7 +179,9 @@ pub fn target_for_fix(kind: FixKind, schema: &Schema, sample: &Sample) -> FixAct
                     .map(|id| sample.get(id) > 0.0)
                     .unwrap_or(false)
             });
-            let index = by_errors.or_else(|| max_indexed("app.ejb", "_calls")).unwrap_or(0);
+            let index = by_errors
+                .or_else(|| max_indexed("app.ejb", "_calls"))
+                .unwrap_or(0);
             FixAction::targeted(kind, FaultTarget::Ejb { index })
         }
         FixKind::UpdateStatistics | FixKind::RepartitionTable | FixKind::RebuildIndex => {
@@ -266,12 +271,22 @@ impl DiagnosisHealer {
 
     /// Convenience constructors for the four engines.
     pub fn manual(schema: &Schema, slo_response_ms: f64, slo_error_rate: f64) -> Self {
-        Self::new(DiagnosisEngine::Manual(ManualRuleBase::standard()), schema, slo_response_ms, slo_error_rate)
+        Self::new(
+            DiagnosisEngine::Manual(ManualRuleBase::standard()),
+            schema,
+            slo_response_ms,
+            slo_error_rate,
+        )
     }
 
     /// Anomaly-detection healer with the standard window sizes.
     pub fn anomaly(schema: &Schema, slo_response_ms: f64, slo_error_rate: f64) -> Self {
-        Self::new(DiagnosisEngine::Anomaly(AnomalyDetector::standard()), schema, slo_response_ms, slo_error_rate)
+        Self::new(
+            DiagnosisEngine::Anomaly(AnomalyDetector::standard()),
+            schema,
+            slo_response_ms,
+            slo_error_rate,
+        )
     }
 
     /// Correlation-analysis healer with the standard window.
@@ -287,7 +302,12 @@ impl DiagnosisHealer {
 
     /// Bottleneck-analysis healer with the standard thresholds.
     pub fn bottleneck(schema: &Schema, slo_response_ms: f64, slo_error_rate: f64) -> Self {
-        Self::new(DiagnosisEngine::Bottleneck(BottleneckAnalyzer::standard()), schema, slo_response_ms, slo_error_rate)
+        Self::new(
+            DiagnosisEngine::Bottleneck(BottleneckAnalyzer::standard()),
+            schema,
+            slo_response_ms,
+            slo_error_rate,
+        )
     }
 
     /// The episode tracker (for benchmark reporting).
@@ -370,8 +390,11 @@ mod tests {
     ) -> (MultiTierService, H, u64) {
         let config = ServiceConfig::tiny();
         let mut service = MultiTierService::new(config);
-        let mut workload =
-            TraceGenerator::new(WorkloadMix::bidding(), ArrivalProcess::Constant { rate: 40.0 }, 5);
+        let mut workload = TraceGenerator::new(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+            5,
+        );
         let mut fixes = 0u64;
         for t in 0..ticks {
             if t == 40 {
@@ -428,11 +451,19 @@ mod tests {
     fn manual_rule_healer_repairs_a_buffer_contention_fault() {
         let config = ServiceConfig::tiny();
         let schema = MultiTierService::new(config.clone()).schema().clone();
-        let healer = DiagnosisHealer::manual(&schema, config.slo_response_ms, config.slo_error_rate);
-        let (service, healer, fixes) =
-            run_with_healer(healer, FaultKind::BufferContention, FaultTarget::DatabaseTier, 220);
+        let healer =
+            DiagnosisHealer::manual(&schema, config.slo_response_ms, config.slo_error_rate);
+        let (service, healer, fixes) = run_with_healer(
+            healer,
+            FaultKind::BufferContention,
+            FaultTarget::DatabaseTier,
+            220,
+        );
         assert!(fixes >= 1);
-        assert!(service.active_faults().is_empty(), "the fault should be repaired");
+        assert!(
+            service.active_faults().is_empty(),
+            "the fault should be repaired"
+        );
         assert!(!service.slo_violated());
         assert_eq!(healer.name(), "manual_rules");
     }
@@ -460,7 +491,8 @@ mod tests {
     fn anomaly_healer_microreboots_a_failing_ejb() {
         let config = ServiceConfig::tiny();
         let schema = MultiTierService::new(config.clone()).schema().clone();
-        let healer = DiagnosisHealer::anomaly(&schema, config.slo_response_ms, config.slo_error_rate);
+        let healer =
+            DiagnosisHealer::anomaly(&schema, config.slo_response_ms, config.slo_error_rate);
         let (service, _healer, fixes) = run_with_healer(
             healer,
             FaultKind::UnhandledException,

@@ -73,8 +73,15 @@ impl ProactiveHealer {
         let mut manual = self.manual.diagnose(&self.series, &self.ctx);
         manual.retain(|d| d.fix.kind != FixKind::FullServiceRestart);
         candidates.extend(manual);
-        candidates.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).expect("finite confidence"));
-        candidates.into_iter().find(|d| !tried.contains(&d.fix.kind)).map(|d| d.fix)
+        candidates.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .expect("finite confidence")
+        });
+        candidates
+            .into_iter()
+            .find(|d| !tried.contains(&d.fix.kind))
+            .map(|d| d.fix)
     }
 }
 
@@ -86,7 +93,8 @@ impl Healer for ProactiveHealer {
     fn observe(&mut self, outcome: &TickOutcome) -> Vec<FixAction> {
         let violated = !outcome.violations.is_empty();
         self.series.push(outcome.sample.clone());
-        self.forecaster.observe(outcome.sample.get(self.ctx.response_ms));
+        self.forecaster
+            .observe(outcome.sample.get(self.ctx.response_ms));
 
         let _ = self.tracker.resolve(outcome, violated);
 
@@ -115,8 +123,11 @@ impl Healer for ProactiveHealer {
         if in_cooldown || self.forecaster.observations() < 30 {
             return Vec::new();
         }
-        let crossing =
-            steps_until_threshold(&self.forecaster, self.ctx.slo_response_ms, self.horizon_ticks);
+        let crossing = steps_until_threshold(
+            &self.forecaster,
+            self.ctx.slo_response_ms,
+            self.horizon_ticks,
+        );
         if crossing.is_none() {
             return Vec::new();
         }
@@ -144,8 +155,11 @@ mod tests {
     fn run_aging_scenario<H: Healer>(mut healer: H, ticks: u64) -> (MultiTierService, H, u64) {
         let config = ServiceConfig::tiny();
         let mut service = MultiTierService::new(config);
-        let mut workload =
-            TraceGenerator::new(WorkloadMix::bidding(), ArrivalProcess::Constant { rate: 40.0 }, 13);
+        let mut workload = TraceGenerator::new(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+            13,
+        );
         let mut fixes = 0u64;
         for t in 0..ticks {
             if t == 50 {
@@ -194,8 +208,7 @@ mod tests {
         let schema = MultiTierService::new(config.clone()).schema().clone();
         let healer = ProactiveHealer::new(&schema, config.slo_response_ms, config.slo_error_rate);
         let (healed_service, _, _) = run_aging_scenario(healer, 500);
-        let (unhealed_service, _, _) =
-            run_aging_scenario(selfheal_sim::scenario::NoHealing, 500);
+        let (unhealed_service, _, _) = run_aging_scenario(selfheal_sim::scenario::NoHealing, 500);
         assert!(
             healed_service.violation_fraction() < unhealed_service.violation_fraction(),
             "healed {} vs unhealed {}",
@@ -208,10 +221,16 @@ mod tests {
     fn healthy_service_triggers_no_proactive_fixes() {
         let config = ServiceConfig::tiny();
         let mut service = MultiTierService::new(config.clone());
-        let mut workload =
-            TraceGenerator::new(WorkloadMix::browsing(), ArrivalProcess::Constant { rate: 20.0 }, 17);
-        let mut healer =
-            ProactiveHealer::new(service.schema(), config.slo_response_ms, config.slo_error_rate);
+        let mut workload = TraceGenerator::new(
+            WorkloadMix::browsing(),
+            ArrivalProcess::Constant { rate: 20.0 },
+            17,
+        );
+        let mut healer = ProactiveHealer::new(
+            service.schema(),
+            config.slo_response_ms,
+            config.slo_error_rate,
+        );
         for _ in 0..200 {
             let requests = workload.tick(service.current_tick());
             let outcome = service.tick(&requests);

@@ -84,7 +84,10 @@ impl SymptomExtractor {
         if self.baseline_count == 0 {
             return vec![0.0; self.width];
         }
-        self.baseline_sums.iter().map(|s| s / self.baseline_count as f64).collect()
+        self.baseline_sums
+            .iter()
+            .map(|s| s / self.baseline_count as f64)
+            .collect()
     }
 
     /// The current symptom vector: per-metric ratio of the recent-window
@@ -162,8 +165,16 @@ mod tests {
             e.observe(&sample(&sc, t, 300.0, 0.5), false);
         }
         let symptoms = e.symptoms().unwrap();
-        assert!((symptoms[0] - 3.0).abs() < 0.01, "metric a tripled: {}", symptoms[0]);
-        assert!((symptoms[1] - 1.0).abs() < 0.01, "metric b unchanged: {}", symptoms[1]);
+        assert!(
+            (symptoms[0] - 3.0).abs() < 0.01,
+            "metric a tripled: {}",
+            symptoms[0]
+        );
+        assert!(
+            (symptoms[1] - 1.0).abs() < 0.01,
+            "metric b unchanged: {}",
+            symptoms[1]
+        );
     }
 
     #[test]

@@ -15,6 +15,60 @@ use selfheal_learn::{AdaBoost, Classifier, Dataset, Example, KMeans, NearestNeig
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
+/// A learned failure-signature → fix mapping, abstracted so healing policies
+/// work identically against a privately owned [`Synopsis`] or a handle to
+/// fleet-shared state (e.g. [`crate::shared::SharedSynopsis`]).
+///
+/// This is the seam the fleet engine plugs into: [`crate::FixSymHealer`] and
+/// [`crate::HybridHealer`] are generic over `Learner`, so one replica's
+/// healer can consult — and teach — a synopsis that every other replica in
+/// the fleet shares.
+pub trait Learner: Send {
+    /// Suggests the most probable fix for a failure signature with a
+    /// confidence estimate; `None` while nothing has been learned.
+    fn suggest(&self, symptoms: &[f64]) -> Option<(FixKind, f64)>;
+
+    /// Suggests the best fix not in `excluded` (fixes already tried for the
+    /// current failure).
+    fn suggest_excluding(
+        &self,
+        symptoms: &[f64],
+        excluded: &HashSet<FixKind>,
+    ) -> Option<(FixKind, f64)>;
+
+    /// Records the outcome of an attempted fix (Figure 3, line 15).
+    ///
+    /// Implementations may defer the model refit (shared synopses batch
+    /// updates so replicas never stall on a retrain); the example must still
+    /// become visible to `suggest` eventually.
+    fn record(&mut self, symptoms: &[f64], fix: FixKind, success: bool);
+
+    /// Number of successful-fix examples learned so far.
+    fn correct_fixes_learned(&self) -> usize;
+}
+
+impl Learner for Synopsis {
+    fn suggest(&self, symptoms: &[f64]) -> Option<(FixKind, f64)> {
+        Synopsis::suggest(self, symptoms)
+    }
+
+    fn suggest_excluding(
+        &self,
+        symptoms: &[f64],
+        excluded: &HashSet<FixKind>,
+    ) -> Option<(FixKind, f64)> {
+        Synopsis::suggest_excluding(self, symptoms, excluded)
+    }
+
+    fn record(&mut self, symptoms: &[f64], fix: FixKind, success: bool) {
+        self.update(symptoms, fix, success);
+    }
+
+    fn correct_fixes_learned(&self) -> usize {
+        Synopsis::correct_fixes_learned(self)
+    }
+}
+
 /// Which learner backs the synopsis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SynopsisKind {
@@ -30,7 +84,11 @@ pub enum SynopsisKind {
 impl SynopsisKind {
     /// The three configurations compared in Figure 4 / Table 3.
     pub fn paper_set() -> Vec<SynopsisKind> {
-        vec![SynopsisKind::AdaBoost(60), SynopsisKind::NearestNeighbor, SynopsisKind::KMeans]
+        vec![
+            SynopsisKind::AdaBoost(60),
+            SynopsisKind::NearestNeighbor,
+            SynopsisKind::KMeans,
+        ]
     }
 
     /// Display label used in benchmark output.
@@ -148,10 +206,34 @@ impl Synopsis {
     /// trigger a refit; failed fixes are recorded as negative knowledge.
     pub fn update(&mut self, symptoms: &[f64], fix: FixKind, success: bool) {
         if success {
-            self.positives.push(Example::new(symptoms.to_vec(), fix.code()));
+            self.positives
+                .push(Example::new(symptoms.to_vec(), fix.code()));
             self.refit();
         } else {
-            self.negatives.push(Example::new(symptoms.to_vec(), fix.code()));
+            self.negatives
+                .push(Example::new(symptoms.to_vec(), fix.code()));
+        }
+    }
+
+    /// Applies a batch of `(symptoms, fix, success)` outcomes with a single
+    /// refit at the end (if any outcome was a success).
+    ///
+    /// This is the drain path of the fleet's shared synopsis: replicas queue
+    /// updates cheaply and whichever replica trips the batch threshold pays
+    /// for one combined retrain instead of one per example.
+    pub fn absorb(&mut self, outcomes: impl IntoIterator<Item = (Vec<f64>, FixKind, bool)>) {
+        let mut new_positives = false;
+        for (symptoms, fix, success) in outcomes {
+            let example = Example::new(symptoms, fix.code());
+            if success {
+                self.positives.push(example);
+                new_positives = true;
+            } else {
+                self.negatives.push(example);
+            }
+        }
+        if new_positives {
+            self.refit();
         }
     }
 
@@ -220,7 +302,8 @@ impl Synopsis {
         }
         match &self.model {
             Model::AdaBoost(model) => {
-                let mut scores: Vec<(usize, f64)> = model.class_scores(symptoms).into_iter().collect();
+                let mut scores: Vec<(usize, f64)> =
+                    model.class_scores(symptoms).into_iter().collect();
                 scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite score"));
                 for (code, score) in scores {
                     if let Some(fix) = FixKind::from_code(code) {
@@ -281,7 +364,11 @@ mod tests {
     }
 
     fn train(synopsis: &mut Synopsis, n: usize) {
-        let fixes = [FixKind::RepartitionMemory, FixKind::MicrorebootEjb, FixKind::UpdateStatistics];
+        let fixes = [
+            FixKind::RepartitionMemory,
+            FixKind::MicrorebootEjb,
+            FixKind::UpdateStatistics,
+        ];
         for i in 0..n {
             let class = i % 3;
             let mut s = symptom(class);
@@ -300,8 +387,14 @@ mod tests {
             let (fix, confidence) = synopsis.suggest(&symptom(0)).unwrap();
             assert_eq!(fix, FixKind::RepartitionMemory, "{}", kind.label());
             assert!(confidence > 0.0);
-            assert_eq!(synopsis.suggest(&symptom(1)).unwrap().0, FixKind::MicrorebootEjb);
-            assert_eq!(synopsis.suggest(&symptom(2)).unwrap().0, FixKind::UpdateStatistics);
+            assert_eq!(
+                synopsis.suggest(&symptom(1)).unwrap().0,
+                FixKind::MicrorebootEjb
+            );
+            assert_eq!(
+                synopsis.suggest(&symptom(2)).unwrap().0,
+                FixKind::UpdateStatistics
+            );
         }
     }
 

@@ -38,7 +38,12 @@ impl AnomalyDetector {
     /// that a freshly deployed healer has a usable baseline within half a
     /// minute of service time).
     pub fn standard() -> Self {
-        AnomalyDetector { nb: 30, nc: 5, alpha: 0.05, z_threshold: 4.0 }
+        AnomalyDetector {
+            nb: 30,
+            nc: 5,
+            alpha: 0.05,
+            z_threshold: 4.0,
+        }
     }
 
     /// Creates a detector with explicit window sizes.
@@ -47,7 +52,11 @@ impl AnomalyDetector {
     /// Panics unless `0 < nc < nb`.
     pub fn new(nb: usize, nc: usize) -> Self {
         assert!(nc > 0 && nc < nb, "anomaly detection requires 0 < Nc < Nb");
-        AnomalyDetector { nb, nc, ..AnomalyDetector::standard() }
+        AnomalyDetector {
+            nb,
+            nc,
+            ..AnomalyDetector::standard()
+        }
     }
 
     /// Minimum history (samples) needed before the detector can run.
@@ -71,8 +80,7 @@ impl AnomalyDetector {
             let current_sums: Vec<f64> = ctx.ejb_calls.iter().map(|id| current.sum(*id)).collect();
             let current_total: f64 = current_sums.iter().sum();
             if let (Some(baseline_dist), true) = (baseline_dist, current_total > 0.0) {
-                let expected: Vec<f64> =
-                    baseline_dist.iter().map(|p| p * current_total).collect();
+                let expected: Vec<f64> = baseline_dist.iter().map(|p| p * current_total).collect();
                 if chi_square_test(&current_sums, &expected, self.alpha) {
                     // The EJB with the largest relative deviation is implicated.
                     let mut worst = 0usize;
@@ -213,7 +221,11 @@ mod tests {
             b = b.metric(format!("app.ejb{i}_errors"), Tier::App, MetricKind::Count);
         }
         for j in 0..2 {
-            b = b.metric(format!("db.table{j}_accesses"), Tier::Database, MetricKind::Count);
+            b = b.metric(
+                format!("db.table{j}_accesses"),
+                Tier::Database,
+                MetricKind::Count,
+            );
         }
         b.build()
     }
@@ -233,7 +245,10 @@ mod tests {
         s.set(schema.expect_id("app.util"), 0.3);
         s.set(schema.expect_id("db.util"), 0.3);
         for i in 0..3 {
-            s.set(schema.expect_id(&format!("app.ejb{i}_calls")), 40.0 + i as f64);
+            s.set(
+                schema.expect_id(&format!("app.ejb{i}_calls")),
+                40.0 + i as f64,
+            );
         }
         for j in 0..2 {
             s.set(schema.expect_id(&format!("db.table{j}_accesses")), 30.0);
@@ -335,8 +350,10 @@ mod tests {
             store.push(s);
         }
         let diagnoses = AnomalyDetector::new(60, 6).diagnose(&store, &ctx(&schema));
-        assert!(diagnoses.iter().any(|d| d.fix.kind == FixKind::ProvisionResources
-            && d.fix.target == Some(FaultTarget::DatabaseTier)));
+        assert!(diagnoses
+            .iter()
+            .any(|d| d.fix.kind == FixKind::ProvisionResources
+                && d.fix.target == Some(FaultTarget::DatabaseTier)));
     }
 
     #[test]
@@ -352,8 +369,9 @@ mod tests {
             store.push(s);
         }
         let diagnoses = AnomalyDetector::new(60, 6).diagnose(&store, &ctx(&schema));
-        assert!(diagnoses.iter().any(|d| d.fix.kind == FixKind::RebootTier
-            && d.fix.target == Some(FaultTarget::AppTier)));
+        assert!(diagnoses.iter().any(
+            |d| d.fix.kind == FixKind::RebootTier && d.fix.target == Some(FaultTarget::AppTier)
+        ));
     }
 
     #[test]

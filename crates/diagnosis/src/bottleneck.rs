@@ -31,7 +31,10 @@ impl BottleneckAnalyzer {
     /// Analyzer averaging over the last 10 samples with a 0.85 saturation
     /// threshold.
     pub fn standard() -> Self {
-        BottleneckAnalyzer { window: 10, saturation_threshold: 0.85 }
+        BottleneckAnalyzer {
+            window: 10,
+            saturation_threshold: 0.85,
+        }
     }
 
     /// Diagnoses the current state, returning ranked recommendations (empty
@@ -44,7 +47,12 @@ impl BottleneckAnalyzer {
         let tiers = [
             ("web", ctx.web_util, ctx.web_queue_ms, FaultTarget::WebTier),
             ("app", ctx.app_util, ctx.app_queue_ms, FaultTarget::AppTier),
-            ("db", ctx.db_util, ctx.db_queue_ms, FaultTarget::DatabaseTier),
+            (
+                "db",
+                ctx.db_util,
+                ctx.db_queue_ms,
+                FaultTarget::DatabaseTier,
+            ),
         ];
 
         let mut diagnoses = Vec::new();
@@ -70,13 +78,18 @@ impl BottleneckAnalyzer {
                         DiagnosisMethod::BottleneckAnalysis,
                         FixAction::untargeted(FixKind::RepartitionMemory),
                         (confidence + 0.1).min(0.95),
-                        format!("database saturated (util {util:.2}) with buffer miss rate {miss:.2}"),
+                        format!(
+                            "database saturated (util {util:.2}) with buffer miss rate {miss:.2}"
+                        ),
                     ));
                     continue;
                 }
                 if plan > 2.5 {
                     let fix = match busiest_table {
-                        Some(t) => FixAction::targeted(FixKind::UpdateStatistics, FaultTarget::Table { index: t }),
+                        Some(t) => FixAction::targeted(
+                            FixKind::UpdateStatistics,
+                            FaultTarget::Table { index: t },
+                        ),
                         None => FixAction::untargeted(FixKind::UpdateStatistics),
                     };
                     diagnoses.push(Diagnosis::new(
@@ -89,7 +102,10 @@ impl BottleneckAnalyzer {
                 }
                 if lock > 50.0 {
                     let fix = match busiest_table {
-                        Some(t) => FixAction::targeted(FixKind::RepartitionTable, FaultTarget::Table { index: t }),
+                        Some(t) => FixAction::targeted(
+                            FixKind::RepartitionTable,
+                            FaultTarget::Table { index: t },
+                        ),
                         None => FixAction::untargeted(FixKind::RepartitionTable),
                     };
                     diagnoses.push(Diagnosis::new(
@@ -141,7 +157,11 @@ mod tests {
             .metric("db.lock_wait_ms", Tier::Database, MetricKind::Gauge)
             .metric("db.plan_misestimate", Tier::Database, MetricKind::Gauge);
         for j in 0..2 {
-            b = b.metric(format!("db.table{j}_accesses"), Tier::Database, MetricKind::Count);
+            b = b.metric(
+                format!("db.table{j}_accesses"),
+                Tier::Database,
+                MetricKind::Count,
+            );
         }
         b.build()
     }
@@ -171,7 +191,9 @@ mod tests {
             sample.set(schema.expect_id("app.util"), 0.4);
             sample.set(schema.expect_id("db.util"), 0.5);
         });
-        assert!(BottleneckAnalyzer::standard().diagnose(&s, &ctx(&schema)).is_empty());
+        assert!(BottleneckAnalyzer::standard()
+            .diagnose(&s, &ctx(&schema))
+            .is_empty());
     }
 
     #[test]
@@ -208,7 +230,10 @@ mod tests {
         });
         let diagnoses = BottleneckAnalyzer::standard().diagnose(&s, &ctx(&schema));
         assert_eq!(diagnoses[0].fix.kind, FixKind::UpdateStatistics);
-        assert_eq!(diagnoses[0].fix.target, Some(FaultTarget::Table { index: 0 }));
+        assert_eq!(
+            diagnoses[0].fix.target,
+            Some(FaultTarget::Table { index: 0 })
+        );
     }
 
     #[test]

@@ -134,7 +134,11 @@ mod tests {
             b = b.metric(format!("app.ejb{i}_errors"), Tier::App, MetricKind::Count);
         }
         for j in 0..tables {
-            b = b.metric(format!("db.table{j}_accesses"), Tier::Database, MetricKind::Count);
+            b = b.metric(
+                format!("db.table{j}_accesses"),
+                Tier::Database,
+                MetricKind::Count,
+            );
         }
         b.build()
     }

@@ -107,7 +107,11 @@ impl CorrelationAnalyzer {
                 (*id, point_biserial(&values, &violated))
             })
             .collect();
-        scored.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite correlation"));
+        scored.sort_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .expect("finite correlation")
+        });
 
         let mut diagnoses = Vec::new();
         for (metric, correlation) in scored.into_iter().take(5) {
@@ -115,11 +119,15 @@ impl CorrelationAnalyzer {
                 break;
             }
             let confidence = correlation.abs().min(0.95);
-            let explanation = format!(
-                "metric correlates with the failure indicator (r = {correlation:.2})"
-            );
+            let explanation =
+                format!("metric correlates with the failure indicator (r = {correlation:.2})");
             // EJB metrics → microreboot the implicated EJB.
-            if let Some(pos) = ctx.ejb_errors.iter().chain(&ctx.ejb_calls).position(|id| *id == metric) {
+            if let Some(pos) = ctx
+                .ejb_errors
+                .iter()
+                .chain(&ctx.ejb_calls)
+                .position(|id| *id == metric)
+            {
                 let index = pos % ctx.ejb_errors.len().max(1);
                 diagnoses.push(Diagnosis::new(
                     DiagnosisMethod::CorrelationAnalysis,
@@ -133,7 +141,10 @@ impl CorrelationAnalyzer {
             if let Some(pos) = ctx.table_accesses.iter().position(|id| *id == metric) {
                 diagnoses.push(Diagnosis::new(
                     DiagnosisMethod::CorrelationAnalysis,
-                    FixAction::targeted(FixKind::RepartitionTable, FaultTarget::Table { index: pos }),
+                    FixAction::targeted(
+                        FixKind::RepartitionTable,
+                        FaultTarget::Table { index: pos },
+                    ),
                     confidence,
                     explanation,
                 ));
@@ -194,7 +205,11 @@ mod tests {
             b = b.metric(format!("app.ejb{i}_errors"), Tier::App, MetricKind::Count);
         }
         for j in 0..2 {
-            b = b.metric(format!("db.table{j}_accesses"), Tier::Database, MetricKind::Count);
+            b = b.metric(
+                format!("db.table{j}_accesses"),
+                Tier::Database,
+                MetricKind::Count,
+            );
         }
         b.build()
     }

@@ -29,7 +29,9 @@ pub struct ManualRule {
 
 impl std::fmt::Debug for ManualRule {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ManualRule").field("description", &self.description).finish()
+        f.debug_struct("ManualRule")
+            .field("description", &self.description)
+            .finish()
     }
 }
 
@@ -58,33 +60,50 @@ impl ManualRuleBase {
                     .to_string(),
                 condition: |w, ctx| w.mean(ctx.lock_wait_ms) > 100.0,
                 fix: |w, ctx| {
-                    let table = crate::report::busiest_component(&ctx.table_accesses, w).unwrap_or(0);
-                    FixAction::targeted(FixKind::RepartitionTable, FaultTarget::Table { index: table })
+                    let table =
+                        crate::report::busiest_component(&ctx.table_accesses, w).unwrap_or(0);
+                    FixAction::targeted(
+                        FixKind::RepartitionTable,
+                        FaultTarget::Table { index: table },
+                    )
                 },
             },
             ManualRule {
-                description: "if the plan misestimate factor exceeds 3, update statistics".to_string(),
+                description: "if the plan misestimate factor exceeds 3, update statistics"
+                    .to_string(),
                 condition: |w, ctx| w.mean(ctx.plan_misestimate) > 3.0,
                 fix: |w, ctx| {
-                    let table = crate::report::busiest_component(&ctx.table_accesses, w).unwrap_or(0);
-                    FixAction::targeted(FixKind::UpdateStatistics, FaultTarget::Table { index: table })
+                    let table =
+                        crate::report::busiest_component(&ctx.table_accesses, w).unwrap_or(0);
+                    FixAction::targeted(
+                        FixKind::UpdateStatistics,
+                        FaultTarget::Table { index: table },
+                    )
                 },
             },
             ManualRule {
-                description: "if the error rate exceeds 20%, reboot the application tier".to_string(),
+                description: "if the error rate exceeds 20%, reboot the application tier"
+                    .to_string(),
                 condition: |w, ctx| w.mean(ctx.error_rate) > 0.20,
                 fix: |_, _| FixAction::targeted(FixKind::RebootTier, FaultTarget::AppTier),
             },
             ManualRule {
-                description: "if the database tier runs above 95% utilization, provision it".to_string(),
+                description: "if the database tier runs above 95% utilization, provision it"
+                    .to_string(),
                 condition: |w, ctx| w.mean(ctx.db_util) > 0.95,
-                fix: |_, _| FixAction::targeted(FixKind::ProvisionResources, FaultTarget::DatabaseTier),
+                fix: |_, _| {
+                    FixAction::targeted(FixKind::ProvisionResources, FaultTarget::DatabaseTier)
+                },
             },
         ];
         // The rules are evaluated over a short window so that a freshly
         // confirmed failure is not diluted by the healthy samples that
         // precede it.
-        ManualRuleBase { window: 4, rules, catch_all_restart: true }
+        ManualRuleBase {
+            window: 4,
+            rules,
+            catch_all_restart: true,
+        }
     }
 
     /// Number of specific (non-catch-all) rules.
@@ -102,7 +121,8 @@ impl ManualRuleBase {
     /// no specific rule fires and the catch-all is enabled, the coarse
     /// "restart the whole service" rule fires with low confidence.
     pub fn diagnose(&self, series: &SeriesStore, ctx: &DiagnosisContext) -> Vec<Diagnosis> {
-        let Some(window) = series.window(WindowSpec::latest(self.window.min(series.len().max(1)))) else {
+        let Some(window) = series.window(WindowSpec::latest(self.window.min(series.len().max(1))))
+        else {
             return Vec::new();
         };
         for rule in &self.rules {
@@ -155,7 +175,11 @@ mod tests {
             .metric("db.lock_wait_ms", Tier::Database, MetricKind::Gauge)
             .metric("db.plan_misestimate", Tier::Database, MetricKind::Gauge);
         for j in 0..2 {
-            b = b.metric(format!("db.table{j}_accesses"), Tier::Database, MetricKind::Count);
+            b = b.metric(
+                format!("db.table{j}_accesses"),
+                Tier::Database,
+                MetricKind::Count,
+            );
         }
         b.build()
     }
@@ -176,7 +200,9 @@ mod tests {
     fn buffer_miss_rule_fires_with_the_expected_fix() {
         let schema = schema();
         let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
-        let s = store(&schema, |x| x.set(schema.expect_id("db.buffer_miss_rate"), 0.5));
+        let s = store(&schema, |x| {
+            x.set(schema.expect_id("db.buffer_miss_rate"), 0.5)
+        });
         let diagnoses = ManualRuleBase::standard().diagnose(&s, &ctx);
         assert_eq!(diagnoses.len(), 1);
         assert_eq!(diagnoses[0].fix.kind, FixKind::RepartitionMemory);
@@ -187,10 +213,15 @@ mod tests {
     fn plan_rule_targets_the_busiest_table() {
         let schema = schema();
         let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
-        let s = store(&schema, |x| x.set(schema.expect_id("db.plan_misestimate"), 5.0));
+        let s = store(&schema, |x| {
+            x.set(schema.expect_id("db.plan_misestimate"), 5.0)
+        });
         let diagnoses = ManualRuleBase::standard().diagnose(&s, &ctx);
         assert_eq!(diagnoses[0].fix.kind, FixKind::UpdateStatistics);
-        assert_eq!(diagnoses[0].fix.target, Some(FaultTarget::Table { index: 1 }));
+        assert_eq!(
+            diagnoses[0].fix.target,
+            Some(FaultTarget::Table { index: 1 })
+        );
     }
 
     #[test]
@@ -198,7 +229,9 @@ mod tests {
         let schema = schema();
         let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
         // Symptoms (high response time) that no specific rule covers.
-        let s = store(&schema, |x| x.set(schema.expect_id("svc.response_ms"), 5_000.0));
+        let s = store(&schema, |x| {
+            x.set(schema.expect_id("svc.response_ms"), 5_000.0)
+        });
         let base = ManualRuleBase::standard();
         let diagnoses = base.diagnose(&s, &ctx);
         assert_eq!(diagnoses[0].fix.kind, FixKind::FullServiceRestart);
@@ -211,7 +244,9 @@ mod tests {
     fn catch_all_can_be_disabled() {
         let schema = schema();
         let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
-        let s = store(&schema, |x| x.set(schema.expect_id("svc.response_ms"), 5_000.0));
+        let s = store(&schema, |x| {
+            x.set(schema.expect_id("svc.response_ms"), 5_000.0)
+        });
         let mut base = ManualRuleBase::standard();
         base.catch_all_restart = false;
         assert!(base.diagnose(&s, &ctx).is_empty());

@@ -56,13 +56,22 @@ impl Diagnosis {
         confidence: f64,
         explanation: impl Into<String>,
     ) -> Self {
-        Diagnosis { method, fix, confidence: confidence.clamp(0.0, 1.0), explanation: explanation.into() }
+        Diagnosis {
+            method,
+            fix,
+            confidence: confidence.clamp(0.0, 1.0),
+            explanation: explanation.into(),
+        }
     }
 }
 
 /// Sorts diagnoses by decreasing confidence (stable for equal confidence).
 pub fn rank(mut diagnoses: Vec<Diagnosis>) -> Vec<Diagnosis> {
-    diagnoses.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).expect("finite confidence"));
+    diagnoses.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("finite confidence")
+    });
     diagnoses
 }
 
@@ -73,16 +82,27 @@ pub fn rank(mut diagnoses: Vec<Diagnosis>) -> Vec<Diagnosis> {
 /// ("if the number of accesses to an index is correlated with failure, then
 /// the index can be rebuilt"): it is shared by the anomaly, correlation, and
 /// bottleneck engines.
-pub fn fix_for_db_symptom(metric: MetricId, ctx: &DiagnosisContext, window: &Window) -> Option<FixAction> {
+pub fn fix_for_db_symptom(
+    metric: MetricId,
+    ctx: &DiagnosisContext,
+    window: &Window,
+) -> Option<FixAction> {
     let busiest_table = busiest_component(&ctx.table_accesses, window);
     if metric == ctx.buffer_miss_rate {
         Some(FixAction::untargeted(FixKind::RepartitionMemory))
     } else if metric == ctx.lock_wait_ms {
-        busiest_table.map(|t| FixAction::targeted(FixKind::RepartitionTable, FaultTarget::Table { index: t }))
+        busiest_table.map(|t| {
+            FixAction::targeted(FixKind::RepartitionTable, FaultTarget::Table { index: t })
+        })
     } else if metric == ctx.plan_misestimate {
-        busiest_table.map(|t| FixAction::targeted(FixKind::UpdateStatistics, FaultTarget::Table { index: t }))
+        busiest_table.map(|t| {
+            FixAction::targeted(FixKind::UpdateStatistics, FaultTarget::Table { index: t })
+        })
     } else if metric == ctx.db_util || metric == ctx.db_queue_ms {
-        Some(FixAction::targeted(FixKind::ProvisionResources, FaultTarget::DatabaseTier))
+        Some(FixAction::targeted(
+            FixKind::ProvisionResources,
+            FaultTarget::DatabaseTier,
+        ))
     } else {
         None
     }
@@ -92,11 +112,20 @@ pub fn fix_for_db_symptom(metric: MetricId, ctx: &DiagnosisContext, window: &Win
 /// tier.
 pub fn fix_for_tier_saturation(metric: MetricId, ctx: &DiagnosisContext) -> Option<FixAction> {
     if metric == ctx.web_util || metric == ctx.web_queue_ms {
-        Some(FixAction::targeted(FixKind::ProvisionResources, FaultTarget::WebTier))
+        Some(FixAction::targeted(
+            FixKind::ProvisionResources,
+            FaultTarget::WebTier,
+        ))
     } else if metric == ctx.app_util || metric == ctx.app_queue_ms {
-        Some(FixAction::targeted(FixKind::ProvisionResources, FaultTarget::AppTier))
+        Some(FixAction::targeted(
+            FixKind::ProvisionResources,
+            FaultTarget::AppTier,
+        ))
     } else if metric == ctx.db_util || metric == ctx.db_queue_ms {
-        Some(FixAction::targeted(FixKind::ProvisionResources, FaultTarget::DatabaseTier))
+        Some(FixAction::targeted(
+            FixKind::ProvisionResources,
+            FaultTarget::DatabaseTier,
+        ))
     } else {
         None
     }

@@ -40,12 +40,21 @@ impl FixCatalog {
         let rows = vec![
             CatalogEntry {
                 fault: FaultKind::DeadlockedThreads,
-                fixes: vec![FixKind::MicrorebootEjb, FixKind::KillHungQuery, FixKind::RebootTier, FixKind::FullServiceRestart],
+                fixes: vec![
+                    FixKind::MicrorebootEjb,
+                    FixKind::KillHungQuery,
+                    FixKind::RebootTier,
+                    FixKind::FullServiceRestart,
+                ],
                 note: "Microreboot EJB, kill hung query".to_string(),
             },
             CatalogEntry {
                 fault: FaultKind::UnhandledException,
-                fixes: vec![FixKind::MicrorebootEjb, FixKind::RebootTier, FixKind::FullServiceRestart],
+                fixes: vec![
+                    FixKind::MicrorebootEjb,
+                    FixKind::RebootTier,
+                    FixKind::FullServiceRestart,
+                ],
                 note: "Microreboot EJB".to_string(),
             },
             CatalogEntry {
@@ -55,8 +64,13 @@ impl FixCatalog {
             },
             CatalogEntry {
                 fault: FaultKind::SuboptimalQueryPlan,
-                fixes: vec![FixKind::UpdateStatistics, FixKind::RebuildIndex, FixKind::FullServiceRestart],
-                note: "Update statistics for tables in query, re-optimize physical design".to_string(),
+                fixes: vec![
+                    FixKind::UpdateStatistics,
+                    FixKind::RebuildIndex,
+                    FixKind::FullServiceRestart,
+                ],
+                note: "Update statistics for tables in query, re-optimize physical design"
+                    .to_string(),
             },
             CatalogEntry {
                 fault: FaultKind::TableBlockContention,
@@ -65,7 +79,11 @@ impl FixCatalog {
             },
             CatalogEntry {
                 fault: FaultKind::BufferContention,
-                fixes: vec![FixKind::RepartitionMemory, FixKind::RebootTier, FixKind::FullServiceRestart],
+                fixes: vec![
+                    FixKind::RepartitionMemory,
+                    FixKind::RebootTier,
+                    FixKind::FullServiceRestart,
+                ],
                 note: "Repartition memory across various buffers".to_string(),
             },
             CatalogEntry {
@@ -75,12 +93,20 @@ impl FixCatalog {
             },
             CatalogEntry {
                 fault: FaultKind::SourceCodeBug,
-                fixes: vec![FixKind::RebootTier, FixKind::NotifyAdministrator, FixKind::FullServiceRestart],
+                fixes: vec![
+                    FixKind::RebootTier,
+                    FixKind::NotifyAdministrator,
+                    FixKind::FullServiceRestart,
+                ],
                 note: "Reboot tier/service, notify administrator".to_string(),
             },
             CatalogEntry {
                 fault: FaultKind::OperatorMisconfiguration,
-                fixes: vec![FixKind::RollbackConfiguration, FixKind::NotifyAdministrator, FixKind::FullServiceRestart],
+                fixes: vec![
+                    FixKind::RollbackConfiguration,
+                    FixKind::NotifyAdministrator,
+                    FixKind::FullServiceRestart,
+                ],
                 note: "Roll back the offending configuration change".to_string(),
             },
             CatalogEntry {
@@ -105,7 +131,9 @@ impl FixCatalog {
 
     /// Returns the catalog entry for a failure class.
     pub fn entry(&self, fault: FaultKind) -> &CatalogEntry {
-        self.entries.get(&fault).expect("catalog covers every fault kind")
+        self.entries
+            .get(&fault)
+            .expect("catalog covers every fault kind")
     }
 
     /// All entries, ordered by fault kind.
@@ -220,14 +248,38 @@ mod tests {
     #[test]
     fn table1_preferred_fixes_match_the_paper() {
         let c = FixCatalog::standard();
-        assert_eq!(c.preferred_fix(FaultKind::DeadlockedThreads), FixKind::MicrorebootEjb);
-        assert_eq!(c.preferred_fix(FaultKind::UnhandledException), FixKind::MicrorebootEjb);
-        assert_eq!(c.preferred_fix(FaultKind::SoftwareAging), FixKind::RebootTier);
-        assert_eq!(c.preferred_fix(FaultKind::SuboptimalQueryPlan), FixKind::UpdateStatistics);
-        assert_eq!(c.preferred_fix(FaultKind::TableBlockContention), FixKind::RepartitionTable);
-        assert_eq!(c.preferred_fix(FaultKind::BufferContention), FixKind::RepartitionMemory);
-        assert_eq!(c.preferred_fix(FaultKind::BottleneckedTier), FixKind::ProvisionResources);
-        assert_eq!(c.preferred_fix(FaultKind::SourceCodeBug), FixKind::RebootTier);
+        assert_eq!(
+            c.preferred_fix(FaultKind::DeadlockedThreads),
+            FixKind::MicrorebootEjb
+        );
+        assert_eq!(
+            c.preferred_fix(FaultKind::UnhandledException),
+            FixKind::MicrorebootEjb
+        );
+        assert_eq!(
+            c.preferred_fix(FaultKind::SoftwareAging),
+            FixKind::RebootTier
+        );
+        assert_eq!(
+            c.preferred_fix(FaultKind::SuboptimalQueryPlan),
+            FixKind::UpdateStatistics
+        );
+        assert_eq!(
+            c.preferred_fix(FaultKind::TableBlockContention),
+            FixKind::RepartitionTable
+        );
+        assert_eq!(
+            c.preferred_fix(FaultKind::BufferContention),
+            FixKind::RepartitionMemory
+        );
+        assert_eq!(
+            c.preferred_fix(FaultKind::BottleneckedTier),
+            FixKind::ProvisionResources
+        );
+        assert_eq!(
+            c.preferred_fix(FaultKind::SourceCodeBug),
+            FixKind::RebootTier
+        );
     }
 
     #[test]
@@ -266,11 +318,16 @@ mod tests {
     #[test]
     fn wrong_fix_kind_never_repairs() {
         let c = FixCatalog::standard();
-        let f = fault(FaultKind::SuboptimalQueryPlan, FaultTarget::Table { index: 1 });
+        let f = fault(
+            FaultKind::SuboptimalQueryPlan,
+            FaultTarget::Table { index: 1 },
+        );
         let fix = FixAction::targeted(FixKind::MicrorebootEjb, FaultTarget::Ejb { index: 0 });
         assert!(!c.repairs(&f, &fix));
-        let stats_right = FixAction::targeted(FixKind::UpdateStatistics, FaultTarget::Table { index: 1 });
-        let stats_wrong = FixAction::targeted(FixKind::UpdateStatistics, FaultTarget::Table { index: 0 });
+        let stats_right =
+            FixAction::targeted(FixKind::UpdateStatistics, FaultTarget::Table { index: 1 });
+        let stats_wrong =
+            FixAction::targeted(FixKind::UpdateStatistics, FaultTarget::Table { index: 0 });
         assert!(c.repairs(&f, &stats_right));
         assert!(!c.repairs(&f, &stats_wrong));
     }
@@ -281,7 +338,8 @@ mod tests {
         let f = fault(FaultKind::BottleneckedTier, FaultTarget::DatabaseTier);
         let restart = FixAction::untargeted(FixKind::FullServiceRestart);
         assert!(c.repairs(&f, &restart));
-        let provision_db = FixAction::targeted(FixKind::ProvisionResources, FaultTarget::DatabaseTier);
+        let provision_db =
+            FixAction::targeted(FixKind::ProvisionResources, FaultTarget::DatabaseTier);
         let provision_web = FixAction::targeted(FixKind::ProvisionResources, FaultTarget::WebTier);
         assert!(c.repairs(&f, &provision_db));
         assert!(!c.repairs(&f, &provision_web));

@@ -139,7 +139,10 @@ impl FaultKind {
 
     /// Stable numeric code used as the class label by the learning layer.
     pub fn code(self) -> usize {
-        FaultKind::ALL.iter().position(|k| *k == self).expect("kind in ALL")
+        FaultKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("kind in ALL")
     }
 
     /// Inverse of [`FaultKind::code`].
@@ -269,7 +272,13 @@ pub struct FaultSpec {
 impl FaultSpec {
     /// Creates a fault spec whose cause is derived from its kind.
     pub fn new(id: FaultId, kind: FaultKind, target: FaultTarget, severity: f64) -> Self {
-        FaultSpec { id, kind, target, severity: severity.clamp(1e-6, 1.0), cause: kind.cause() }
+        FaultSpec {
+            id,
+            kind,
+            target,
+            severity: severity.clamp(1e-6, 1.0),
+            cause: kind.cause(),
+        }
     }
 
     /// Overrides the recorded cause category.
@@ -301,7 +310,10 @@ mod tests {
         for kind in FaultKind::TABLE1 {
             assert_eq!(kind.cause(), FailureCause::Software, "{kind}");
         }
-        assert_eq!(FaultKind::OperatorMisconfiguration.cause(), FailureCause::Operator);
+        assert_eq!(
+            FaultKind::OperatorMisconfiguration.cause(),
+            FailureCause::Operator
+        );
         assert_eq!(FaultKind::HardwareFailure.cause(), FailureCause::Hardware);
         assert_eq!(FaultKind::NetworkPartition.cause(), FailureCause::Network);
     }
@@ -326,7 +338,12 @@ mod tests {
         assert_eq!(spec.cause, FailureCause::Software);
         let spec = spec.with_cause(FailureCause::Operator);
         assert_eq!(spec.cause, FailureCause::Operator);
-        let tiny = FaultSpec::new(FaultId(2), FaultKind::SourceCodeBug, FaultTarget::AppTier, 0.0);
+        let tiny = FaultSpec::new(
+            FaultId(2),
+            FaultKind::SourceCodeBug,
+            FaultTarget::AppTier,
+            0.0,
+        );
         assert!(tiny.severity > 0.0);
     }
 

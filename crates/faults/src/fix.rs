@@ -111,7 +111,10 @@ impl FixKind {
     /// Stable numeric code used as the prediction label by the learning
     /// layer (the synopsis predicts a fix code from a symptom vector).
     pub fn code(self) -> usize {
-        FixKind::ALL.iter().position(|k| *k == self).expect("kind in ALL")
+        FixKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("kind in ALL")
     }
 
     /// Inverse of [`FixKind::code`].
@@ -160,7 +163,10 @@ impl FixKind {
     /// Whether this fix is one of the expensive universal fall-backs of
     /// Section 4.1 (full restart or human escalation).
     pub fn is_escalation(self) -> bool {
-        matches!(self, FixKind::FullServiceRestart | FixKind::NotifyAdministrator)
+        matches!(
+            self,
+            FixKind::FullServiceRestart | FixKind::NotifyAdministrator
+        )
     }
 }
 
@@ -218,7 +224,10 @@ impl FixAction {
 
     /// A targeted fix action.
     pub fn targeted(kind: FixKind, target: FaultTarget) -> Self {
-        FixAction { kind, target: Some(target) }
+        FixAction {
+            kind,
+            target: Some(target),
+        }
     }
 }
 

@@ -108,9 +108,18 @@ impl InjectionPlanBuilder {
     }
 
     /// Schedules a fully specified fault.
-    pub fn inject(mut self, at_tick: u64, kind: FaultKind, target: FaultTarget, severity: f64) -> Self {
+    pub fn inject(
+        mut self,
+        at_tick: u64,
+        kind: FaultKind,
+        target: FaultTarget,
+        severity: f64,
+    ) -> Self {
         let id = self.next_id();
-        self.events.push(InjectionEvent { at_tick, fault: FaultSpec::new(id, kind, target, severity) });
+        self.events.push(InjectionEvent {
+            at_tick,
+            fault: FaultSpec::new(id, kind, target, severity),
+        });
         self
     }
 
@@ -149,18 +158,24 @@ impl InjectionPlanBuilder {
 
     fn random_target<R: Rng + ?Sized>(&self, kind: FaultKind, rng: &mut R) -> FaultTarget {
         match kind {
-            FaultKind::DeadlockedThreads | FaultKind::UnhandledException | FaultKind::SourceCodeBug => {
-                FaultTarget::Ejb { index: rng.gen_range(0..self.ejb_count) }
-            }
+            FaultKind::DeadlockedThreads
+            | FaultKind::UnhandledException
+            | FaultKind::SourceCodeBug => FaultTarget::Ejb {
+                index: rng.gen_range(0..self.ejb_count),
+            },
             FaultKind::SoftwareAging => {
                 if rng.gen_bool(0.5) {
                     FaultTarget::AppTier
                 } else {
-                    FaultTarget::Ejb { index: rng.gen_range(0..self.ejb_count) }
+                    FaultTarget::Ejb {
+                        index: rng.gen_range(0..self.ejb_count),
+                    }
                 }
             }
             FaultKind::SuboptimalQueryPlan | FaultKind::TableBlockContention => {
-                FaultTarget::Table { index: rng.gen_range(0..self.table_count) }
+                FaultTarget::Table {
+                    index: rng.gen_range(0..self.table_count),
+                }
             }
             FaultKind::BufferContention => FaultTarget::DatabaseTier,
             FaultKind::BottleneckedTier => match rng.gen_range(0..3) {
@@ -193,9 +208,9 @@ impl InjectionPlanBuilder {
 /// index (used by scripted experiments).
 pub fn default_target(kind: FaultKind, component: usize) -> FaultTarget {
     match kind {
-        FaultKind::DeadlockedThreads
-        | FaultKind::UnhandledException
-        | FaultKind::SourceCodeBug => FaultTarget::Ejb { index: component },
+        FaultKind::DeadlockedThreads | FaultKind::UnhandledException | FaultKind::SourceCodeBug => {
+            FaultTarget::Ejb { index: component }
+        }
         FaultKind::SoftwareAging => FaultTarget::AppTier,
         FaultKind::SuboptimalQueryPlan | FaultKind::TableBlockContention => {
             FaultTarget::Table { index: component }
@@ -218,8 +233,18 @@ mod tests {
     #[test]
     fn scripted_plan_is_sorted_and_queryable() {
         let plan = InjectionPlanBuilder::new(4, 3, 2)
-            .inject(50, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.9)
-            .inject(10, FaultKind::DeadlockedThreads, FaultTarget::Ejb { index: 1 }, 0.7)
+            .inject(
+                50,
+                FaultKind::BufferContention,
+                FaultTarget::DatabaseTier,
+                0.9,
+            )
+            .inject(
+                10,
+                FaultKind::DeadlockedThreads,
+                FaultTarget::Ejb { index: 1 },
+                0.7,
+            )
             .build();
         assert_eq!(plan.len(), 2);
         assert_eq!(plan.events()[0].at_tick, 10);
@@ -277,8 +302,14 @@ mod tests {
             default_target(FaultKind::SuboptimalQueryPlan, 1),
             FaultTarget::Table { index: 1 }
         );
-        assert_eq!(default_target(FaultKind::BufferContention, 0), FaultTarget::DatabaseTier);
-        assert_eq!(default_target(FaultKind::NetworkPartition, 0), FaultTarget::WholeService);
+        assert_eq!(
+            default_target(FaultKind::BufferContention, 0),
+            FaultTarget::DatabaseTier
+        );
+        assert_eq!(
+            default_target(FaultKind::NetworkPartition, 0),
+            FaultTarget::WholeService
+        );
     }
 
     #[test]

@@ -88,8 +88,11 @@ pub enum ServiceProfile {
 
 impl ServiceProfile {
     /// All profiles.
-    pub const ALL: [ServiceProfile; 3] =
-        [ServiceProfile::Online, ServiceProfile::Content, ServiceProfile::ReadMostly];
+    pub const ALL: [ServiceProfile; 3] = [
+        ServiceProfile::Online,
+        ServiceProfile::Content,
+        ServiceProfile::ReadMostly,
+    ];
 
     /// Human-readable name.
     pub fn name(self) -> &'static str {
@@ -227,13 +230,20 @@ mod tests {
         }
         let freq = operator as f64 / n as f64;
         let expected = mix.probability(FailureCause::Operator);
-        assert!((freq - expected).abs() < 0.02, "freq {freq} vs expected {expected}");
+        assert!(
+            (freq - expected).abs() < 0.02,
+            "freq {freq} vs expected {expected}"
+        );
     }
 
     #[test]
     fn kinds_for_cause_map_to_matching_cause_category() {
         for profile in ServiceProfile::ALL {
-            for cause in [FailureCause::Operator, FailureCause::Hardware, FailureCause::Network] {
+            for cause in [
+                FailureCause::Operator,
+                FailureCause::Hardware,
+                FailureCause::Network,
+            ] {
                 for (kind, _) in profile.kinds_for_cause(cause) {
                     assert_eq!(kind.cause(), cause, "{kind} should manifest {cause}");
                 }

@@ -48,21 +48,24 @@ impl OperatorAction {
             OperatorAction::ResizeThreadPool => {
                 (FaultKind::OperatorMisconfiguration, FaultTarget::AppTier)
             }
-            OperatorAction::ResizeBufferPool => {
-                (FaultKind::OperatorMisconfiguration, FaultTarget::DatabaseTier)
-            }
+            OperatorAction::ResizeBufferPool => (
+                FaultKind::OperatorMisconfiguration,
+                FaultTarget::DatabaseTier,
+            ),
             OperatorAction::ResizeTierCapacity => {
                 (FaultKind::OperatorMisconfiguration, FaultTarget::WebTier)
             }
             OperatorAction::DeployApplicationBuild => {
                 (FaultKind::OperatorProceduralError, FaultTarget::AppTier)
             }
-            OperatorAction::AlterSchema => {
-                (FaultKind::OperatorProceduralError, FaultTarget::DatabaseTier)
-            }
-            OperatorAction::MaintenanceRestart => {
-                (FaultKind::OperatorProceduralError, FaultTarget::WholeService)
-            }
+            OperatorAction::AlterSchema => (
+                FaultKind::OperatorProceduralError,
+                FaultTarget::DatabaseTier,
+            ),
+            OperatorAction::MaintenanceRestart => (
+                FaultKind::OperatorProceduralError,
+                FaultTarget::WholeService,
+            ),
         }
     }
 
@@ -73,7 +76,9 @@ impl OperatorAction {
             OperatorAction::ResizeBufferPool => "buffer pool shrunk, starving the working set",
             OperatorAction::ResizeTierCapacity => "tier scaled down during a traffic surge",
             OperatorAction::DeployApplicationBuild => "wrong or stale application build deployed",
-            OperatorAction::AlterSchema => "needed index dropped / schema change applied to wrong table",
+            OperatorAction::AlterSchema => {
+                "needed index dropped / schema change applied to wrong table"
+            }
             OperatorAction::MaintenanceRestart => "wrong node restarted during maintenance",
         }
     }
@@ -156,7 +161,10 @@ mod tests {
 
     #[test]
     fn error_rate_controls_fault_frequency() {
-        let model = OperatorModel { error_rate: 0.5, ..OperatorModel::standard() };
+        let model = OperatorModel {
+            error_rate: 0.5,
+            ..OperatorModel::standard()
+        };
         let mut rng = StdRng::seed_from_u64(17);
         let n = 10_000;
         let faults = (0..n)
@@ -168,7 +176,10 @@ mod tests {
 
     #[test]
     fn generated_faults_are_operator_caused() {
-        let model = OperatorModel { error_rate: 1.0, ..OperatorModel::standard() };
+        let model = OperatorModel {
+            error_rate: 1.0,
+            ..OperatorModel::standard()
+        };
         let mut rng = StdRng::seed_from_u64(5);
         for i in 0..50 {
             let fault = model.perform_action(i, &mut rng).expect("error rate 1.0");

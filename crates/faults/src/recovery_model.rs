@@ -30,7 +30,10 @@ pub struct RecoveryParams {
 impl RecoveryParams {
     /// Creates a parameter set.
     pub fn new(median_minutes: f64, spread: f64) -> Self {
-        RecoveryParams { median_minutes: median_minutes.max(0.1), spread: spread.max(1.0) }
+        RecoveryParams {
+            median_minutes: median_minutes.max(0.1),
+            spread: spread.max(1.0),
+        }
     }
 }
 
@@ -75,7 +78,7 @@ impl RecoveryTimeModel {
         let p = self.params(cause);
         // Irwin-Hall(6) centered: mean 0, variance 0.5; scale to ~N(0,1).
         let z: f64 = (0..6).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 3.0;
-        let z = z / 0.7071;
+        let z = z / std::f64::consts::FRAC_1_SQRT_2;
         (p.median_minutes * p.spread.powf(z * 0.5)).max(0.5)
     }
 
@@ -102,8 +105,15 @@ mod tests {
     fn operator_failures_take_longest_to_recover() {
         let m = RecoveryTimeModel::standard();
         let op = m.median_minutes(FailureCause::Operator);
-        for cause in [FailureCause::Software, FailureCause::Hardware, FailureCause::Network] {
-            assert!(op > m.median_minutes(cause), "operator should exceed {cause}");
+        for cause in [
+            FailureCause::Software,
+            FailureCause::Hardware,
+            FailureCause::Network,
+        ] {
+            assert!(
+                op > m.median_minutes(cause),
+                "operator should exceed {cause}"
+            );
         }
     }
 
@@ -112,8 +122,9 @@ mod tests {
         let m = RecoveryTimeModel::standard();
         let mut rng = StdRng::seed_from_u64(11);
         for cause in FailureCause::ALL {
-            let mut samples: Vec<f64> =
-                (0..4000).map(|_| m.sample_minutes(cause, &mut rng)).collect();
+            let mut samples: Vec<f64> = (0..4000)
+                .map(|_| m.sample_minutes(cause, &mut rng))
+                .collect();
             samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let median = samples[samples.len() / 2];
             let expected = m.median_minutes(cause);

@@ -1,0 +1,602 @@
+//! # selfheal-fleet
+//!
+//! The fleet engine: N independently-seeded replicas of the simulated
+//! multitier service, each driven by its own healing policy, optionally
+//! coordinating through one fleet-shared fix-signature synopsis.
+//!
+//! The paper's FixSym loop (Figure 3) learns on a single service instance,
+//! but its scaling argument (Table 3: synopses are cheap to build and query)
+//! is that the *same synopsis* can serve many instances: once replica A has
+//! healed a failure signature, replicas B..N facing that signature fix it on
+//! the first attempt.  This crate turns that argument into an executable
+//! subsystem:
+//!
+//! * [`FleetConfig`] — how many replicas, how long, which policy, whether
+//!   learning is [`LearningTopology::Shared`] or
+//!   [`LearningTopology::Isolated`], and how replicas execute
+//!   ([`ExecutionMode::Parallel`] worker threads vs the
+//!   [`ExecutionMode::Sequential`] round-robin interleaver).
+//! * [`FleetEngine`] — builds one resumable
+//!   [`selfheal_sim::ScenarioRunner`] per replica (seeded via
+//!   [`selfheal_sim::seeds::split_seed`]), drives them to completion, and
+//!   aggregates.  With **isolated** learning, replica `i`'s entire run is a
+//!   pure function of `(base_seed, i)` — identical at any fleet size and
+//!   thread count (asserted by `tests/fleet.rs`).  With **shared**
+//!   learning, cross-replica influence is the whole point, so per-replica
+//!   outcomes legitimately depend on what siblings learned first (and, in
+//!   parallel mode, on thread interleaving).
+//! * [`FleetOutcome`] / [`ReplicaOutcome`] — per-replica scenario outcomes
+//!   plus fleet-level throughput, recovery, and shared-learning statistics.
+//!
+//! ## Example
+//!
+//! ```
+//! use selfheal_fleet::{FleetConfig, LearningTopology};
+//! use selfheal_core::harness::PolicyChoice;
+//! use selfheal_core::synopsis::SynopsisKind;
+//! use selfheal_sim::ServiceConfig;
+//!
+//! let outcome = FleetConfig::builder()
+//!     .service(ServiceConfig::tiny())
+//!     .replicas(4)
+//!     .ticks(120)
+//!     .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+//!     .topology(LearningTopology::shared())
+//!     .run();
+//! assert_eq!(outcome.replicas().len(), 4);
+//! assert_eq!(outcome.total_ticks(), 4 * 120);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use selfheal_core::harness::PolicyChoice;
+use selfheal_core::shared::SharedSynopsis;
+use selfheal_faults::InjectionPlan;
+use selfheal_sim::scenario::{Healer, ScenarioOutcome, ScenarioRunner};
+use selfheal_sim::seeds::{split_seed, SeedStream};
+use selfheal_sim::{MultiTierService, ServiceConfig};
+use selfheal_workload::{ArrivalProcess, TraceGenerator, WorkloadMix};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How replica healers relate to each other's learned state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LearningTopology {
+    /// Every replica's signature-based healer reads and teaches one
+    /// fleet-wide [`SharedSynopsis`]; updates drain in batches of `batch`.
+    /// Non-learning policies fall back to isolated behaviour.
+    Shared {
+        /// Queued updates that trigger one combined drain + retrain.
+        batch: usize,
+    },
+    /// Every replica learns alone (the paper's single-instance setup).
+    Isolated,
+}
+
+impl LearningTopology {
+    /// Shared learning with the default batch threshold.
+    pub fn shared() -> Self {
+        LearningTopology::Shared {
+            batch: SharedSynopsis::DEFAULT_BATCH,
+        }
+    }
+}
+
+/// How the fleet's replicas are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Replicas are distributed over `threads` OS worker threads (`None` =
+    /// one per available core) and run to completion in parallel.
+    Parallel {
+        /// Worker thread count; `None` uses the machine's parallelism.
+        threads: Option<usize>,
+    },
+    /// All replicas are interleaved tick-by-tick on the calling thread —
+    /// the single-core baseline the scaling bench compares against, and a
+    /// scheduler exercise for [`ScenarioRunner::step`].
+    Sequential,
+}
+
+type PlanFactory = dyn Fn(usize) -> InjectionPlan + Send + Sync;
+/// A replica runner tagged with its fleet index, queued for a worker.
+type ReplicaQueue = Vec<(usize, ScenarioRunner<Box<dyn Healer>>)>;
+
+/// Configuration (and builder) for one fleet run.
+pub struct FleetConfig {
+    replicas: usize,
+    ticks: u64,
+    base_seed: u64,
+    service: ServiceConfig,
+    mix: WorkloadMix,
+    arrivals: ArrivalProcess,
+    policy: PolicyChoice,
+    topology: LearningTopology,
+    mode: ExecutionMode,
+    series_capacity: usize,
+    plan_factory: Arc<PlanFactory>,
+}
+
+impl std::fmt::Debug for FleetConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetConfig")
+            .field("replicas", &self.replicas)
+            .field("ticks", &self.ticks)
+            .field("base_seed", &self.base_seed)
+            .field("policy", &self.policy.label())
+            .field("topology", &self.topology)
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetConfig {
+    /// Starts a builder: 4 replicas × 300 ticks of the RUBiS-like default
+    /// service under the bidding mix, no injections, no healing, isolated
+    /// learning, parallel execution.
+    pub fn builder() -> Self {
+        FleetConfig {
+            replicas: 4,
+            ticks: 300,
+            base_seed: 42,
+            service: ServiceConfig::rubis_default(),
+            mix: WorkloadMix::bidding(),
+            arrivals: ArrivalProcess::Poisson { rate: 40.0 },
+            policy: PolicyChoice::None,
+            topology: LearningTopology::Isolated,
+            mode: ExecutionMode::Parallel { threads: None },
+            series_capacity: 100_000,
+            plan_factory: Arc::new(|_| InjectionPlan::empty()),
+        }
+    }
+
+    /// Number of service replicas in the fleet.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas.max(1);
+        self
+    }
+
+    /// Ticks each replica simulates.
+    pub fn ticks(mut self, ticks: u64) -> Self {
+        self.ticks = ticks;
+        self
+    }
+
+    /// Base seed from which every replica's streams are split.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Service configuration used by every replica (the per-replica RNG
+    /// seed inside it is overridden by the fleet's stream splitting).
+    pub fn service(mut self, config: ServiceConfig) -> Self {
+        self.service = config;
+        self
+    }
+
+    /// Workload mix and arrival process for every replica.
+    pub fn workload(mut self, mix: WorkloadMix, arrivals: ArrivalProcess) -> Self {
+        self.mix = mix;
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Healing policy driving each replica.
+    pub fn policy(mut self, policy: PolicyChoice) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Shared vs isolated learning.
+    pub fn topology(mut self, topology: LearningTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Parallel worker threads vs the sequential interleaver.
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Metric samples each replica retains.
+    pub fn series_capacity(mut self, capacity: usize) -> Self {
+        self.series_capacity = capacity.max(1);
+        self
+    }
+
+    /// One injection plan applied identically to every replica.
+    pub fn injections(self, plan: InjectionPlan) -> Self {
+        self.injections_per_replica(move |_| plan.clone())
+    }
+
+    /// A per-replica injection plan (e.g. stagger the same fault so replica
+    /// 0 sees it long before replica 1 — the shared-learning experiments).
+    pub fn injections_per_replica(
+        mut self,
+        factory: impl Fn(usize) -> InjectionPlan + Send + Sync + 'static,
+    ) -> Self {
+        self.plan_factory = Arc::new(factory);
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> FleetEngine {
+        FleetEngine { config: self }
+    }
+
+    /// Convenience: build and run.
+    pub fn run(self) -> FleetOutcome {
+        self.build().run()
+    }
+}
+
+/// One replica's result.
+#[derive(Debug, Clone)]
+pub struct ReplicaOutcome {
+    /// Index of the replica within the fleet (`0..replicas`).
+    pub replica: usize,
+    /// The replica's full scenario outcome.
+    pub outcome: ScenarioOutcome,
+}
+
+/// Aggregated result of a fleet run.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    replicas: Vec<ReplicaOutcome>,
+    wall: Duration,
+    mode: ExecutionMode,
+    shared: Option<SharedSynopsis>,
+}
+
+impl FleetOutcome {
+    /// Per-replica outcomes, ordered by replica index.
+    pub fn replicas(&self) -> &[ReplicaOutcome] {
+        &self.replicas
+    }
+
+    /// Wall-clock duration of the whole fleet run.
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+
+    /// The execution mode the fleet ran under.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// The shared synopsis (flushed), when the fleet ran with shared
+    /// learning and a learning policy.
+    pub fn shared_synopsis(&self) -> Option<&SharedSynopsis> {
+        self.shared.as_ref()
+    }
+
+    /// Total simulated ticks across all replicas.
+    pub fn total_ticks(&self) -> u64 {
+        self.replicas.iter().map(|r| r.outcome.ticks).sum()
+    }
+
+    /// Simulated ticks per wall-clock second — the scaling bench's
+    /// throughput metric.
+    pub fn throughput_ticks_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_ticks() as f64 / secs
+        }
+    }
+
+    /// Fleet-wide goodput: completed / arrived over all replicas.
+    pub fn goodput_fraction(&self) -> f64 {
+        let arrived: u64 = self.replicas.iter().map(|r| r.outcome.arrived).sum();
+        let completed: u64 = self.replicas.iter().map(|r| r.outcome.completed).sum();
+        if arrived == 0 {
+            1.0
+        } else {
+            completed as f64 / arrived as f64
+        }
+    }
+
+    /// Mean of the replicas' SLO-violation fractions.
+    pub fn mean_violation_fraction(&self) -> f64 {
+        if self.replicas.is_empty() {
+            return 0.0;
+        }
+        self.replicas
+            .iter()
+            .map(|r| r.outcome.violation_fraction)
+            .sum::<f64>()
+            / self.replicas.len() as f64
+    }
+
+    /// Mean recovery time (ticks) over every recovered episode in the
+    /// fleet, `None` when nothing recovered.
+    pub fn mean_recovery_ticks(&self) -> Option<f64> {
+        let recovered: Vec<u64> = self
+            .replicas
+            .iter()
+            .flat_map(|r| r.outcome.recovery.episodes())
+            .filter_map(|e| e.recovery_ticks())
+            .collect();
+        if recovered.is_empty() {
+            None
+        } else {
+            Some(recovered.iter().sum::<u64>() as f64 / recovered.len() as f64)
+        }
+    }
+
+    /// Total fix attempts across the fleet.
+    pub fn total_fixes_initiated(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|r| r.outcome.fixes_initiated)
+            .sum()
+    }
+
+    /// Total failure episodes across the fleet.
+    pub fn total_episodes(&self) -> usize {
+        self.replicas.iter().map(|r| r.outcome.recovery.len()).sum()
+    }
+
+    /// Per-replica outcome fingerprints (ordered by replica index) — the
+    /// determinism tests compare these across runs and fleet sizes.
+    pub fn fingerprints(&self) -> Vec<u64> {
+        self.replicas
+            .iter()
+            .map(|r| r.outcome.fingerprint())
+            .collect()
+    }
+}
+
+/// Runs a fleet described by a [`FleetConfig`].
+#[derive(Debug)]
+pub struct FleetEngine {
+    config: FleetConfig,
+}
+
+impl FleetEngine {
+    /// Creates an engine from a finished configuration.
+    pub fn new(config: FleetConfig) -> Self {
+        FleetEngine { config }
+    }
+
+    /// Builds the runner for one replica, with every RNG stream split
+    /// deterministically from the fleet's base seed.
+    fn build_replica(
+        &self,
+        replica: usize,
+        shared: Option<&SharedSynopsis>,
+    ) -> ScenarioRunner<Box<dyn Healer>> {
+        let config = &self.config;
+        let mut service_config = config.service.clone();
+        service_config.seed = split_seed(config.base_seed, replica as u64, SeedStream::Service);
+        let service = MultiTierService::new(service_config);
+        let schema = service.schema().clone();
+        let workload = TraceGenerator::new(
+            config.mix.clone(),
+            config.arrivals.clone(),
+            split_seed(config.base_seed, replica as u64, SeedStream::Workload),
+        );
+        let healer = match shared {
+            Some(shared) => config.policy.build_healer_shared(
+                &schema,
+                config.service.slo_response_ms,
+                config.service.slo_error_rate,
+                shared,
+            ),
+            None => config.policy.build_healer(
+                &schema,
+                config.service.slo_response_ms,
+                config.service.slo_error_rate,
+            ),
+        };
+        ScenarioRunner::new(service, workload, (config.plan_factory)(replica), healer)
+            .with_series_capacity(config.series_capacity)
+    }
+
+    /// Runs every replica to completion and aggregates the results.
+    pub fn run(self) -> FleetOutcome {
+        let config = &self.config;
+        let shared = match (config.topology, config.policy.shares_learning()) {
+            (LearningTopology::Shared { batch }, true) => {
+                let kind = config
+                    .policy
+                    .synopsis_kind()
+                    .expect("learning policy has a kind");
+                Some(SharedSynopsis::with_batch(kind, batch))
+            }
+            _ => None,
+        };
+
+        let start = Instant::now();
+        let outcomes = match config.mode {
+            ExecutionMode::Sequential => self.run_sequential(shared.as_ref()),
+            ExecutionMode::Parallel { threads } => {
+                let workers = threads
+                    .unwrap_or_else(|| {
+                        thread::available_parallelism()
+                            .map(|n| n.get())
+                            .unwrap_or(1)
+                    })
+                    .clamp(1, config.replicas.max(1));
+                self.run_parallel(shared.as_ref(), workers)
+            }
+        };
+        let wall = start.elapsed();
+
+        if let Some(shared) = &shared {
+            shared.flush();
+        }
+        let replicas = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(replica, outcome)| ReplicaOutcome { replica, outcome })
+            .collect();
+        FleetOutcome {
+            replicas,
+            wall,
+            mode: self.config.mode,
+            shared,
+        }
+    }
+
+    /// Round-robin interleaving of every replica on the calling thread:
+    /// tick 0 of every replica, then tick 1, and so on.  Exercises the
+    /// resumable `step` path and serves as the parallel mode's single-core
+    /// baseline.
+    fn run_sequential(&self, shared: Option<&SharedSynopsis>) -> Vec<ScenarioOutcome> {
+        let mut runners: Vec<_> = (0..self.config.replicas)
+            .map(|r| self.build_replica(r, shared))
+            .collect();
+        for _ in 0..self.config.ticks {
+            for runner in &mut runners {
+                runner.step();
+            }
+        }
+        runners.iter().map(|r| r.outcome()).collect()
+    }
+
+    /// Replicas pulled off a shared queue by `workers` OS threads; each
+    /// worker steps its replica to completion, then takes the next.
+    fn run_parallel(
+        &self,
+        shared: Option<&SharedSynopsis>,
+        workers: usize,
+    ) -> Vec<ScenarioOutcome> {
+        let ticks = self.config.ticks;
+        let queue: Arc<Mutex<ReplicaQueue>> = Arc::new(Mutex::new(
+            (0..self.config.replicas)
+                .map(|r| (r, self.build_replica(r, shared)))
+                .collect(),
+        ));
+        let (sender, receiver) = mpsc::channel::<(usize, ScenarioOutcome)>();
+
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let queue = Arc::clone(&queue);
+                let sender = sender.clone();
+                scope.spawn(move || {
+                    loop {
+                        // Popping from the tail keeps the dequeue O(1); the
+                        // assignment of replicas to workers does not affect
+                        // results (replica streams are split by index).
+                        let Some((replica, mut runner)) =
+                            queue.lock().expect("fleet queue poisoned").pop()
+                        else {
+                            break;
+                        };
+                        for _ in 0..ticks {
+                            runner.step();
+                        }
+                        if sender.send((replica, runner.outcome())).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        drop(sender);
+
+        let mut outcomes: Vec<Option<ScenarioOutcome>> =
+            (0..self.config.replicas).map(|_| None).collect();
+        for (replica, outcome) in receiver {
+            outcomes[replica] = Some(outcome);
+        }
+        outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(r, o)| o.unwrap_or_else(|| panic!("replica {r} produced no outcome")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfheal_core::synopsis::SynopsisKind;
+    use selfheal_faults::{FaultKind, FaultTarget, InjectionPlanBuilder};
+
+    fn tiny_fleet() -> FleetConfig {
+        FleetConfig::builder()
+            .service(ServiceConfig::tiny())
+            .workload(
+                WorkloadMix::bidding(),
+                ArrivalProcess::Constant { rate: 40.0 },
+            )
+            .replicas(3)
+            .ticks(80)
+    }
+
+    #[test]
+    fn healthy_fleet_runs_all_replicas() {
+        let outcome = tiny_fleet().run();
+        assert_eq!(outcome.replicas().len(), 3);
+        assert_eq!(outcome.total_ticks(), 240);
+        assert!(outcome.goodput_fraction() > 0.99);
+        assert_eq!(outcome.total_episodes(), 0);
+        assert!(outcome.shared_synopsis().is_none());
+        assert!(outcome.throughput_ticks_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_when_isolated() {
+        let plan = |_: usize| {
+            InjectionPlanBuilder::new(4, 3, 1)
+                .inject(
+                    20,
+                    FaultKind::BufferContention,
+                    FaultTarget::DatabaseTier,
+                    0.9,
+                )
+                .build()
+        };
+        let sequential = tiny_fleet()
+            .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+            .injections_per_replica(plan)
+            .mode(ExecutionMode::Sequential)
+            .run();
+        let parallel = tiny_fleet()
+            .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+            .injections_per_replica(plan)
+            .mode(ExecutionMode::Parallel { threads: Some(2) })
+            .run();
+        assert_eq!(sequential.fingerprints(), parallel.fingerprints());
+    }
+
+    #[test]
+    fn shared_topology_exposes_the_flushed_synopsis() {
+        let plan = |_: usize| {
+            InjectionPlanBuilder::new(4, 3, 1)
+                .inject(
+                    20,
+                    FaultKind::BufferContention,
+                    FaultTarget::DatabaseTier,
+                    0.9,
+                )
+                .build()
+        };
+        let outcome = tiny_fleet()
+            .ticks(250)
+            .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+            .topology(LearningTopology::shared())
+            .injections_per_replica(plan)
+            .run();
+        let shared = outcome.shared_synopsis().expect("shared synopsis present");
+        assert_eq!(shared.pending_updates(), 0, "flushed after the run");
+        assert!(
+            shared.correct_fixes_learned() >= 1,
+            "the fleet learned something"
+        );
+        assert!(outcome.total_fixes_initiated() >= 3);
+    }
+
+    #[test]
+    fn non_learning_policies_ignore_the_shared_topology() {
+        let outcome = tiny_fleet().topology(LearningTopology::shared()).run();
+        assert!(outcome.shared_synopsis().is_none());
+    }
+}

@@ -52,7 +52,12 @@ impl AdaBoost {
     /// Panics if `rounds` is zero.
     pub fn new(rounds: usize) -> Self {
         assert!(rounds > 0, "AdaBoost needs at least one round");
-        AdaBoost { rounds, ensemble: Vec::new(), classes: Vec::new(), last_fit_cost: 0 }
+        AdaBoost {
+            rounds,
+            ensemble: Vec::new(),
+            classes: Vec::new(),
+            last_fit_cost: 0,
+        }
     }
 
     /// Number of boosting rounds this model is configured for.
@@ -145,7 +150,11 @@ impl Classifier for AdaBoost {
         let scores = self.class_scores(features);
         let (label, score) = scores
             .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores").then(b.0.cmp(&a.0)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite scores")
+                    .then(b.0.cmp(&a.0))
+            })
             .expect("nonempty ensemble yields at least one score");
         (label, score.clamp(0.0, 1.0))
     }

@@ -35,7 +35,10 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an empty dataset of feature width `width`.
     pub fn new(width: usize) -> Self {
-        Dataset { width, examples: Vec::new() }
+        Dataset {
+            width,
+            examples: Vec::new(),
+        }
     }
 
     /// Creates a dataset from examples.
@@ -44,7 +47,10 @@ impl Dataset {
     /// Panics if examples have inconsistent widths.
     pub fn from_examples(examples: Vec<Example>) -> Self {
         let width = examples.first().map(|e| e.features.len()).unwrap_or(0);
-        let mut ds = Dataset { width, examples: Vec::new() };
+        let mut ds = Dataset {
+            width,
+            examples: Vec::new(),
+        };
         for e in examples {
             ds.push(e);
         }
@@ -92,7 +98,9 @@ impl Dataset {
 
     /// Iterate over `(features, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[f64], Label)> {
-        self.examples.iter().map(|e| (e.features.as_slice(), e.label))
+        self.examples
+            .iter()
+            .map(|e| (e.features.as_slice(), e.label))
     }
 
     /// The set of distinct labels present, sorted ascending.
@@ -140,8 +148,14 @@ impl Dataset {
         let train_len = train_len.clamp(usize::from(!shuffled.is_empty()), shuffled.len());
         let test = shuffled.split_off(train_len);
         (
-            Dataset { width: self.width, examples: shuffled },
-            Dataset { width: self.width, examples: test },
+            Dataset {
+                width: self.width,
+                examples: shuffled,
+            },
+            Dataset {
+                width: self.width,
+                examples: test,
+            },
         )
     }
 
@@ -153,7 +167,10 @@ impl Dataset {
             .iter()
             .map(|e| Example::new(columns.iter().map(|c| e.features[*c]).collect(), e.label))
             .collect();
-        Dataset { width: columns.len(), examples }
+        Dataset {
+            width: columns.len(),
+            examples,
+        }
     }
 }
 

@@ -21,7 +21,11 @@ impl Distance {
     /// # Panics
     /// Panics (in debug builds) if the vectors have different lengths.
     pub fn between(self, a: &[f64], b: &[f64]) -> f64 {
-        debug_assert_eq!(a.len(), b.len(), "distance between vectors of different lengths");
+        debug_assert_eq!(
+            a.len(),
+            b.len(),
+            "distance between vectors of different lengths"
+        );
         match self {
             Distance::Euclidean => a
                 .iter()
@@ -75,7 +79,11 @@ mod tests {
     #[test]
     fn distance_to_self_is_zero() {
         let v = [1.5, -2.0, 7.0];
-        for metric in [Distance::Euclidean, Distance::Manhattan, Distance::Chebyshev] {
+        for metric in [
+            Distance::Euclidean,
+            Distance::Manhattan,
+            Distance::Chebyshev,
+        ] {
             assert_eq!(metric.between(&v, &v), 0.0);
         }
     }

@@ -39,7 +39,13 @@ impl HoltLinear {
     pub fn new(alpha: f64, beta: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
         assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
-        HoltLinear { alpha, beta, level: None, trend: 0.0, count: 0 }
+        HoltLinear {
+            alpha,
+            beta,
+            level: None,
+            trend: 0.0,
+            count: 0,
+        }
     }
 
     /// Current estimated trend (change per step).
@@ -94,7 +100,11 @@ impl SlidingLinearTrend {
     /// Panics if `window < 2`.
     pub fn new(window: usize) -> Self {
         assert!(window >= 2, "window must hold at least two observations");
-        SlidingLinearTrend { window, values: Vec::new(), count: 0 }
+        SlidingLinearTrend {
+            window,
+            values: Vec::new(),
+            count: 0,
+        }
     }
 
     /// Estimated slope (change per step) over the current window, or `None`
@@ -113,9 +123,9 @@ impl SlidingLinearTrend {
         let mean_y = self.values.iter().sum::<f64>() / n as f64;
         let mut num = 0.0;
         let mut den = 0.0;
-        for i in 0..n {
-            num += (xs[i] - mean_x) * (self.values[i] - mean_y);
-            den += (xs[i] - mean_x) * (xs[i] - mean_x);
+        for (x, y) in xs.iter().zip(self.values.iter()) {
+            num += (x - mean_x) * (y - mean_y);
+            den += (x - mean_x) * (x - mean_x);
         }
         if den <= f64::EPSILON {
             return None;
@@ -177,7 +187,10 @@ mod tests {
         }
         let f = h.forecast(5).unwrap();
         let expected = 10.0 + 2.0 * 54.0;
-        assert!((f - expected).abs() < 2.0, "forecast {f} vs expected {expected}");
+        assert!(
+            (f - expected).abs() < 2.0,
+            "forecast {f} vs expected {expected}"
+        );
         assert!((h.trend() - 2.0).abs() < 0.2);
         assert_eq!(h.observations(), 50);
     }

@@ -87,7 +87,10 @@ impl KMeans {
     pub fn lloyd(k: usize, max_iters: usize) -> Self {
         assert!(k > 0, "k must be positive");
         KMeans {
-            mode: ClusterMode::Lloyd { k, max_iters: max_iters.max(1) },
+            mode: ClusterMode::Lloyd {
+                k,
+                max_iters: max_iters.max(1),
+            },
             metric: Distance::Euclidean,
             seed: 0x5e1f_4ea1,
             clusters: Vec::new(),
@@ -129,7 +132,11 @@ impl KMeans {
                 for s in &mut sums {
                     *s /= count as f64;
                 }
-                Cluster { centroid: sums, label, size: count }
+                Cluster {
+                    centroid: sums,
+                    label,
+                    size: count,
+                }
             })
             .collect();
         clusters.sort_by_key(|c| c.label);
@@ -217,7 +224,11 @@ impl KMeans {
                 .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
                 .map(|(l, _)| l)
                 .unwrap_or(0);
-            clusters.push(Cluster { centroid, label, size });
+            clusters.push(Cluster {
+                centroid,
+                label,
+                size,
+            });
         }
         self.last_fit_cost = cost;
         self.clusters = clusters;
@@ -340,10 +351,8 @@ mod tests {
     #[test]
     fn lloyd_handles_k_larger_than_dataset() {
         let mut km = KMeans::lloyd(10, 10);
-        let data = Dataset::from_examples(vec![
-            Example::new(vec![0.0], 0),
-            Example::new(vec![1.0], 1),
-        ]);
+        let data =
+            Dataset::from_examples(vec![Example::new(vec![0.0], 0), Example::new(vec![1.0], 1)]);
         km.fit(&data);
         assert!(km.clusters().len() <= 2);
     }

@@ -37,7 +37,12 @@ impl NearestNeighbor {
     /// Panics if `k` is zero.
     pub fn with_k(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        NearestNeighbor { k, metric: Distance::Euclidean, examples: Vec::new(), last_fit_cost: 0 }
+        NearestNeighbor {
+            k,
+            metric: Distance::Euclidean,
+            examples: Vec::new(),
+            last_fit_cost: 0,
+        }
     }
 
     /// Sets the distance metric.

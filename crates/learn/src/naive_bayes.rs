@@ -35,7 +35,11 @@ pub struct GaussianNaiveBayes {
 impl GaussianNaiveBayes {
     /// Creates an untrained model.
     pub fn new() -> Self {
-        GaussianNaiveBayes { classes: Vec::new(), variance_floor: 1e-6, last_fit_cost: 0 }
+        GaussianNaiveBayes {
+            classes: Vec::new(),
+            variance_floor: 1e-6,
+            last_fit_cost: 0,
+        }
     }
 
     /// Returns the per-class posterior probabilities for a feature vector,
@@ -132,7 +136,11 @@ impl Classifier for GaussianNaiveBayes {
         let posteriors = self.posteriors(features);
         posteriors
             .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite posterior").then(b.0.cmp(&a.0)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite posterior")
+                    .then(b.0.cmp(&a.0))
+            })
             .unwrap_or((0, 0.0))
     }
 
@@ -159,7 +167,10 @@ mod tests {
                 0,
             ));
             examples.push(Example::new(
-                vec![6.0 + rng.gen_range(-1.0..1.0), 6.0 + rng.gen_range(-1.0..1.0)],
+                vec![
+                    6.0 + rng.gen_range(-1.0..1.0),
+                    6.0 + rng.gen_range(-1.0..1.0),
+                ],
                 1,
             ));
         }
@@ -224,6 +235,9 @@ mod tests {
         let train = gaussian_blobs(50, 5);
         let mut nb = GaussianNaiveBayes::new();
         nb.fit(&train);
-        assert_eq!(Classifier::last_fit_cost(&nb), (train.len() * train.width()) as u64);
+        assert_eq!(
+            Classifier::last_fit_cost(&nb),
+            (train.len() * train.width()) as u64
+        );
     }
 }

@@ -130,7 +130,10 @@ pub struct IncrementalNearestNeighbor {
 impl IncrementalNearestNeighbor {
     /// Creates an empty incremental 1-NN learner.
     pub fn new() -> Self {
-        IncrementalNearestNeighbor { inner: NearestNeighbor::new(), observed: 0 }
+        IncrementalNearestNeighbor {
+            inner: NearestNeighbor::new(),
+            observed: 0,
+        }
     }
 
     /// Adds one example in O(1).

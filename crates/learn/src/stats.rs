@@ -53,7 +53,11 @@ pub fn point_biserial(x: &[f64], y: &[bool]) -> f64 {
 /// Categories with nonpositive expected count are skipped (they carry no
 /// information).  Both slices must have the same length.
 pub fn chi_square_statistic(observed: &[f64], expected: &[f64]) -> f64 {
-    assert_eq!(observed.len(), expected.len(), "chi-square requires equal-length inputs");
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "chi-square requires equal-length inputs"
+    );
     observed
         .iter()
         .zip(expected)
@@ -70,7 +74,11 @@ pub fn chi_square_critical(dof: usize, alpha: f64) -> f64 {
         return 0.0;
     }
     // Standard normal quantile for the supported significance levels.
-    let z = if alpha <= 0.01 { 2.326_347_87 } else { 1.644_853_63 };
+    let z = if alpha <= 0.01 {
+        2.326_347_87
+    } else {
+        1.644_853_63
+    };
     let k = dof as f64;
     let term = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
     k * term.powi(3)
@@ -82,7 +90,11 @@ pub fn chi_square_critical(dof: usize, alpha: f64) -> f64 {
 /// Degrees of freedom are `categories - 1` where only categories with a
 /// positive expected count are counted.
 pub fn chi_square_test(observed: &[f64], expected: &[f64], alpha: f64) -> bool {
-    let dof = expected.iter().filter(|e| **e > 0.0).count().saturating_sub(1);
+    let dof = expected
+        .iter()
+        .filter(|e| **e > 0.0)
+        .count()
+        .saturating_sub(1);
     if dof == 0 {
         return false;
     }

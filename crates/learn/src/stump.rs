@@ -80,7 +80,10 @@ impl DecisionStump {
                 let mut below_weight: Vec<f64> = vec![0.0; labels.len()];
                 let mut above_weight: Vec<f64> = vec![0.0; labels.len()];
                 for (i, example) in data.examples().iter().enumerate() {
-                    let label_idx = labels.iter().position(|l| *l == example.label).expect("label present");
+                    let label_idx = labels
+                        .iter()
+                        .position(|l| *l == example.label)
+                        .expect("label present");
                     if example.features[feature] <= threshold {
                         below_weight[label_idx] += weights[i];
                     } else {
@@ -147,7 +150,10 @@ mod tests {
         let weights = vec![1.0; data.len()];
         let (stump, error, evals) = DecisionStump::fit_weighted(&data, &weights);
         assert_eq!(stump.feature, 0, "feature 0 separates the classes");
-        assert!(error < 1e-9, "separable data should give zero error, got {error}");
+        assert!(
+            error < 1e-9,
+            "separable data should give zero error, got {error}"
+        );
         assert!(evals > 0);
         for (features, label) in data.iter() {
             assert_eq!(stump.predict(features), label);
@@ -179,10 +185,8 @@ mod tests {
 
     #[test]
     fn single_class_data_yields_zero_error() {
-        let data = Dataset::from_examples(vec![
-            Example::new(vec![1.0], 3),
-            Example::new(vec![2.0], 3),
-        ]);
+        let data =
+            Dataset::from_examples(vec![Example::new(vec![1.0], 3), Example::new(vec![2.0], 3)]);
         let (stump, error, _) = DecisionStump::fit_weighted(&data, &[1.0, 1.0]);
         assert_eq!(stump.below, 3);
         assert_eq!(stump.above, 3);

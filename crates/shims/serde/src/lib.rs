@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's types carry `#[derive(Serialize, Deserialize)]` so that a
+//! real serde can be dropped in once the build environment has registry
+//! access, but nothing in-tree calls serialization entry points yet.  This
+//! proc-macro crate therefore provides the two derive macros as no-ops: the
+//! attribute positions stay valid and compile to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -87,7 +87,10 @@ impl ServiceConfig {
         assert!(self.db_capacity_ms > 0.0, "db capacity must be positive");
         assert!(self.buffer_pool_pages > 0, "buffer pool must have pages");
         assert!(self.slo_window > 0, "SLO window must be positive");
-        assert!(self.slo_confirm_after > 0, "SLO confirmation count must be positive");
+        assert!(
+            self.slo_confirm_after > 0,
+            "SLO confirmation count must be positive"
+        );
     }
 }
 
@@ -119,12 +122,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one EJB")]
     fn zero_ejbs_is_rejected() {
-        ServiceConfig { ejb_count: 0, ..ServiceConfig::tiny() }.validate();
+        ServiceConfig {
+            ejb_count: 0,
+            ..ServiceConfig::tiny()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "db capacity must be positive")]
     fn nonpositive_capacity_is_rejected() {
-        ServiceConfig { db_capacity_ms: 0.0, ..ServiceConfig::tiny() }.validate();
+        ServiceConfig {
+            db_capacity_ms: 0.0,
+            ..ServiceConfig::tiny()
+        }
+        .validate();
     }
 }

@@ -151,7 +151,10 @@ mod tests {
         let healthy = pool.miss_rate();
         pool.shrink_to_fraction(0.1);
         let starved = pool.miss_rate();
-        assert!(starved > healthy + 0.3, "starved {starved} vs healthy {healthy}");
+        assert!(
+            starved > healthy + 0.3,
+            "starved {starved} vs healthy {healthy}"
+        );
         pool.restore_nominal();
         assert!((pool.miss_rate() - healthy).abs() < 1e-9);
         assert_eq!(pool.current_pages(), pool.nominal_pages());

@@ -50,7 +50,13 @@ impl LockManager {
     /// table; writes also conflict with each other.  The injected
     /// block-contention fault concentrates all traffic on one block,
     /// multiplying the conflict rate by [`INJECTED_SKEW`].
-    pub fn access(&mut self, table: usize, rows: f64, is_write: bool, contention_fault: bool) -> f64 {
+    pub fn access(
+        &mut self,
+        table: usize,
+        rows: f64,
+        is_write: bool,
+        contention_fault: bool,
+    ) -> f64 {
         let idx = table % self.partitions.len();
         let partitions = self.partitions[idx] as f64;
         let concurrent_writes = self.tick_write_rows[idx];
@@ -130,7 +136,10 @@ mod tests {
 
         lm.access(0, 20.0, true, true);
         let contended = lm.access(0, 20.0, true, true);
-        assert!(contended > 3.0 * normal, "contended {contended} vs normal {normal}");
+        assert!(
+            contended > 3.0 * normal,
+            "contended {contended} vs normal {normal}"
+        );
         lm.finish_tick();
 
         for _ in 0..3 {

@@ -159,7 +159,10 @@ impl DatabaseTier {
         // Lock contention: writes (and injected block contention) queue.
         let lock_wait_ms = self.locks.access(table, rows, is_write, contention_active);
 
-        AccessCharge { extra_ms: miss_ms + plan_ms, lock_wait_ms }
+        AccessCharge {
+            extra_ms: miss_ms + plan_ms,
+            lock_wait_ms,
+        }
     }
 
     /// Finishes a tick: rolls per-tick counters and returns them.
@@ -175,7 +178,10 @@ impl DatabaseTier {
         } else if self.stats.is_empty() {
             1.0
         } else {
-            self.stats.iter().map(|s| s.misestimate_factor(false)).sum::<f64>()
+            self.stats
+                .iter()
+                .map(|s| s.misestimate_factor(false))
+                .sum::<f64>()
                 / self.stats.len() as f64
         };
         self.tick_misestimate_weighted = 0.0;
@@ -244,7 +250,10 @@ mod tests {
         let mut d = db();
         let healthy = d.charge_access(1, 20.0, false, 10.0, false, false).extra_ms;
         let degraded = d.charge_access(1, 20.0, false, 10.0, true, false).extra_ms;
-        assert!(degraded > healthy + 5.0, "degraded {degraded} vs healthy {healthy}");
+        assert!(
+            degraded > healthy + 5.0,
+            "degraded {degraded} vs healthy {healthy}"
+        );
     }
 
     #[test]
@@ -252,14 +261,18 @@ mod tests {
         let mut d = db();
         // Two writes in the same tick: the second waits behind the first.
         d.charge_access(2, 10.0, true, 5.0, false, true);
-        let contended = d.charge_access(2, 10.0, true, 5.0, false, true).lock_wait_ms;
+        let contended = d
+            .charge_access(2, 10.0, true, 5.0, false, true)
+            .lock_wait_ms;
         assert!(contended > 0.0);
         d.finish_tick();
         // Repartition the table, then repeat the same access pattern.
         d.repartition_table(2);
         d.repartition_table(2);
         d.charge_access(2, 10.0, true, 5.0, false, true);
-        let after = d.charge_access(2, 10.0, true, 5.0, false, true).lock_wait_ms;
+        let after = d
+            .charge_access(2, 10.0, true, 5.0, false, true)
+            .lock_wait_ms;
         assert!(after < contended, "after {after} vs contended {contended}");
     }
 

@@ -52,7 +52,10 @@ impl EjbGraph {
     pub fn new(ejb_count: usize, table_count: usize) -> Self {
         assert!(ejb_count > 0, "call graph needs at least one EJB");
         assert!(table_count > 0, "call graph needs at least one table");
-        EjbGraph { ejb_count, table_count }
+        EjbGraph {
+            ejb_count,
+            table_count,
+        }
     }
 
     /// Number of EJB components.
@@ -146,7 +149,10 @@ impl EjbGraph {
 
     /// Returns `true` if a request of `kind` accesses the given table.
     pub fn touches_table(&self, kind: RequestKind, table: usize) -> bool {
-        self.path(kind).table_accesses.iter().any(|(t, _, _)| *t == table)
+        self.path(kind)
+            .table_accesses
+            .iter()
+            .any(|(t, _, _)| *t == table)
     }
 }
 
@@ -159,8 +165,14 @@ mod tests {
         let graph = EjbGraph::new(8, 6);
         for kind in RequestKind::ALL {
             let path = graph.path(kind);
-            assert!(!path.ejb_calls.is_empty(), "{kind} must invoke at least one EJB");
-            assert!(!path.table_accesses.is_empty(), "{kind} must touch at least one table");
+            assert!(
+                !path.ejb_calls.is_empty(),
+                "{kind} must invoke at least one EJB"
+            );
+            assert!(
+                !path.table_accesses.is_empty(),
+                "{kind} must touch at least one table"
+            );
             for (e, calls) in &path.ejb_calls {
                 assert!(*e < 8);
                 assert!(*calls > 0);
@@ -207,8 +219,15 @@ mod tests {
     fn roles_are_stable_and_paths_deterministic() {
         let graph = EjbGraph::new(8, 6);
         assert_eq!(graph.role(4), "BidManager");
-        assert_eq!(graph.role(12), "BidManager", "roles wrap modulo the catalogue");
-        assert_eq!(graph.path(RequestKind::Search), graph.path(RequestKind::Search));
+        assert_eq!(
+            graph.role(12),
+            "BidManager",
+            "roles wrap modulo the catalogue"
+        );
+        assert_eq!(
+            graph.path(RequestKind::Search),
+            graph.path(RequestKind::Search)
+        );
         assert_eq!(graph.ejb_count(), 8);
         assert_eq!(graph.table_count(), 6);
     }

@@ -81,7 +81,11 @@ impl ActiveFaults {
         if self.faults.iter().any(|f| f.spec.id == spec.id) {
             return;
         }
-        self.faults.push(ActiveFault { spec, activated_at: tick, age: 0 });
+        self.faults.push(ActiveFault {
+            spec,
+            activated_at: tick,
+            age: 0,
+        });
     }
 
     /// Ages every active fault by one tick.
@@ -125,7 +129,9 @@ impl ActiveFaults {
                 FaultKind::BottleneckedTier if hits_tier => factor *= 1.0 - 0.9 * s,
                 FaultKind::HardwareFailure if hits_tier => factor *= 1.0 - 0.7 * s,
                 FaultKind::OperatorMisconfiguration if hits_tier => factor *= 1.0 - 0.6 * s,
-                FaultKind::SoftwareAging if tier == SimTier::App && matches!(target_tier, Some(SimTier::App)) => {
+                FaultKind::SoftwareAging
+                    if tier == SimTier::App && matches!(target_tier, Some(SimTier::App)) =>
+                {
                     // Leaks accumulate: the capacity loss grows with age and
                     // saturates after ~120 ticks.
                     let growth = (f.age as f64 / 120.0).min(1.0);
@@ -251,7 +257,12 @@ mod tests {
     #[test]
     fn activation_is_idempotent_per_fault_id() {
         let mut af = ActiveFaults::new();
-        let f = spec(1, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.8);
+        let f = spec(
+            1,
+            FaultKind::BufferContention,
+            FaultTarget::DatabaseTier,
+            0.8,
+        );
         af.activate(f.clone(), 10);
         af.activate(f, 12);
         assert_eq!(af.len(), 1);
@@ -261,7 +272,15 @@ mod tests {
     #[test]
     fn bottleneck_reduces_only_the_targeted_tier() {
         let mut af = ActiveFaults::new();
-        af.activate(spec(1, FaultKind::BottleneckedTier, FaultTarget::DatabaseTier, 1.0), 0);
+        af.activate(
+            spec(
+                1,
+                FaultKind::BottleneckedTier,
+                FaultTarget::DatabaseTier,
+                1.0,
+            ),
+            0,
+        );
         assert!(af.capacity_factor(SimTier::Db) < 0.2);
         assert_eq!(af.capacity_factor(SimTier::Web), 1.0);
         assert_eq!(af.capacity_factor(SimTier::App), 1.0);
@@ -270,7 +289,10 @@ mod tests {
     #[test]
     fn software_aging_degrades_gradually() {
         let mut af = ActiveFaults::new();
-        af.activate(spec(1, FaultKind::SoftwareAging, FaultTarget::AppTier, 1.0), 0);
+        af.activate(
+            spec(1, FaultKind::SoftwareAging, FaultTarget::AppTier, 1.0),
+            0,
+        );
         let fresh = af.capacity_factor(SimTier::App);
         for _ in 0..60 {
             af.advance_tick();
@@ -288,10 +310,26 @@ mod tests {
     #[test]
     fn ejb_faults_hit_only_their_component() {
         let mut af = ActiveFaults::new();
-        af.activate(spec(1, FaultKind::UnhandledException, FaultTarget::Ejb { index: 2 }, 1.0), 0);
+        af.activate(
+            spec(
+                1,
+                FaultKind::UnhandledException,
+                FaultTarget::Ejb { index: 2 },
+                1.0,
+            ),
+            0,
+        );
         assert!(af.ejb_error_probability(2) > 0.5);
         assert_eq!(af.ejb_error_probability(3), 0.0);
-        af.activate(spec(2, FaultKind::DeadlockedThreads, FaultTarget::Ejb { index: 3 }, 1.0), 0);
+        af.activate(
+            spec(
+                2,
+                FaultKind::DeadlockedThreads,
+                FaultTarget::Ejb { index: 3 },
+                1.0,
+            ),
+            0,
+        );
         assert!(af.ejb_extra_latency_ms(3) > 100.0);
         assert_eq!(af.ejb_extra_latency_ms(2), 0.0);
     }
@@ -299,8 +337,24 @@ mod tests {
     #[test]
     fn table_faults_are_reported_per_table() {
         let mut af = ActiveFaults::new();
-        af.activate(spec(1, FaultKind::SuboptimalQueryPlan, FaultTarget::Table { index: 1 }, 0.9), 0);
-        af.activate(spec(2, FaultKind::TableBlockContention, FaultTarget::Table { index: 0 }, 0.9), 0);
+        af.activate(
+            spec(
+                1,
+                FaultKind::SuboptimalQueryPlan,
+                FaultTarget::Table { index: 1 },
+                0.9,
+            ),
+            0,
+        );
+        af.activate(
+            spec(
+                2,
+                FaultKind::TableBlockContention,
+                FaultTarget::Table { index: 0 },
+                0.9,
+            ),
+            0,
+        );
         assert!(af.plan_fault(1));
         assert!(!af.plan_fault(0));
         assert!(af.contention_fault(0));
@@ -311,8 +365,24 @@ mod tests {
     fn buffer_fault_severity_takes_the_worst_offender() {
         let mut af = ActiveFaults::new();
         assert!(af.buffer_fault_severity().is_none());
-        af.activate(spec(1, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.5), 0);
-        af.activate(spec(2, FaultKind::OperatorMisconfiguration, FaultTarget::DatabaseTier, 0.9), 0);
+        af.activate(
+            spec(
+                1,
+                FaultKind::BufferContention,
+                FaultTarget::DatabaseTier,
+                0.5,
+            ),
+            0,
+        );
+        af.activate(
+            spec(
+                2,
+                FaultKind::OperatorMisconfiguration,
+                FaultTarget::DatabaseTier,
+                0.9,
+            ),
+            0,
+        );
         assert_eq!(af.buffer_fault_severity(), Some(0.9));
     }
 
@@ -320,7 +390,15 @@ mod tests {
     fn whole_service_faults_raise_global_error_probability_and_latency() {
         let mut af = ActiveFaults::new();
         assert_eq!(af.service_error_probability(), 0.0);
-        af.activate(spec(1, FaultKind::NetworkPartition, FaultTarget::WholeService, 1.0), 0);
+        af.activate(
+            spec(
+                1,
+                FaultKind::NetworkPartition,
+                FaultTarget::WholeService,
+                1.0,
+            ),
+            0,
+        );
         assert!(af.service_error_probability() > 0.5);
         assert!(af.network_extra_latency_ms() > 100.0);
     }
@@ -329,8 +407,24 @@ mod tests {
     fn resolve_with_fix_removes_only_repaired_faults() {
         let catalog = FixCatalog::standard();
         let mut af = ActiveFaults::new();
-        af.activate(spec(1, FaultKind::DeadlockedThreads, FaultTarget::Ejb { index: 1 }, 0.9), 0);
-        af.activate(spec(2, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.9), 0);
+        af.activate(
+            spec(
+                1,
+                FaultKind::DeadlockedThreads,
+                FaultTarget::Ejb { index: 1 },
+                0.9,
+            ),
+            0,
+        );
+        af.activate(
+            spec(
+                2,
+                FaultKind::BufferContention,
+                FaultTarget::DatabaseTier,
+                0.9,
+            ),
+            0,
+        );
 
         let wrong_target =
             FixAction::targeted(FixKind::MicrorebootEjb, FaultTarget::Ejb { index: 0 });
@@ -351,7 +445,15 @@ mod tests {
     #[test]
     fn clear_removes_everything() {
         let mut af = ActiveFaults::new();
-        af.activate(spec(1, FaultKind::SourceCodeBug, FaultTarget::Ejb { index: 0 }, 0.5), 0);
+        af.activate(
+            spec(
+                1,
+                FaultKind::SourceCodeBug,
+                FaultTarget::Ejb { index: 0 },
+                0.5,
+            ),
+            0,
+        );
         assert_eq!(af.clear().len(), 1);
         assert!(af.is_empty());
     }

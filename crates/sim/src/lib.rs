@@ -47,6 +47,7 @@ pub mod metrics;
 pub mod recovery;
 pub mod resource;
 pub mod scenario;
+pub mod seeds;
 pub mod service;
 pub mod statesgen;
 
@@ -54,5 +55,6 @@ pub use actuator::FixActuator;
 pub use config::ServiceConfig;
 pub use recovery::{FailureEpisode, RecoveryLog};
 pub use scenario::{Healer, NoHealing, ScenarioOutcome, ScenarioRunner};
+pub use seeds::{split_seed, SeedStream};
 pub use service::{MultiTierService, TickOutcome};
 pub use statesgen::{FailureState, FailureStateGenerator};

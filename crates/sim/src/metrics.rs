@@ -99,9 +99,13 @@ impl MetricsCatalog {
         }
         for j in 0..config.table_count {
             b = b.metric_def(
-                MetricDef::new(format!("db.table{j}_accesses"), Tier::Database, MetricKind::Count)
-                    .with_cost(InstrumentationCost::Invasive)
-                    .with_description(format!("accesses to table {j}")),
+                MetricDef::new(
+                    format!("db.table{j}_accesses"),
+                    Tier::Database,
+                    MetricKind::Count,
+                )
+                .with_cost(InstrumentationCost::Invasive)
+                .with_description(format!("accesses to table {j}")),
             );
         }
 
@@ -164,8 +168,14 @@ mod tests {
         for id in catalog.ejb_calls.iter().chain(&catalog.table_accesses) {
             assert_eq!(schema.def(*id).cost, InstrumentationCost::Invasive);
         }
-        assert_eq!(schema.def(catalog.response_ms).cost, InstrumentationCost::NonInvasive);
-        assert_eq!(schema.def(catalog.web_util).cost, InstrumentationCost::NonInvasive);
+        assert_eq!(
+            schema.def(catalog.response_ms).cost,
+            InstrumentationCost::NonInvasive
+        );
+        assert_eq!(
+            schema.def(catalog.web_util).cost,
+            InstrumentationCost::NonInvasive
+        );
     }
 
     #[test]
@@ -174,6 +184,9 @@ mod tests {
         let schema = catalog.schema();
         assert_eq!(schema.expect_id("svc.response_ms"), catalog.response_ms);
         assert_eq!(schema.expect_id("app.ejb0_calls"), catalog.ejb_calls[0]);
-        assert_eq!(schema.expect_id("db.table5_accesses"), catalog.table_accesses[5]);
+        assert_eq!(
+            schema.expect_id("db.table5_accesses"),
+            catalog.table_accesses[5]
+        );
     }
 }

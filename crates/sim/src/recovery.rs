@@ -32,14 +32,18 @@ pub struct FailureEpisode {
 impl FailureEpisode {
     /// Recovery time in ticks, if the episode has closed.
     pub fn recovery_ticks(&self) -> Option<u64> {
-        self.recovered_at.map(|r| r.saturating_sub(self.detected_at))
+        self.recovered_at
+            .map(|r| r.saturating_sub(self.detected_at))
     }
 
     /// The primary (first) cause recorded for the episode, defaulting to
     /// `Unknown` when no fault was active at detection time (e.g. a pure
     /// overload episode).
     pub fn primary_cause(&self) -> FailureCause {
-        self.causes.first().copied().unwrap_or(FailureCause::Unknown)
+        self.causes
+            .first()
+            .copied()
+            .unwrap_or(FailureCause::Unknown)
     }
 
     /// The primary (first) fault kind recorded, if any.
@@ -68,7 +72,12 @@ impl RecoveryLog {
 
     /// Opens an episode at `tick` with the given ground-truth faults
     /// (ignored if an episode is already open).
-    pub fn open_episode(&mut self, tick: u64, fault_kinds: Vec<FaultKind>, causes: Vec<FailureCause>) {
+    pub fn open_episode(
+        &mut self,
+        tick: u64,
+        fault_kinds: Vec<FaultKind>,
+        causes: Vec<FailureCause>,
+    ) {
         if self.open.is_some() {
             return;
         }
@@ -127,7 +136,11 @@ impl RecoveryLog {
     /// Mean recovery time (ticks) over recovered episodes, `None` when no
     /// episode recovered.
     pub fn mean_recovery_ticks(&self) -> Option<f64> {
-        let recovered: Vec<u64> = self.episodes.iter().filter_map(FailureEpisode::recovery_ticks).collect();
+        let recovered: Vec<u64> = self
+            .episodes
+            .iter()
+            .filter_map(FailureEpisode::recovery_ticks)
+            .collect();
         if recovered.is_empty() {
             None
         } else {
@@ -156,7 +169,15 @@ impl RecoveryLog {
     pub fn cause_counts(&self) -> Vec<(FailureCause, usize)> {
         FailureCause::ALL
             .iter()
-            .map(|c| (*c, self.episodes.iter().filter(|e| e.primary_cause() == *c).count()))
+            .map(|c| {
+                (
+                    *c,
+                    self.episodes
+                        .iter()
+                        .filter(|e| e.primary_cause() == *c)
+                        .count(),
+                )
+            })
             .collect()
     }
 
@@ -165,7 +186,10 @@ impl RecoveryLog {
         if self.episodes.is_empty() {
             return 0.0;
         }
-        self.episodes.iter().map(|e| e.fixes_attempted.len()).sum::<usize>() as f64
+        self.episodes
+            .iter()
+            .map(|e| e.fixes_attempted.len())
+            .sum::<usize>() as f64
             / self.episodes.len() as f64
     }
 
@@ -187,10 +211,18 @@ mod tests {
     fn episode_lifecycle_and_recovery_time() {
         let mut log = RecoveryLog::new();
         assert!(!log.in_episode());
-        log.open_episode(100, vec![FaultKind::BufferContention], vec![FailureCause::Software]);
+        log.open_episode(
+            100,
+            vec![FaultKind::BufferContention],
+            vec![FailureCause::Software],
+        );
         assert!(log.in_episode());
         // Opening again while open is ignored.
-        log.open_episode(105, vec![FaultKind::SourceCodeBug], vec![FailureCause::Software]);
+        log.open_episode(
+            105,
+            vec![FaultKind::SourceCodeBug],
+            vec![FailureCause::Software],
+        );
         log.record_fix(FixAction::untargeted(FixKind::RepartitionMemory));
         log.close_episode(130);
         assert!(!log.in_episode());
@@ -206,7 +238,11 @@ mod tests {
     #[test]
     fn escalation_is_flagged() {
         let mut log = RecoveryLog::new();
-        log.open_episode(0, vec![FaultKind::SourceCodeBug], vec![FailureCause::Software]);
+        log.open_episode(
+            0,
+            vec![FaultKind::SourceCodeBug],
+            vec![FailureCause::Software],
+        );
         log.record_fix(FixAction::untargeted(FixKind::MicrorebootEjb));
         log.record_fix(FixAction::untargeted(FixKind::FullServiceRestart));
         log.close_episode(400);
@@ -217,14 +253,31 @@ mod tests {
     #[test]
     fn per_cause_aggregation() {
         let mut log = RecoveryLog::new();
-        log.open_episode(0, vec![FaultKind::OperatorMisconfiguration], vec![FailureCause::Operator]);
+        log.open_episode(
+            0,
+            vec![FaultKind::OperatorMisconfiguration],
+            vec![FailureCause::Operator],
+        );
         log.close_episode(200);
-        log.open_episode(300, vec![FaultKind::BufferContention], vec![FailureCause::Software]);
+        log.open_episode(
+            300,
+            vec![FaultKind::BufferContention],
+            vec![FailureCause::Software],
+        );
         log.close_episode(320);
         assert_eq!(log.mean_recovery_ticks(), Some(110.0));
-        assert_eq!(log.mean_recovery_ticks_for_cause(FailureCause::Operator), Some(200.0));
-        assert_eq!(log.mean_recovery_ticks_for_cause(FailureCause::Software), Some(20.0));
-        assert_eq!(log.mean_recovery_ticks_for_cause(FailureCause::Hardware), None);
+        assert_eq!(
+            log.mean_recovery_ticks_for_cause(FailureCause::Operator),
+            Some(200.0)
+        );
+        assert_eq!(
+            log.mean_recovery_ticks_for_cause(FailureCause::Software),
+            Some(20.0)
+        );
+        assert_eq!(
+            log.mean_recovery_ticks_for_cause(FailureCause::Hardware),
+            None
+        );
         let counts = log.cause_counts();
         assert_eq!(counts[0], (FailureCause::Operator, 1));
         assert_eq!(counts[2], (FailureCause::Software, 1));

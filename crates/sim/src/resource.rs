@@ -155,7 +155,12 @@ impl TierResource {
         self.last_utilization = utilization;
         self.last_latency_multiplier = latency_multiplier;
 
-        TierTick { utilization, latency_multiplier, backlog_ms: backlog, shed_fraction }
+        TierTick {
+            utilization,
+            latency_multiplier,
+            backlog_ms: backlog,
+            shed_fraction,
+        }
     }
 }
 

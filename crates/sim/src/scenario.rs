@@ -18,12 +18,27 @@ use selfheal_workload::TraceGenerator;
 /// the per-tick metric sample, confirmed SLO violations, and the completion
 /// of fixes it previously requested — and returns the fixes to apply now.
 /// It must *not* look at the simulator's ground-truth fault state.
-pub trait Healer {
+///
+/// `Send` is a supertrait so a runner (service + workload + healer) can be
+/// moved onto a fleet worker thread; every healer in this workspace is plain
+/// owned data (or an `Arc` handle to shared learned state), so the bound is
+/// free.
+pub trait Healer: Send {
     /// Short name used in benchmark output.
     fn name(&self) -> &str;
 
     /// Observes one tick and returns the fixes to initiate.
     fn observe(&mut self, outcome: &TickOutcome) -> Vec<FixAction>;
+}
+
+impl Healer for Box<dyn Healer> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn observe(&mut self, outcome: &TickOutcome) -> Vec<FixAction> {
+        self.as_mut().observe(outcome)
+    }
 }
 
 /// A healer that never does anything (the "no self-healing" baseline: the
@@ -46,6 +61,8 @@ impl Healer for NoHealing {
 /// Summary of a completed scenario run.
 #[derive(Debug, Clone)]
 pub struct ScenarioOutcome {
+    /// Label of the healer that drove the run.
+    pub healer: String,
     /// The full metric time series of the run.
     pub series: SeriesStore,
     /// Failure episodes and recovery times.
@@ -73,33 +90,89 @@ impl ScenarioOutcome {
             self.completed as f64 / self.arrived as f64
         }
     }
+
+    /// A digest of everything observable in the outcome: every retained
+    /// metric value (bit-exact), every failure episode, and all counters.
+    ///
+    /// Two runs with the same seed must produce the same fingerprint; the
+    /// fleet determinism tests rely on this to assert byte-identical
+    /// replica behaviour regardless of fleet size or thread interleaving.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.ticks.hash(&mut hasher);
+        self.arrived.hash(&mut hasher);
+        self.completed.hash(&mut hasher);
+        self.errors.hash(&mut hasher);
+        self.fixes_initiated.hash(&mut hasher);
+        self.violation_fraction.to_bits().hash(&mut hasher);
+        self.series.len().hash(&mut hasher);
+        for sample in self.series.iter() {
+            sample.tick().hash(&mut hasher);
+            for value in sample.values() {
+                value.to_bits().hash(&mut hasher);
+            }
+        }
+        // Episodes carry enums and nested actions; their Debug form is a
+        // faithful, cheap-to-hash encoding of all of it.
+        format!("{:?}", self.recovery).hash(&mut hasher);
+        hasher.finish()
+    }
 }
 
-/// Drives a service + workload + injection plan + healer for a fixed number
-/// of ticks.
+/// Drives a service + workload + injection plan + healer, one resumable
+/// tick at a time.
+///
+/// [`ScenarioRunner::run`] remains the one-shot entry point, but all the
+/// bookkeeping lives *in* the runner now, so a fleet scheduler can
+/// [`ScenarioRunner::step`] many replicas in any interleaving — round-robin
+/// on one thread, to completion on parallel worker threads — and take an
+/// [`ScenarioRunner::outcome`] snapshot whenever it likes.
 pub struct ScenarioRunner<H: Healer> {
     service: MultiTierService,
     workload: TraceGenerator,
     injections: InjectionPlan,
     healer: H,
-    series_capacity: usize,
+    series: SeriesStore,
+    recovery: RecoveryLog,
+    fixes_initiated: u64,
+    ticks_run: u64,
 }
 
 impl<H: Healer> ScenarioRunner<H> {
-    /// Creates a runner.
+    /// Creates a runner.  The metric history retains up to 100 000 samples
+    /// by default; see [`ScenarioRunner::with_series_capacity`].
     pub fn new(
         service: MultiTierService,
         workload: TraceGenerator,
         injections: InjectionPlan,
         healer: H,
     ) -> Self {
-        ScenarioRunner { service, workload, injections, healer, series_capacity: 100_000 }
+        let series = SeriesStore::new(service.schema().clone(), 100_000);
+        ScenarioRunner {
+            service,
+            workload,
+            injections,
+            healer,
+            series,
+            recovery: RecoveryLog::new(),
+            fixes_initiated: 0,
+            ticks_run: 0,
+        }
     }
 
     /// Limits how many samples of history are retained (older samples are
     /// evicted); the default retains the full run for typical lengths.
+    ///
+    /// # Panics
+    /// Panics if called after the first [`ScenarioRunner::step`] (the
+    /// retained history would silently be dropped).
     pub fn with_series_capacity(mut self, capacity: usize) -> Self {
-        self.series_capacity = capacity.max(1);
+        assert_eq!(
+            self.ticks_run, 0,
+            "set the series capacity before stepping the runner"
+        );
+        self.series = SeriesStore::new(self.service.schema().clone(), capacity.max(1));
         self
     }
 
@@ -113,59 +186,96 @@ impl<H: Healer> ScenarioRunner<H> {
         &self.service
     }
 
-    /// Runs the scenario for `ticks` ticks and returns the outcome together
-    /// with the runner itself (so learned healer state can be reused).
-    pub fn run(mut self, ticks: u64) -> (ScenarioOutcome, Self) {
-        let mut series = SeriesStore::new(self.service.schema().clone(), self.series_capacity);
-        let mut recovery = RecoveryLog::new();
-        let mut fixes_initiated = 0u64;
+    /// Ticks advanced so far.
+    pub fn ticks_run(&self) -> u64 {
+        self.ticks_run
+    }
 
-        for _ in 0..ticks {
-            let tick = self.service.current_tick();
+    /// The metric history recorded so far.
+    pub fn series(&self) -> &SeriesStore {
+        &self.series
+    }
 
-            // Inject scheduled faults.
-            for fault in self.injections.due_at(tick) {
-                self.service.inject(fault.clone());
-            }
+    /// The episode log recorded so far (an episode may still be open).
+    pub fn recovery(&self) -> &RecoveryLog {
+        &self.recovery
+    }
 
-            // Serve the tick's traffic.
-            let requests = self.workload.tick(tick);
-            let outcome = self.service.tick(&requests);
+    /// Advances the scenario by exactly one tick: inject due faults, serve
+    /// the tick's traffic, keep the episode books, let the healer react, and
+    /// record the metric sample.  Returns the tick's outcome.
+    pub fn step(&mut self) -> TickOutcome {
+        let tick = self.service.current_tick();
 
-            // Episode bookkeeping: open on first confirmed violation, close
-            // when the monitor reports the service compliant again.
-            if !outcome.violations.is_empty() && !recovery.in_episode() {
-                let kinds = self.service.active_faults().iter().map(|f| f.spec.kind).collect();
-                let causes = self.service.active_faults().iter().map(|f| f.spec.cause).collect();
-                recovery.open_episode(outcome.tick, kinds, causes);
-            } else if recovery.in_episode() && !self.service.slo_violated() {
-                recovery.close_episode(outcome.tick);
-            }
-
-            // Let the healing policy react.
-            let actions = self.healer.observe(&outcome);
-            for action in actions {
-                recovery.record_fix(action);
-                self.service.apply_fix(action);
-                fixes_initiated += 1;
-            }
-
-            series.push(outcome.sample.clone());
+        // Inject scheduled faults.
+        for fault in self.injections.due_at(tick) {
+            self.service.inject(fault.clone());
         }
 
+        // Serve the tick's traffic.
+        let requests = self.workload.tick(tick);
+        let outcome = self.service.tick(&requests);
+
+        // Episode bookkeeping: open on first confirmed violation, close
+        // when the monitor reports the service compliant again.
+        if !outcome.violations.is_empty() && !self.recovery.in_episode() {
+            let kinds = self
+                .service
+                .active_faults()
+                .iter()
+                .map(|f| f.spec.kind)
+                .collect();
+            let causes = self
+                .service
+                .active_faults()
+                .iter()
+                .map(|f| f.spec.cause)
+                .collect();
+            self.recovery.open_episode(outcome.tick, kinds, causes);
+        } else if self.recovery.in_episode() && !self.service.slo_violated() {
+            self.recovery.close_episode(outcome.tick);
+        }
+
+        // Let the healing policy react.
+        let actions = self.healer.observe(&outcome);
+        for action in actions {
+            self.recovery.record_fix(action);
+            self.service.apply_fix(action);
+            self.fixes_initiated += 1;
+        }
+
+        self.series.push(outcome.sample.clone());
+        self.ticks_run += 1;
+        outcome
+    }
+
+    /// Snapshot of the run so far.  Does not consume the runner: the fleet
+    /// scheduler keeps stepping replicas after reading interim outcomes.
+    pub fn outcome(&self) -> ScenarioOutcome {
+        let mut recovery = self.recovery.clone();
         recovery.finish();
         let (arrived, completed, errors) = self.service.totals();
-        let outcome = ScenarioOutcome {
-            series,
+        ScenarioOutcome {
+            healer: self.healer.name().to_string(),
+            series: self.series.clone(),
             recovery,
-            ticks,
+            ticks: self.ticks_run,
             arrived,
             completed,
             errors,
             violation_fraction: self.service.violation_fraction(),
-            fixes_initiated,
-        };
-        (outcome, self)
+            fixes_initiated: self.fixes_initiated,
+        }
+    }
+
+    /// Runs the scenario for `ticks` further ticks and returns the outcome
+    /// together with the runner itself (so learned healer state can be
+    /// reused).
+    pub fn run(mut self, ticks: u64) -> (ScenarioOutcome, Self) {
+        for _ in 0..ticks {
+            self.step();
+        }
+        (self.outcome(), self)
     }
 }
 
@@ -225,7 +335,12 @@ mod tests {
     #[test]
     fn unhealed_fault_leaves_an_open_ended_episode() {
         let plan = InjectionPlanBuilder::new(4, 3, 1)
-            .inject(20, FaultKind::BottleneckedTier, FaultTarget::DatabaseTier, 0.95)
+            .inject(
+                20,
+                FaultKind::BottleneckedTier,
+                FaultTarget::DatabaseTier,
+                0.95,
+            )
             .build();
         let (outcome, runner) = runner(NoHealing, plan).run(120);
         assert_eq!(outcome.recovery.len(), 1);
@@ -237,13 +352,21 @@ mod tests {
     #[test]
     fn restart_healer_recovers_and_is_recorded() {
         let plan = InjectionPlanBuilder::new(4, 3, 1)
-            .inject(20, FaultKind::UnhandledException, FaultTarget::Ejb { index: 1 }, 0.9)
+            .inject(
+                20,
+                FaultKind::UnhandledException,
+                FaultTarget::Ejb { index: 1 },
+                0.9,
+            )
             .build();
         let (outcome, _) = runner(RestartOnViolation { in_flight: false }, plan).run(600);
         assert!(outcome.fixes_initiated >= 1);
         assert_eq!(outcome.recovery.len(), 1);
         let ep = &outcome.recovery.episodes()[0];
-        assert!(ep.recovery_ticks().is_some(), "restart must eventually recover the service");
+        assert!(
+            ep.recovery_ticks().is_some(),
+            "restart must eventually recover the service"
+        );
         assert!(ep.escalated);
         // The restart is slow: recovery takes at least the restart duration.
         assert!(ep.recovery_ticks().unwrap() >= 300);

@@ -181,8 +181,10 @@ impl MultiTierService {
 
         // 1. Fixes that finish this tick take effect before traffic is served.
         let completed = self.actuator.advance_tick(tick);
-        let completed_fixes: Vec<CompletedFixReport> =
-            completed.into_iter().map(|c| self.apply_completed_fix(c)).collect();
+        let completed_fixes: Vec<CompletedFixReport> = completed
+            .into_iter()
+            .map(|c| self.apply_completed_fix(c))
+            .collect();
 
         // 2. Capacity available this tick: provisioning × fault effects,
         //    degraded further by the disruption of in-progress fixes.
@@ -201,7 +203,9 @@ impl MultiTierService {
 
         // 3. Buffer-related faults shrink the effective buffer pool.
         if let Some(severity) = self.faults.buffer_fault_severity() {
-            self.db.buffer_mut().shrink_to_fraction(1.0 - 0.85 * severity);
+            self.db
+                .buffer_mut()
+                .shrink_to_fraction(1.0 - 0.85 * severity);
         }
 
         // 4. Route every request through the tiers.
@@ -245,7 +249,11 @@ impl MultiTierService {
             let mut request_lock_ms = 0.0;
             for (table, rows, is_write) in &path.table_accesses {
                 table_accesses[*table] += 1.0;
-                let share = if total_rows > 0.0 { rows / total_rows } else { 1.0 };
+                let share = if total_rows > 0.0 {
+                    rows / total_rows
+                } else {
+                    1.0
+                };
                 let nominal_ms = demand.db_ms * share;
                 let charge = self.db.charge_access(
                     *table,
@@ -313,7 +321,11 @@ impl MultiTierService {
         sample.set(m.arrivals, arrived as f64);
         sample.set(
             m.error_rate,
-            if arrived > 0 { errors as f64 / arrived as f64 } else { 0.0 },
+            if arrived > 0 {
+                errors as f64 / arrived as f64
+            } else {
+                0.0
+            },
         );
         sample.set(m.web_util, web_tick.utilization);
         sample.set(m.app_util, app_tick.utilization);
@@ -457,10 +469,18 @@ mod tests {
     use selfheal_workload::{ArrivalProcess, TraceGenerator, WorkloadMix};
 
     fn workload() -> TraceGenerator {
-        TraceGenerator::new(WorkloadMix::bidding(), ArrivalProcess::Constant { rate: 40.0 }, 7)
+        TraceGenerator::new(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+            7,
+        )
     }
 
-    fn run_ticks(service: &mut MultiTierService, gen: &mut TraceGenerator, n: u64) -> Vec<TickOutcome> {
+    fn run_ticks(
+        service: &mut MultiTierService,
+        gen: &mut TraceGenerator,
+        n: u64,
+    ) -> Vec<TickOutcome> {
         (0..n)
             .map(|_| {
                 let t = service.current_tick();
@@ -500,7 +520,11 @@ mod tests {
         let violated = outcomes.iter().any(|o| !o.violations.is_empty());
         assert!(violated);
         // The symptom is visible in the db utilization metric.
-        let db_util = outcomes.last().unwrap().sample.get(service.metrics().db_util);
+        let db_util = outcomes
+            .last()
+            .unwrap()
+            .sample
+            .get(service.metrics().db_util);
         assert!(db_util > 0.9, "db utilization {db_util}");
     }
 
@@ -544,7 +568,10 @@ mod tests {
             FaultTarget::Ejb { index: 1 },
         ));
         let outcomes = run_ticks(&mut service, &mut gen, 30);
-        assert!(!service.slo_violated(), "microreboot should clear the violation");
+        assert!(
+            !service.slo_violated(),
+            "microreboot should clear the violation"
+        );
         assert!(service.active_faults().is_empty());
         let repaired: Vec<_> = outcomes
             .iter()
@@ -571,7 +598,11 @@ mod tests {
             FaultTarget::Ejb { index: 0 },
         ));
         run_ticks(&mut service, &mut gen, 15);
-        assert_eq!(service.active_faults().len(), 1, "fault must survive the wrong fix");
+        assert_eq!(
+            service.active_faults().len(),
+            1,
+            "fault must survive the wrong fix"
+        );
     }
 
     #[test]

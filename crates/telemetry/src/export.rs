@@ -84,13 +84,17 @@ pub fn series_from_csv(schema: &Schema, csv: &str) -> Result<SeriesStore, CsvErr
     match fields.next() {
         Some("tick") => {}
         Some(other) => {
-            return Err(CsvError::HeaderMismatch { field: other.to_string() });
+            return Err(CsvError::HeaderMismatch {
+                field: other.to_string(),
+            });
         }
         None => return Err(CsvError::MissingHeader),
     }
     for (expected, actual) in schema.names().iter().zip(fields.by_ref()) {
         if *expected != actual {
-            return Err(CsvError::HeaderMismatch { field: actual.to_string() });
+            return Err(CsvError::HeaderMismatch {
+                field: actual.to_string(),
+            });
         }
     }
 
@@ -102,16 +106,16 @@ pub fn series_from_csv(schema: &Schema, csv: &str) -> Result<SeriesStore, CsvErr
         if fields.len() != schema.len() + 1 {
             return Err(CsvError::WrongFieldCount { line: line_no });
         }
-        let tick: u64 = fields[0]
-            .trim()
-            .parse()
-            .map_err(|_| CsvError::BadNumber { line: line_no, field: fields[0].to_string() })?;
+        let tick: u64 = fields[0].trim().parse().map_err(|_| CsvError::BadNumber {
+            line: line_no,
+            field: fields[0].to_string(),
+        })?;
         let mut values = Vec::with_capacity(schema.len());
         for field in &fields[1..] {
-            let v: f64 = field
-                .trim()
-                .parse()
-                .map_err(|_| CsvError::BadNumber { line: line_no, field: field.to_string() })?;
+            let v: f64 = field.trim().parse().map_err(|_| CsvError::BadNumber {
+                line: line_no,
+                field: field.to_string(),
+            })?;
             values.push(v);
         }
         store.push(Sample::from_values(schema, tick, values));
@@ -131,7 +135,11 @@ pub struct ResultTable {
 impl ResultTable {
     /// Creates an empty table with the given title and column names.
     pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
-        ResultTable { title: title.into(), columns, rows: Vec::new() }
+        ResultTable {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Adds a labelled row.
@@ -139,7 +147,11 @@ impl ResultTable {
     /// # Panics
     /// Panics if the number of values does not match the number of columns.
     pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
-        assert_eq!(values.len(), self.columns.len(), "row width must match column count");
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match column count"
+        );
         self.rows.push((label.into(), values));
     }
 

@@ -65,7 +65,13 @@ pub enum Tier {
 
 impl Tier {
     /// All tiers, in request-flow order.
-    pub const ALL: [Tier; 5] = [Tier::Client, Tier::Web, Tier::App, Tier::Database, Tier::Service];
+    pub const ALL: [Tier; 5] = [
+        Tier::Client,
+        Tier::Web,
+        Tier::App,
+        Tier::Database,
+        Tier::Service,
+    ];
 
     /// Short lowercase label used as a metric-name prefix (`web.cpu_util`).
     pub fn label(self) -> &'static str {
@@ -111,7 +117,10 @@ pub enum MetricKind {
 impl MetricKind {
     /// Returns `true` if values of this kind are naturally bounded to `[0,1]`.
     pub fn is_bounded_unit(self) -> bool {
-        matches!(self, MetricKind::Utilization | MetricKind::Ratio | MetricKind::Flag)
+        matches!(
+            self,
+            MetricKind::Utilization | MetricKind::Ratio | MetricKind::Flag
+        )
     }
 
     /// Returns `true` if the natural aggregation over a window is a sum

@@ -159,10 +159,7 @@ impl SchemaBuilder {
     }
 
     /// Adds a metric and returns its id together with the builder.
-    pub fn metric_with_id(
-        mut self,
-        def: MetricDef,
-    ) -> (Self, MetricId) {
+    pub fn metric_with_id(mut self, def: MetricDef) -> (Self, MetricId) {
         let id = MetricId(self.defs.len() as u32);
         self = self.metric_def(def);
         (self, id)

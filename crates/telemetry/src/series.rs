@@ -101,23 +101,37 @@ impl SeriesStore {
 
     /// Returns the last `n` samples (or fewer if not enough are retained),
     /// oldest first.
-    pub fn last_n(&self, n: usize) -> Vec<&Sample> {
+    ///
+    /// Allocation-free: borrows directly from the ring buffer.  Diagnosis
+    /// engines probe the tail of the series every tick, so this path must
+    /// not clone or collect.
+    pub fn last_n(&self, n: usize) -> impl ExactSizeIterator<Item = &Sample> + Clone {
         let start = self.samples.len().saturating_sub(n);
-        self.samples.iter().skip(start).collect()
+        self.samples.range(start..)
     }
 
     /// Returns all samples with tick in `[from, to)`, oldest first.
-    pub fn range(&self, from: Tick, to: Tick) -> Vec<&Sample> {
-        self.samples
-            .iter()
-            .filter(|s| s.tick() >= from && s.tick() < to)
-            .collect()
+    ///
+    /// Samples are tick-ordered, so both endpoints are found by binary
+    /// search and the result borrows a contiguous stretch of the ring
+    /// buffer — no per-call allocation, no full scan.
+    pub fn range(&self, from: Tick, to: Tick) -> impl ExactSizeIterator<Item = &Sample> + Clone {
+        let lo = self.samples.partition_point(|s| s.tick() < from);
+        let hi = self.samples.partition_point(|s| s.tick() < to).max(lo);
+        self.samples.range(lo..hi)
     }
 
     /// Extracts the values of one metric over the last `n` samples, oldest
-    /// first.
-    pub fn metric_tail(&self, id: MetricId, n: usize) -> Vec<Value> {
-        self.last_n(n).iter().map(|s| s.get(id)).collect()
+    /// first, without materializing the sample list.
+    pub fn metric_tail(&self, id: MetricId, n: usize) -> impl Iterator<Item = Value> + '_ {
+        self.last_n(n).map(move |s| s.get(id))
+    }
+
+    /// The retained samples as (up to) two contiguous slices, oldest first —
+    /// the raw ring-buffer halves, for bulk readers that want memcpy-friendly
+    /// access without an iterator in the loop.
+    pub fn as_slices(&self) -> (&[Sample], &[Sample]) {
+        self.samples.as_slices()
     }
 
     /// Materializes a [`Window`] according to `spec`, anchored at the most
@@ -138,16 +152,11 @@ impl SeriesStore {
             return None;
         }
         let total = self.samples.len();
-        let current: Vec<&Sample> = self.samples.iter().skip(total - nc).collect();
-        let baseline: Vec<&Sample> = self
-            .samples
-            .iter()
-            .skip(total - nc - nb)
-            .take(nb)
-            .collect();
+        let baseline = self.samples.range(total - nc - nb..total - nc);
+        let current = self.samples.range(total - nc..);
         Some((
-            Window::from_samples(self.schema.clone(), &baseline),
-            Window::from_samples(self.schema.clone(), &current),
+            Window::from_iter(self.schema.clone(), baseline),
+            Window::from_iter(self.schema.clone(), current),
         ))
     }
 
@@ -186,9 +195,13 @@ mod tests {
         }
         assert_eq!(store.len(), 5);
         assert_eq!(store.latest_tick(), Some(4));
-        let tail = store.metric_tail(sc.expect_id("a"), 3);
+        let tail: Vec<f64> = store.metric_tail(sc.expect_id("a"), 3).collect();
         assert_eq!(tail, vec![2.0, 3.0, 4.0]);
-        assert_eq!(store.range(1, 3).len(), 2);
+        assert_eq!(store.range(1, 3).count(), 2);
+        let ticks: Vec<Tick> = store.range(1, 4).map(Sample::tick).collect();
+        assert_eq!(ticks, vec![1, 2, 3]);
+        assert_eq!(store.range(9, 20).count(), 0);
+        assert_eq!(store.range(3, 3).count(), 0);
     }
 
     #[test]
@@ -237,7 +250,7 @@ mod tests {
         let sc = schema();
         let mut store = SeriesStore::new(sc.clone(), 10);
         store.push(sample(&sc, 0, 1.0, 2.0));
-        assert_eq!(store.last_n(5).len(), 1);
+        assert_eq!(store.last_n(5).count(), 1);
     }
 
     #[test]

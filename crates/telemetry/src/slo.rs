@@ -53,12 +53,22 @@ pub struct Slo {
 impl Slo {
     /// Upper-bound SLO: windowed mean must not exceed `threshold`.
     pub fn upper_bound(name: impl Into<String>, metric: MetricId, threshold: Value) -> Self {
-        Slo { name: name.into(), metric, threshold, kind: SloKind::UpperBound }
+        Slo {
+            name: name.into(),
+            metric,
+            threshold,
+            kind: SloKind::UpperBound,
+        }
     }
 
     /// Lower-bound SLO: windowed mean must not drop below `threshold`.
     pub fn lower_bound(name: impl Into<String>, metric: MetricId, threshold: Value) -> Self {
-        Slo { name: name.into(), metric, threshold, kind: SloKind::LowerBound }
+        Slo {
+            name: name.into(),
+            metric,
+            threshold,
+            kind: SloKind::LowerBound,
+        }
     }
 
     /// Exceedance-rate SLO: at most `tolerated_fraction` of samples in the
@@ -106,8 +116,8 @@ impl Slo {
                 }
             }
             SloKind::ExceedanceRate { tolerated_fraction } => {
-                let exceeding =
-                    values.iter().filter(|v| **v > self.threshold).count() as f64 / values.len() as f64;
+                let exceeding = values.iter().filter(|v| **v > self.threshold).count() as f64
+                    / values.len() as f64;
                 if exceeding <= tolerated_fraction {
                     0.0
                 } else {

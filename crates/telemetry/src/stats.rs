@@ -28,14 +28,30 @@ impl Summary {
     /// Computes the summary of `values`.
     pub fn of(values: &[Value]) -> Self {
         if values.is_empty() {
-            return Summary { count: 0, mean: 0.0, variance: 0.0, min: 0.0, max: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                variance: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
         }
         let count = values.len();
         let mean = values.iter().sum::<Value>() / count as Value;
-        let variance = values.iter().map(|v| (v - mean) * (v - mean)).sum::<Value>() / count as Value;
+        let variance = values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<Value>()
+            / count as Value;
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Summary { count, mean, variance, min, max }
+        Summary {
+            count,
+            mean,
+            variance,
+            min,
+            max,
+        }
     }
 
     /// Population standard deviation.
@@ -138,7 +154,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
         assert!(lo < hi, "histogram range must be nonempty");
         assert!(buckets > 0, "histogram must have at least one bucket");
-        Histogram { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0, count: 0 }
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
     }
 
     /// Records one observation.

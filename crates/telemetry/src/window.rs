@@ -48,9 +48,19 @@ pub struct Window {
 impl Window {
     /// Builds a window from borrowed samples (oldest first).
     pub fn from_samples(schema: Schema, samples: &[&Sample]) -> Self {
+        Window::from_iter(schema, samples.iter().copied())
+    }
+
+    /// Builds a window by draining an iterator of borrowed samples (oldest
+    /// first) — the allocation-minimal construction path used by
+    /// [`SeriesStore::baseline_current`] and [`Window::from_store`], which
+    /// borrow straight from the store's ring buffer.
+    pub fn from_iter<'a>(schema: Schema, samples: impl IntoIterator<Item = &'a Sample>) -> Self {
+        let samples = samples.into_iter();
         let width = schema.len();
-        let mut columns = vec![Vec::with_capacity(samples.len()); width];
-        let mut ticks = Vec::with_capacity(samples.len());
+        let hint = samples.size_hint().0;
+        let mut columns = vec![Vec::with_capacity(hint); width];
+        let mut ticks = Vec::with_capacity(hint);
         for sample in samples {
             debug_assert_eq!(sample.width(), width);
             ticks.push(sample.tick());
@@ -58,7 +68,11 @@ impl Window {
                 column.push(sample.values()[c]);
             }
         }
-        Window { schema, ticks, columns }
+        Window {
+            schema,
+            ticks,
+            columns,
+        }
     }
 
     /// Builds a window from a store according to `spec`.
@@ -70,8 +84,10 @@ impl Window {
         }
         let total = store.len();
         let start = total - spec.offset - spec.len;
-        let samples: Vec<&Sample> = store.iter().skip(start).take(spec.len).collect();
-        Some(Window::from_samples(store.schema().clone(), &samples))
+        Some(Window::from_iter(
+            store.schema().clone(),
+            store.iter().skip(start).take(spec.len),
+        ))
     }
 
     /// Number of rows (samples) in the window.

@@ -51,12 +51,21 @@ impl ArrivalProcess {
     pub fn mean_rate(&self, tick: u64) -> f64 {
         match self {
             ArrivalProcess::Constant { rate } | ArrivalProcess::Poisson { rate } => *rate,
-            ArrivalProcess::Diurnal { base, amplitude, period_ticks } => {
+            ArrivalProcess::Diurnal {
+                base,
+                amplitude,
+                period_ticks,
+            } => {
                 let period = (*period_ticks).max(1) as f64;
                 let phase = 2.0 * std::f64::consts::PI * (tick as f64 % period) / period;
                 (base + amplitude * phase.sin()).max(0.0)
             }
-            ArrivalProcess::Surge { base, factor, surge_start, surge_end } => {
+            ArrivalProcess::Surge {
+                base,
+                factor,
+                surge_start,
+                surge_end,
+            } => {
                 if tick >= *surge_start && tick < *surge_end {
                     base * factor
                 } else {
@@ -141,19 +150,32 @@ mod tests {
 
     #[test]
     fn diurnal_pattern_peaks_and_troughs() {
-        let p = ArrivalProcess::Diurnal { base: 50.0, amplitude: 30.0, period_ticks: 86_400 };
+        let p = ArrivalProcess::Diurnal {
+            base: 50.0,
+            amplitude: 30.0,
+            period_ticks: 86_400,
+        };
         let peak = p.mean_rate(86_400 / 4);
         let trough = p.mean_rate(3 * 86_400 / 4);
         assert!((peak - 80.0).abs() < 1.0);
         assert!((trough - 20.0).abs() < 1.0);
         // Never negative even with amplitude > base.
-        let extreme = ArrivalProcess::Diurnal { base: 10.0, amplitude: 50.0, period_ticks: 100 };
+        let extreme = ArrivalProcess::Diurnal {
+            base: 10.0,
+            amplitude: 50.0,
+            period_ticks: 100,
+        };
         assert_eq!(extreme.mean_rate(75), 0.0);
     }
 
     #[test]
     fn surge_multiplies_rate_inside_window_only() {
-        let p = ArrivalProcess::Surge { base: 40.0, factor: 5.0, surge_start: 100, surge_end: 200 };
+        let p = ArrivalProcess::Surge {
+            base: 40.0,
+            factor: 5.0,
+            surge_start: 100,
+            surge_end: 200,
+        };
         assert_eq!(p.mean_rate(50), 40.0);
         assert_eq!(p.mean_rate(150), 200.0);
         assert_eq!(p.mean_rate(200), 40.0);

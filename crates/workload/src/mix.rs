@@ -21,7 +21,10 @@ impl WorkloadMix {
         assert!(total > 0.0, "workload mix must have positive total weight");
         WorkloadMix {
             name: name.into(),
-            weights: weights.into_iter().map(|(k, w)| (k, w.max(0.0) / total)).collect(),
+            weights: weights
+                .into_iter()
+                .map(|(k, w)| (k, w.max(0.0) / total))
+                .collect(),
         }
     }
 
@@ -92,7 +95,11 @@ impl WorkloadMix {
 
     /// Probability of one request kind (0.0 when absent).
     pub fn probability(&self, kind: RequestKind) -> f64 {
-        self.weights.iter().find(|(k, _)| *k == kind).map(|(_, w)| *w).unwrap_or(0.0)
+        self.weights
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, w)| *w)
+            .unwrap_or(0.0)
     }
 
     /// The fraction of requests that write to the database.
@@ -106,10 +113,7 @@ impl WorkloadMix {
 
     /// Expected database demand (ms) of one request drawn from the mix.
     pub fn expected_db_demand_ms(&self) -> f64 {
-        self.weights
-            .iter()
-            .map(|(k, w)| k.demand().db_ms * w)
-            .sum()
+        self.weights.iter().map(|(k, w)| k.demand().db_ms * w).sum()
     }
 
     /// Samples a request kind.
@@ -133,7 +137,11 @@ mod tests {
 
     #[test]
     fn standard_mixes_are_normalized() {
-        for mix in [WorkloadMix::browsing(), WorkloadMix::bidding(), WorkloadMix::write_heavy()] {
+        for mix in [
+            WorkloadMix::browsing(),
+            WorkloadMix::bidding(),
+            WorkloadMix::write_heavy(),
+        ] {
             let total: f64 = mix.probabilities().iter().map(|(_, w)| w).sum();
             assert!((total - 1.0).abs() < 1e-12, "{}", mix.name());
         }
@@ -143,7 +151,10 @@ mod tests {
     fn browsing_mix_has_no_writes_and_bidding_mix_does() {
         assert_eq!(WorkloadMix::browsing().write_fraction(), 0.0);
         let bidding = WorkloadMix::bidding().write_fraction();
-        assert!(bidding > 0.1 && bidding < 0.3, "bidding write fraction {bidding}");
+        assert!(
+            bidding > 0.1 && bidding < 0.3,
+            "bidding write fraction {bidding}"
+        );
         assert!(WorkloadMix::write_heavy().write_fraction() > 0.5);
     }
 

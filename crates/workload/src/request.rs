@@ -94,7 +94,10 @@ impl RequestKind {
 
     /// Stable numeric code (its index in [`RequestKind::ALL`]).
     pub fn code(self) -> usize {
-        RequestKind::ALL.iter().position(|k| *k == self).expect("kind in ALL")
+        RequestKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("kind in ALL")
     }
 
     /// Whether the interaction writes to the database.
@@ -110,17 +113,83 @@ impl RequestKind {
     /// to the database, and `AboutMe` is the heavyweight multi-join page.
     pub fn demand(self) -> TierDemand {
         match self {
-            RequestKind::Home => TierDemand { web_ms: 2.0, app_ms: 1.0, db_ms: 0.5, db_rows: 1.0, writes: false },
-            RequestKind::Browse => TierDemand { web_ms: 3.0, app_ms: 4.0, db_ms: 8.0, db_rows: 40.0, writes: false },
-            RequestKind::Search => TierDemand { web_ms: 3.0, app_ms: 5.0, db_ms: 12.0, db_rows: 80.0, writes: false },
-            RequestKind::ViewItem => TierDemand { web_ms: 2.0, app_ms: 3.0, db_ms: 6.0, db_rows: 15.0, writes: false },
-            RequestKind::ViewUser => TierDemand { web_ms: 2.0, app_ms: 3.0, db_ms: 7.0, db_rows: 20.0, writes: false },
-            RequestKind::Bid => TierDemand { web_ms: 3.0, app_ms: 8.0, db_ms: 10.0, db_rows: 12.0, writes: true },
-            RequestKind::Buy => TierDemand { web_ms: 3.0, app_ms: 7.0, db_ms: 9.0, db_rows: 10.0, writes: true },
-            RequestKind::Sell => TierDemand { web_ms: 4.0, app_ms: 9.0, db_ms: 11.0, db_rows: 8.0, writes: true },
-            RequestKind::Register => TierDemand { web_ms: 3.0, app_ms: 5.0, db_ms: 6.0, db_rows: 4.0, writes: true },
-            RequestKind::Login => TierDemand { web_ms: 2.0, app_ms: 3.0, db_ms: 3.0, db_rows: 2.0, writes: false },
-            RequestKind::AboutMe => TierDemand { web_ms: 4.0, app_ms: 10.0, db_ms: 20.0, db_rows: 150.0, writes: false },
+            RequestKind::Home => TierDemand {
+                web_ms: 2.0,
+                app_ms: 1.0,
+                db_ms: 0.5,
+                db_rows: 1.0,
+                writes: false,
+            },
+            RequestKind::Browse => TierDemand {
+                web_ms: 3.0,
+                app_ms: 4.0,
+                db_ms: 8.0,
+                db_rows: 40.0,
+                writes: false,
+            },
+            RequestKind::Search => TierDemand {
+                web_ms: 3.0,
+                app_ms: 5.0,
+                db_ms: 12.0,
+                db_rows: 80.0,
+                writes: false,
+            },
+            RequestKind::ViewItem => TierDemand {
+                web_ms: 2.0,
+                app_ms: 3.0,
+                db_ms: 6.0,
+                db_rows: 15.0,
+                writes: false,
+            },
+            RequestKind::ViewUser => TierDemand {
+                web_ms: 2.0,
+                app_ms: 3.0,
+                db_ms: 7.0,
+                db_rows: 20.0,
+                writes: false,
+            },
+            RequestKind::Bid => TierDemand {
+                web_ms: 3.0,
+                app_ms: 8.0,
+                db_ms: 10.0,
+                db_rows: 12.0,
+                writes: true,
+            },
+            RequestKind::Buy => TierDemand {
+                web_ms: 3.0,
+                app_ms: 7.0,
+                db_ms: 9.0,
+                db_rows: 10.0,
+                writes: true,
+            },
+            RequestKind::Sell => TierDemand {
+                web_ms: 4.0,
+                app_ms: 9.0,
+                db_ms: 11.0,
+                db_rows: 8.0,
+                writes: true,
+            },
+            RequestKind::Register => TierDemand {
+                web_ms: 3.0,
+                app_ms: 5.0,
+                db_ms: 6.0,
+                db_rows: 4.0,
+                writes: true,
+            },
+            RequestKind::Login => TierDemand {
+                web_ms: 2.0,
+                app_ms: 3.0,
+                db_ms: 3.0,
+                db_rows: 2.0,
+                writes: false,
+            },
+            RequestKind::AboutMe => TierDemand {
+                web_ms: 4.0,
+                app_ms: 10.0,
+                db_ms: 20.0,
+                db_rows: 150.0,
+                writes: false,
+            },
         }
     }
 }
@@ -145,7 +214,11 @@ pub struct Request {
 impl Request {
     /// Creates a request.
     pub fn new(id: u64, kind: RequestKind, arrival_tick: u64) -> Self {
-        Request { id, kind, arrival_tick }
+        Request {
+            id,
+            kind,
+            arrival_tick,
+        }
     }
 }
 

@@ -36,7 +36,12 @@ impl StimulationPhase {
         arrivals: ArrivalProcess,
         duration_ticks: u64,
     ) -> Self {
-        StimulationPhase { name: name.into(), mix, arrivals, duration_ticks: duration_ticks.max(1) }
+        StimulationPhase {
+            name: name.into(),
+            mix,
+            arrivals,
+            duration_ticks: duration_ticks.max(1),
+        }
     }
 }
 

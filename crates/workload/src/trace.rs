@@ -126,7 +126,10 @@ mod tests {
         assert!(browsing.iter().all(|r| !r.kind.is_write()));
         g.set_mix(WorkloadMix::write_heavy());
         let writes: usize = g.tick(1).iter().filter(|r| r.kind.is_write()).count();
-        assert!(writes > 10, "write-heavy mix should produce many writes, got {writes}");
+        assert!(
+            writes > 10,
+            "write-heavy mix should produce many writes, got {writes}"
+        );
     }
 
     #[test]

@@ -10,7 +10,10 @@ use selfheal_bench as bench;
 
 fn main() {
     let table = bench::table2_approach_comparison(
-        bench::ExperimentScale { comparison_ticks: 1200, ..bench::ExperimentScale::quick() },
+        bench::ExperimentScale {
+            comparison_ticks: 1200,
+            ..bench::ExperimentScale::quick()
+        },
         11,
     );
     println!("{}", table.to_text());

@@ -20,7 +20,11 @@ fn main() {
     let catalog = FixCatalog::standard();
 
     println!("training FixSym with three different synopses on recurring Table 1 failures\n");
-    for kind in [SynopsisKind::AdaBoost(60), SynopsisKind::NearestNeighbor, SynopsisKind::KMeans] {
+    for kind in [
+        SynopsisKind::AdaBoost(60),
+        SynopsisKind::NearestNeighbor,
+        SynopsisKind::KMeans,
+    ] {
         let mut engine = FixSymEngine::new(kind);
         let mut attempts_per_block = Vec::new();
         let mut block_attempts = 0usize;
@@ -40,7 +44,10 @@ fn main() {
         }
 
         println!("synopsis = {}", kind.label());
-        println!("  mean fix attempts per failure, in blocks of 15 failures: {:?}", attempts_per_block);
+        println!(
+            "  mean fix attempts per failure, in blocks of 15 failures: {:?}",
+            attempts_per_block
+        );
         println!(
             "  correct fixes learned = {}, escalations = {}, training ops = {}",
             engine.synopsis().correct_fixes_learned(),

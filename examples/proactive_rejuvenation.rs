@@ -8,9 +8,9 @@
 //! ```
 
 use selfheal::faults::{FaultKind, FaultTarget, InjectionPlanBuilder};
+use selfheal::healing::control;
 use selfheal::healing::harness::{PolicyChoice, SelfHealingService};
 use selfheal::healing::synopsis::SynopsisKind;
-use selfheal::healing::control;
 use selfheal::sim::ServiceConfig;
 use selfheal::telemetry::Value;
 
@@ -22,7 +22,10 @@ fn main() {
 
     let policies = [
         ("no healing", PolicyChoice::None),
-        ("reactive hybrid", PolicyChoice::Hybrid(SynopsisKind::NearestNeighbor)),
+        (
+            "reactive hybrid",
+            PolicyChoice::Hybrid(SynopsisKind::NearestNeighbor),
+        ),
         ("proactive", PolicyChoice::Proactive),
     ];
 

@@ -16,8 +16,18 @@ fn main() {
     // Schedule two failures from Table 1 of the paper: a starved database
     // buffer pool and an EJB that starts throwing unhandled exceptions.
     let injections = InjectionPlanBuilder::new(config.ejb_count, config.table_count, 1)
-        .inject(120, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.9)
-        .inject(700, FaultKind::UnhandledException, FaultTarget::Ejb { index: 1 }, 0.9)
+        .inject(
+            120,
+            FaultKind::BufferContention,
+            FaultTarget::DatabaseTier,
+            0.9,
+        )
+        .inject(
+            700,
+            FaultKind::UnhandledException,
+            FaultTarget::Ejb { index: 1 },
+            0.9,
+        )
         .build();
 
     println!("== no self-healing ==");

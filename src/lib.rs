@@ -12,10 +12,14 @@
 //! * [`learn`] — from-scratch ML substrate (kNN, k-means, AdaBoost, ...).
 //! * [`diagnosis`] — anomaly / correlation / bottleneck diagnosis and the
 //!   manual rule baseline.
-//! * [`healing`] — FixSym, synopses, hybrid and proactive policies, the
-//!   healing-loop harness (the paper's contribution).
+//! * [`healing`] — FixSym, synopses (private and fleet-shared), hybrid and
+//!   proactive policies, the healing-loop harness (the paper's
+//!   contribution).
+//! * [`fleet`] — the fleet engine: N independently-seeded replicas on
+//!   parallel worker threads, coordinating through one shared synopsis so
+//!   every instance benefits from failures any sibling already healed.
 //!
-//! ## Quickstart
+//! ## Quickstart: one service
 //!
 //! ```
 //! use selfheal::healing::harness::{PolicyChoice, SelfHealingService};
@@ -33,6 +37,25 @@
 //!     .run(300);
 //! assert!(outcome.fixes_initiated >= 1);
 //! ```
+//!
+//! ## Quickstart: a fleet with shared learning
+//!
+//! ```
+//! use selfheal::fleet::{FleetConfig, LearningTopology};
+//! use selfheal::healing::harness::PolicyChoice;
+//! use selfheal::healing::synopsis::SynopsisKind;
+//! use selfheal::sim::ServiceConfig;
+//!
+//! let outcome = FleetConfig::builder()
+//!     .service(ServiceConfig::tiny())
+//!     .replicas(8)
+//!     .ticks(150)
+//!     .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+//!     .topology(LearningTopology::shared())
+//!     .run();
+//! assert_eq!(outcome.replicas().len(), 8);
+//! assert!(outcome.goodput_fraction() > 0.9);
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -40,6 +63,7 @@
 pub use selfheal_core as healing;
 pub use selfheal_diagnosis as diagnosis;
 pub use selfheal_faults as faults;
+pub use selfheal_fleet as fleet;
 pub use selfheal_learn as learn;
 pub use selfheal_sim as sim;
 pub use selfheal_telemetry as telemetry;

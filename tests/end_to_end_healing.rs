@@ -9,9 +9,24 @@ use selfheal::sim::ServiceConfig;
 fn scenario(policy: PolicyChoice, ticks: u64) -> selfheal::sim::ScenarioOutcome {
     let config = ServiceConfig::tiny();
     let injections = InjectionPlanBuilder::new(config.ejb_count, config.table_count, 1)
-        .inject(60, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.9)
-        .inject(500, FaultKind::UnhandledException, FaultTarget::Ejb { index: 1 }, 0.9)
-        .inject(940, FaultKind::SuboptimalQueryPlan, FaultTarget::Table { index: 0 }, 0.9)
+        .inject(
+            60,
+            FaultKind::BufferContention,
+            FaultTarget::DatabaseTier,
+            0.9,
+        )
+        .inject(
+            500,
+            FaultKind::UnhandledException,
+            FaultTarget::Ejb { index: 1 },
+            0.9,
+        )
+        .inject(
+            940,
+            FaultKind::SuboptimalQueryPlan,
+            FaultTarget::Table { index: 0 },
+            0.9,
+        )
         .build();
     SelfHealingService::builder()
         .config(config)
@@ -28,18 +43,29 @@ fn unhealed_service_stays_broken_and_healed_service_recovers() {
 
     // Without healing the first fault never goes away, so most of the run is
     // spent in violation; with the hybrid policy the violations are short.
-    assert!(unhealed.violation_fraction > 0.5, "unhealed {}", unhealed.violation_fraction);
+    assert!(
+        unhealed.violation_fraction > 0.5,
+        "unhealed {}",
+        unhealed.violation_fraction
+    );
     assert!(
         healed.violation_fraction < unhealed.violation_fraction / 2.0,
         "healed {} vs unhealed {}",
         healed.violation_fraction,
         unhealed.violation_fraction
     );
-    assert!(healed.fixes_initiated >= 3, "one fix per injected failure at least");
+    assert!(
+        healed.fixes_initiated >= 3,
+        "one fix per injected failure at least"
+    );
     // Healing costs goodput while disruptive fixes are applied (restarts and
     // reboots shed in-flight requests), so goodput is only sanity-checked;
     // the figure of merit for self-healing is the SLO-violation time above.
-    assert!(healed.goodput_fraction() > 0.5, "healed goodput {}", healed.goodput_fraction());
+    assert!(
+        healed.goodput_fraction() > 0.5,
+        "healed goodput {}",
+        healed.goodput_fraction()
+    );
 
     // The detected episodes recover under the hybrid policy (the very last
     // one may still be mid-recovery when the run ends, e.g. while a slow
@@ -63,10 +89,30 @@ fn fixsym_policy_handles_recurring_failures_with_fewer_attempts_over_time() {
     let config = ServiceConfig::tiny();
     // The same failure recurs four times.
     let injections = InjectionPlanBuilder::new(config.ejb_count, config.table_count, 1)
-        .inject(60, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.9)
-        .inject(500, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.9)
-        .inject(940, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.9)
-        .inject(1380, FaultKind::BufferContention, FaultTarget::DatabaseTier, 0.9)
+        .inject(
+            60,
+            FaultKind::BufferContention,
+            FaultTarget::DatabaseTier,
+            0.9,
+        )
+        .inject(
+            500,
+            FaultKind::BufferContention,
+            FaultTarget::DatabaseTier,
+            0.9,
+        )
+        .inject(
+            940,
+            FaultKind::BufferContention,
+            FaultTarget::DatabaseTier,
+            0.9,
+        )
+        .inject(
+            1380,
+            FaultKind::BufferContention,
+            FaultTarget::DatabaseTier,
+            0.9,
+        )
         .build();
     let outcome = SelfHealingService::builder()
         .config(config)
@@ -76,9 +122,23 @@ fn fixsym_policy_handles_recurring_failures_with_fewer_attempts_over_time() {
         .run(1800);
 
     let episodes = outcome.recovery.episodes();
-    assert!(episodes.len() >= 3, "expected several episodes, got {}", episodes.len());
+    assert!(
+        episodes.len() >= 3,
+        "expected several episodes, got {}",
+        episodes.len()
+    );
     let first_attempts = episodes.first().unwrap().fixes_attempted.len();
-    let last = episodes.iter().rev().find(|e| e.recovery_ticks().is_some()).unwrap();
+    // Brief SLO flaps can open (and close) unrelated episodes around the
+    // real injections; judge the synopsis by the last recovered episode that
+    // was actually caused by the injected fault (ground truth is recorded on
+    // the episode for exactly this kind of scoring).
+    let last = episodes
+        .iter()
+        .rev()
+        .find(|e| {
+            e.recovery_ticks().is_some() && e.primary_fault() == Some(FaultKind::BufferContention)
+        })
+        .unwrap();
     assert!(
         last.fixes_attempted.len() <= first_attempts,
         "the learned synopsis should not need more attempts than the first encounter \
@@ -86,9 +146,14 @@ fn fixsym_policy_handles_recurring_failures_with_fewer_attempts_over_time() {
         last.fixes_attempted.len()
     );
     // Later episodes should not escalate to a full restart.
-    assert!(!last.escalated, "a learned recurring failure must not require escalation");
     assert!(
-        last.fixes_attempted.iter().any(|f| f.kind == FixKind::RepartitionMemory),
+        !last.escalated,
+        "a learned recurring failure must not require escalation"
+    );
+    assert!(
+        last.fixes_attempted
+            .iter()
+            .any(|f| f.kind == FixKind::RepartitionMemory),
         "the learned fix should be the catalog fix for buffer contention"
     );
 }
@@ -100,15 +165,19 @@ fn manual_rules_escalate_on_failures_outside_their_rule_base() {
     // weaknesses of static rules the paper lists in Section 3).
     let config = ServiceConfig::tiny();
     let injections = InjectionPlanBuilder::new(config.ejb_count, config.table_count, 1)
-        .inject(60, FaultKind::NetworkPartition, FaultTarget::WholeService, 0.9)
+        .inject(
+            60,
+            FaultKind::NetworkPartition,
+            FaultTarget::WholeService,
+            0.9,
+        )
         .build();
     let outcome = SelfHealingService::builder()
         .config(config)
         .injections(injections)
         .policy(PolicyChoice::ManualRules)
         .seed(31)
-        .run(700)
-        ;
+        .run(700);
     assert!(outcome.fixes_initiated >= 1);
     assert!(
         outcome.recovery.escalation_fraction() > 0.0,

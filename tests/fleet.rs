@@ -1,0 +1,191 @@
+//! Fleet-level integration tests: determinism of replica streams and the
+//! value of fleet-shared learning.
+
+use selfheal::faults::{FaultKind, FaultTarget, InjectionPlanBuilder};
+use selfheal::fleet::{ExecutionMode, FleetConfig, LearningTopology};
+use selfheal::healing::harness::{PolicyChoice, SelfHealingService};
+use selfheal::healing::synopsis::SynopsisKind;
+use selfheal::sim::ServiceConfig;
+use selfheal::workload::{ArrivalProcess, WorkloadMix};
+
+fn fleet(replicas: usize, ticks: u64) -> FleetConfig {
+    FleetConfig::builder()
+        .service(ServiceConfig::tiny())
+        .workload(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+        )
+        .replicas(replicas)
+        .ticks(ticks)
+        .base_seed(77)
+        .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+        .injections_per_replica(|replica| {
+            InjectionPlanBuilder::new(4, 3, 1)
+                .inject(
+                    30 + 10 * replica as u64,
+                    FaultKind::BufferContention,
+                    FaultTarget::DatabaseTier,
+                    0.9,
+                )
+                .build()
+        })
+}
+
+/// The same seed must reproduce a scenario bit-for-bit: every metric value,
+/// every episode, every counter.
+#[test]
+fn same_seed_gives_byte_identical_scenario_outcomes() {
+    let run = || {
+        SelfHealingService::builder()
+            .config(ServiceConfig::tiny())
+            .injections(
+                InjectionPlanBuilder::new(4, 3, 1)
+                    .inject(
+                        40,
+                        FaultKind::BufferContention,
+                        FaultTarget::DatabaseTier,
+                        0.9,
+                    )
+                    .build(),
+            )
+            .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+            .seed(23)
+            .run(300)
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    // A different seed must actually change the run, or the fingerprint
+    // would be vacuous.
+    let c = SelfHealingService::builder()
+        .config(ServiceConfig::tiny())
+        .injections(
+            InjectionPlanBuilder::new(4, 3, 1)
+                .inject(
+                    40,
+                    FaultKind::BufferContention,
+                    FaultTarget::DatabaseTier,
+                    0.9,
+                )
+                .build(),
+        )
+        .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+        .seed(24)
+        .run(300);
+    assert_ne!(a.fingerprint(), c.fingerprint());
+}
+
+/// Two isolated fleet runs with the same base seed agree replica-by-replica.
+#[test]
+fn same_seed_gives_byte_identical_fleet_outcomes() {
+    let a = fleet(3, 250).run();
+    let b = fleet(3, 250).run();
+    assert_eq!(a.fingerprints(), b.fingerprints());
+}
+
+/// With isolated learning, replica `i`'s outcome is a pure function of
+/// `(base_seed, i)` — growing the fleet or changing the thread count must
+/// not change what an existing replica experiences.
+#[test]
+fn replica_outcomes_are_independent_of_fleet_size_and_interleaving() {
+    let small = fleet(2, 250)
+        .mode(ExecutionMode::Parallel { threads: Some(2) })
+        .run();
+    let large = fleet(5, 250)
+        .mode(ExecutionMode::Parallel { threads: Some(3) })
+        .run();
+    let interleaved = fleet(5, 250).mode(ExecutionMode::Sequential).run();
+
+    let small_prints = small.fingerprints();
+    let large_prints = large.fingerprints();
+    let interleaved_prints = interleaved.fingerprints();
+    assert_eq!(
+        small_prints[..2],
+        large_prints[..2],
+        "fleet size must not leak into replicas"
+    );
+    assert_eq!(
+        large_prints, interleaved_prints,
+        "thread interleaving must not leak either"
+    );
+}
+
+/// The paper's fleet-scaling argument, end to end: after replica 0 has
+/// healed a fault kind, a replica meeting the same kind later recovers with
+/// fewer trial-and-error attempts when the synopsis is shared than when
+/// every replica learns alone.
+#[test]
+fn shared_synopsis_warm_starts_later_replicas() {
+    let staggered = |replica: usize| {
+        InjectionPlanBuilder::new(4, 3, 1)
+            .inject(
+                100 + 500 * replica as u64,
+                FaultKind::BufferContention,
+                FaultTarget::DatabaseTier,
+                0.9,
+            )
+            .build()
+    };
+    let build = |topology| {
+        FleetConfig::builder()
+            .service(ServiceConfig::tiny())
+            .workload(
+                WorkloadMix::bidding(),
+                ArrivalProcess::Constant { rate: 40.0 },
+            )
+            .replicas(6)
+            .ticks(100 + 500 * 6 + 400)
+            .base_seed(77)
+            .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+            .topology(topology)
+            // Tick-interleaved so "later replica" is true by construction.
+            .mode(ExecutionMode::Sequential)
+            .injections_per_replica(staggered)
+            .run()
+    };
+
+    let shared = build(LearningTopology::shared());
+    let isolated = build(LearningTopology::Isolated);
+
+    // Attempts needed for the injected episode on the warm replicas (1..6).
+    // A replica is skipped if an unrelated SLO flap was already open when
+    // its fault landed (the flap episode absorbs it without ground-truth
+    // labels); enough replicas remain for a meaningful mean.
+    let warm_attempts = |outcome: &selfheal::fleet::FleetOutcome| -> f64 {
+        let attempts: Vec<f64> = outcome.replicas()[1..]
+            .iter()
+            .filter_map(|replica| {
+                replica
+                    .outcome
+                    .recovery
+                    .episodes()
+                    .iter()
+                    .find(|e| e.primary_fault() == Some(FaultKind::BufferContention))
+                    .map(|e| e.fixes_attempted.len() as f64)
+            })
+            .collect();
+        assert!(
+            attempts.len() >= 3,
+            "too few labelled warm episodes: {}",
+            attempts.len()
+        );
+        attempts.iter().sum::<f64>() / attempts.len() as f64
+    };
+
+    let shared_attempts = warm_attempts(&shared);
+    let isolated_attempts = warm_attempts(&isolated);
+    assert!(
+        shared_attempts < isolated_attempts,
+        "shared learning must cut warm-replica trial-and-error: shared {shared_attempts} vs \
+         isolated {isolated_attempts}"
+    );
+
+    // The shared model saw every replica's episodes.
+    let synopsis = shared
+        .shared_synopsis()
+        .expect("shared topology exposes the synopsis");
+    assert!(
+        synopsis.correct_fixes_learned() >= 6,
+        "one success per replica at minimum, got {}",
+        synopsis.correct_fixes_learned()
+    );
+}

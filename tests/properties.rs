@@ -1,8 +1,8 @@
 //! Property-based tests over cross-crate invariants.
 
 use proptest::prelude::*;
-use selfheal::faults::{FaultId, FaultKind, FaultSpec, FixAction, FixCatalog, FixKind};
 use selfheal::faults::injection::default_target;
+use selfheal::faults::{FaultId, FaultKind, FaultSpec, FixAction, FixCatalog, FixKind};
 use selfheal::learn::{Classifier, Dataset, Example, NearestNeighbor};
 use selfheal::sim::{MultiTierService, ServiceConfig};
 use selfheal::telemetry::{Sample, SeriesStore};
