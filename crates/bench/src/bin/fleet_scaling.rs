@@ -15,8 +15,27 @@
 //!    replica has healed it should recover in fewer attempts (and no more
 //!    ticks) when the synopsis is shared.
 
-use selfheal_bench::fleet::{cold_start_comparison, scaling_curve, ColdStartReport, ScalingPoint};
+//! ## CLI
+//!
+//! ```text
+//! fleet_scaling                       # full-scale experiments (JSON to stdout + results/)
+//! fleet_scaling --smoke               # reduced 4-replica pass for CI
+//! fleet_scaling --record trace.jsonl  # capture replica 0's workload, then run the smoke fleet
+//! fleet_scaling --replay trace.jsonl  # replay the trace across the fleet; verifies replica 0
+//!                                     # is byte-identical to the synthetic run it recorded
+//! fleet_scaling --replicas N --ticks T  # override the smoke fleet's size
+//! ```
+
+use selfheal_bench::fleet::{
+    cold_start_comparison, scaling_curve, smoke_fleet, smoke_workload, ColdStartReport,
+    ScalingPoint,
+};
+use selfheal_core::harness::WorkloadChoice;
+use selfheal_sim::seeds::{split_seed, SeedStream};
+use selfheal_workload::{RecordedTrace, ReplayMode};
 use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::exit;
 
 fn json_f64(value: f64) -> String {
     if value.is_finite() {
@@ -77,7 +96,187 @@ fn cold_start_json(report: &ColdStartReport) -> String {
     )
 }
 
+/// Command-line options; anything beyond the full default run selects the
+/// reduced smoke path.
+struct Args {
+    smoke: bool,
+    record: Option<PathBuf>,
+    replay: Option<PathBuf>,
+    replicas: Option<usize>,
+    ticks: Option<u64>,
+}
+
+impl Args {
+    /// Whether any flag asked for the reduced smoke path instead of the
+    /// full-scale experiment suite.
+    fn wants_smoke(&self) -> bool {
+        self.smoke
+            || self.record.is_some()
+            || self.replay.is_some()
+            || self.replicas.is_some()
+            || self.ticks.is_some()
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        record: None,
+        replay: None,
+        replicas: None,
+        ticks: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    let missing = |flag: &str| -> ! {
+        eprintln!("fleet_scaling: {flag} needs a value");
+        exit(2);
+    };
+    fn numeric<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+        let Some(value) = value else {
+            eprintln!("fleet_scaling: {flag} needs a value");
+            exit(2);
+        };
+        value.parse().unwrap_or_else(|_| {
+            eprintln!("fleet_scaling: {flag} needs a number, got \"{value}\"");
+            exit(2);
+        })
+    }
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--record" => {
+                args.record = Some(PathBuf::from(
+                    argv.next().unwrap_or_else(|| missing("--record")),
+                ))
+            }
+            "--replay" => {
+                args.replay = Some(PathBuf::from(
+                    argv.next().unwrap_or_else(|| missing("--replay")),
+                ))
+            }
+            "--replicas" => args.replicas = Some(numeric("--replicas", argv.next())),
+            "--ticks" => args.ticks = Some(numeric("--ticks", argv.next())),
+            other => {
+                eprintln!(
+                    "fleet_scaling: unknown argument {other}\n\
+                     usage: fleet_scaling [--smoke] [--record PATH] [--replay PATH] \
+                     [--replicas N] [--ticks T]"
+                );
+                exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Reduced pass for CI and the record/replay quickstart: one scaling point
+/// and a small cold-start comparison (so every JSON emitter runs), plus the
+/// smoke fleet itself with optional trace capture/replay.
+fn run_smoke(args: &Args) {
+    let base_seed = 42u64;
+    let replicas = args.replicas.unwrap_or(4).max(1);
+    let mut ticks = args.ticks.unwrap_or(400).max(40);
+
+    let workload = match &args.replay {
+        Some(path) => {
+            let trace = RecordedTrace::load(path).unwrap_or_else(|err| {
+                eprintln!("fleet_scaling: cannot load {}: {err}", path.display());
+                exit(1);
+            });
+            // A truncate-mode replay past the end of the trace would go
+            // quiet (and fail the byte-identity check for the wrong
+            // reason), so the run is clamped to the recorded length.
+            if (trace.len() as u64) < ticks {
+                eprintln!(
+                    "fleet_scaling: trace holds {} ticks, clamping the run from {ticks}",
+                    trace.len()
+                );
+                ticks = trace.len() as u64;
+            }
+            eprintln!(
+                "fleet_scaling: replaying {} ticks / {} requests from {}",
+                trace.len(),
+                trace.total_requests(),
+                path.display()
+            );
+            WorkloadChoice::replay(trace, ReplayMode::Truncate, 0)
+        }
+        None => smoke_workload(),
+    };
+
+    if let Some(path) = &args.record {
+        let mut source =
+            workload.source_for_replica(split_seed(base_seed, 0, SeedStream::Workload), 0);
+        let trace = RecordedTrace::capture(source.as_mut(), ticks);
+        if let Err(err) = trace.save(path) {
+            eprintln!("fleet_scaling: cannot write {}: {err}", path.display());
+            exit(1);
+        }
+        eprintln!(
+            "fleet_scaling: recorded {} ticks / {} requests to {}",
+            trace.len(),
+            trace.total_requests(),
+            path.display()
+        );
+    }
+
+    eprintln!("fleet_scaling: smoke fleet ({replicas} replicas x {ticks} ticks)");
+    let outcome = smoke_fleet(replicas, ticks, base_seed, workload.clone()).run();
+    let fingerprints = outcome.fingerprints();
+
+    // A replayed trace must reproduce the synthetic run it was recorded
+    // from: replica 0 (phase 0) is byte-identical by construction.
+    let replay_identical = args.replay.as_ref().map(|_| {
+        let synthetic = smoke_fleet(1, ticks, base_seed, smoke_workload()).run();
+        let identical = fingerprints[0] == synthetic.fingerprints()[0];
+        eprintln!(
+            "  replica 0 fingerprint {:#018x} vs synthetic {:#018x} -> byte_identical={identical}",
+            fingerprints[0],
+            synthetic.fingerprints()[0]
+        );
+        identical
+    });
+
+    eprintln!("fleet_scaling: smoke scaling point + cold start (JSON emitter check)");
+    let points = scaling_curve(&[replicas], ticks, base_seed);
+    let cold = cold_start_comparison(3, base_seed);
+
+    let fingerprint_json = fingerprints
+        .iter()
+        .map(|f| format!("\"{f:#018x}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"mode\": \"smoke\",\n  \"replicas\": {replicas},\n  \"ticks\": {ticks},\n  \
+         \"workload\": \"{}\",\n  \"goodput\": {},\n  \"throughput_ticks_per_s\": {},\n  \
+         \"total_fixes\": {},\n  \"episodes\": {},\n  \"fingerprints\": [{fingerprint_json}],\n  \
+         \"replay_byte_identical\": {},\n  \"scaling\": {},\n  \"cold_start\": {}\n}}",
+        workload.label(),
+        json_f64(outcome.goodput_fraction()),
+        json_f64(outcome.throughput_ticks_per_sec()),
+        outcome.total_fixes_initiated(),
+        outcome.total_episodes(),
+        replay_identical
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+        scaling_json(&points),
+        cold_start_json(&cold),
+    );
+    println!("{json}");
+
+    if replay_identical == Some(false) {
+        eprintln!("fleet_scaling: replay diverged from the synthetic run");
+        exit(1);
+    }
+}
+
 fn main() {
+    let args = parse_args();
+    if args.wants_smoke() {
+        run_smoke(&args);
+        return;
+    }
+
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

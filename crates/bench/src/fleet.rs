@@ -4,7 +4,7 @@
 //! Used by the `fleet_scaling` binary (full scale, JSON output) and the
 //! `fleet_scaling` Criterion bench (reduced scale).
 
-use selfheal_core::harness::PolicyChoice;
+use selfheal_core::harness::{PolicyChoice, WorkloadChoice};
 use selfheal_core::synopsis::SynopsisKind;
 use selfheal_faults::{FaultKind, FaultTarget, InjectionPlanBuilder};
 use selfheal_fleet::{ExecutionMode, FleetConfig, FleetOutcome, LearningTopology};
@@ -44,7 +44,7 @@ impl ScalingPoint {
 fn scaling_fleet(replicas: usize, ticks: u64, seed: u64) -> FleetConfig {
     FleetConfig::builder()
         .service(ServiceConfig::tiny())
-        .workload(
+        .synthetic_workload(
             WorkloadMix::bidding(),
             ArrivalProcess::Constant { rate: 40.0 },
         )
@@ -65,6 +65,45 @@ fn scaling_fleet(replicas: usize, ticks: u64, seed: u64) -> FleetConfig {
         )
         // The scaling runs only need aggregate counters, not full metric
         // history; a small ring keeps 32 × 5000-tick fleets lean.
+        .series_capacity(512)
+}
+
+/// The synthetic workload the smoke fleet runs — and the one its
+/// record/replay quickstart captures to a JSON-lines trace.
+pub fn smoke_workload() -> WorkloadChoice {
+    WorkloadChoice::synthetic(
+        WorkloadMix::bidding(),
+        ArrivalProcess::Constant { rate: 40.0 },
+    )
+}
+
+/// A small FixSym fleet (tiny service, one mid-run buffer-contention fault,
+/// isolated learning) under an arbitrary workload choice — the config the
+/// `fleet_scaling` binary's `--smoke` / `--record` / `--replay` modes run,
+/// sized so CI can afford it.
+pub fn smoke_fleet(
+    replicas: usize,
+    ticks: u64,
+    seed: u64,
+    workload: WorkloadChoice,
+) -> FleetConfig {
+    FleetConfig::builder()
+        .service(ServiceConfig::tiny())
+        .workload(workload)
+        .replicas(replicas)
+        .ticks(ticks)
+        .base_seed(seed)
+        .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+        .injections(
+            InjectionPlanBuilder::new(4, 3, 1)
+                .inject(
+                    ticks / 4,
+                    FaultKind::BufferContention,
+                    FaultTarget::DatabaseTier,
+                    0.9,
+                )
+                .build(),
+        )
         .series_capacity(512)
 }
 
@@ -124,7 +163,7 @@ fn cold_start_fleet(replicas: usize, seed: u64, topology: LearningTopology) -> F
     let ticks = 100 + STAGGER_TICKS * replicas as u64 + 400;
     FleetConfig::builder()
         .service(ServiceConfig::tiny())
-        .workload(
+        .synthetic_workload(
             WorkloadMix::bidding(),
             ArrivalProcess::Constant { rate: 40.0 },
         )

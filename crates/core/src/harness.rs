@@ -5,6 +5,12 @@
 //! healing policy, run, and summarize.  [`SelfHealingService`] packages that
 //! assembly behind a small builder so the examples read like the experiment
 //! descriptions in the paper.
+//!
+//! Two declarative enums keep configurations data, not code:
+//! [`PolicyChoice`] names a healing policy, and [`WorkloadChoice`] names a
+//! workload shape (synthetic mix + arrivals, recorded-trace replay, or a
+//! burst storm) that can be instantiated as a fresh [`TraceSource`] for
+//! every replica of a fleet, with per-replica seeds and phase shifts.
 
 use crate::fixsym::{FixSymConfig, FixSymHealer};
 use crate::hybrid::HybridHealer;
@@ -15,8 +21,12 @@ use crate::synopsis::SynopsisKind;
 use selfheal_faults::InjectionPlan;
 use selfheal_sim::scenario::{Healer, NoHealing, ScenarioOutcome, ScenarioRunner};
 use selfheal_sim::{MultiTierService, ServiceConfig};
-use selfheal_telemetry::Schema;
-use selfheal_workload::{ArrivalProcess, TraceGenerator, WorkloadMix};
+use selfheal_telemetry::{Schema, SloTargets};
+use selfheal_workload::{
+    ArrivalProcess, BurstSource, RecordedTrace, ReplayMode, ReplaySource, TraceGenerator,
+    TraceSource, WorkloadMix,
+};
+use std::sync::Arc;
 
 /// Which healing policy drives the service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,46 +53,20 @@ impl PolicyChoice {
     /// Builds the healer this policy describes, boxed so heterogeneous
     /// policies can drive identical runners (the fleet engine and the
     /// [`SelfHealingService`] builder both construct healers through here).
-    pub fn build_healer(
-        &self,
-        schema: &Schema,
-        slo_response_ms: f64,
-        slo_error_rate: f64,
-    ) -> Box<dyn Healer> {
+    pub fn build_healer(&self, schema: &Schema, targets: SloTargets) -> Box<dyn Healer> {
         match self {
             PolicyChoice::None => Box::new(NoHealing),
-            PolicyChoice::ManualRules => Box::new(DiagnosisHealer::manual(
-                schema,
-                slo_response_ms,
-                slo_error_rate,
-            )),
-            PolicyChoice::AnomalyDetection => Box::new(DiagnosisHealer::anomaly(
-                schema,
-                slo_response_ms,
-                slo_error_rate,
-            )),
-            PolicyChoice::CorrelationAnalysis => Box::new(DiagnosisHealer::correlation(
-                schema,
-                slo_response_ms,
-                slo_error_rate,
-            )),
-            PolicyChoice::BottleneckAnalysis => Box::new(DiagnosisHealer::bottleneck(
-                schema,
-                slo_response_ms,
-                slo_error_rate,
-            )),
+            PolicyChoice::ManualRules => Box::new(DiagnosisHealer::manual(schema, targets)),
+            PolicyChoice::AnomalyDetection => Box::new(DiagnosisHealer::anomaly(schema, targets)),
+            PolicyChoice::CorrelationAnalysis => {
+                Box::new(DiagnosisHealer::correlation(schema, targets))
+            }
+            PolicyChoice::BottleneckAnalysis => {
+                Box::new(DiagnosisHealer::bottleneck(schema, targets))
+            }
             PolicyChoice::FixSym(kind) => Box::new(FixSymHealer::new(schema, *kind)),
-            PolicyChoice::Hybrid(kind) => Box::new(HybridHealer::new(
-                schema,
-                *kind,
-                slo_response_ms,
-                slo_error_rate,
-            )),
-            PolicyChoice::Proactive => Box::new(ProactiveHealer::new(
-                schema,
-                slo_response_ms,
-                slo_error_rate,
-            )),
+            PolicyChoice::Hybrid(kind) => Box::new(HybridHealer::new(schema, *kind, targets)),
+            PolicyChoice::Proactive => Box::new(ProactiveHealer::new(schema, targets)),
         }
     }
 
@@ -97,8 +81,7 @@ impl PolicyChoice {
     pub fn build_healer_shared(
         &self,
         schema: &Schema,
-        slo_response_ms: f64,
-        slo_error_rate: f64,
+        targets: SloTargets,
         shared: &SharedSynopsis,
     ) -> Box<dyn Healer> {
         match self {
@@ -107,13 +90,10 @@ impl PolicyChoice {
                 shared.clone(),
                 FixSymConfig::default(),
             )),
-            PolicyChoice::Hybrid(_) => Box::new(HybridHealer::with_learner(
-                schema,
-                shared.clone(),
-                slo_response_ms,
-                slo_error_rate,
-            )),
-            other => other.build_healer(schema, slo_response_ms, slo_error_rate),
+            PolicyChoice::Hybrid(_) => {
+                Box::new(HybridHealer::with_learner(schema, shared.clone(), targets))
+            }
+            other => other.build_healer(schema, targets),
         }
     }
 
@@ -146,12 +126,185 @@ impl PolicyChoice {
     }
 }
 
+/// Which workload shape drives the service — the workload-side mirror of
+/// [`PolicyChoice`], so benches, examples, and fleet configs stay
+/// declarative.
+///
+/// A choice is a *recipe*: [`WorkloadChoice::source_for_replica`] bakes it
+/// into a concrete [`TraceSource`] for one replica, applying the replica's
+/// seed (synthetic randomness) and phase shift (replay/burst stagger).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadChoice {
+    /// Synthetic arrivals: a [`WorkloadMix`] sampled under an
+    /// [`ArrivalProcess`] (the paper's browsing/bidding experiments).
+    Synthetic {
+        /// Distribution over request kinds.
+        mix: WorkloadMix,
+        /// Open-loop arrival model.
+        arrivals: ArrivalProcess,
+    },
+    /// Replay of a recorded trace.  Replica `i` starts `i * phase_step`
+    /// ticks into the trace (ROADMAP's per-replica phase shifts), so a
+    /// fleet spreads over the trace instead of marching in lockstep.  The
+    /// trace is behind an [`Arc`]: every replica references one allocation.
+    Replay {
+        /// The recorded trace to replay.
+        trace: Arc<RecordedTrace>,
+        /// Wrap around vs go quiet when the trace ends.
+        mode: ReplayMode,
+        /// Per-replica phase increment, in ticks (0 = all replicas aligned).
+        phase_step: u64,
+    },
+    /// Recurring flash-crowd storms on a Poisson baseline (see
+    /// [`BurstSource`]).  With `phase_step = 0` every replica's storms land
+    /// in the same tick windows (correlated flash crowds); a positive step
+    /// staggers replica `i`'s storm schedule by `i * phase_step` ticks.
+    Burst {
+        /// Distribution over request kinds.
+        mix: WorkloadMix,
+        /// Baseline requests per tick.
+        base_rate: f64,
+        /// Rate multiplier inside each storm.
+        burst_factor: f64,
+        /// Ticks between storm starts.
+        period_ticks: u64,
+        /// Ticks each storm lasts (must be shorter than the period).
+        burst_ticks: u64,
+        /// Per-replica storm-schedule offset, in ticks (0 = correlated).
+        phase_step: u64,
+    },
+}
+
+impl Default for WorkloadChoice {
+    /// The workspace-wide default: the RUBiS bidding mix at Poisson 40
+    /// requests/tick.
+    fn default() -> Self {
+        WorkloadChoice::Synthetic {
+            mix: WorkloadMix::bidding(),
+            arrivals: ArrivalProcess::Poisson { rate: 40.0 },
+        }
+    }
+}
+
+impl WorkloadChoice {
+    /// Synthetic workload shorthand.
+    pub fn synthetic(mix: WorkloadMix, arrivals: ArrivalProcess) -> Self {
+        WorkloadChoice::Synthetic { mix, arrivals }
+    }
+
+    /// Replay shorthand.
+    pub fn replay(trace: RecordedTrace, mode: ReplayMode, phase_step: u64) -> Self {
+        WorkloadChoice::Replay {
+            trace: Arc::new(trace),
+            mode,
+            phase_step,
+        }
+    }
+
+    /// Burst-storm shorthand: storms correlated across replicas
+    /// (`phase_step = 0`); see [`WorkloadChoice::burst_staggered`].
+    pub fn burst(
+        mix: WorkloadMix,
+        base_rate: f64,
+        burst_factor: f64,
+        period_ticks: u64,
+        burst_ticks: u64,
+    ) -> Self {
+        Self::burst_staggered(mix, base_rate, burst_factor, period_ticks, burst_ticks, 0)
+    }
+
+    /// Burst-storm shorthand with replica `i`'s storm schedule shifted by
+    /// `i * phase_step` ticks.
+    pub fn burst_staggered(
+        mix: WorkloadMix,
+        base_rate: f64,
+        burst_factor: f64,
+        period_ticks: u64,
+        burst_ticks: u64,
+        phase_step: u64,
+    ) -> Self {
+        WorkloadChoice::Burst {
+            mix,
+            base_rate,
+            burst_factor,
+            period_ticks,
+            burst_ticks,
+            phase_step,
+        }
+    }
+
+    /// Display label (used by bench output alongside the policy label).
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadChoice::Synthetic { mix, .. } => format!("synthetic_{}", mix.name()),
+            WorkloadChoice::Replay { mode, .. } => match mode {
+                ReplayMode::Loop => "replay_loop".to_string(),
+                ReplayMode::Truncate => "replay_truncate".to_string(),
+            },
+            WorkloadChoice::Burst { mix, .. } => format!("burst_{}", mix.name()),
+        }
+    }
+
+    /// Bakes the choice into a source for replica `replica` of a fleet.
+    ///
+    /// `seed` feeds synthetic randomness (callers split it per replica via
+    /// [`selfheal_sim::seeds::split_seed`]); the replica index drives the
+    /// deterministic phase shift of replayed traces.  Replica outcomes are
+    /// therefore a pure function of `(seed, replica)` — the fleet
+    /// determinism tests rely on this.
+    pub fn source_for_replica(&self, seed: u64, replica: u64) -> Box<dyn TraceSource> {
+        match self {
+            WorkloadChoice::Synthetic { mix, arrivals } => {
+                Box::new(TraceGenerator::new(mix.clone(), arrivals.clone(), seed))
+            }
+            WorkloadChoice::Replay {
+                trace,
+                mode,
+                phase_step,
+            } => Box::new(
+                ReplaySource::shared(Arc::clone(trace), *mode).with_phase(replica * phase_step),
+            ),
+            WorkloadChoice::Burst {
+                mix,
+                base_rate,
+                burst_factor,
+                period_ticks,
+                burst_ticks,
+                phase_step,
+            } => Box::new(
+                BurstSource::new(
+                    mix.clone(),
+                    *base_rate,
+                    *burst_factor,
+                    *period_ticks,
+                    *burst_ticks,
+                    seed,
+                )
+                .with_phase(replica * phase_step),
+            ),
+        }
+    }
+
+    /// Bakes the choice into a single (replica-0) source.
+    pub fn build_source(&self, seed: u64) -> Box<dyn TraceSource> {
+        self.source_for_replica(seed, 0)
+    }
+}
+
+/// The workload a [`SelfHealingService`] builder carries: either a
+/// declarative [`WorkloadChoice`] (instantiated with the builder's seed at
+/// run time) or a caller-supplied custom source used as-is.
+#[derive(Debug)]
+enum WorkloadSpec {
+    Choice(WorkloadChoice),
+    Custom(Box<dyn TraceSource>),
+}
+
 /// Builder/runner bundling service, workload, injections, and policy.
 #[derive(Debug)]
 pub struct SelfHealingService {
     config: ServiceConfig,
-    mix: WorkloadMix,
-    arrivals: ArrivalProcess,
+    workload: WorkloadSpec,
     injections: InjectionPlan,
     policy: PolicyChoice,
     seed: u64,
@@ -159,12 +312,12 @@ pub struct SelfHealingService {
 
 impl SelfHealingService {
     /// Starts a builder with the RUBiS-like default configuration, the
-    /// bidding mix at 40 requests/tick, no injections, and no healing.
+    /// default workload ([`WorkloadChoice::default`]: bidding mix at
+    /// Poisson 40 requests/tick), no injections, and no healing.
     pub fn builder() -> Self {
         SelfHealingService {
             config: ServiceConfig::rubis_default(),
-            mix: WorkloadMix::bidding(),
-            arrivals: ArrivalProcess::Poisson { rate: 40.0 },
+            workload: WorkloadSpec::Choice(WorkloadChoice::default()),
             injections: InjectionPlan::empty(),
             policy: PolicyChoice::None,
             seed: 42,
@@ -177,11 +330,25 @@ impl SelfHealingService {
         self
     }
 
-    /// Overrides the workload mix.
-    pub fn workload(mut self, mix: WorkloadMix, arrivals: ArrivalProcess) -> Self {
-        self.mix = mix;
-        self.arrivals = arrivals;
+    /// Drives the service with a custom [`TraceSource`] (a recorded replay,
+    /// a burst storm, or any caller-defined implementation).  The source is
+    /// used exactly as given; the builder's seed does not touch it.
+    pub fn workload(mut self, source: impl TraceSource + 'static) -> Self {
+        self.workload = WorkloadSpec::Custom(Box::new(source));
         self
+    }
+
+    /// Drives the service with a declarative [`WorkloadChoice`], which is
+    /// instantiated with the builder's seed when the run starts.
+    pub fn workload_choice(mut self, choice: WorkloadChoice) -> Self {
+        self.workload = WorkloadSpec::Choice(choice);
+        self
+    }
+
+    /// Synthetic-workload shorthand for
+    /// [`workload_choice`](Self::workload_choice).
+    pub fn synthetic_workload(self, mix: WorkloadMix, arrivals: ArrivalProcess) -> Self {
+        self.workload_choice(WorkloadChoice::synthetic(mix, arrivals))
     }
 
     /// Sets the fault-injection plan.
@@ -196,7 +363,8 @@ impl SelfHealingService {
         self
     }
 
-    /// Sets the workload seed.
+    /// Sets the workload seed (ignored when a custom source was supplied
+    /// via [`workload`](Self::workload)).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -213,21 +381,16 @@ impl SelfHealingService {
     pub fn into_runner(self, shared: Option<&SharedSynopsis>) -> ScenarioRunner<Box<dyn Healer>> {
         let service = MultiTierService::new(self.config.clone());
         let schema = service.schema().clone();
-        let workload = TraceGenerator::new(self.mix.clone(), self.arrivals.clone(), self.seed);
-        let healer = match shared {
-            Some(shared) => self.policy.build_healer_shared(
-                &schema,
-                self.config.slo_response_ms,
-                self.config.slo_error_rate,
-                shared,
-            ),
-            None => self.policy.build_healer(
-                &schema,
-                self.config.slo_response_ms,
-                self.config.slo_error_rate,
-            ),
+        let targets = self.config.slo_targets();
+        let workload = match self.workload {
+            WorkloadSpec::Choice(choice) => choice.build_source(self.seed),
+            WorkloadSpec::Custom(source) => source,
         };
-        ScenarioRunner::new(service, workload, self.injections, healer)
+        let healer = match shared {
+            Some(shared) => self.policy.build_healer_shared(&schema, targets, shared),
+            None => self.policy.build_healer(&schema, targets),
+        };
+        ScenarioRunner::with_source(service, workload, self.injections, healer)
     }
 
     /// Runs the scenario for `ticks` ticks.
@@ -302,5 +465,62 @@ mod tests {
         unique.sort();
         unique.dedup();
         assert_eq!(unique.len(), labels.len());
+    }
+
+    #[test]
+    fn workload_choices_build_matching_sources() {
+        let synthetic = WorkloadChoice::default();
+        assert_eq!(synthetic.label(), "synthetic_bidding");
+        let mut a = synthetic.build_source(9);
+        let mut b = synthetic.build_source(9);
+        assert_eq!(a.next_tick(0), b.next_tick(0));
+
+        let mut generator = TraceGenerator::new(
+            WorkloadMix::browsing(),
+            ArrivalProcess::Constant { rate: 6.0 },
+            1,
+        );
+        let trace = RecordedTrace::capture(&mut generator, 10);
+        let replay = WorkloadChoice::replay(trace, ReplayMode::Loop, 4);
+        assert_eq!(replay.label(), "replay_loop");
+        // Replica 2 starts 8 ticks in: same kinds as the recorded tick 8.
+        let mut shifted = replay.source_for_replica(0, 2);
+        let expected = ReplaySource::shared(
+            match &replay {
+                WorkloadChoice::Replay { trace, .. } => Arc::clone(trace),
+                _ => unreachable!(),
+            },
+            ReplayMode::Loop,
+        )
+        .with_phase(8)
+        .next_tick(0);
+        assert_eq!(shifted.next_tick(0), expected);
+
+        let burst = WorkloadChoice::burst(WorkloadMix::bidding(), 10.0, 4.0, 60, 12);
+        assert_eq!(burst.label(), "burst_bidding");
+        assert!(burst.build_source(3).next_tick(0).len() > 10);
+
+        // Staggered storms: replica 1 of a phase_step-30 burst fleet starts
+        // its schedule 30 ticks in (outside the 12-tick storm window), so
+        // its tick 0 sees baseline traffic while replica 0 is in a storm.
+        let staggered =
+            WorkloadChoice::burst_staggered(WorkloadMix::bidding(), 10.0, 4.0, 60, 12, 30);
+        let calm = staggered.source_for_replica(3, 1).next_tick(0).len();
+        assert!(calm < 25, "staggered replica 1 starts calm, got {calm}");
+    }
+
+    #[test]
+    fn custom_sources_drive_the_builder() {
+        let mut generator = TraceGenerator::new(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 30.0 },
+            5,
+        );
+        let trace = RecordedTrace::capture(&mut generator, 80);
+        let outcome = SelfHealingService::builder()
+            .config(ServiceConfig::tiny())
+            .workload(ReplaySource::new(trace, ReplayMode::Truncate))
+            .run(80);
+        assert_eq!(outcome.arrived, 80 * 30);
     }
 }

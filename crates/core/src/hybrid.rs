@@ -3,7 +3,7 @@
 //! "The signature-based approach is good at dealing with scenarios where
 //! same workloads and failures tend to recur.  However, this approach can be
 //! ineffective at finding fixes for previously-unseen or rarely-seen
-//! failures.  This disadvantage could be overcome ... [by] combining the
+//! failures.  This disadvantage could be overcome ... \[by\] combining the
 //! signature-based approach with one or more of the diagnosis-based
 //! approaches that find the cause of a new failure to recommend a fix."
 //!
@@ -22,7 +22,7 @@ use selfheal_diagnosis::{AnomalyDetector, BottleneckAnalyzer, DiagnosisContext, 
 use selfheal_faults::{FixAction, FixKind};
 use selfheal_sim::scenario::Healer;
 use selfheal_sim::service::TickOutcome;
-use selfheal_telemetry::{Schema, SeriesStore};
+use selfheal_telemetry::{Schema, SeriesStore, SloTargets};
 
 /// Combined signature + diagnosis healer.
 ///
@@ -49,14 +49,9 @@ pub struct HybridHealer<L: Learner = Synopsis> {
 
 impl HybridHealer {
     /// Creates a hybrid healer for a service with the given schema and SLO
-    /// thresholds.
-    pub fn new(
-        schema: &Schema,
-        kind: SynopsisKind,
-        slo_response_ms: f64,
-        slo_error_rate: f64,
-    ) -> Self {
-        Self::with_learner(schema, Synopsis::new(kind), slo_response_ms, slo_error_rate)
+    /// targets.
+    pub fn new(schema: &Schema, kind: SynopsisKind, targets: SloTargets) -> Self {
+        Self::with_learner(schema, Synopsis::new(kind), targets)
     }
 
     /// The learned synopsis.
@@ -73,18 +68,13 @@ impl HybridHealer {
 impl<L: Learner> HybridHealer<L> {
     /// Creates a hybrid healer around an existing learner (e.g. a
     /// fleet-shared synopsis handle).
-    pub fn with_learner(
-        schema: &Schema,
-        learner: L,
-        slo_response_ms: f64,
-        slo_error_rate: f64,
-    ) -> Self {
+    pub fn with_learner(schema: &Schema, learner: L, targets: SloTargets) -> Self {
         HybridHealer {
             synopsis: learner,
             extractor: SymptomExtractor::new(schema, 30, 5),
             tracker: EpisodeTracker::new(4, 25),
             series: SeriesStore::new(schema.clone(), 4096),
-            ctx: DiagnosisContext::from_schema(schema, slo_response_ms, slo_error_rate),
+            ctx: DiagnosisContext::from_schema(schema, targets),
             anomaly: AnomalyDetector::standard(),
             bottleneck: BottleneckAnalyzer::standard(),
             manual: ManualRuleBase::standard(),
@@ -230,8 +220,7 @@ mod tests {
         let mut healer = HybridHealer::new(
             service.schema(),
             SynopsisKind::NearestNeighbor,
-            config.slo_response_ms,
-            config.slo_error_rate,
+            config.slo_targets(),
         );
 
         // First occurrence: the synopsis is empty, so the diagnosis fallback
@@ -299,12 +288,8 @@ mod tests {
             ArrivalProcess::Constant { rate: 20.0 },
             3,
         );
-        let mut healer = HybridHealer::new(
-            service.schema(),
-            SynopsisKind::KMeans,
-            config.slo_response_ms,
-            config.slo_error_rate,
-        );
+        let mut healer =
+            HybridHealer::new(service.schema(), SynopsisKind::KMeans, config.slo_targets());
         run(&mut healer, &mut service, &mut workload, 100, None);
         assert_eq!(healer.decision_counts(), (0, 0));
         assert_eq!(healer.name(), "hybrid_fixsym_diagnosis");

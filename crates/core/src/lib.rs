@@ -47,7 +47,7 @@ pub mod symptom;
 pub mod synopsis;
 
 pub use fixsym::{EpisodeResult, FixSymConfig, FixSymEngine, FixSymHealer};
-pub use harness::SelfHealingService;
+pub use harness::{PolicyChoice, SelfHealingService, WorkloadChoice};
 pub use hybrid::HybridHealer;
 pub use policy::{DiagnosisEngine, DiagnosisHealer, EpisodeTracker};
 pub use proactive::ProactiveHealer;

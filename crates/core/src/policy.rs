@@ -9,7 +9,7 @@ use selfheal_diagnosis::{
 use selfheal_faults::{FaultTarget, FixAction, FixKind};
 use selfheal_sim::scenario::Healer;
 use selfheal_sim::service::TickOutcome;
-use selfheal_telemetry::{Sample, Schema, SeriesStore};
+use selfheal_telemetry::{Sample, Schema, SeriesStore, SloTargets};
 use std::collections::HashSet;
 
 /// Tracks the state of the current failure episode for an online healer:
@@ -248,15 +248,10 @@ pub struct DiagnosisHealer {
 
 impl DiagnosisHealer {
     /// Creates a healer around the given engine for a service with `schema`
-    /// and the given SLO thresholds (used as the failure indicator by the
+    /// and the given SLO targets (used as the failure indicator by the
     /// correlation analyzer).
-    pub fn new(
-        engine: DiagnosisEngine,
-        schema: &Schema,
-        slo_response_ms: f64,
-        slo_error_rate: f64,
-    ) -> Self {
-        let ctx = DiagnosisContext::from_schema(schema, slo_response_ms, slo_error_rate);
+    pub fn new(engine: DiagnosisEngine, schema: &Schema, targets: SloTargets) -> Self {
+        let ctx = DiagnosisContext::from_schema(schema, targets);
         let name = engine.label();
         DiagnosisHealer {
             engine,
@@ -270,43 +265,39 @@ impl DiagnosisHealer {
     }
 
     /// Convenience constructors for the four engines.
-    pub fn manual(schema: &Schema, slo_response_ms: f64, slo_error_rate: f64) -> Self {
+    pub fn manual(schema: &Schema, targets: SloTargets) -> Self {
         Self::new(
             DiagnosisEngine::Manual(ManualRuleBase::standard()),
             schema,
-            slo_response_ms,
-            slo_error_rate,
+            targets,
         )
     }
 
     /// Anomaly-detection healer with the standard window sizes.
-    pub fn anomaly(schema: &Schema, slo_response_ms: f64, slo_error_rate: f64) -> Self {
+    pub fn anomaly(schema: &Schema, targets: SloTargets) -> Self {
         Self::new(
             DiagnosisEngine::Anomaly(AnomalyDetector::standard()),
             schema,
-            slo_response_ms,
-            slo_error_rate,
+            targets,
         )
     }
 
     /// Correlation-analysis healer with the standard window.
-    pub fn correlation(schema: &Schema, slo_response_ms: f64, slo_error_rate: f64) -> Self {
-        let ctx = DiagnosisContext::from_schema(schema, slo_response_ms, slo_error_rate);
+    pub fn correlation(schema: &Schema, targets: SloTargets) -> Self {
+        let ctx = DiagnosisContext::from_schema(schema, targets);
         Self::new(
             DiagnosisEngine::Correlation(CorrelationAnalyzer::standard(&ctx)),
             schema,
-            slo_response_ms,
-            slo_error_rate,
+            targets,
         )
     }
 
     /// Bottleneck-analysis healer with the standard thresholds.
-    pub fn bottleneck(schema: &Schema, slo_response_ms: f64, slo_error_rate: f64) -> Self {
+    pub fn bottleneck(schema: &Schema, targets: SloTargets) -> Self {
         Self::new(
             DiagnosisEngine::Bottleneck(BottleneckAnalyzer::standard()),
             schema,
-            slo_response_ms,
-            slo_error_rate,
+            targets,
         )
     }
 
@@ -451,8 +442,7 @@ mod tests {
     fn manual_rule_healer_repairs_a_buffer_contention_fault() {
         let config = ServiceConfig::tiny();
         let schema = MultiTierService::new(config.clone()).schema().clone();
-        let healer =
-            DiagnosisHealer::manual(&schema, config.slo_response_ms, config.slo_error_rate);
+        let healer = DiagnosisHealer::manual(&schema, config.slo_targets());
         let (service, healer, fixes) = run_with_healer(
             healer,
             FaultKind::BufferContention,
@@ -472,8 +462,7 @@ mod tests {
     fn bottleneck_healer_provisions_a_bottlenecked_tier() {
         let config = ServiceConfig::tiny();
         let schema = MultiTierService::new(config.clone()).schema().clone();
-        let healer =
-            DiagnosisHealer::bottleneck(&schema, config.slo_response_ms, config.slo_error_rate);
+        let healer = DiagnosisHealer::bottleneck(&schema, config.slo_targets());
         let (service, _healer, fixes) = run_with_healer(
             healer,
             FaultKind::BottleneckedTier,
@@ -491,8 +480,7 @@ mod tests {
     fn anomaly_healer_microreboots_a_failing_ejb() {
         let config = ServiceConfig::tiny();
         let schema = MultiTierService::new(config.clone()).schema().clone();
-        let healer =
-            DiagnosisHealer::anomaly(&schema, config.slo_response_ms, config.slo_error_rate);
+        let healer = DiagnosisHealer::anomaly(&schema, config.slo_targets());
         let (service, _healer, fixes) = run_with_healer(
             healer,
             FaultKind::UnhandledException,

@@ -20,7 +20,7 @@ use selfheal_faults::{FaultTarget, FixAction, FixKind};
 use selfheal_learn::forecast::{steps_until_threshold, Forecaster, SlidingLinearTrend};
 use selfheal_sim::scenario::Healer;
 use selfheal_sim::service::TickOutcome;
-use selfheal_telemetry::{Schema, SeriesStore};
+use selfheal_telemetry::{Schema, SeriesStore, SloTargets};
 
 /// Forecast-driven proactive healer.
 #[derive(Debug)]
@@ -43,11 +43,11 @@ pub struct ProactiveHealer {
 
 impl ProactiveHealer {
     /// Creates a proactive healer for a service with the given schema and
-    /// SLO thresholds.
-    pub fn new(schema: &Schema, slo_response_ms: f64, slo_error_rate: f64) -> Self {
+    /// SLO targets.
+    pub fn new(schema: &Schema, targets: SloTargets) -> Self {
         ProactiveHealer {
             series: SeriesStore::new(schema.clone(), 4096),
-            ctx: DiagnosisContext::from_schema(schema, slo_response_ms, slo_error_rate),
+            ctx: DiagnosisContext::from_schema(schema, targets),
             anomaly: AnomalyDetector::standard(),
             bottleneck: BottleneckAnalyzer::standard(),
             manual: ManualRuleBase::standard(),
@@ -184,7 +184,7 @@ mod tests {
     fn proactive_healer_intervenes_and_limits_violations_under_aging() {
         let config = ServiceConfig::tiny();
         let schema = MultiTierService::new(config.clone()).schema().clone();
-        let healer = ProactiveHealer::new(&schema, config.slo_response_ms, config.slo_error_rate);
+        let healer = ProactiveHealer::new(&schema, config.slo_targets());
         let (service, healer, fixes) = run_aging_scenario(healer, 500);
         assert!(fixes >= 1, "the healer must act");
         let (proactive, reactive) = healer.fix_counts();
@@ -206,7 +206,7 @@ mod tests {
     fn proactive_healer_beats_no_healing_on_slo_violation_time() {
         let config = ServiceConfig::tiny();
         let schema = MultiTierService::new(config.clone()).schema().clone();
-        let healer = ProactiveHealer::new(&schema, config.slo_response_ms, config.slo_error_rate);
+        let healer = ProactiveHealer::new(&schema, config.slo_targets());
         let (healed_service, _, _) = run_aging_scenario(healer, 500);
         let (unhealed_service, _, _) = run_aging_scenario(selfheal_sim::scenario::NoHealing, 500);
         assert!(
@@ -226,11 +226,7 @@ mod tests {
             ArrivalProcess::Constant { rate: 20.0 },
             17,
         );
-        let mut healer = ProactiveHealer::new(
-            service.schema(),
-            config.slo_response_ms,
-            config.slo_error_rate,
-        );
+        let mut healer = ProactiveHealer::new(service.schema(), config.slo_targets());
         for _ in 0..200 {
             let requests = workload.tick(service.current_tick());
             let outcome = service.tick(&requests);

@@ -198,7 +198,7 @@ impl Default for AnomalyDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use selfheal_telemetry::{MetricKind, Sample, Schema, SchemaBuilder, Tier};
+    use selfheal_telemetry::{MetricKind, Sample, Schema, SchemaBuilder, SloTargets, Tier};
 
     /// Builds a minimal sim-convention schema with 3 EJBs and 2 tables.
     fn schema() -> Schema {
@@ -231,7 +231,7 @@ mod tests {
     }
 
     fn ctx(schema: &Schema) -> DiagnosisContext {
-        DiagnosisContext::from_schema(schema, 200.0, 0.05)
+        DiagnosisContext::from_schema(schema, SloTargets::new(200.0, 0.05))
     }
 
     /// Healthy sample: balanced EJB calls, low everything else.

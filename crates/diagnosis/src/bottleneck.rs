@@ -11,7 +11,7 @@
 //! database tier is the bottleneck it drills into the database sub-metrics
 //! to distinguish capacity exhaustion from buffer starvation, lock
 //! contention, and bad plans — the Oracle ADDM-style refinement the paper
-//! cites as [12] (Example 4).
+//! cites as \[12\] (Example 4).
 
 use crate::context::DiagnosisContext;
 use crate::report::{busiest_component, rank, Diagnosis, DiagnosisMethod};
@@ -139,7 +139,7 @@ impl Default for BottleneckAnalyzer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use selfheal_telemetry::{MetricKind, Sample, Schema, SchemaBuilder, Tier};
+    use selfheal_telemetry::{MetricKind, Sample, Schema, SchemaBuilder, SloTargets, Tier};
 
     fn schema() -> Schema {
         let mut b = SchemaBuilder::new()
@@ -167,7 +167,7 @@ mod tests {
     }
 
     fn ctx(schema: &Schema) -> DiagnosisContext {
-        DiagnosisContext::from_schema(schema, 200.0, 0.05)
+        DiagnosisContext::from_schema(schema, SloTargets::new(200.0, 0.05))
     }
 
     fn store(schema: &Schema, setter: impl Fn(&mut Sample)) -> SeriesStore {

@@ -8,7 +8,7 @@
 //! It is constructed once from the monitored service's schema (by name, so
 //! any service following the same naming convention works).
 
-use selfheal_telemetry::{MetricId, Schema};
+use selfheal_telemetry::{MetricId, Schema, SloTargets};
 
 /// Resolved metric handles for the columns the diagnosis engines interpret.
 #[derive(Debug, Clone)]
@@ -61,7 +61,7 @@ impl DiagnosisContext {
     /// Panics if a required whole-service or tier metric is missing.  The
     /// per-component metric lists are filled with whatever is present (an
     /// empty list models a service without invasive instrumentation).
-    pub fn from_schema(schema: &Schema, slo_response_ms: f64, slo_error_rate: f64) -> Self {
+    pub fn from_schema(schema: &Schema, targets: SloTargets) -> Self {
         let collect_indexed = |prefix: &str, suffix: &str| -> Vec<MetricId> {
             let mut ids = Vec::new();
             for i in 0.. {
@@ -89,8 +89,8 @@ impl DiagnosisContext {
             ejb_calls: collect_indexed("app.ejb", "_calls"),
             ejb_errors: collect_indexed("app.ejb", "_errors"),
             table_accesses: collect_indexed("db.table", "_accesses"),
-            slo_response_ms,
-            slo_error_rate,
+            slo_response_ms: targets.response_ms,
+            slo_error_rate: targets.error_rate,
         }
     }
 
@@ -112,7 +112,7 @@ impl DiagnosisContext {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use selfheal_telemetry::{MetricKind, SchemaBuilder, Tier};
+    use selfheal_telemetry::{MetricKind, SchemaBuilder, SloTargets, Tier};
 
     fn sim_like_schema(ejbs: usize, tables: usize) -> Schema {
         let mut b = SchemaBuilder::new()
@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn context_resolves_all_component_metrics() {
         let schema = sim_like_schema(4, 3);
-        let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
+        let ctx = DiagnosisContext::from_schema(&schema, SloTargets::new(200.0, 0.05));
         assert_eq!(ctx.ejb_calls.len(), 4);
         assert_eq!(ctx.ejb_errors.len(), 4);
         assert_eq!(ctx.table_accesses.len(), 3);
@@ -157,7 +157,8 @@ mod tests {
     #[test]
     fn noninvasive_context_drops_component_metrics() {
         let schema = sim_like_schema(4, 3);
-        let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05).noninvasive();
+        let ctx =
+            DiagnosisContext::from_schema(&schema, SloTargets::new(200.0, 0.05)).noninvasive();
         assert!(ctx.ejb_calls.is_empty());
         assert!(ctx.table_accesses.is_empty());
         assert!(!ctx.has_invasive_data());
@@ -166,7 +167,7 @@ mod tests {
     #[test]
     fn context_tolerates_services_without_component_metrics() {
         let schema = sim_like_schema(0, 0);
-        let ctx = DiagnosisContext::from_schema(&schema, 100.0, 0.01);
+        let ctx = DiagnosisContext::from_schema(&schema, SloTargets::new(100.0, 0.01));
         assert!(ctx.ejb_calls.is_empty());
         assert!(!ctx.has_invasive_data());
     }
@@ -177,6 +178,6 @@ mod tests {
         let schema = SchemaBuilder::new()
             .metric("svc.response_ms", Tier::Service, MetricKind::LatencyMs)
             .build();
-        DiagnosisContext::from_schema(&schema, 100.0, 0.01);
+        DiagnosisContext::from_schema(&schema, SloTargets::new(100.0, 0.01));
     }
 }

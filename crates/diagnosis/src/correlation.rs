@@ -183,7 +183,7 @@ impl CorrelationAnalyzer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use selfheal_telemetry::{MetricKind, Schema, SchemaBuilder, Tier};
+    use selfheal_telemetry::{MetricKind, Schema, SchemaBuilder, SloTargets, Tier};
 
     fn schema() -> Schema {
         let mut b = SchemaBuilder::new()
@@ -227,7 +227,7 @@ mod tests {
     #[test]
     fn needs_both_failure_and_healthy_observations() {
         let schema = schema();
-        let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
+        let ctx = DiagnosisContext::from_schema(&schema, SloTargets::new(200.0, 0.05));
         let mut analyzer = CorrelationAnalyzer::standard(&ctx);
         let mut store = SeriesStore::new(schema.clone(), 256);
         for t in 0..40u64 {
@@ -242,7 +242,7 @@ mod tests {
     #[test]
     fn buffer_miss_correlated_with_failure_recommends_memory_fix() {
         let schema = schema();
-        let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
+        let ctx = DiagnosisContext::from_schema(&schema, SloTargets::new(200.0, 0.05));
         let mut analyzer = CorrelationAnalyzer::standard(&ctx);
         let mut store = SeriesStore::new(schema.clone(), 256);
         for t in 0..60u64 {
@@ -260,7 +260,7 @@ mod tests {
     #[test]
     fn ejb_error_correlated_with_failure_recommends_targeted_microreboot() {
         let schema = schema();
-        let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
+        let ctx = DiagnosisContext::from_schema(&schema, SloTargets::new(200.0, 0.05));
         let mut analyzer = CorrelationAnalyzer::standard(&ctx);
         let mut store = SeriesStore::new(schema.clone(), 256);
         for t in 0..60u64 {
@@ -282,7 +282,7 @@ mod tests {
         // in the data): every correlation is ~0 and no fix is recommended —
         // the weakness the paper attributes to correlation analysis.
         let schema = schema();
-        let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
+        let ctx = DiagnosisContext::from_schema(&schema, SloTargets::new(200.0, 0.05));
         let mut analyzer = CorrelationAnalyzer::new(&ctx, 120, 0.4);
         let mut store = SeriesStore::new(schema.clone(), 256);
         for t in 0..60u64 {

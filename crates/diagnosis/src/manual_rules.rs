@@ -157,7 +157,7 @@ impl Default for ManualRuleBase {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use selfheal_telemetry::{MetricKind, Sample, Schema, SchemaBuilder, Tier};
+    use selfheal_telemetry::{MetricKind, Sample, Schema, SchemaBuilder, SloTargets, Tier};
 
     fn schema() -> Schema {
         let mut b = SchemaBuilder::new()
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn buffer_miss_rule_fires_with_the_expected_fix() {
         let schema = schema();
-        let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
+        let ctx = DiagnosisContext::from_schema(&schema, SloTargets::new(200.0, 0.05));
         let s = store(&schema, |x| {
             x.set(schema.expect_id("db.buffer_miss_rate"), 0.5)
         });
@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn plan_rule_targets_the_busiest_table() {
         let schema = schema();
-        let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
+        let ctx = DiagnosisContext::from_schema(&schema, SloTargets::new(200.0, 0.05));
         let s = store(&schema, |x| {
             x.set(schema.expect_id("db.plan_misestimate"), 5.0)
         });
@@ -227,7 +227,7 @@ mod tests {
     #[test]
     fn unknown_failures_fall_through_to_the_coarse_restart() {
         let schema = schema();
-        let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
+        let ctx = DiagnosisContext::from_schema(&schema, SloTargets::new(200.0, 0.05));
         // Symptoms (high response time) that no specific rule covers.
         let s = store(&schema, |x| {
             x.set(schema.expect_id("svc.response_ms"), 5_000.0)
@@ -243,7 +243,7 @@ mod tests {
     #[test]
     fn catch_all_can_be_disabled() {
         let schema = schema();
-        let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
+        let ctx = DiagnosisContext::from_schema(&schema, SloTargets::new(200.0, 0.05));
         let s = store(&schema, |x| {
             x.set(schema.expect_id("svc.response_ms"), 5_000.0)
         });
@@ -255,7 +255,7 @@ mod tests {
     #[test]
     fn first_matching_rule_wins() {
         let schema = schema();
-        let ctx = DiagnosisContext::from_schema(&schema, 200.0, 0.05);
+        let ctx = DiagnosisContext::from_schema(&schema, SloTargets::new(200.0, 0.05));
         let s = store(&schema, |x| {
             x.set(schema.expect_id("db.buffer_miss_rate"), 0.9);
             x.set(schema.expect_id("db.util"), 0.99);

@@ -11,8 +11,11 @@
 //! the first attempt.  This crate turns that argument into an executable
 //! subsystem:
 //!
-//! * [`FleetConfig`] — how many replicas, how long, which policy, whether
-//!   learning is [`LearningTopology::Shared`] or
+//! * [`FleetConfig`] — how many replicas, how long, which policy, which
+//!   workload shape (a declarative
+//!   [`selfheal_core::harness::WorkloadChoice`]: synthetic arrivals,
+//!   recorded-trace replay with per-replica phase shifts, or burst storms),
+//!   whether learning is [`LearningTopology::Shared`] or
 //!   [`LearningTopology::Isolated`], and how replicas execute
 //!   ([`ExecutionMode::Parallel`] worker threads vs the
 //!   [`ExecutionMode::Sequential`] round-robin interleaver).
@@ -50,13 +53,13 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
-use selfheal_core::harness::PolicyChoice;
+use selfheal_core::harness::{PolicyChoice, WorkloadChoice};
 use selfheal_core::shared::SharedSynopsis;
 use selfheal_faults::InjectionPlan;
 use selfheal_sim::scenario::{Healer, ScenarioOutcome, ScenarioRunner};
 use selfheal_sim::seeds::{split_seed, SeedStream};
 use selfheal_sim::{MultiTierService, ServiceConfig};
-use selfheal_workload::{ArrivalProcess, TraceGenerator, WorkloadMix};
+use selfheal_workload::{ArrivalProcess, WorkloadMix};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -110,8 +113,7 @@ pub struct FleetConfig {
     ticks: u64,
     base_seed: u64,
     service: ServiceConfig,
-    mix: WorkloadMix,
-    arrivals: ArrivalProcess,
+    workload: WorkloadChoice,
     policy: PolicyChoice,
     topology: LearningTopology,
     mode: ExecutionMode,
@@ -125,6 +127,7 @@ impl std::fmt::Debug for FleetConfig {
             .field("replicas", &self.replicas)
             .field("ticks", &self.ticks)
             .field("base_seed", &self.base_seed)
+            .field("workload", &self.workload.label())
             .field("policy", &self.policy.label())
             .field("topology", &self.topology)
             .field("mode", &self.mode)
@@ -142,8 +145,7 @@ impl FleetConfig {
             ticks: 300,
             base_seed: 42,
             service: ServiceConfig::rubis_default(),
-            mix: WorkloadMix::bidding(),
-            arrivals: ArrivalProcess::Poisson { rate: 40.0 },
+            workload: WorkloadChoice::default(),
             policy: PolicyChoice::None,
             topology: LearningTopology::Isolated,
             mode: ExecutionMode::Parallel { threads: None },
@@ -177,11 +179,18 @@ impl FleetConfig {
         self
     }
 
-    /// Workload mix and arrival process for every replica.
-    pub fn workload(mut self, mix: WorkloadMix, arrivals: ArrivalProcess) -> Self {
-        self.mix = mix;
-        self.arrivals = arrivals;
+    /// Workload shape every replica runs.  Each replica instantiates its
+    /// own [`selfheal_workload::TraceSource`] from the choice, with a seed
+    /// split from the fleet's base seed and (for replays) a per-replica
+    /// phase shift.
+    pub fn workload(mut self, workload: WorkloadChoice) -> Self {
+        self.workload = workload;
         self
+    }
+
+    /// Synthetic-workload shorthand for [`FleetConfig::workload`].
+    pub fn synthetic_workload(self, mix: WorkloadMix, arrivals: ArrivalProcess) -> Self {
+        self.workload(WorkloadChoice::synthetic(mix, arrivals))
     }
 
     /// Healing policy driving each replica.
@@ -376,25 +385,16 @@ impl FleetEngine {
         service_config.seed = split_seed(config.base_seed, replica as u64, SeedStream::Service);
         let service = MultiTierService::new(service_config);
         let schema = service.schema().clone();
-        let workload = TraceGenerator::new(
-            config.mix.clone(),
-            config.arrivals.clone(),
+        let targets = config.service.slo_targets();
+        let workload = config.workload.source_for_replica(
             split_seed(config.base_seed, replica as u64, SeedStream::Workload),
+            replica as u64,
         );
         let healer = match shared {
-            Some(shared) => config.policy.build_healer_shared(
-                &schema,
-                config.service.slo_response_ms,
-                config.service.slo_error_rate,
-                shared,
-            ),
-            None => config.policy.build_healer(
-                &schema,
-                config.service.slo_response_ms,
-                config.service.slo_error_rate,
-            ),
+            Some(shared) => config.policy.build_healer_shared(&schema, targets, shared),
+            None => config.policy.build_healer(&schema, targets),
         };
-        ScenarioRunner::new(service, workload, (config.plan_factory)(replica), healer)
+        ScenarioRunner::with_source(service, workload, (config.plan_factory)(replica), healer)
             .with_series_capacity(config.series_capacity)
     }
 
@@ -523,7 +523,7 @@ mod tests {
     fn tiny_fleet() -> FleetConfig {
         FleetConfig::builder()
             .service(ServiceConfig::tiny())
-            .workload(
+            .synthetic_workload(
                 WorkloadMix::bidding(),
                 ArrivalProcess::Constant { rate: 40.0 },
             )

@@ -19,7 +19,7 @@
 //!   ~87% while the other synopses reach ~98%).
 //! * [`KMeans`] in *lloyd* mode: classic unsupervised Lloyd iterations with
 //!   `k` centroids, each cluster voting its majority label.  Used by the
-//!   correlation-analysis diagnosis ("by clustering the data as in [8]") and
+//!   correlation-analysis diagnosis ("by clustering the data as in \[8\]") and
 //!   by the ablation benchmarks.
 
 use crate::dataset::Dataset;

@@ -2,7 +2,7 @@
 //!
 //! The paper's correlation-analysis diagnosis builds probabilistic models of
 //! the relationship between metrics and a failure indicator ("e.g., by
-//! building a Bayesian network as in [10]"), and Section 5.2 highlights that
+//! building a Bayesian network as in \[10\]"), and Section 5.2 highlights that
 //! "synopses that give confidence estimates naturally with predicted values
 //! (e.g., Bayesian networks) are very useful" for ranking fixes.  A Gaussian
 //! naive Bayes model is the simplest member of that family: it assumes the

@@ -84,8 +84,10 @@ impl SampleRange<f64> for RangeInclusive<f64> {
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
         let (lo, hi) = (*self.start(), *self.end());
         assert!(lo <= hi, "cannot sample from empty range");
-        // Treat the inclusive bound as attainable by scaling the half-open
-        // sample up to the closed interval width.
+        // Known deviation from rand 0.8: the sample stays in [lo, hi) —
+        // the upper bound itself is never drawn (probability ~2^-53 under
+        // the real crate, so no caller can observe the difference, but a
+        // registry swap will not reproduce these streams bit-for-bit).
         lo + next_f64(rng) * (hi - lo)
     }
 }

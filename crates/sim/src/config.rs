@@ -1,5 +1,6 @@
 //! Service topology and capacity configuration.
 
+use selfheal_telemetry::SloTargets;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the simulated three-tier service.
@@ -75,6 +76,12 @@ impl ServiceConfig {
             table_working_set_pages: 500,
             ..ServiceConfig::rubis_default()
         }
+    }
+
+    /// The SLO thresholds the healing layer cares about, bundled for healer
+    /// constructors.
+    pub fn slo_targets(&self) -> SloTargets {
+        SloTargets::new(self.slo_response_ms, self.slo_error_rate)
     }
 
     /// Validates invariants, panicking with a descriptive message when the

@@ -49,7 +49,7 @@ impl LockManager {
     /// Reads only wait when there is concurrent write traffic on the same
     /// table; writes also conflict with each other.  The injected
     /// block-contention fault concentrates all traffic on one block,
-    /// multiplying the conflict rate by [`INJECTED_SKEW`].
+    /// multiplying the conflict rate by `INJECTED_SKEW`.
     pub fn access(
         &mut self,
         table: usize,

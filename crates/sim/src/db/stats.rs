@@ -54,8 +54,8 @@ impl TableStatistics {
     /// therefore slowed down by bad plans).
     ///
     /// 1.0 means estimates are accurate.  Organic staleness ramps the factor
-    /// linearly up to [`MAX_ORGANIC_PENALTY`]; an injected suboptimal-plan
-    /// fault pins it at least at [`INJECTED_PLAN_PENALTY`].
+    /// linearly up to `MAX_ORGANIC_PENALTY`; an injected suboptimal-plan
+    /// fault pins it at least at `INJECTED_PLAN_PENALTY`.
     pub fn misestimate_factor(&self, injected_fault: bool) -> f64 {
         let organic = 1.0 + (MAX_ORGANIC_PENALTY - 1.0) * self.staleness().min(1.0);
         if injected_fault {

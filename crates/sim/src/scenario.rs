@@ -10,7 +10,7 @@ use crate::recovery::RecoveryLog;
 use crate::service::{MultiTierService, TickOutcome};
 use selfheal_faults::{FixAction, InjectionPlan};
 use selfheal_telemetry::SeriesStore;
-use selfheal_workload::TraceGenerator;
+use selfheal_workload::TraceSource;
 
 /// A healing policy plugged into the scenario runner.
 ///
@@ -130,7 +130,7 @@ impl ScenarioOutcome {
 /// [`ScenarioRunner::outcome`] snapshot whenever it likes.
 pub struct ScenarioRunner<H: Healer> {
     service: MultiTierService,
-    workload: TraceGenerator,
+    workload: Box<dyn TraceSource>,
     injections: InjectionPlan,
     healer: H,
     series: SeriesStore,
@@ -140,11 +140,25 @@ pub struct ScenarioRunner<H: Healer> {
 }
 
 impl<H: Healer> ScenarioRunner<H> {
-    /// Creates a runner.  The metric history retains up to 100 000 samples
-    /// by default; see [`ScenarioRunner::with_series_capacity`].
+    /// Creates a runner from any [`TraceSource`] (synthetic generator,
+    /// recorded replay, burst storm, ...).  The metric history retains up to
+    /// 100 000 samples by default; see
+    /// [`ScenarioRunner::with_series_capacity`].
     pub fn new(
         service: MultiTierService,
-        workload: TraceGenerator,
+        workload: impl TraceSource + 'static,
+        injections: InjectionPlan,
+        healer: H,
+    ) -> Self {
+        Self::with_source(service, Box::new(workload), injections, healer)
+    }
+
+    /// Creates a runner from an already-boxed workload source (what the
+    /// harness and the fleet engine hand over after building a
+    /// `WorkloadChoice`).
+    pub fn with_source(
+        service: MultiTierService,
+        workload: Box<dyn TraceSource>,
         injections: InjectionPlan,
         healer: H,
     ) -> Self {
@@ -186,6 +200,11 @@ impl<H: Healer> ScenarioRunner<H> {
         &self.service
     }
 
+    /// Read access to the workload source driving the run.
+    pub fn workload(&self) -> &dyn TraceSource {
+        self.workload.as_ref()
+    }
+
     /// Ticks advanced so far.
     pub fn ticks_run(&self) -> u64 {
         self.ticks_run
@@ -213,7 +232,7 @@ impl<H: Healer> ScenarioRunner<H> {
         }
 
         // Serve the tick's traffic.
-        let requests = self.workload.tick(tick);
+        let requests = self.workload.next_tick(tick);
         let outcome = self.service.tick(&requests);
 
         // Episode bookkeeping: open on first confirmed violation, close
@@ -284,7 +303,7 @@ mod tests {
     use super::*;
     use crate::config::ServiceConfig;
     use selfheal_faults::{FaultKind, FaultTarget, FixKind, InjectionPlanBuilder};
-    use selfheal_workload::{ArrivalProcess, WorkloadMix};
+    use selfheal_workload::{ArrivalProcess, TraceGenerator, WorkloadMix};
 
     fn runner<H: Healer>(healer: H, plan: InjectionPlan) -> ScenarioRunner<H> {
         let config = ServiceConfig::tiny();

@@ -65,7 +65,7 @@ pub use metric::{InstrumentationCost, MetricDef, MetricId, MetricKind, Tier};
 pub use sample::Sample;
 pub use schema::{Schema, SchemaBuilder};
 pub use series::SeriesStore;
-pub use slo::{Slo, SloKind, SloMonitor, SloStatus, SloViolation};
+pub use slo::{Slo, SloKind, SloMonitor, SloStatus, SloTargets, SloViolation};
 pub use stats::{Ewma, Histogram, Summary};
 pub use window::{Window, WindowSpec};
 

@@ -19,6 +19,31 @@ use crate::{Tick, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// The two SLO thresholds every healing policy needs: the mean
+/// response-time bound and the tolerated error-rate fraction.
+///
+/// Healer constructors used to take the pair as two bare `f64`s, which made
+/// call sites transposition-prone; bundling them gives the pair a name and
+/// one place to grow (e.g. a throughput floor) without touching every
+/// constructor again.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloTargets {
+    /// Mean response-time SLO threshold (ms).
+    pub response_ms: f64,
+    /// Error-rate SLO threshold (fraction of requests).
+    pub error_rate: f64,
+}
+
+impl SloTargets {
+    /// Bundles the two thresholds.
+    pub fn new(response_ms: f64, error_rate: f64) -> Self {
+        SloTargets {
+            response_ms,
+            error_rate,
+        }
+    }
+}
+
 /// The direction and semantics of an SLO threshold.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SloKind {

@@ -1,0 +1,416 @@
+//! JSON-lines codec for request traces.
+//!
+//! One line per tick, with the schema:
+//!
+//! ```text
+//! {"tick":12,"requests":[{"id":480,"kind":"bid","arrival_tick":12}, ...]}
+//! ```
+//!
+//! The workspace builds without registry access (the `serde` dependency is a
+//! no-op shim), so both directions are hand-rolled here.  The parser accepts
+//! arbitrary whitespace between tokens and object keys in any order, and the
+//! pair satisfies `parse ∘ serialize = id` — asserted structurally by the
+//! codec property test in `tests/properties.rs`.
+
+use crate::request::{Request, RequestKind};
+use std::fmt;
+
+/// The batch of requests that arrived in one tick — the unit record of a
+/// JSON-lines trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Tick (within the recorded run) at which the batch arrived.
+    pub tick: u64,
+    /// The batch, in arrival order.
+    pub requests: Vec<Request>,
+}
+
+impl TraceRecord {
+    /// Creates a record.
+    pub fn new(tick: u64, requests: Vec<Request>) -> Self {
+        TraceRecord { tick, requests }
+    }
+}
+
+/// A parse failure, with the 1-based line number when decoding a whole
+/// JSON-lines document (0 when parsing a single line directly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecError {
+    /// 1-based line of the failure; 0 for single-line parses.
+    pub line: usize,
+    /// Byte offset of the failure within the line.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl CodecError {
+    fn at(offset: usize, message: impl Into<String>) -> Self {
+        CodecError {
+            line: 0,
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "trace codec error at line {}, byte {}: {}",
+                self.line, self.offset, self.message
+            )
+        } else {
+            write!(
+                f,
+                "trace codec error at byte {}: {}",
+                self.offset, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serializes one record as a single JSON line (no trailing newline).
+pub fn serialize_record(record: &TraceRecord) -> String {
+    let mut out = String::with_capacity(32 + record.requests.len() * 48);
+    out.push_str("{\"tick\":");
+    out.push_str(&record.tick.to_string());
+    out.push_str(",\"requests\":[");
+    for (i, request) in record.requests.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":");
+        out.push_str(&request.id.to_string());
+        out.push_str(",\"kind\":\"");
+        out.push_str(request.kind.label());
+        out.push_str("\",\"arrival_tick\":");
+        out.push_str(&request.arrival_tick.to_string());
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses one JSON line back into a record.
+pub fn parse_record(line: &str) -> Result<TraceRecord, CodecError> {
+    let mut cursor = Cursor::new(line);
+    let record = cursor.parse_record()?;
+    cursor.skip_ws();
+    if !cursor.at_end() {
+        return Err(CodecError::at(
+            cursor.pos,
+            "trailing data after the record object",
+        ));
+    }
+    Ok(record)
+}
+
+/// Serializes a sequence of records as a JSON-lines document (one record per
+/// line, trailing newline included when nonempty).
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for record in records {
+        out.push_str(&serialize_record(record));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON-lines document (blank lines are skipped).
+pub fn from_jsonl(text: &str) -> Result<Vec<TraceRecord>, CodecError> {
+    let mut records = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(parse_record(line).map_err(|mut err| {
+            err.line = index + 1;
+            err
+        })?);
+    }
+    Ok(records)
+}
+
+/// A minimal recursive-descent scanner over one line.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(line: &'a str) -> Self {
+        Cursor {
+            bytes: line.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), CodecError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b) => Err(CodecError::at(
+                self.pos,
+                format!("expected '{}', found '{}'", byte as char, b as char),
+            )),
+            None => Err(CodecError::at(
+                self.pos,
+                format!("expected '{}', found end of line", byte as char),
+            )),
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, CodecError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(CodecError::at(start, "expected an unsigned integer"));
+        }
+        let digits = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        digits
+            .parse::<u64>()
+            .map_err(|_| CodecError::at(start, format!("integer out of range: {digits}")))
+    }
+
+    /// Parses a `"..."` string.  Trace strings are request-kind labels and
+    /// object keys — plain ASCII identifiers — so escapes are rejected
+    /// rather than interpreted.
+    fn parse_string(&mut self) -> Result<&'a str, CodecError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| CodecError::at(start, "string is not valid UTF-8"))?;
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    return Err(CodecError::at(
+                        self.pos,
+                        "escape sequences are not used in trace files",
+                    ))
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(CodecError::at(self.pos, "unterminated string")),
+            }
+        }
+    }
+
+    fn parse_record(&mut self) -> Result<TraceRecord, CodecError> {
+        self.expect(b'{')?;
+        let mut tick: Option<u64> = None;
+        let mut requests: Option<Vec<Request>> = None;
+        loop {
+            let key_at = {
+                self.skip_ws();
+                self.pos
+            };
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            match key {
+                "tick" => tick = Some(self.parse_u64()?),
+                "requests" => requests = Some(self.parse_requests()?),
+                other => {
+                    return Err(CodecError::at(
+                        key_at,
+                        format!("unknown record field \"{other}\""),
+                    ))
+                }
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(CodecError::at(self.pos, "expected ',' or '}' in record")),
+            }
+        }
+        match (tick, requests) {
+            (Some(tick), Some(requests)) => Ok(TraceRecord { tick, requests }),
+            (None, _) => Err(CodecError::at(self.pos, "record is missing \"tick\"")),
+            (_, None) => Err(CodecError::at(self.pos, "record is missing \"requests\"")),
+        }
+    }
+
+    fn parse_requests(&mut self) -> Result<Vec<Request>, CodecError> {
+        self.expect(b'[')?;
+        let mut requests = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(requests);
+        }
+        loop {
+            requests.push(self.parse_request()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(requests);
+                }
+                _ => {
+                    return Err(CodecError::at(
+                        self.pos,
+                        "expected ',' or ']' in request array",
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_request(&mut self) -> Result<Request, CodecError> {
+        self.expect(b'{')?;
+        let mut id: Option<u64> = None;
+        let mut kind: Option<RequestKind> = None;
+        let mut arrival_tick: Option<u64> = None;
+        loop {
+            let key_at = {
+                self.skip_ws();
+                self.pos
+            };
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            match key {
+                "id" => id = Some(self.parse_u64()?),
+                "arrival_tick" => arrival_tick = Some(self.parse_u64()?),
+                "kind" => {
+                    let label_at = {
+                        self.skip_ws();
+                        self.pos
+                    };
+                    let label = self.parse_string()?;
+                    kind = Some(RequestKind::from_label(label).ok_or_else(|| {
+                        CodecError::at(label_at, format!("unknown request kind \"{label}\""))
+                    })?);
+                }
+                other => {
+                    return Err(CodecError::at(
+                        key_at,
+                        format!("unknown request field \"{other}\""),
+                    ))
+                }
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(CodecError::at(self.pos, "expected ',' or '}' in request")),
+            }
+        }
+        match (id, kind, arrival_tick) {
+            (Some(id), Some(kind), Some(arrival_tick)) => Ok(Request::new(id, kind, arrival_tick)),
+            (None, ..) => Err(CodecError::at(self.pos, "request is missing \"id\"")),
+            (_, None, _) => Err(CodecError::at(self.pos, "request is missing \"kind\"")),
+            (.., None) => Err(CodecError::at(
+                self.pos,
+                "request is missing \"arrival_tick\"",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> TraceRecord {
+        TraceRecord::new(
+            7,
+            vec![
+                Request::new(100, RequestKind::Bid, 7),
+                Request::new(101, RequestKind::AboutMe, 7),
+            ],
+        )
+    }
+
+    #[test]
+    fn serialize_then_parse_is_identity() {
+        let original = record();
+        let line = serialize_record(&original);
+        assert_eq!(parse_record(&line), Ok(original));
+    }
+
+    #[test]
+    fn empty_batches_round_trip() {
+        let original = TraceRecord::new(3, Vec::new());
+        let line = serialize_record(&original);
+        assert_eq!(line, "{\"tick\":3,\"requests\":[]}");
+        assert_eq!(parse_record(&line), Ok(original));
+    }
+
+    #[test]
+    fn whitespace_and_key_order_are_tolerated() {
+        let line = "{ \"requests\": [ {\"kind\": \"browse\", \"arrival_tick\": 2, \"id\": 9} ], \
+                    \"tick\": 2 }";
+        let parsed = parse_record(line).expect("reordered keys parse");
+        assert_eq!(parsed.tick, 2);
+        assert_eq!(
+            parsed.requests,
+            vec![Request::new(9, RequestKind::Browse, 2)]
+        );
+    }
+
+    #[test]
+    fn jsonl_document_round_trips_and_numbers_error_lines() {
+        let records = vec![record(), TraceRecord::new(8, Vec::new())];
+        let text = to_jsonl(&records);
+        assert_eq!(from_jsonl(&text), Ok(records));
+
+        let broken = format!("{}\n{{\"tick\":oops}}\n", serialize_record(&record()));
+        let err = from_jsonl(&broken).expect_err("second line is invalid");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unknown_kinds_and_fields_are_rejected() {
+        let bad_kind =
+            "{\"tick\":0,\"requests\":[{\"id\":0,\"kind\":\"checkout\",\"arrival_tick\":0}]}";
+        assert!(parse_record(bad_kind)
+            .unwrap_err()
+            .message
+            .contains("unknown request kind"));
+        let bad_field = "{\"tick\":0,\"requests\":[],\"color\":3}";
+        assert!(parse_record(bad_field)
+            .unwrap_err()
+            .message
+            .contains("unknown record field"));
+        let trailing = "{\"tick\":0,\"requests\":[]}gunk";
+        assert!(parse_record(trailing)
+            .unwrap_err()
+            .message
+            .contains("trailing data"));
+    }
+}

@@ -20,22 +20,37 @@
 //! * [`stimulation`] — preproduction *active stimulation* schedules
 //!   (Section 4.2: subject the service to "different types and rates of
 //!   workloads ... while recording data about observed behavior").
-//! * [`TraceGenerator`] — ties a mix and an arrival process together and
-//!   emits the per-tick batch of requests the simulator consumes.
+//! * [`TraceSource`] — the pluggable per-tick workload abstraction every
+//!   consumer (scenario runner, harness, fleet engine) is written against.
+//! * [`TraceGenerator`] — the synthetic [`TraceSource`]: ties a mix and an
+//!   arrival process together and emits per-tick request batches.
+//! * [`RecordedTrace`] / [`ReplaySource`] — capture any source tick-by-tick,
+//!   persist it as JSON-lines ([`codec`]), and replay it with loop/truncate
+//!   semantics and per-replica phase shifts.
+//! * [`BurstSource`] — recurring flash-crowd / fault-storm spikes on top of
+//!   a Poisson baseline.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod arrival;
+pub mod burst;
+pub mod codec;
 pub mod mix;
+pub mod replay;
 pub mod request;
 pub mod session;
+pub mod source;
 pub mod stimulation;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
+pub use burst::BurstSource;
+pub use codec::{CodecError, TraceRecord};
 pub use mix::WorkloadMix;
+pub use replay::{RecordedTrace, ReplayMode, ReplaySource};
 pub use request::{Request, RequestKind, TierDemand};
 pub use session::SessionPool;
+pub use source::TraceSource;
 pub use stimulation::{StimulationPhase, StimulationSchedule};
 pub use trace::TraceGenerator;

@@ -92,6 +92,16 @@ impl RequestKind {
         }
     }
 
+    /// Inverse of [`RequestKind::label`]: parses the stable lowercase label
+    /// back to a kind (`None` for unknown labels).  The trace codec relies
+    /// on `from_label(label(k)) == Some(k)` for every kind.
+    pub fn from_label(label: &str) -> Option<RequestKind> {
+        RequestKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.label() == label)
+    }
+
     /// Stable numeric code (its index in [`RequestKind::ALL`]).
     pub fn code(self) -> usize {
         RequestKind::ALL
@@ -235,6 +245,14 @@ mod tests {
         for (i, k) in RequestKind::ALL.iter().enumerate() {
             assert_eq!(k.code(), i);
         }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in RequestKind::ALL {
+            assert_eq!(RequestKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(RequestKind::from_label("checkout"), None);
     }
 
     #[test]

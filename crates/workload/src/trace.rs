@@ -3,6 +3,7 @@
 use crate::arrival::ArrivalProcess;
 use crate::mix::WorkloadMix;
 use crate::request::Request;
+use crate::source::TraceSource;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -11,10 +12,13 @@ use rand::SeedableRng;
 ///
 /// The generator owns its RNG (seeded at construction) so traces are
 /// reproducible and independent of any other randomness in the simulation.
+/// It is the synthetic implementation of [`TraceSource`]; recorded and
+/// bursty sources live in [`crate::replay`] and [`crate::burst`].
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     mix: WorkloadMix,
     arrivals: ArrivalProcess,
+    seed: u64,
     rng: StdRng,
     next_request_id: u64,
     generated: u64,
@@ -26,10 +30,17 @@ impl TraceGenerator {
         TraceGenerator {
             mix,
             arrivals,
+            seed,
             rng: StdRng::seed_from_u64(seed),
             next_request_id: 0,
             generated: 0,
         }
+    }
+
+    /// The seed the generator was built with (and that
+    /// [`TraceSource::reset`] rewinds to).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The current workload mix.
@@ -72,10 +83,43 @@ impl TraceGenerator {
     }
 }
 
+impl TraceSource for TraceGenerator {
+    fn next_tick(&mut self, tick: u64) -> Vec<Request> {
+        self.tick(tick)
+    }
+
+    /// Reseeds the RNG and rewinds the request-id counters.  The *current*
+    /// mix and arrival process are kept: a generator mutated mid-run (e.g.
+    /// by a stimulation schedule) replays from its latest configuration.
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.next_request_id = 0;
+        self.generated = 0;
+    }
+
+    fn clone_box(&self) -> Box<dyn TraceSource> {
+        Box::new(self.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::request::RequestKind;
+
+    #[test]
+    fn reset_replays_the_same_trace() {
+        let mut g = TraceGenerator::new(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Poisson { rate: 15.0 },
+            8,
+        );
+        let first: Vec<Vec<Request>> = (0..10).map(|t| g.next_tick(t)).collect();
+        g.reset();
+        let second: Vec<Vec<Request>> = (0..10).map(|t| g.next_tick(t)).collect();
+        assert_eq!(first, second);
+        assert_eq!(g.seed(), 8);
+    }
 
     #[test]
     fn trace_is_deterministic_for_a_seed() {

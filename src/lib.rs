@@ -6,7 +6,9 @@
 //! package.
 //!
 //! * [`telemetry`] — multidimensional metric time series, SLO monitoring.
-//! * [`workload`] — RUBiS-like workload generation.
+//! * [`workload`] — RUBiS-like workloads behind the pluggable
+//!   `TraceSource` API: synthetic generation, JSON-lines trace
+//!   record/replay (with per-replica phase shifts), and burst storms.
 //! * [`faults`] — failure/fix catalog, injection plans, cause mixes.
 //! * [`sim`] — the three-tier (web / EJB / database) service simulator.
 //! * [`learn`] — from-scratch ML substrate (kNN, k-means, AdaBoost, ...).

@@ -6,7 +6,9 @@ use selfheal::faults::{FaultId, FaultKind, FaultSpec, FixAction, FixCatalog, Fix
 use selfheal::learn::{Classifier, Dataset, Example, NearestNeighbor};
 use selfheal::sim::{MultiTierService, ServiceConfig};
 use selfheal::telemetry::{Sample, SeriesStore};
-use selfheal::workload::{ArrivalProcess, TraceGenerator, WorkloadMix};
+use selfheal::workload::{
+    ArrivalProcess, RecordedTrace, Request, RequestKind, TraceGenerator, TraceRecord, WorkloadMix,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -92,6 +94,40 @@ proptest! {
         for (features, label) in data.iter() {
             prop_assert_eq!(nn.predict(features), label);
         }
+    }
+
+    /// The JSON-lines trace codec is lossless: `parse ∘ serialize = id` for
+    /// arbitrary batches, compared structurally (`Request: PartialEq`), not
+    /// via debug strings.
+    #[test]
+    fn trace_codec_round_trips(
+        batches in prop::collection::vec(
+            prop::collection::vec(
+                (0usize..RequestKind::ALL.len(), 0u64..1_000_000, 0u64..1_000_000),
+                0..8,
+            ),
+            0..24,
+        ),
+        tick_stride in 1u64..5,
+    ) {
+        let records: Vec<TraceRecord> = batches
+            .into_iter()
+            .enumerate()
+            .map(|(i, batch)| {
+                let tick = i as u64 * tick_stride;
+                let requests = batch
+                    .into_iter()
+                    .map(|(kind_idx, id, arrival)| {
+                        Request::new(id, RequestKind::ALL[kind_idx], arrival)
+                    })
+                    .collect();
+                TraceRecord::new(tick, requests)
+            })
+            .collect();
+        let trace = RecordedTrace::new(records);
+        let parsed = RecordedTrace::from_jsonl(&trace.to_jsonl())
+            .expect("serialized traces must parse");
+        prop_assert_eq!(parsed, trace);
     }
 
     /// The telemetry store respects its capacity and keeps samples in tick
