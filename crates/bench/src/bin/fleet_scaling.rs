@@ -24,13 +24,21 @@
 //! fleet_scaling --replay trace.jsonl  # replay the trace across the fleet; verifies replica 0
 //!                                     # is byte-identical to the synthetic run it recorded
 //! fleet_scaling --replicas N --ticks T  # override the smoke fleet's size
+//! fleet_scaling --save-synopsis s.jsonl # persist the fleet's learned synopsis after the run
+//! fleet_scaling --load-synopsis s.jsonl # warm-start from a saved synopsis; verifies the
+//!                                       # store knows fixes before the first tick and that
+//!                                       # the warm run beats a cold run at the same seed
+//! fleet_scaling --shards N            # learn through a k-means-sharded store (N shards)
 //! ```
 
 use selfheal_bench::fleet::{
-    cold_start_comparison, scaling_curve, smoke_fleet, smoke_workload, ColdStartReport,
-    ScalingPoint,
+    cold_start_comparison, mean_injected_stats, scaling_curve, smoke_fleet, smoke_workload,
+    warm_start_comparison, ColdStartReport, ScalingPoint, WarmStartReport,
 };
-use selfheal_core::harness::WorkloadChoice;
+use selfheal_core::harness::{LearnerChoice, WorkloadChoice};
+use selfheal_core::snapshot::SynopsisSnapshot;
+use selfheal_core::synopsis::{Learner, SynopsisKind};
+use selfheal_fleet::ExecutionMode;
 use selfheal_sim::seeds::{split_seed, SeedStream};
 use selfheal_workload::{RecordedTrace, ReplayMode};
 use std::fmt::Write as _;
@@ -65,6 +73,21 @@ fn scaling_json(points: &[ScalingPoint]) -> String {
     }
     out.push_str("\n  ]");
     out
+}
+
+fn warm_start_json(report: &WarmStartReport) -> String {
+    format!(
+        "{{\"saved_examples\": {}, \"preloaded_fixes\": {}, \"warm_mean_fix_attempts\": {}, \
+         \"warm_mean_recovery_ticks\": {}, \"cold_mean_fix_attempts\": {}, \
+         \"cold_mean_recovery_ticks\": {}, \"warm_faster\": {}}}",
+        report.saved_examples,
+        report.preloaded_fixes,
+        json_f64(report.warm_mean_attempts),
+        json_f64(report.warm_mean_recovery),
+        json_f64(report.cold_mean_attempts),
+        json_f64(report.cold_mean_recovery),
+        report.warm_is_faster(),
+    )
 }
 
 fn cold_start_json(report: &ColdStartReport) -> String {
@@ -104,6 +127,9 @@ struct Args {
     replay: Option<PathBuf>,
     replicas: Option<usize>,
     ticks: Option<u64>,
+    save_synopsis: Option<PathBuf>,
+    load_synopsis: Option<PathBuf>,
+    shards: Option<usize>,
 }
 
 impl Args {
@@ -115,6 +141,23 @@ impl Args {
             || self.replay.is_some()
             || self.replicas.is_some()
             || self.ticks.is_some()
+            || self.save_synopsis.is_some()
+            || self.load_synopsis.is_some()
+            || self.shards.is_some()
+    }
+
+    /// The learner recipe the flags describe.  Persistence needs one
+    /// fleet-wide store to save or restore, so `--save-synopsis` /
+    /// `--load-synopsis` promote the default private learning to a locked
+    /// store; `--shards N` selects the k-means-sharded store.
+    fn learner(&self) -> LearnerChoice {
+        match self.shards {
+            Some(shards) if shards > 0 => LearnerChoice::sharded(shards),
+            _ if self.save_synopsis.is_some() || self.load_synopsis.is_some() => {
+                LearnerChoice::locked()
+            }
+            _ => LearnerChoice::Private,
+        }
     }
 }
 
@@ -125,6 +168,9 @@ fn parse_args() -> Args {
         replay: None,
         replicas: None,
         ticks: None,
+        save_synopsis: None,
+        load_synopsis: None,
+        shards: None,
     };
     let mut argv = std::env::args().skip(1);
     let missing = |flag: &str| -> ! {
@@ -156,11 +202,23 @@ fn parse_args() -> Args {
             }
             "--replicas" => args.replicas = Some(numeric("--replicas", argv.next())),
             "--ticks" => args.ticks = Some(numeric("--ticks", argv.next())),
+            "--save-synopsis" => {
+                args.save_synopsis = Some(PathBuf::from(
+                    argv.next().unwrap_or_else(|| missing("--save-synopsis")),
+                ))
+            }
+            "--load-synopsis" => {
+                args.load_synopsis = Some(PathBuf::from(
+                    argv.next().unwrap_or_else(|| missing("--load-synopsis")),
+                ))
+            }
+            "--shards" => args.shards = Some(numeric("--shards", argv.next())),
             other => {
                 eprintln!(
                     "fleet_scaling: unknown argument {other}\n\
                      usage: fleet_scaling [--smoke] [--record PATH] [--replay PATH] \
-                     [--replicas N] [--ticks T]"
+                     [--replicas N] [--ticks T] [--save-synopsis PATH] \
+                     [--load-synopsis PATH] [--shards N]"
                 );
                 exit(2);
             }
@@ -220,9 +278,82 @@ fn run_smoke(args: &Args) {
         );
     }
 
-    eprintln!("fleet_scaling: smoke fleet ({replicas} replicas x {ticks} ticks)");
-    let outcome = smoke_fleet(replicas, ticks, base_seed, workload.clone()).run();
+    // Warm start: restore the saved synopsis and verify the store knows
+    // fixes *before* the first tick (the whole point of persistence).
+    let learner = args.learner();
+    let loaded: Option<(SynopsisSnapshot, usize)> = args.load_synopsis.as_ref().map(|path| {
+        let snapshot = SynopsisSnapshot::load(path).unwrap_or_else(|err| {
+            eprintln!("fleet_scaling: cannot load {}: {err}", path.display());
+            exit(1);
+        });
+        let mut probe = learner.build_store(SynopsisKind::NearestNeighbor);
+        probe.restore(&snapshot);
+        let preloaded = probe.correct_fixes_learned();
+        eprintln!(
+            "fleet_scaling: loaded {} outcomes from {} -> {} correct fixes known before tick 0",
+            snapshot.len(),
+            path.display(),
+            preloaded
+        );
+        (snapshot, preloaded)
+    });
+
+    eprintln!(
+        "fleet_scaling: smoke fleet ({replicas} replicas x {ticks} ticks, {} learning)",
+        learner.label()
+    );
+    let mut fleet = smoke_fleet(replicas, ticks, base_seed, workload.clone()).learner(learner);
+    if let Some((snapshot, _)) = &loaded {
+        fleet = fleet.warm_start(snapshot.clone());
+    }
+    let outcome = fleet.run();
     let fingerprints = outcome.fingerprints();
+
+    if let Some(path) = &args.save_synopsis {
+        let Some(store) = outcome.store() else {
+            eprintln!("fleet_scaling: no fleet-wide store to save (private learning)");
+            exit(1);
+        };
+        let snapshot = store.snapshot();
+        if let Err(err) = snapshot.save(path) {
+            eprintln!("fleet_scaling: cannot write {}: {err}", path.display());
+            exit(1);
+        }
+        eprintln!(
+            "fleet_scaling: saved {} outcomes ({} successes) to {}",
+            snapshot.len(),
+            snapshot.positives(),
+            path.display()
+        );
+    }
+
+    // Warm-vs-cold: run the same fleet with and without the snapshot, both
+    // tick-interleaved (sequential) so shared-store drain timing — and with
+    // it the attempt counts the CI gate compares — cannot vary with thread
+    // scheduling.
+    let warm_cold: Option<WarmStartReport> = loaded.as_ref().map(|(snapshot, preloaded)| {
+        let comparison_fleet = || {
+            smoke_fleet(replicas, ticks, base_seed, workload.clone())
+                .learner(learner)
+                .mode(ExecutionMode::Sequential)
+        };
+        let cold = comparison_fleet().run();
+        let warm = comparison_fleet().warm_start(snapshot.clone()).run();
+        let (cold_mean_attempts, cold_mean_recovery) = mean_injected_stats(&cold);
+        let (warm_mean_attempts, warm_mean_recovery) = mean_injected_stats(&warm);
+        eprintln!(
+            "  warm-start: {warm_mean_attempts:.2} mean fix attempts vs {cold_mean_attempts:.2} \
+             cold ({preloaded} known fixes preloaded)"
+        );
+        WarmStartReport {
+            saved_examples: snapshot.len(),
+            preloaded_fixes: *preloaded,
+            cold_mean_attempts,
+            warm_mean_attempts,
+            cold_mean_recovery,
+            warm_mean_recovery,
+        }
+    });
 
     // A replayed trace must reproduce the synthetic run it was recorded
     // from: replica 0 (phase 0) is byte-identical by construction.
@@ -246,12 +377,19 @@ fn run_smoke(args: &Args) {
         .map(|f| format!("\"{f:#018x}\""))
         .collect::<Vec<_>>()
         .join(", ");
+    let smoke_warm_json = warm_cold
+        .as_ref()
+        .map(warm_start_json)
+        .unwrap_or_else(|| "null".to_string());
     let json = format!(
         "{{\n  \"mode\": \"smoke\",\n  \"replicas\": {replicas},\n  \"ticks\": {ticks},\n  \
-         \"workload\": \"{}\",\n  \"goodput\": {},\n  \"throughput_ticks_per_s\": {},\n  \
+         \"workload\": \"{}\",\n  \"learner\": \"{}\",\n  \"goodput\": {},\n  \
+         \"throughput_ticks_per_s\": {},\n  \
          \"total_fixes\": {},\n  \"episodes\": {},\n  \"fingerprints\": [{fingerprint_json}],\n  \
-         \"replay_byte_identical\": {},\n  \"scaling\": {},\n  \"cold_start\": {}\n}}",
+         \"replay_byte_identical\": {},\n  \"warm_start\": {smoke_warm_json},\n  \
+         \"scaling\": {},\n  \"cold_start\": {}\n}}",
         workload.label(),
+        learner.label(),
         json_f64(outcome.goodput_fraction()),
         json_f64(outcome.throughput_ticks_per_sec()),
         outcome.total_fixes_initiated(),
@@ -267,6 +405,28 @@ fn run_smoke(args: &Args) {
     if replay_identical == Some(false) {
         eprintln!("fleet_scaling: replay diverged from the synthetic run");
         exit(1);
+    }
+    if let Some((_, preloaded)) = &loaded {
+        if *preloaded == 0 {
+            eprintln!(
+                "fleet_scaling: loaded synopsis taught the store nothing before the first tick"
+            );
+            exit(1);
+        }
+    }
+    // Gate on regression (warm strictly worse), not on strict improvement:
+    // when the cold run is already at the one-attempt floor, warm can only
+    // tie, and a tie is success.
+    if let Some(report) = &warm_cold {
+        if report.cold_mean_attempts > 0.0 && report.warm_mean_attempts > report.cold_mean_attempts
+        {
+            eprintln!(
+                "fleet_scaling: warm start regressed vs the cold run \
+                 ({:.2} vs {:.2} mean fix attempts)",
+                report.warm_mean_attempts, report.cold_mean_attempts
+            );
+            exit(1);
+        }
     }
 }
 
@@ -308,10 +468,18 @@ fn main() {
         cold.shared_warm_recovery, cold.isolated_warm_recovery
     );
 
+    eprintln!("fleet_scaling: warm-start comparison (cold run vs snapshot-restored run)");
+    let warm = warm_start_comparison(6, 42, LearnerChoice::locked());
+    eprintln!(
+        "  mean fix attempts: warm {:.2} vs cold {:.2} ({} outcomes saved, {} fixes preloaded)",
+        warm.warm_mean_attempts, warm.cold_mean_attempts, warm.saved_examples, warm.preloaded_fixes
+    );
+
     let json = format!(
         "{{\n  \"machine\": {{\"cores\": {cores}}},\n  \"scaling\": {},\n  \"acceptance\": \
          {{\"replicas\": {}, \"ticks_per_replica\": {}, \"speedup\": {}, \
-         \"speedup_claim_applicable\": {}, \"speedup_above_2x\": {}}},\n  \"cold_start\": {}\n}}",
+         \"speedup_claim_applicable\": {}, \"speedup_above_2x\": {}}},\n  \"cold_start\": {},\n  \
+         \"warm_start\": {}\n}}",
         scaling_json(&points),
         full.replicas,
         full.ticks_per_replica,
@@ -319,6 +487,7 @@ fn main() {
         cores >= 4,
         full.speedup() > 2.0,
         cold_start_json(&cold),
+        warm_start_json(&warm),
     );
     println!("{json}");
 

@@ -4,8 +4,9 @@
 //! Used by the `fleet_scaling` binary (full scale, JSON output) and the
 //! `fleet_scaling` Criterion bench (reduced scale).
 
-use selfheal_core::harness::{PolicyChoice, WorkloadChoice};
-use selfheal_core::synopsis::SynopsisKind;
+use selfheal_core::harness::{LearnerChoice, PolicyChoice, WorkloadChoice};
+use selfheal_core::snapshot::SynopsisSnapshot;
+use selfheal_core::synopsis::{Learner, SynopsisKind};
 use selfheal_faults::{FaultKind, FaultTarget, InjectionPlanBuilder};
 use selfheal_fleet::{ExecutionMode, FleetConfig, FleetOutcome, LearningTopology};
 use selfheal_sim::ServiceConfig;
@@ -222,6 +223,141 @@ fn warm_stats(outcome: &FleetOutcome) -> (f64, f64, u64) {
     (mean(&attempts), mean(&recoveries), escalations)
 }
 
+/// Mean fix attempts and mean recovery ticks of the injected
+/// (ground-truth-labelled) episode over every replica that saw one —
+/// the recovery metric the warm-start comparison reports.
+pub fn mean_injected_stats(outcome: &FleetOutcome) -> (f64, f64) {
+    let mut attempts = Vec::new();
+    let mut recoveries = Vec::new();
+    for replica in outcome.replicas() {
+        if let Some(episode) = replica
+            .outcome
+            .recovery
+            .episodes()
+            .iter()
+            .find(|e| e.primary_fault() == Some(FaultKind::BufferContention))
+        {
+            attempts.push(episode.fixes_attempted.len() as f64);
+            if let Some(ticks) = episode.recovery_ticks() {
+                recoveries.push(ticks as f64);
+            }
+        }
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    (mean(&attempts), mean(&recoveries))
+}
+
+/// Warm-vs-cold recovery comparison: the same fleet run twice at the same
+/// seed, once from an empty synopsis store and once warm-started from the
+/// cold run's saved snapshot.
+///
+/// Every replica of the warm fleet should fix the injected fault in fewer
+/// attempts — the fleet remembers across process boundaries what the cold
+/// fleet had to discover by trial and error.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmStartReport {
+    /// Outcomes recorded in the snapshot the warm fleet loaded.
+    pub saved_examples: usize,
+    /// Successful fixes known to a freshly restored store *before* its
+    /// first tick (the CI warm-start smoke asserts this is nonzero).
+    pub preloaded_fixes: usize,
+    /// Mean fix attempts for the injected episode, cold fleet.
+    pub cold_mean_attempts: f64,
+    /// Mean fix attempts for the injected episode, warm fleet.
+    pub warm_mean_attempts: f64,
+    /// Mean recovery ticks for the injected episode, cold fleet.
+    pub cold_mean_recovery: f64,
+    /// Mean recovery ticks for the injected episode, warm fleet.
+    pub warm_mean_recovery: f64,
+}
+
+impl WarmStartReport {
+    /// The acceptance predicate: warm recovery takes strictly fewer mean
+    /// fix attempts than cold.
+    pub fn warm_is_faster(&self) -> bool {
+        self.warm_mean_attempts < self.cold_mean_attempts
+    }
+}
+
+fn warm_start_fleet(
+    replicas: usize,
+    seed: u64,
+    learner: LearnerChoice,
+    snapshot: Option<SynopsisSnapshot>,
+) -> FleetOutcome {
+    let mut config = FleetConfig::builder()
+        .service(ServiceConfig::tiny())
+        .synthetic_workload(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+        )
+        .replicas(replicas)
+        .ticks(600)
+        .base_seed(seed)
+        .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+        .learner(learner)
+        // Deterministic execution so warm vs cold differ only through the
+        // loaded experience.
+        .mode(ExecutionMode::Sequential)
+        .series_capacity(512)
+        .injections(
+            InjectionPlanBuilder::new(4, 3, 1)
+                .inject(
+                    150,
+                    FaultKind::BufferContention,
+                    FaultTarget::DatabaseTier,
+                    0.9,
+                )
+                .build(),
+        );
+    if let Some(snapshot) = snapshot {
+        config = config.warm_start(snapshot);
+    }
+    config.run()
+}
+
+/// Runs the warm-vs-cold experiment with the given (shared) learner recipe:
+/// cold run → snapshot the store → warm run from the snapshot.
+///
+/// # Panics
+/// Panics when `learner` is [`LearnerChoice::Private`] (a per-replica store
+/// leaves nothing fleet-wide to snapshot).
+pub fn warm_start_comparison(
+    replicas: usize,
+    seed: u64,
+    learner: LearnerChoice,
+) -> WarmStartReport {
+    let cold = warm_start_fleet(replicas, seed, learner, None);
+    let snapshot = cold
+        .store()
+        .expect("warm-start comparison needs a shared learner")
+        .snapshot();
+
+    // What a restored store knows before the first tick.
+    let mut probe = learner.build_store(SynopsisKind::NearestNeighbor);
+    probe.restore(&snapshot);
+    let preloaded_fixes = probe.correct_fixes_learned();
+
+    let saved_examples = snapshot.len();
+    let warm = warm_start_fleet(replicas, seed, learner, Some(snapshot));
+    let (cold_mean_attempts, cold_mean_recovery) = mean_injected_stats(&cold);
+    let (warm_mean_attempts, warm_mean_recovery) = mean_injected_stats(&warm);
+    WarmStartReport {
+        saved_examples,
+        preloaded_fixes,
+        cold_mean_attempts,
+        warm_mean_attempts,
+        cold_mean_recovery,
+        warm_mean_recovery,
+    }
+}
+
 /// Runs the staggered-fault fleet under both learning topologies.
 pub fn cold_start_comparison(replicas: usize, seed: u64) -> ColdStartReport {
     let shared = cold_start_fleet(replicas, seed, LearningTopology::shared());
@@ -251,6 +387,22 @@ mod tests {
         assert!(point.sequential_wall_s > 0.0);
         assert!(point.parallel_throughput > 0.0);
         assert!(point.speedup() > 0.0);
+    }
+
+    #[test]
+    fn warm_start_beats_cold_at_the_same_seed() {
+        let report = warm_start_comparison(3, 42, LearnerChoice::locked());
+        assert!(report.saved_examples >= 1, "cold fleet recorded experience");
+        assert!(
+            report.preloaded_fixes >= 1,
+            "restored store knows fixes before the first tick"
+        );
+        assert!(
+            report.warm_is_faster(),
+            "warm {} vs cold {} mean attempts",
+            report.warm_mean_attempts,
+            report.cold_mean_attempts
+        );
     }
 
     #[test]

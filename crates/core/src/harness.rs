@@ -6,17 +6,22 @@
 //! assembly behind a small builder so the examples read like the experiment
 //! descriptions in the paper.
 //!
-//! Two declarative enums keep configurations data, not code:
-//! [`PolicyChoice`] names a healing policy, and [`WorkloadChoice`] names a
+//! Three declarative enums keep configurations data, not code:
+//! [`PolicyChoice`] names a healing policy, [`WorkloadChoice`] names a
 //! workload shape (synthetic mix + arrivals, recorded-trace replay, or a
 //! burst storm) that can be instantiated as a fresh [`TraceSource`] for
-//! every replica of a fleet, with per-replica seeds and phase shifts.
+//! every replica of a fleet, with per-replica seeds and phase shifts, and
+//! [`LearnerChoice`] names where learned synopsis state lives (a private
+//! per-replica model, one lock-shared model, or symptom-space shards) as a
+//! recipe for a [`SynopsisStore`].
 
 use crate::fixsym::{FixSymConfig, FixSymHealer};
 use crate::hybrid::HybridHealer;
 use crate::policy::DiagnosisHealer;
 use crate::proactive::ProactiveHealer;
 use crate::shared::SharedSynopsis;
+use crate::snapshot::SynopsisSnapshot;
+use crate::store::{LockedStore, PrivateStore, ShardedStore, SynopsisStore};
 use crate::synopsis::SynopsisKind;
 use selfheal_faults::InjectionPlan;
 use selfheal_sim::scenario::{Healer, NoHealing, ScenarioOutcome, ScenarioRunner};
@@ -70,31 +75,40 @@ impl PolicyChoice {
         }
     }
 
-    /// Builds the healer with its signature path wired to a fleet-shared
-    /// synopsis instead of a private one.
+    /// Builds the healer with its signature path wired to the given
+    /// [`SynopsisStore`] handle instead of a freshly built private synopsis.
     ///
     /// Only the signature-based policies (`FixSym`, `Hybrid`) have learned
-    /// state to share; every other policy is stateless across replicas and
-    /// falls back to [`PolicyChoice::build_healer`].  The `shared` handle's
-    /// own kind wins over the kind embedded in the policy, so one fleet
-    /// cannot accidentally mix synopsis models.
+    /// state to store; every other policy is stateless across replicas and
+    /// falls back to [`PolicyChoice::build_healer`].  The store's own kind
+    /// wins over the kind embedded in the policy, so one fleet cannot
+    /// accidentally mix synopsis models.
+    pub fn build_healer_stored(
+        &self,
+        schema: &Schema,
+        targets: SloTargets,
+        store: Box<dyn SynopsisStore>,
+    ) -> Box<dyn Healer> {
+        match self {
+            PolicyChoice::FixSym(_) => Box::new(FixSymHealer::with_learner(
+                schema,
+                store,
+                FixSymConfig::default(),
+            )),
+            PolicyChoice::Hybrid(_) => Box::new(HybridHealer::with_learner(schema, store, targets)),
+            other => other.build_healer(schema, targets),
+        }
+    }
+
+    /// Back-compat shorthand for [`PolicyChoice::build_healer_stored`] with
+    /// a [`SharedSynopsis`] (i.e. [`LockedStore`]) handle.
     pub fn build_healer_shared(
         &self,
         schema: &Schema,
         targets: SloTargets,
         shared: &SharedSynopsis,
     ) -> Box<dyn Healer> {
-        match self {
-            PolicyChoice::FixSym(_) => Box::new(FixSymHealer::with_learner(
-                schema,
-                shared.clone(),
-                FixSymConfig::default(),
-            )),
-            PolicyChoice::Hybrid(_) => {
-                Box::new(HybridHealer::with_learner(schema, shared.clone(), targets))
-            }
-            other => other.build_healer(schema, targets),
-        }
+        self.build_healer_stored(schema, targets, Box::new(shared.clone()))
     }
 
     /// Returns `true` when the policy learns a synopsis that a fleet can
@@ -122,6 +136,98 @@ impl PolicyChoice {
             PolicyChoice::FixSym(kind) => format!("fixsym_{}", kind.label()),
             PolicyChoice::Hybrid(kind) => format!("hybrid_{}", kind.label()),
             PolicyChoice::Proactive => "proactive".to_string(),
+        }
+    }
+}
+
+/// Where learned synopsis state lives — the learning-side mirror of
+/// [`PolicyChoice`] and [`WorkloadChoice`], so fleet configs name their
+/// learning topology declaratively.
+///
+/// A choice is a *recipe*: [`LearnerChoice::build_store`] bakes it into a
+/// concrete [`SynopsisStore`] of a given [`SynopsisKind`].  Shared recipes
+/// (`Locked`, `Sharded`) are built **once** per fleet and handed to replicas
+/// via [`SynopsisStore::clone_store`]; the `Private` recipe is built fresh
+/// per replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LearnerChoice {
+    /// Every replica learns alone in its own [`PrivateStore`] (the paper's
+    /// single-instance setup).
+    #[default]
+    Private,
+    /// One fleet-wide [`LockedStore`]: a single synopsis behind one lock,
+    /// draining queued updates in batches of `batch`.
+    Locked {
+        /// Queued updates that trigger one combined drain + retrain.
+        batch: usize,
+    },
+    /// A fleet-wide [`ShardedStore`]: symptom space is partitioned across
+    /// `shards` k-means-routed synopses, each with its own lock and batch
+    /// queue, so replicas healing different failure modes never contend.
+    Sharded {
+        /// Number of symptom-space shards (1 behaves exactly like `Locked`).
+        shards: usize,
+        /// Queued updates per shard that trigger a drain + retrain.
+        batch: usize,
+    },
+}
+
+impl LearnerChoice {
+    /// Lock-shared learning with the default batch threshold.
+    pub fn locked() -> Self {
+        LearnerChoice::Locked {
+            batch: LockedStore::DEFAULT_BATCH,
+        }
+    }
+
+    /// Sharded learning with the default batch threshold.
+    pub fn sharded(shards: usize) -> Self {
+        LearnerChoice::Sharded {
+            shards,
+            batch: LockedStore::DEFAULT_BATCH,
+        }
+    }
+
+    /// Whether the store this choice builds is shared by every replica of a
+    /// fleet (`true`) or owned per replica (`false`).
+    pub fn is_shared(&self) -> bool {
+        !matches!(self, LearnerChoice::Private)
+    }
+
+    /// Bakes the choice into a concrete store for a synopsis of `kind`.
+    pub fn build_store(&self, kind: SynopsisKind) -> Box<dyn SynopsisStore> {
+        match self {
+            LearnerChoice::Private => Box::new(PrivateStore::new(kind)),
+            LearnerChoice::Locked { batch } => Box::new(LockedStore::with_batch(kind, *batch)),
+            LearnerChoice::Sharded { shards, batch } => {
+                Box::new(ShardedStore::with_batch(kind, *shards, *batch))
+            }
+        }
+    }
+
+    /// [`build_store`](Self::build_store), optionally warm-started: when a
+    /// snapshot is given, its experience is restored into the fresh store
+    /// before first use.  The one place warm-start semantics live — the
+    /// harness builder and the fleet engine both construct through here.
+    pub fn build_store_warm(
+        &self,
+        kind: SynopsisKind,
+        warm_start: Option<&SynopsisSnapshot>,
+    ) -> Box<dyn SynopsisStore> {
+        let mut store = self.build_store(kind);
+        if let Some(snapshot) = warm_start {
+            store.restore(snapshot);
+        }
+        store
+    }
+
+    /// Display label (used by bench output alongside policy and workload
+    /// labels).
+    pub fn label(&self) -> String {
+        match self {
+            LearnerChoice::Private => "private".to_string(),
+            LearnerChoice::Locked { .. } => "locked".to_string(),
+            LearnerChoice::Sharded { shards, .. } => format!("sharded_{shards}"),
         }
     }
 }
@@ -300,26 +406,32 @@ enum WorkloadSpec {
     Custom(Box<dyn TraceSource>),
 }
 
-/// Builder/runner bundling service, workload, injections, and policy.
+/// Builder/runner bundling service, workload, injections, policy, and the
+/// learner store recipe.
 #[derive(Debug)]
 pub struct SelfHealingService {
     config: ServiceConfig,
     workload: WorkloadSpec,
     injections: InjectionPlan,
     policy: PolicyChoice,
+    learner: LearnerChoice,
+    warm_start: Option<SynopsisSnapshot>,
     seed: u64,
 }
 
 impl SelfHealingService {
     /// Starts a builder with the RUBiS-like default configuration, the
     /// default workload ([`WorkloadChoice::default`]: bidding mix at
-    /// Poisson 40 requests/tick), no injections, and no healing.
+    /// Poisson 40 requests/tick), no injections, no healing, and private
+    /// (per-instance) learning.
     pub fn builder() -> Self {
         SelfHealingService {
             config: ServiceConfig::rubis_default(),
             workload: WorkloadSpec::Choice(WorkloadChoice::default()),
             injections: InjectionPlan::empty(),
             policy: PolicyChoice::None,
+            learner: LearnerChoice::Private,
+            warm_start: None,
             seed: 42,
         }
     }
@@ -363,6 +475,21 @@ impl SelfHealingService {
         self
     }
 
+    /// Chooses where learned synopsis state lives (ignored by policies with
+    /// nothing to learn).
+    pub fn learner(mut self, learner: LearnerChoice) -> Self {
+        self.learner = learner;
+        self
+    }
+
+    /// Warm-starts the learner from a saved snapshot: the store is restored
+    /// from the snapshot's experience before the first tick, so previously
+    /// healed failure signatures are fixed on the first attempt.
+    pub fn warm_start(mut self, snapshot: SynopsisSnapshot) -> Self {
+        self.warm_start = Some(snapshot);
+        self
+    }
+
     /// Sets the workload seed (ignored when a custom source was supplied
     /// via [`workload`](Self::workload)).
     pub fn seed(mut self, seed: u64) -> Self {
@@ -377,8 +504,18 @@ impl SelfHealingService {
 
     /// Assembles the runner this builder describes without driving it —
     /// the fleet engine uses this to obtain resumable replicas it can step
-    /// itself, with an optional fleet-shared synopsis wired into the healer.
-    pub fn into_runner(self, shared: Option<&SharedSynopsis>) -> ScenarioRunner<Box<dyn Healer>> {
+    /// itself, with an optional externally owned synopsis store wired into
+    /// the healer.
+    ///
+    /// When `store` is `None` and the policy learns, the builder's
+    /// [`LearnerChoice`] constructs the store (restored from the
+    /// [`warm_start`](Self::warm_start) snapshot, if any).  An external
+    /// `store` handle wins over both — the fleet engine passes per-replica
+    /// handles of its fleet-wide store through here.
+    pub fn into_runner(
+        self,
+        store: Option<Box<dyn SynopsisStore>>,
+    ) -> ScenarioRunner<Box<dyn Healer>> {
         let service = MultiTierService::new(self.config.clone());
         let schema = service.schema().clone();
         let targets = self.config.slo_targets();
@@ -386,9 +523,16 @@ impl SelfHealingService {
             WorkloadSpec::Choice(choice) => choice.build_source(self.seed),
             WorkloadSpec::Custom(source) => source,
         };
-        let healer = match shared {
-            Some(shared) => self.policy.build_healer_shared(&schema, targets, shared),
-            None => self.policy.build_healer(&schema, targets),
+        let healer = match (self.policy.shares_learning(), store) {
+            (true, Some(store)) => self.policy.build_healer_stored(&schema, targets, store),
+            (true, None) => {
+                let kind = self.policy.synopsis_kind().expect("learning policy kind");
+                let store = self
+                    .learner
+                    .build_store_warm(kind, self.warm_start.as_ref());
+                self.policy.build_healer_stored(&schema, targets, store)
+            }
+            (false, _) => self.policy.build_healer(&schema, targets),
         };
         ScenarioRunner::with_source(service, workload, self.injections, healer)
     }

@@ -30,8 +30,11 @@
 //! run head-to-head), [`hybrid`] (signature + diagnosis combination,
 //! Section 5.1), [`proactive`] (failure forecasting, Section 5.3),
 //! [`control`] (settling time / overshoot / oscillation of the healing loop,
-//! Section 5.4), and [`harness`] (a convenience wrapper that bundles a
-//! simulated service with a healing policy for the examples and benches).
+//! Section 5.4), [`store`] (pluggable [`store::SynopsisStore`] homes for the
+//! learned model: private, lock-shared, or sharded by symptom-space region),
+//! [`snapshot`] (JSON-lines synopsis persistence for warm-starting fleets),
+//! and [`harness`] (a convenience wrapper that bundles a simulated service
+//! with a healing policy for the examples and benches).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -43,14 +46,18 @@ pub mod hybrid;
 pub mod policy;
 pub mod proactive;
 pub mod shared;
+pub mod snapshot;
+pub mod store;
 pub mod symptom;
 pub mod synopsis;
 
 pub use fixsym::{EpisodeResult, FixSymConfig, FixSymEngine, FixSymHealer};
-pub use harness::{PolicyChoice, SelfHealingService, WorkloadChoice};
+pub use harness::{LearnerChoice, PolicyChoice, SelfHealingService, WorkloadChoice};
 pub use hybrid::HybridHealer;
 pub use policy::{DiagnosisEngine, DiagnosisHealer, EpisodeTracker};
 pub use proactive::ProactiveHealer;
 pub use shared::SharedSynopsis;
+pub use snapshot::{SynopsisExample, SynopsisSnapshot};
+pub use store::{LockedStore, PrivateStore, ShardedStore, SynopsisStore};
 pub use symptom::SymptomExtractor;
 pub use synopsis::{Learner, Synopsis, SynopsisKind};

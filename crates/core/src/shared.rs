@@ -1,271 +1,13 @@
-//! Fleet-shared fix-signature synopses.
+//! Back-compatibility home of the fleet-shared synopsis.
 //!
-//! Table 3 of the paper shows that signature synopses are cheap to generate
-//! and query — cheap enough that one synopsis can serve *many* service
-//! instances.  That is the paper's scaling argument: when replica A has
-//! healed a failure once, replicas B..N facing the same signature should fix
-//! it on the first attempt instead of re-running trial-and-error.
-//!
-//! [`SharedSynopsis`] is the concurrency cut of [`Synopsis`] that makes this
-//! work for the fleet engine:
-//!
-//! * **Reads** ([`SharedSynopsis::suggest`] /
-//!   [`SharedSynopsis::suggest_excluding`]) take a shared read lock on the
-//!   fitted model — replicas query concurrently.
-//! * **Writes** ([`SharedSynopsis::record`]) append to a cheap pending queue.
-//!   Only when the queue reaches the batch threshold does one replica
-//!   opportunistically (`try_write`, never blocking on a retrain already in
-//!   progress) drain the queue into the model with a *single* combined
-//!   refit.  A replica therefore never stalls because another replica's
-//!   update triggered a retrain.
-//!
-//! The handle is `Clone`; clones share state.  Batching trades staleness for
-//! throughput: a freshly learned fix becomes visible to other replicas after
-//! at most `batch - 1` further updates (or a [`SharedSynopsis::flush`]).
+//! The learning layer was redesigned around the pluggable
+//! [`crate::store::SynopsisStore`] trait; the concurrency cut that used to
+//! live here as `SharedSynopsis` is now [`crate::store::LockedStore`] (one
+//! fleet-wide synopsis behind one lock), alongside its siblings
+//! [`crate::store::PrivateStore`] and [`crate::store::ShardedStore`].  This
+//! module keeps the old name importable.
 
-use crate::synopsis::{Learner, Synopsis, SynopsisKind};
-use selfheal_faults::FixKind;
-use std::collections::HashSet;
-use std::sync::{Arc, Mutex, RwLock};
+pub use crate::store::LockedStore;
 
-/// One queued `(symptoms, fix, success)` outcome awaiting the next drain.
-type PendingUpdate = (Vec<f64>, FixKind, bool);
-
-#[derive(Debug)]
-struct SharedState {
-    model: RwLock<Synopsis>,
-    pending: Mutex<Vec<PendingUpdate>>,
-    batch: usize,
-    drains: Mutex<u64>,
-}
-
-/// A cloneable, thread-safe handle to one fleet-wide [`Synopsis`].
-#[derive(Debug, Clone)]
-pub struct SharedSynopsis {
-    state: Arc<SharedState>,
-}
-
-impl SharedSynopsis {
-    /// Default number of queued updates that triggers a drain + refit.
-    pub const DEFAULT_BATCH: usize = 4;
-
-    /// Creates a shared synopsis of the given kind with the default batch
-    /// threshold.
-    pub fn new(kind: SynopsisKind) -> Self {
-        Self::with_batch(kind, Self::DEFAULT_BATCH)
-    }
-
-    /// Creates a shared synopsis that drains after `batch` queued updates
-    /// (`1` = drain on every update, i.e. no added staleness).
-    pub fn with_batch(kind: SynopsisKind, batch: usize) -> Self {
-        SharedSynopsis {
-            state: Arc::new(SharedState {
-                model: RwLock::new(Synopsis::new(kind)),
-                pending: Mutex::new(Vec::new()),
-                batch: batch.max(1),
-                drains: Mutex::new(0),
-            }),
-        }
-    }
-
-    /// The configured synopsis kind.
-    pub fn kind(&self) -> SynopsisKind {
-        self.read().kind()
-    }
-
-    /// Number of successful-fix examples folded into the model so far
-    /// (inherent mirror of [`Learner::correct_fixes_learned`], so handle
-    /// users don't need the trait in scope).
-    pub fn correct_fixes_learned(&self) -> usize {
-        self.read().correct_fixes_learned()
-    }
-
-    /// Number of updates currently queued and not yet folded into the model.
-    pub fn pending_updates(&self) -> usize {
-        self.state
-            .pending
-            .lock()
-            .expect("pending queue poisoned")
-            .len()
-    }
-
-    /// How many batched drains have run so far.
-    pub fn drains(&self) -> u64 {
-        *self.state.drains.lock().expect("drain counter poisoned")
-    }
-
-    /// Runs `f` against the fitted model under the read lock.
-    ///
-    /// Exposed so callers can take consistent multi-field snapshots (e.g.
-    /// training cost plus accuracy) without cloning the synopsis.
-    pub fn with_model<T>(&self, f: impl FnOnce(&Synopsis) -> T) -> T {
-        f(&self.read())
-    }
-
-    /// Blockingly drains every queued update into the model.  Call once the
-    /// fleet quiesces, before reading training statistics.
-    pub fn flush(&self) {
-        let updates = {
-            let mut pending = self.state.pending.lock().expect("pending queue poisoned");
-            std::mem::take(&mut *pending)
-        };
-        if updates.is_empty() {
-            return;
-        }
-        let mut model = self.state.model.write().expect("synopsis lock poisoned");
-        model.absorb(updates);
-        *self.state.drains.lock().expect("drain counter poisoned") += 1;
-    }
-
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, Synopsis> {
-        self.state.model.read().expect("synopsis lock poisoned")
-    }
-
-    /// Opportunistic drain: skips (leaving the queue for a later caller)
-    /// when another replica holds the model lock.
-    fn try_drain(&self) {
-        let Ok(mut model) = self.state.model.try_write() else {
-            return;
-        };
-        let updates = {
-            let mut pending = self.state.pending.lock().expect("pending queue poisoned");
-            std::mem::take(&mut *pending)
-        };
-        if updates.is_empty() {
-            return;
-        }
-        model.absorb(updates);
-        *self.state.drains.lock().expect("drain counter poisoned") += 1;
-    }
-}
-
-impl Learner for SharedSynopsis {
-    fn suggest(&self, symptoms: &[f64]) -> Option<(FixKind, f64)> {
-        self.read().suggest(symptoms)
-    }
-
-    fn suggest_excluding(
-        &self,
-        symptoms: &[f64],
-        excluded: &HashSet<FixKind>,
-    ) -> Option<(FixKind, f64)> {
-        self.read().suggest_excluding(symptoms, excluded)
-    }
-
-    fn record(&mut self, symptoms: &[f64], fix: FixKind, success: bool) {
-        let due = {
-            let mut pending = self.state.pending.lock().expect("pending queue poisoned");
-            pending.push((symptoms.to_vec(), fix, success));
-            pending.len() >= self.state.batch
-        };
-        if due {
-            self.try_drain();
-        }
-    }
-
-    fn correct_fixes_learned(&self) -> usize {
-        self.read().correct_fixes_learned()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::thread;
-
-    fn symptom(kind: usize) -> Vec<f64> {
-        match kind {
-            0 => vec![8.0, 1.0, 1.0],
-            1 => vec![1.0, 9.0, 1.0],
-            _ => vec![1.0, 1.0, 7.0],
-        }
-    }
-
-    #[test]
-    fn updates_are_batched_until_the_threshold() {
-        let mut shared = SharedSynopsis::with_batch(SynopsisKind::NearestNeighbor, 3);
-        shared.record(&symptom(0), FixKind::RepartitionMemory, true);
-        shared.record(&symptom(1), FixKind::MicrorebootEjb, true);
-        assert_eq!(shared.pending_updates(), 2);
-        assert_eq!(shared.correct_fixes_learned(), 0, "not yet drained");
-        assert!(shared.suggest(&symptom(0)).is_none());
-
-        shared.record(&symptom(2), FixKind::UpdateStatistics, true);
-        assert_eq!(shared.pending_updates(), 0);
-        assert_eq!(shared.correct_fixes_learned(), 3);
-        assert_eq!(shared.drains(), 1);
-        assert_eq!(
-            shared.suggest(&symptom(0)).unwrap().0,
-            FixKind::RepartitionMemory
-        );
-        assert_eq!(
-            shared.with_model(|m| m.retrains()),
-            1,
-            "one refit for the whole batch"
-        );
-    }
-
-    #[test]
-    fn flush_publishes_a_partial_batch() {
-        let mut shared = SharedSynopsis::with_batch(SynopsisKind::NearestNeighbor, 64);
-        shared.record(&symptom(0), FixKind::RepartitionMemory, true);
-        assert!(shared.suggest(&symptom(0)).is_none());
-        shared.flush();
-        assert_eq!(
-            shared.suggest(&symptom(0)).unwrap().0,
-            FixKind::RepartitionMemory
-        );
-        // A second flush with an empty queue is a no-op.
-        shared.flush();
-        assert_eq!(shared.drains(), 1);
-    }
-
-    #[test]
-    fn clones_share_learned_state() {
-        let mut a = SharedSynopsis::with_batch(SynopsisKind::NearestNeighbor, 1);
-        let b = a.clone();
-        a.record(&symptom(1), FixKind::MicrorebootEjb, true);
-        assert_eq!(b.correct_fixes_learned(), 1);
-        assert_eq!(b.suggest(&symptom(1)).unwrap().0, FixKind::MicrorebootEjb);
-    }
-
-    #[test]
-    fn failed_fixes_never_become_positives() {
-        let mut shared = SharedSynopsis::with_batch(SynopsisKind::NearestNeighbor, 1);
-        shared.record(&symptom(0), FixKind::KillHungQuery, false);
-        shared.flush();
-        assert_eq!(shared.correct_fixes_learned(), 0);
-        assert_eq!(shared.with_model(|m| m.failed_fixes_recorded()), 1);
-    }
-
-    #[test]
-    fn concurrent_recorders_lose_no_updates() {
-        let shared = SharedSynopsis::with_batch(SynopsisKind::NearestNeighbor, 5);
-        let threads: Vec<_> = (0..4)
-            .map(|t| {
-                let mut handle = shared.clone();
-                thread::spawn(move || {
-                    for i in 0..25 {
-                        let fixes = [
-                            FixKind::RepartitionMemory,
-                            FixKind::MicrorebootEjb,
-                            FixKind::UpdateStatistics,
-                        ];
-                        let class = (t + i) % 3;
-                        handle.record(&symptom(class), fixes[class], true);
-                    }
-                })
-            })
-            .collect();
-        for t in threads {
-            t.join().expect("recorder thread panicked");
-        }
-        shared.flush();
-        assert_eq!(shared.correct_fixes_learned(), 100);
-        assert!(shared.drains() >= 1);
-        assert_eq!(
-            shared.suggest(&symptom(0)).unwrap().0,
-            FixKind::RepartitionMemory
-        );
-    }
-}
+/// The pre-`SynopsisStore` name of [`LockedStore`].
+pub type SharedSynopsis = LockedStore;

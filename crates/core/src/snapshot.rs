@@ -1,0 +1,382 @@
+//! Synopsis persistence: a JSON-lines codec for learned failure→fix models.
+//!
+//! The paper's synopses are cheap to generate (Table 3) precisely because
+//! they are rebuilt from their training examples, so what a store persists
+//! is not the fitted model but the *experience* behind it: every recorded
+//! `(symptoms, fix, success)` outcome.  A [`SynopsisSnapshot`] is that
+//! experience plus the kind of the model that recorded it, serialized one
+//! outcome per line (mirroring the request-trace codec in
+//! `selfheal_workload::codec`, and built on the same
+//! [`selfheal_jsonl`] primitives):
+//!
+//! ```text
+//! {"synopsis":"nearest_neighbor","examples":3}
+//! {"symptoms":[8.0,1.0,1.0],"fix":"repartition_memory","success":true}
+//! {"symptoms":[1.0,9.0,1.0],"fix":"microreboot_ejb","success":false}
+//! ...
+//! ```
+//!
+//! Because the snapshot holds raw examples rather than model weights, any
+//! [`crate::store::SynopsisStore`] can restore from any snapshot — a fleet
+//! configured for AdaBoost warm-starts from experience a nearest-neighbor
+//! fleet saved.  Fixes are persisted by *label*, not numeric code, so saved
+//! files survive enum reordering and stay human-readable.
+
+use crate::synopsis::SynopsisKind;
+use selfheal_faults::FixKind;
+use selfheal_jsonl::{parse_lines, push_f64, JsonError, Scanner};
+use std::io;
+use std::path::Path;
+
+/// One recorded fix outcome: the failure signature, the fix attempted, and
+/// whether it repaired the failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynopsisExample {
+    /// The symptom vector of the failure data point.
+    pub symptoms: Vec<f64>,
+    /// The fix that was attempted.
+    pub fix: FixKind,
+    /// Whether the fix repaired the failure (successes become positive
+    /// training examples; failures become negative knowledge).
+    pub success: bool,
+}
+
+impl SynopsisExample {
+    /// Creates an example.
+    pub fn new(symptoms: Vec<f64>, fix: FixKind, success: bool) -> Self {
+        SynopsisExample {
+            symptoms,
+            fix,
+            success,
+        }
+    }
+}
+
+/// A persistable synopsis: the model kind plus every training outcome, in
+/// the order they were recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynopsisSnapshot {
+    /// Kind of the synopsis that recorded the experience (advisory: a store
+    /// restores the examples into its *own* kind).
+    pub kind: SynopsisKind,
+    /// Recorded outcomes, oldest first.
+    pub examples: Vec<SynopsisExample>,
+}
+
+impl SynopsisSnapshot {
+    /// Creates an empty snapshot for the given kind.
+    pub fn new(kind: SynopsisKind) -> Self {
+        SynopsisSnapshot {
+            kind,
+            examples: Vec::new(),
+        }
+    }
+
+    /// Appends one outcome.
+    pub fn push(&mut self, symptoms: Vec<f64>, fix: FixKind, success: bool) {
+        self.examples
+            .push(SynopsisExample::new(symptoms, fix, success));
+    }
+
+    /// Number of recorded outcomes.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the snapshot holds no outcomes.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Number of successful-fix outcomes.
+    pub fn positives(&self) -> usize {
+        self.examples.iter().filter(|e| e.success).count()
+    }
+
+    /// Number of failed-fix outcomes.
+    pub fn negatives(&self) -> usize {
+        self.examples.iter().filter(|e| !e.success).count()
+    }
+
+    /// Serializes the snapshot as a JSON-lines document (header line first,
+    /// then one example per line; trailing newline included).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 + self.examples.len() * 64);
+        out.push_str("{\"synopsis\":\"");
+        out.push_str(&self.kind.label());
+        out.push_str("\",\"examples\":");
+        out.push_str(&self.examples.len().to_string());
+        out.push_str("}\n");
+        for example in &self.examples {
+            serialize_example(&mut out, example);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSON-lines document produced by
+    /// [`SynopsisSnapshot::to_jsonl`] (blank lines are skipped).
+    pub fn from_jsonl(text: &str) -> Result<SynopsisSnapshot, JsonError> {
+        let lines = parse_lines(text, parse_line)?;
+        let mut iter = lines.into_iter();
+        let (kind, declared) = match iter.next() {
+            Some(Line::Header { kind, examples }) => (kind, examples),
+            Some(Line::Example(_)) | None => {
+                return Err(JsonError::at(
+                    0,
+                    "synopsis file must start with a {\"synopsis\":...} header line",
+                ))
+            }
+        };
+        let mut examples = Vec::new();
+        for line in iter {
+            match line {
+                Line::Example(example) => examples.push(example),
+                Line::Header { .. } => {
+                    return Err(JsonError::at(0, "duplicate synopsis header line"))
+                }
+            }
+        }
+        if examples.len() != declared {
+            return Err(JsonError::at(
+                0,
+                format!(
+                    "header declares {declared} examples but the file holds {}",
+                    examples.len()
+                ),
+            ));
+        }
+        Ok(SynopsisSnapshot { kind, examples })
+    }
+
+    /// Writes the snapshot to a JSON-lines file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Reads a snapshot from a JSON-lines file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<SynopsisSnapshot> {
+        let text = std::fs::read_to_string(path)?;
+        SynopsisSnapshot::from_jsonl(&text)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))
+    }
+}
+
+fn serialize_example(out: &mut String, example: &SynopsisExample) {
+    out.push_str("{\"symptoms\":[");
+    for (i, v) in example.symptoms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, *v);
+    }
+    out.push_str("],\"fix\":\"");
+    out.push_str(example.fix.label());
+    out.push_str("\",\"success\":");
+    out.push_str(if example.success { "true" } else { "false" });
+    out.push('}');
+}
+
+enum Line {
+    Header { kind: SynopsisKind, examples: usize },
+    Example(SynopsisExample),
+}
+
+fn parse_line(line: &str) -> Result<Line, JsonError> {
+    let mut s = Scanner::new(line);
+    s.expect(b'{')?;
+    let mut kind: Option<SynopsisKind> = None;
+    let mut declared: Option<usize> = None;
+    let mut symptoms: Option<Vec<f64>> = None;
+    let mut fix: Option<FixKind> = None;
+    let mut success: Option<bool> = None;
+    let mut is_header = false;
+    loop {
+        let key_at = {
+            s.skip_ws();
+            s.pos()
+        };
+        let key = s.parse_string()?;
+        s.expect(b':')?;
+        match key.as_ref() {
+            "synopsis" => {
+                is_header = true;
+                let label_at = {
+                    s.skip_ws();
+                    s.pos()
+                };
+                let label = s.parse_string()?;
+                kind = Some(SynopsisKind::from_label(&label).ok_or_else(|| {
+                    JsonError::at(label_at, format!("unknown synopsis kind \"{label}\""))
+                })?);
+            }
+            "examples" => {
+                is_header = true;
+                declared = Some(s.parse_u64()? as usize);
+            }
+            "symptoms" => symptoms = Some(parse_symptoms(&mut s)?),
+            "fix" => {
+                let label_at = {
+                    s.skip_ws();
+                    s.pos()
+                };
+                let label = s.parse_string()?;
+                fix = Some(FixKind::from_label(&label).ok_or_else(|| {
+                    JsonError::at(label_at, format!("unknown fix kind \"{label}\""))
+                })?);
+            }
+            "success" => success = Some(s.parse_bool()?),
+            other => {
+                return Err(JsonError::at(
+                    key_at,
+                    format!("unknown synopsis field \"{other}\""),
+                ))
+            }
+        }
+        s.skip_ws();
+        match s.peek() {
+            Some(b',') => s.bump(),
+            Some(b'}') => {
+                s.bump();
+                break;
+            }
+            _ => return Err(JsonError::at(s.pos(), "expected ',' or '}'")),
+        }
+    }
+    s.finish()?;
+    if is_header {
+        let kind = kind.ok_or_else(|| JsonError::at(0, "header is missing \"synopsis\""))?;
+        let examples =
+            declared.ok_or_else(|| JsonError::at(0, "header is missing \"examples\""))?;
+        return Ok(Line::Header { kind, examples });
+    }
+    match (symptoms, fix, success) {
+        (Some(symptoms), Some(fix), Some(success)) => {
+            Ok(Line::Example(SynopsisExample::new(symptoms, fix, success)))
+        }
+        (None, ..) => Err(JsonError::at(0, "example is missing \"symptoms\"")),
+        (_, None, _) => Err(JsonError::at(0, "example is missing \"fix\"")),
+        (.., None) => Err(JsonError::at(0, "example is missing \"success\"")),
+    }
+}
+
+fn parse_symptoms(s: &mut Scanner<'_>) -> Result<Vec<f64>, JsonError> {
+    s.expect(b'[')?;
+    let mut values = Vec::new();
+    s.skip_ws();
+    if s.peek() == Some(b']') {
+        s.bump();
+        return Ok(values);
+    }
+    loop {
+        values.push(s.parse_f64()?);
+        s.skip_ws();
+        match s.peek() {
+            Some(b',') => s.bump(),
+            Some(b']') => {
+                s.bump();
+                return Ok(values);
+            }
+            _ => {
+                return Err(JsonError::at(
+                    s.pos(),
+                    "expected ',' or ']' in symptom array",
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> SynopsisSnapshot {
+        let mut snap = SynopsisSnapshot::new(SynopsisKind::NearestNeighbor);
+        snap.push(vec![8.0, 1.0, 1.0], FixKind::RepartitionMemory, true);
+        snap.push(vec![1.0, 9.5, -0.25], FixKind::MicrorebootEjb, false);
+        snap.push(vec![1e-9, 1.0, 7.0], FixKind::UpdateStatistics, true);
+        snap
+    }
+
+    #[test]
+    fn serialize_then_parse_is_identity() {
+        let original = snapshot();
+        let parsed = SynopsisSnapshot::from_jsonl(&original.to_jsonl()).expect("round trip");
+        assert_eq!(parsed, original);
+        assert_eq!(parsed.positives(), 2);
+        assert_eq!(parsed.negatives(), 1);
+    }
+
+    #[test]
+    fn empty_snapshots_round_trip() {
+        let empty = SynopsisSnapshot::new(SynopsisKind::AdaBoost(60));
+        let text = empty.to_jsonl();
+        assert_eq!(text, "{\"synopsis\":\"adaboost_60\",\"examples\":0}\n");
+        let parsed = SynopsisSnapshot::from_jsonl(&text).unwrap();
+        assert!(parsed.is_empty());
+        assert_eq!(parsed.kind, SynopsisKind::AdaBoost(60));
+    }
+
+    #[test]
+    fn header_errors_are_caught() {
+        let missing = "{\"symptoms\":[1.0],\"fix\":\"no_op\",\"success\":true}\n";
+        assert!(SynopsisSnapshot::from_jsonl(missing)
+            .unwrap_err()
+            .message
+            .contains("header"));
+
+        let wrong_count = "{\"synopsis\":\"k_means\",\"examples\":5}\n";
+        assert!(SynopsisSnapshot::from_jsonl(wrong_count)
+            .unwrap_err()
+            .message
+            .contains("declares 5 examples"));
+
+        let duplicate = "{\"synopsis\":\"k_means\",\"examples\":0}\n\
+                         {\"synopsis\":\"k_means\",\"examples\":0}\n";
+        assert!(SynopsisSnapshot::from_jsonl(duplicate)
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_labels_are_rejected_with_line_numbers() {
+        let bad_fix = "{\"synopsis\":\"k_means\",\"examples\":1}\n\
+                       {\"symptoms\":[1.0],\"fix\":\"percussive_maintenance\",\"success\":true}\n";
+        let err = SynopsisSnapshot::from_jsonl(bad_fix).unwrap_err();
+        assert!(err.message.contains("unknown fix kind"));
+        assert_eq!(err.line, 2);
+
+        let bad_kind = "{\"synopsis\":\"oracle\",\"examples\":0}\n";
+        assert!(SynopsisSnapshot::from_jsonl(bad_kind)
+            .unwrap_err()
+            .message
+            .contains("unknown synopsis kind"));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let dir = std::env::temp_dir().join("selfheal_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("synopsis.jsonl");
+        let original = snapshot();
+        original.save(&path).unwrap();
+        let loaded = SynopsisSnapshot::load(&path).unwrap();
+        assert_eq!(loaded, original);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for kind in [
+            SynopsisKind::NearestNeighbor,
+            SynopsisKind::KMeans,
+            SynopsisKind::AdaBoost(60),
+            SynopsisKind::AdaBoost(7),
+        ] {
+            assert_eq!(SynopsisKind::from_label(&kind.label()), Some(kind));
+        }
+        assert_eq!(SynopsisKind::from_label("adaboost_x"), None);
+    }
+}

@@ -1,0 +1,1093 @@
+//! Pluggable synopsis stores: where a fleet's learned failure→fix model
+//! lives, how it is shared, and how it survives the process.
+//!
+//! The paper's scaling argument (Table 3: synopses are cheap to build and
+//! query) says one synopsis can serve *many* service instances.  The
+//! [`SynopsisStore`] trait is the seam that makes the topology of that
+//! sharing a configuration choice instead of a code path:
+//!
+//! * [`PrivateStore`] — one replica, one synopsis (the paper's
+//!   single-instance setup).  Updates apply immediately.
+//! * [`LockedStore`] — one fleet, one synopsis behind one `RwLock`, with
+//!   batched update draining so replicas never stall on a sibling's
+//!   retrain.  This is the store previously known as `SharedSynopsis`.
+//! * [`ShardedStore`] — one fleet, `k` synopses, each owning a region of
+//!   symptom space.  Like cyclic block coordinate descent partitions a
+//!   solver's coordinates into disjoint blocks, the store partitions the
+//!   symptom space with k-means centroids (`selfheal_learn::KMeans`) and
+//!   routes every suggest/record to the shard owning that region — so
+//!   concurrent replicas updating *different* failure modes contend on
+//!   different locks.  With one shard it degenerates to exactly a
+//!   [`LockedStore`] (asserted fingerprint-identical in `tests/stores.rs`).
+//!
+//! Every store can [`snapshot`](SynopsisStore::snapshot) its experience to a
+//! [`SynopsisSnapshot`] and [`restore`](SynopsisStore::restore) from one —
+//! combined with the JSON-lines codec in [`crate::snapshot`], fleets
+//! warm-start across process boundaries.
+//!
+//! Healing policies stay written against the [`Learner`] trait; every store
+//! implements it (as does `Box<dyn SynopsisStore>`), so
+//! [`crate::FixSymHealer`] and [`crate::HybridHealer`] are oblivious to
+//! which store backs them.
+
+use crate::snapshot::SynopsisSnapshot;
+use crate::synopsis::{Learner, Synopsis, SynopsisKind};
+use selfheal_faults::FixKind;
+use selfheal_learn::{Classifier, Dataset, Example, KMeans};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One queued `(symptoms, fix, success)` outcome awaiting the next drain.
+type PendingUpdate = (Vec<f64>, FixKind, bool);
+
+/// Folds a pending queue into its model with one combined refit — the one
+/// drain implementation behind [`LockedStore`] and every [`ShardedStore`]
+/// shard.  `blocking` waits for the model lock; otherwise the drain gives up
+/// (leaving the queue for a later caller) when a retrain is in progress.
+fn drain_into(
+    model: &RwLock<Synopsis>,
+    pending: &Mutex<Vec<PendingUpdate>>,
+    drains: &Mutex<u64>,
+    blocking: bool,
+) {
+    let mut model = if blocking {
+        model.write().expect("synopsis lock poisoned")
+    } else {
+        match model.try_write() {
+            Ok(model) => model,
+            Err(_) => return,
+        }
+    };
+    let updates = std::mem::take(&mut *pending.lock().expect("pending queue poisoned"));
+    if updates.is_empty() {
+        return;
+    }
+    model.absorb(updates);
+    *drains.lock().expect("drain counter poisoned") += 1;
+}
+
+/// A home for learned synopsis state, pluggable behind every healer.
+///
+/// `SynopsisStore` extends [`Learner`] (the suggest/record surface healers
+/// use) with the lifecycle surface fleets and tools use: flushing batched
+/// updates, persisting experience, and handing out per-replica handles.
+pub trait SynopsisStore: Learner {
+    /// The synopsis kind backing the store.
+    fn kind(&self) -> SynopsisKind;
+
+    /// Blockingly folds every queued update into the model(s).  Call once
+    /// the fleet quiesces, before reading statistics or snapshotting.
+    fn flush(&self);
+
+    /// Number of recorded updates not yet folded into a model.
+    fn pending_updates(&self) -> usize;
+
+    /// Captures every recorded outcome (after a [`flush`](Self::flush)) so
+    /// the store can be rebuilt elsewhere — the save half of warm-start.
+    fn snapshot(&self) -> SynopsisSnapshot;
+
+    /// Replaces the store's learned state with the snapshot's experience,
+    /// rebuilt under the store's *own* kind (snapshots carry raw examples,
+    /// not fitted weights, so any store restores from any snapshot).
+    fn restore(&mut self, snapshot: &SynopsisSnapshot);
+
+    /// A handle for one more consumer of this store.  Shared stores
+    /// ([`LockedStore`], [`ShardedStore`]) return a handle to the *same*
+    /// state; [`PrivateStore`] returns an independent deep copy.
+    fn clone_store(&self) -> Box<dyn SynopsisStore>;
+}
+
+impl Learner for Box<dyn SynopsisStore> {
+    fn suggest(&self, symptoms: &[f64]) -> Option<(FixKind, f64)> {
+        (**self).suggest(symptoms)
+    }
+
+    fn suggest_excluding(
+        &self,
+        symptoms: &[f64],
+        excluded: &HashSet<FixKind>,
+    ) -> Option<(FixKind, f64)> {
+        (**self).suggest_excluding(symptoms, excluded)
+    }
+
+    fn record(&mut self, symptoms: &[f64], fix: FixKind, success: bool) {
+        (**self).record(symptoms, fix, success);
+    }
+
+    fn correct_fixes_learned(&self) -> usize {
+        (**self).correct_fixes_learned()
+    }
+}
+
+/// Rebuilds a synopsis of `kind` from a snapshot's raw experience: one
+/// bootstrap refit over the successes, then the failures as negative
+/// knowledge (failures never trigger refits).
+fn synopsis_from_snapshot(kind: SynopsisKind, snapshot: &SynopsisSnapshot) -> Synopsis {
+    let mut synopsis = Synopsis::new(kind);
+    let positives: Vec<Example> = snapshot
+        .examples
+        .iter()
+        .filter(|e| e.success)
+        .map(|e| Example::new(e.symptoms.clone(), e.fix.code()))
+        .collect();
+    synopsis.bootstrap(&positives);
+    for example in snapshot.examples.iter().filter(|e| !e.success) {
+        synopsis.update(&example.symptoms, example.fix, false);
+    }
+    synopsis
+}
+
+/// Appends a synopsis's experience (successes first, then failures) to a
+/// snapshot.
+fn append_synopsis(snapshot: &mut SynopsisSnapshot, synopsis: &Synopsis) {
+    for example in synopsis.positive_examples() {
+        if let Some(fix) = FixKind::from_code(example.label) {
+            snapshot.push(example.features.clone(), fix, true);
+        }
+    }
+    for example in synopsis.negative_examples() {
+        if let Some(fix) = FixKind::from_code(example.label) {
+            snapshot.push(example.features.clone(), fix, false);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PrivateStore
+// ---------------------------------------------------------------------------
+
+/// A privately owned synopsis: the paper's single-instance setup, wrapped in
+/// the store API so a lone service and a fleet replica configure learning
+/// the same way.  Updates apply (and refit) immediately; there is nothing to
+/// flush.
+#[derive(Debug)]
+pub struct PrivateStore {
+    synopsis: Synopsis,
+}
+
+impl PrivateStore {
+    /// Creates an empty private store.
+    pub fn new(kind: SynopsisKind) -> Self {
+        PrivateStore {
+            synopsis: Synopsis::new(kind),
+        }
+    }
+
+    /// Creates a private store pre-loaded from a snapshot.
+    pub fn from_snapshot(kind: SynopsisKind, snapshot: &SynopsisSnapshot) -> Self {
+        PrivateStore {
+            synopsis: synopsis_from_snapshot(kind, snapshot),
+        }
+    }
+
+    /// The wrapped synopsis.
+    pub fn synopsis(&self) -> &Synopsis {
+        &self.synopsis
+    }
+}
+
+impl Learner for PrivateStore {
+    fn suggest(&self, symptoms: &[f64]) -> Option<(FixKind, f64)> {
+        self.synopsis.suggest(symptoms)
+    }
+
+    fn suggest_excluding(
+        &self,
+        symptoms: &[f64],
+        excluded: &HashSet<FixKind>,
+    ) -> Option<(FixKind, f64)> {
+        self.synopsis.suggest_excluding(symptoms, excluded)
+    }
+
+    fn record(&mut self, symptoms: &[f64], fix: FixKind, success: bool) {
+        self.synopsis.update(symptoms, fix, success);
+    }
+
+    fn correct_fixes_learned(&self) -> usize {
+        self.synopsis.correct_fixes_learned()
+    }
+}
+
+impl SynopsisStore for PrivateStore {
+    fn kind(&self) -> SynopsisKind {
+        self.synopsis.kind()
+    }
+
+    fn flush(&self) {}
+
+    fn pending_updates(&self) -> usize {
+        0
+    }
+
+    fn snapshot(&self) -> SynopsisSnapshot {
+        let mut snapshot = SynopsisSnapshot::new(self.kind());
+        append_synopsis(&mut snapshot, &self.synopsis);
+        snapshot
+    }
+
+    fn restore(&mut self, snapshot: &SynopsisSnapshot) {
+        self.synopsis = synopsis_from_snapshot(self.kind(), snapshot);
+    }
+
+    fn clone_store(&self) -> Box<dyn SynopsisStore> {
+        Box::new(PrivateStore::from_snapshot(self.kind(), &self.snapshot()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LockedStore
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct LockedState {
+    model: RwLock<Synopsis>,
+    pending: Mutex<Vec<PendingUpdate>>,
+    batch: usize,
+    drains: Mutex<u64>,
+}
+
+/// A cloneable, thread-safe handle to one fleet-wide [`Synopsis`] behind a
+/// single lock (the store previously named `SharedSynopsis`):
+///
+/// * **Reads** ([`suggest`](Learner::suggest) /
+///   [`suggest_excluding`](Learner::suggest_excluding)) take a shared read
+///   lock on the fitted model — replicas query concurrently.
+/// * **Writes** ([`record`](Learner::record)) append to a cheap pending
+///   queue.  Only when the queue reaches the batch threshold does one
+///   replica opportunistically (`try_write`, never blocking on a retrain
+///   already in progress) drain the queue into the model with a *single*
+///   combined refit.  A replica therefore never stalls because another
+///   replica's update triggered a retrain.
+///
+/// The handle is `Clone`; clones share state.  Batching trades staleness for
+/// throughput: a freshly learned fix becomes visible to other replicas after
+/// at most `batch - 1` further updates (or a [`flush`](SynopsisStore::flush)).
+#[derive(Debug, Clone)]
+pub struct LockedStore {
+    state: Arc<LockedState>,
+}
+
+impl LockedStore {
+    /// Default number of queued updates that triggers a drain + refit.
+    pub const DEFAULT_BATCH: usize = 4;
+
+    /// Creates a locked store of the given kind with the default batch
+    /// threshold.
+    pub fn new(kind: SynopsisKind) -> Self {
+        Self::with_batch(kind, Self::DEFAULT_BATCH)
+    }
+
+    /// Creates a locked store that drains after `batch` queued updates
+    /// (`1` = drain on every update, i.e. no added staleness).
+    pub fn with_batch(kind: SynopsisKind, batch: usize) -> Self {
+        LockedStore {
+            state: Arc::new(LockedState {
+                model: RwLock::new(Synopsis::new(kind)),
+                pending: Mutex::new(Vec::new()),
+                batch: batch.max(1),
+                drains: Mutex::new(0),
+            }),
+        }
+    }
+
+    /// The configured synopsis kind (inherent mirror of
+    /// [`SynopsisStore::kind`] so handle users don't need the trait in
+    /// scope).
+    pub fn kind(&self) -> SynopsisKind {
+        self.read().kind()
+    }
+
+    /// Number of successful-fix examples folded into the model so far
+    /// (inherent mirror of [`Learner::correct_fixes_learned`]).
+    pub fn correct_fixes_learned(&self) -> usize {
+        self.read().correct_fixes_learned()
+    }
+
+    /// Number of updates currently queued and not yet folded into the model.
+    pub fn pending_updates(&self) -> usize {
+        self.state
+            .pending
+            .lock()
+            .expect("pending queue poisoned")
+            .len()
+    }
+
+    /// How many batched drains have run so far.
+    pub fn drains(&self) -> u64 {
+        *self.state.drains.lock().expect("drain counter poisoned")
+    }
+
+    /// Runs `f` against the fitted model under the read lock.
+    ///
+    /// Exposed so callers can take consistent multi-field snapshots (e.g.
+    /// training cost plus accuracy) without cloning the synopsis.
+    pub fn with_model<T>(&self, f: impl FnOnce(&Synopsis) -> T) -> T {
+        f(&self.read())
+    }
+
+    /// Blockingly drains every queued update into the model (inherent
+    /// mirror of [`SynopsisStore::flush`]).
+    pub fn flush(&self) {
+        drain_into(
+            &self.state.model,
+            &self.state.pending,
+            &self.state.drains,
+            true,
+        );
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Synopsis> {
+        self.state.model.read().expect("synopsis lock poisoned")
+    }
+
+    /// Opportunistic drain: skips (leaving the queue for a later caller)
+    /// when another replica holds the model lock.
+    fn try_drain(&self) {
+        drain_into(
+            &self.state.model,
+            &self.state.pending,
+            &self.state.drains,
+            false,
+        );
+    }
+}
+
+impl Learner for LockedStore {
+    fn suggest(&self, symptoms: &[f64]) -> Option<(FixKind, f64)> {
+        self.read().suggest(symptoms)
+    }
+
+    fn suggest_excluding(
+        &self,
+        symptoms: &[f64],
+        excluded: &HashSet<FixKind>,
+    ) -> Option<(FixKind, f64)> {
+        self.read().suggest_excluding(symptoms, excluded)
+    }
+
+    fn record(&mut self, symptoms: &[f64], fix: FixKind, success: bool) {
+        let due = {
+            let mut pending = self.state.pending.lock().expect("pending queue poisoned");
+            pending.push((symptoms.to_vec(), fix, success));
+            pending.len() >= self.state.batch
+        };
+        if due {
+            self.try_drain();
+        }
+    }
+
+    fn correct_fixes_learned(&self) -> usize {
+        self.read().correct_fixes_learned()
+    }
+}
+
+impl SynopsisStore for LockedStore {
+    fn kind(&self) -> SynopsisKind {
+        LockedStore::kind(self)
+    }
+
+    fn flush(&self) {
+        LockedStore::flush(self);
+    }
+
+    fn pending_updates(&self) -> usize {
+        LockedStore::pending_updates(self)
+    }
+
+    fn snapshot(&self) -> SynopsisSnapshot {
+        self.flush();
+        let mut snapshot = SynopsisSnapshot::new(self.kind());
+        self.with_model(|model| append_synopsis(&mut snapshot, model));
+        snapshot
+    }
+
+    fn restore(&mut self, snapshot: &SynopsisSnapshot) {
+        let rebuilt = synopsis_from_snapshot(self.kind(), snapshot);
+        self.state
+            .pending
+            .lock()
+            .expect("pending queue poisoned")
+            .clear();
+        *self.state.model.write().expect("synopsis lock poisoned") = rebuilt;
+    }
+
+    fn clone_store(&self) -> Box<dyn SynopsisStore> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedStore
+// ---------------------------------------------------------------------------
+
+/// The symptom-space router of a [`ShardedStore`].
+///
+/// Until enough symptom vectors have been observed to fit centroids, every
+/// request routes to shard 0 (so a cold sharded fleet behaves exactly like a
+/// [`LockedStore`]).  Once `fit_after` distinct observations accumulate, the
+/// router fits `k` centroids with Lloyd's k-means (deterministically seeded)
+/// and the partition is frozen — fixed blocks, as in cyclic block
+/// coordinate descent, so a symptom region never migrates between shards
+/// mid-run.
+#[derive(Debug)]
+struct Router {
+    shards: usize,
+    fit_after: usize,
+    buffer: Vec<Vec<f64>>,
+    centroids: Vec<Vec<f64>>,
+    fitted: bool,
+}
+
+impl Router {
+    fn new(shards: usize, fit_after: usize) -> Self {
+        Router {
+            shards,
+            fit_after: fit_after.max(shards),
+            buffer: Vec::new(),
+            centroids: Vec::new(),
+            fitted: shards <= 1,
+        }
+    }
+
+    /// Nearest-centroid routing; shard 0 before the fit (or with one shard).
+    fn route(&self, symptoms: &[f64]) -> usize {
+        if self.centroids.len() <= 1 {
+            return 0;
+        }
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, centroid) in self.centroids.iter().enumerate() {
+            let d: f64 = centroid
+                .iter()
+                .zip(symptoms)
+                .map(|(c, s)| (c - s) * (c - s))
+                .sum();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Notes an observed symptom vector; fits the centroids once the buffer
+    /// is full.  Returns `true` when this call performed the fit.
+    fn observe(&mut self, symptoms: &[f64]) -> bool {
+        if self.fitted {
+            return false;
+        }
+        self.buffer.push(symptoms.to_vec());
+        if self.buffer.len() < self.fit_after {
+            return false;
+        }
+        self.fit();
+        true
+    }
+
+    /// Fits `shards` centroids over whatever symptoms are available (the
+    /// buffer, or a restored snapshot's vectors).
+    fn fit(&mut self) {
+        let data = Dataset::from_examples(
+            self.buffer
+                .iter()
+                .map(|s| Example::new(s.clone(), 0))
+                .collect(),
+        );
+        if data.is_empty() {
+            return;
+        }
+        let mut kmeans = KMeans::lloyd(self.shards, 50).with_seed(ShardedStore::ROUTE_SEED);
+        kmeans.fit(&data);
+        self.centroids = kmeans
+            .clusters()
+            .iter()
+            .map(|c| c.centroid.clone())
+            .collect();
+        self.buffer.clear();
+        self.fitted = true;
+    }
+}
+
+#[derive(Debug)]
+struct Shard {
+    model: RwLock<Synopsis>,
+    pending: Mutex<Vec<PendingUpdate>>,
+}
+
+#[derive(Debug)]
+struct ShardedState {
+    kind: SynopsisKind,
+    batch: usize,
+    shards: Vec<Shard>,
+    router: RwLock<Router>,
+    drains: Mutex<u64>,
+}
+
+/// A fleet-shared store that partitions symptom space across `k`
+/// independently locked synopses.
+///
+/// Every suggest/record is routed to the shard owning the symptom's region
+/// (nearest fitted centroid), so replicas healing *different* failure modes
+/// update disjoint models and never contend on one global lock — the paper's
+/// shared-learning benefit without its single-writer bottleneck.  Each shard
+/// batches its writes exactly like a [`LockedStore`]; with `k = 1` the two
+/// are byte-for-byte equivalent (`tests/stores.rs` asserts the fingerprint).
+///
+/// The handle is `Clone`; clones share state.
+#[derive(Debug, Clone)]
+pub struct ShardedStore {
+    state: Arc<ShardedState>,
+}
+
+impl ShardedStore {
+    /// Observations buffered before the routing centroids are fitted.
+    pub const DEFAULT_FIT_AFTER: usize = 32;
+
+    /// Seed of the deterministic Lloyd fit behind the router.
+    pub const ROUTE_SEED: u64 = 0x5ead_c0de;
+
+    /// Creates a sharded store with the default batch threshold and router
+    /// warm-up.
+    pub fn new(kind: SynopsisKind, shards: usize) -> Self {
+        Self::with_batch(kind, shards, LockedStore::DEFAULT_BATCH)
+    }
+
+    /// Creates a sharded store whose shards drain after `batch` queued
+    /// updates each.
+    pub fn with_batch(kind: SynopsisKind, shards: usize, batch: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedStore {
+            state: Arc::new(ShardedState {
+                kind,
+                batch: batch.max(1),
+                shards: (0..shards)
+                    .map(|_| Shard {
+                        model: RwLock::new(Synopsis::new(kind)),
+                        pending: Mutex::new(Vec::new()),
+                    })
+                    .collect(),
+                router: RwLock::new(Router::new(shards, Self::DEFAULT_FIT_AFTER)),
+                drains: Mutex::new(0),
+            }),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.state.shards.len()
+    }
+
+    /// Whether the routing centroids have been fitted yet (before the fit,
+    /// all traffic goes to shard 0).
+    pub fn routing_fitted(&self) -> bool {
+        self.state.router.read().expect("router poisoned").fitted
+    }
+
+    /// Successful-fix examples per shard — how the symptom space actually
+    /// partitioned.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.state
+            .shards
+            .iter()
+            .map(|s| {
+                s.model
+                    .read()
+                    .expect("shard lock poisoned")
+                    .correct_fixes_learned()
+            })
+            .collect()
+    }
+
+    /// How many batched drains have run across all shards.
+    pub fn drains(&self) -> u64 {
+        *self.state.drains.lock().expect("drain counter poisoned")
+    }
+
+    fn route(&self, symptoms: &[f64]) -> usize {
+        self.state
+            .router
+            .read()
+            .expect("router poisoned")
+            .route(symptoms)
+    }
+
+    fn flush_shard(&self, shard: &Shard) {
+        drain_into(&shard.model, &shard.pending, &self.state.drains, true);
+    }
+
+    /// Drains every shard and collects the store's entire experience —
+    /// internal re-homing support, so it leaves the drain counter alone.
+    ///
+    /// Lock ordering: callers hold the router write lock; shard locks nest
+    /// under it (the same order [`SynopsisStore::restore`] uses, and no path
+    /// acquires them in reverse).
+    fn collect_resident(&self) -> SynopsisSnapshot {
+        let mut snapshot = SynopsisSnapshot::new(self.state.kind);
+        for shard in &self.state.shards {
+            let updates = {
+                let mut pending = shard.pending.lock().expect("shard queue poisoned");
+                std::mem::take(&mut *pending)
+            };
+            let mut model = shard.model.write().expect("shard lock poisoned");
+            if !updates.is_empty() {
+                model.absorb(updates);
+            }
+            append_synopsis(&mut snapshot, &model);
+        }
+        snapshot
+    }
+
+    /// Rebuilds every shard's model from `snapshot`, partitioned by the
+    /// given router's (current) centroids.
+    fn partition_into_shards(&self, router: &Router, snapshot: &SynopsisSnapshot) {
+        let mut per_shard: Vec<SynopsisSnapshot> = (0..self.state.shards.len())
+            .map(|_| SynopsisSnapshot::new(self.state.kind))
+            .collect();
+        for example in &snapshot.examples {
+            per_shard[router.route(&example.symptoms)]
+                .examples
+                .push(example.clone());
+        }
+        for (shard, slice) in self.state.shards.iter().zip(&per_shard) {
+            shard.pending.lock().expect("shard queue poisoned").clear();
+            *shard.model.write().expect("shard lock poisoned") =
+                synopsis_from_snapshot(self.state.kind, slice);
+        }
+    }
+
+    fn try_drain_shard(&self, shard: &Shard) {
+        drain_into(&shard.model, &shard.pending, &self.state.drains, false);
+    }
+}
+
+impl Learner for ShardedStore {
+    fn suggest(&self, symptoms: &[f64]) -> Option<(FixKind, f64)> {
+        let shard = &self.state.shards[self.route(symptoms)];
+        shard
+            .model
+            .read()
+            .expect("shard lock poisoned")
+            .suggest(symptoms)
+    }
+
+    fn suggest_excluding(
+        &self,
+        symptoms: &[f64],
+        excluded: &HashSet<FixKind>,
+    ) -> Option<(FixKind, f64)> {
+        let shard = &self.state.shards[self.route(symptoms)];
+        shard
+            .model
+            .read()
+            .expect("shard lock poisoned")
+            .suggest_excluding(symptoms, excluded)
+    }
+
+    fn record(&mut self, symptoms: &[f64], fix: FixKind, success: bool) {
+        let unfitted = !self.state.router.read().expect("router poisoned").fitted;
+        if unfitted {
+            let mut router = self.state.router.write().expect("router poisoned");
+            if router.observe(symptoms) {
+                // The partition just froze.  Everything recorded so far
+                // routed to shard 0; re-home it under the new centroids so
+                // pre-fit experience stays reachable from its region's
+                // shard instead of being stranded.
+                let resident = self.collect_resident();
+                self.partition_into_shards(&router, &resident);
+            }
+        }
+        // Route and enqueue under one router read guard: a concurrent fit
+        // (router write) therefore cannot slip between the two and strand
+        // this update on a shard the new centroids no longer route to —
+        // the fit's re-homing sees either the queued update or none.
+        let (index, due) = {
+            let router = self.state.router.read().expect("router poisoned");
+            let index = router.route(symptoms);
+            let mut pending = self.state.shards[index]
+                .pending
+                .lock()
+                .expect("shard queue poisoned");
+            pending.push((symptoms.to_vec(), fix, success));
+            (index, pending.len() >= self.state.batch)
+        };
+        if due {
+            self.try_drain_shard(&self.state.shards[index]);
+        }
+    }
+
+    fn correct_fixes_learned(&self) -> usize {
+        self.shard_sizes().iter().sum()
+    }
+}
+
+impl SynopsisStore for ShardedStore {
+    fn kind(&self) -> SynopsisKind {
+        self.state.kind
+    }
+
+    fn flush(&self) {
+        for shard in &self.state.shards {
+            self.flush_shard(shard);
+        }
+    }
+
+    fn pending_updates(&self) -> usize {
+        self.state
+            .shards
+            .iter()
+            .map(|s| s.pending.lock().expect("shard queue poisoned").len())
+            .sum()
+    }
+
+    fn snapshot(&self) -> SynopsisSnapshot {
+        self.flush();
+        let mut snapshot = SynopsisSnapshot::new(self.state.kind);
+        for shard in &self.state.shards {
+            let model = shard.model.read().expect("shard lock poisoned");
+            append_synopsis(&mut snapshot, &model);
+        }
+        snapshot
+    }
+
+    fn restore(&mut self, snapshot: &SynopsisSnapshot) {
+        let mut router = self.state.router.write().expect("router poisoned");
+        // Refit the routing centroids from the snapshot's symptom vectors so
+        // restored experience lands on the shards that will serve it.  With
+        // too few examples to fit, stale centroids from a previous fit are
+        // discarded too — routing falls back to shard 0 (where the examples
+        // are about to land) until the warm-up buffer refills.
+        if self.state.shards.len() > 1 {
+            router.buffer = snapshot
+                .examples
+                .iter()
+                .map(|e| e.symptoms.clone())
+                .collect();
+            router.fitted = false;
+            router.centroids.clear();
+            if router.buffer.len() >= self.state.shards.len() {
+                router.fit();
+            }
+        }
+        // Partition the experience by routed shard and rebuild each model.
+        self.partition_into_shards(&router, snapshot);
+    }
+
+    fn clone_store(&self) -> Box<dyn SynopsisStore> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn symptom(kind: usize) -> Vec<f64> {
+        match kind {
+            0 => vec![8.0, 1.0, 1.0],
+            1 => vec![1.0, 9.0, 1.0],
+            _ => vec![1.0, 1.0, 7.0],
+        }
+    }
+
+    const FIXES: [FixKind; 3] = [
+        FixKind::RepartitionMemory,
+        FixKind::MicrorebootEjb,
+        FixKind::UpdateStatistics,
+    ];
+
+    #[test]
+    fn locked_updates_are_batched_until_the_threshold() {
+        let mut shared = LockedStore::with_batch(SynopsisKind::NearestNeighbor, 3);
+        shared.record(&symptom(0), FixKind::RepartitionMemory, true);
+        shared.record(&symptom(1), FixKind::MicrorebootEjb, true);
+        assert_eq!(shared.pending_updates(), 2);
+        assert_eq!(shared.correct_fixes_learned(), 0, "not yet drained");
+        assert!(shared.suggest(&symptom(0)).is_none());
+
+        shared.record(&symptom(2), FixKind::UpdateStatistics, true);
+        assert_eq!(shared.pending_updates(), 0);
+        assert_eq!(shared.correct_fixes_learned(), 3);
+        assert_eq!(shared.drains(), 1);
+        assert_eq!(
+            shared.suggest(&symptom(0)).unwrap().0,
+            FixKind::RepartitionMemory
+        );
+        assert_eq!(
+            shared.with_model(|m| m.retrains()),
+            1,
+            "one refit for the whole batch"
+        );
+    }
+
+    #[test]
+    fn locked_flush_publishes_a_partial_batch() {
+        let mut shared = LockedStore::with_batch(SynopsisKind::NearestNeighbor, 64);
+        shared.record(&symptom(0), FixKind::RepartitionMemory, true);
+        assert!(shared.suggest(&symptom(0)).is_none());
+        LockedStore::flush(&shared);
+        assert_eq!(
+            shared.suggest(&symptom(0)).unwrap().0,
+            FixKind::RepartitionMemory
+        );
+        // A second flush with an empty queue is a no-op.
+        LockedStore::flush(&shared);
+        assert_eq!(shared.drains(), 1);
+    }
+
+    #[test]
+    fn locked_clones_share_learned_state() {
+        let mut a = LockedStore::with_batch(SynopsisKind::NearestNeighbor, 1);
+        let b = a.clone();
+        a.record(&symptom(1), FixKind::MicrorebootEjb, true);
+        assert_eq!(b.correct_fixes_learned(), 1);
+        assert_eq!(b.suggest(&symptom(1)).unwrap().0, FixKind::MicrorebootEjb);
+    }
+
+    #[test]
+    fn failed_fixes_never_become_positives() {
+        let mut shared = LockedStore::with_batch(SynopsisKind::NearestNeighbor, 1);
+        shared.record(&symptom(0), FixKind::KillHungQuery, false);
+        LockedStore::flush(&shared);
+        assert_eq!(shared.correct_fixes_learned(), 0);
+        assert_eq!(shared.with_model(|m| m.failed_fixes_recorded()), 1);
+    }
+
+    #[test]
+    fn concurrent_recorders_lose_no_updates() {
+        let shared = LockedStore::with_batch(SynopsisKind::NearestNeighbor, 5);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let mut handle = shared.clone();
+                thread::spawn(move || {
+                    for i in 0..25 {
+                        let class = (t + i) % 3;
+                        handle.record(&symptom(class), FIXES[class], true);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("recorder thread panicked");
+        }
+        LockedStore::flush(&shared);
+        assert_eq!(shared.correct_fixes_learned(), 100);
+        assert!(shared.drains() >= 1);
+        assert_eq!(
+            shared.suggest(&symptom(0)).unwrap().0,
+            FixKind::RepartitionMemory
+        );
+    }
+
+    #[test]
+    fn private_store_learns_immediately_and_snapshots() {
+        let mut store = PrivateStore::new(SynopsisKind::NearestNeighbor);
+        store.record(&symptom(0), FixKind::RepartitionMemory, true);
+        store.record(&symptom(1), FixKind::MicrorebootEjb, false);
+        assert_eq!(store.correct_fixes_learned(), 1);
+        assert_eq!(store.pending_updates(), 0);
+        let snap = store.snapshot();
+        assert_eq!(snap.positives(), 1);
+        assert_eq!(snap.negatives(), 1);
+
+        let mut restored = PrivateStore::new(SynopsisKind::NearestNeighbor);
+        restored.restore(&snap);
+        assert_eq!(restored.correct_fixes_learned(), 1);
+        assert_eq!(
+            restored.suggest(&symptom(0)).unwrap().0,
+            FixKind::RepartitionMemory
+        );
+        assert_eq!(restored.synopsis().failed_fixes_recorded(), 1);
+        // One bootstrap refit, not one per example.
+        assert_eq!(restored.synopsis().retrains(), 1);
+    }
+
+    #[test]
+    fn private_clone_store_is_a_deep_copy() {
+        let mut a = PrivateStore::new(SynopsisKind::NearestNeighbor);
+        a.record(&symptom(0), FixKind::RepartitionMemory, true);
+        let mut b = a.clone_store();
+        b.record(&symptom(1), FixKind::MicrorebootEjb, true);
+        assert_eq!(a.correct_fixes_learned(), 1, "original unaffected");
+        assert_eq!(b.correct_fixes_learned(), 2);
+    }
+
+    #[test]
+    fn snapshots_restore_across_store_and_synopsis_kinds() {
+        let mut locked = LockedStore::with_batch(SynopsisKind::NearestNeighbor, 1);
+        for i in 0..12 {
+            let class = i % 3;
+            locked.record(&symptom(class), FIXES[class], true);
+        }
+        let snap = SynopsisStore::snapshot(&locked);
+
+        // Restore into a different store type AND a different model kind.
+        let mut sharded = ShardedStore::new(SynopsisKind::KMeans, 3);
+        sharded.restore(&snap);
+        assert_eq!(sharded.correct_fixes_learned(), 12);
+        for (class, fix) in FIXES.iter().enumerate() {
+            assert_eq!(
+                sharded.suggest(&symptom(class)).unwrap().0,
+                *fix,
+                "class {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_routes_to_shard_zero_until_the_fit() {
+        let mut store = ShardedStore::with_batch(SynopsisKind::NearestNeighbor, 4, 1);
+        assert!(!store.routing_fitted());
+        for i in 0..8 {
+            let class = i % 3;
+            store.record(&symptom(class), FIXES[class], true);
+        }
+        assert!(!store.routing_fitted(), "fit_after not reached");
+        assert_eq!(store.shard_sizes()[0], 8, "everything on shard 0 pre-fit");
+
+        for i in 0..ShardedStore::DEFAULT_FIT_AFTER {
+            let class = i % 3;
+            store.record(&symptom(class), FIXES[class], true);
+        }
+        assert!(store.routing_fitted());
+        // Post-fit traffic spreads across shards.
+        for i in 0..30 {
+            let class = i % 3;
+            store.record(&symptom(class), FIXES[class], true);
+        }
+        SynopsisStore::flush(&store);
+        let sizes = store.shard_sizes();
+        assert!(
+            sizes.iter().filter(|&&n| n > 0).count() >= 2,
+            "post-fit updates must land on multiple shards: {sizes:?}"
+        );
+        // Suggestions still resolve correctly through the router.
+        for (class, fix) in FIXES.iter().enumerate() {
+            assert_eq!(store.suggest(&symptom(class)).unwrap().0, *fix);
+        }
+    }
+
+    #[test]
+    fn one_shard_store_matches_a_locked_store_update_for_update() {
+        let mut locked = LockedStore::with_batch(SynopsisKind::NearestNeighbor, 4);
+        let mut sharded = ShardedStore::with_batch(SynopsisKind::NearestNeighbor, 1, 4);
+        for i in 0..23 {
+            let class = i % 3;
+            let success = i % 5 != 0;
+            locked.record(&symptom(class), FIXES[class], success);
+            sharded.record(&symptom(class), FIXES[class], success);
+            assert_eq!(
+                LockedStore::pending_updates(&locked),
+                SynopsisStore::pending_updates(&sharded),
+                "at update {i}"
+            );
+            assert_eq!(
+                locked.correct_fixes_learned(),
+                sharded.correct_fixes_learned(),
+                "at update {i}"
+            );
+            assert_eq!(
+                locked.suggest(&symptom(class)),
+                sharded.suggest(&symptom(class)),
+                "at update {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_fit_experience_survives_the_router_fit() {
+        let mut store = ShardedStore::with_batch(SynopsisKind::NearestNeighbor, 4, 1);
+        // A rare failure healed before the routing centroids exist.
+        let rare = vec![50.0, 50.0, 50.0];
+        store.record(&rare, FixKind::RebuildIndex, true);
+        assert_eq!(store.suggest(&rare).unwrap().0, FixKind::RebuildIndex);
+
+        // Bulk traffic triggers the centroid fit.
+        for i in 0..(2 * ShardedStore::DEFAULT_FIT_AFTER) {
+            let class = i % 3;
+            store.record(&symptom(class), FIXES[class], true);
+        }
+        assert!(store.routing_fitted());
+
+        // The rare signature now routes by centroid — and must still find
+        // the experience recorded while everything lived on shard 0.
+        assert_eq!(
+            store.suggest(&rare).map(|(fix, _)| fix),
+            Some(FixKind::RebuildIndex),
+            "pre-fit experience must be re-homed, not stranded on shard 0"
+        );
+        for (class, fix) in FIXES.iter().enumerate() {
+            assert_eq!(store.suggest(&symptom(class)).unwrap().0, *fix);
+        }
+        SynopsisStore::flush(&store);
+        assert_eq!(
+            store.correct_fixes_learned(),
+            1 + 2 * ShardedStore::DEFAULT_FIT_AFTER,
+            "re-homing loses nothing"
+        );
+    }
+
+    #[test]
+    fn restoring_a_small_snapshot_discards_stale_centroids() {
+        // Fit the router on one distribution...
+        let mut store = ShardedStore::with_batch(SynopsisKind::NearestNeighbor, 4, 1);
+        for i in 0..(2 * ShardedStore::DEFAULT_FIT_AFTER) {
+            let class = i % 3;
+            store.record(&symptom(class), FIXES[class], true);
+        }
+        assert!(store.routing_fitted());
+
+        // ...then restore a snapshot too small to refit centroids.
+        let mut snap = SynopsisSnapshot::new(SynopsisKind::NearestNeighbor);
+        snap.push(vec![50.0, 50.0, 50.0], FixKind::RebuildIndex, true);
+        store.restore(&snap);
+        assert!(!store.routing_fitted(), "old partition must not survive");
+        assert_eq!(store.correct_fixes_learned(), 1);
+        assert_eq!(
+            store.suggest(&[50.0, 50.0, 50.0]).unwrap().0,
+            FixKind::RebuildIndex,
+            "restored experience must be reachable under the reset routing"
+        );
+    }
+
+    #[test]
+    fn sharded_restore_partitions_and_warm_starts() {
+        let mut cold = ShardedStore::with_batch(SynopsisKind::NearestNeighbor, 4, 1);
+        for i in 0..60 {
+            let class = i % 3;
+            cold.record(&symptom(class), FIXES[class], true);
+        }
+        let snap = SynopsisStore::snapshot(&cold);
+
+        let mut warm = ShardedStore::new(SynopsisKind::NearestNeighbor, 4);
+        warm.restore(&snap);
+        assert!(warm.routing_fitted(), "restore fits the router");
+        assert_eq!(warm.correct_fixes_learned(), 60);
+        let sizes = warm.shard_sizes();
+        assert!(
+            sizes.iter().filter(|&&n| n > 0).count() >= 2,
+            "restored experience spreads across shards: {sizes:?}"
+        );
+        for (class, fix) in FIXES.iter().enumerate() {
+            assert_eq!(warm.suggest(&symptom(class)).unwrap().0, *fix);
+        }
+    }
+
+    #[test]
+    fn boxed_store_handles_drive_the_learner_surface() {
+        let shared = ShardedStore::with_batch(SynopsisKind::NearestNeighbor, 2, 1);
+        let mut handle: Box<dyn SynopsisStore> = shared.clone_store();
+        handle.record(&symptom(0), FixKind::RepartitionMemory, true);
+        handle.flush();
+        assert_eq!(handle.correct_fixes_learned(), 1);
+        assert_eq!(shared.correct_fixes_learned(), 1, "handles share state");
+        assert_eq!(
+            handle.suggest(&symptom(0)).unwrap().0,
+            FixKind::RepartitionMemory
+        );
+        assert!(handle
+            .suggest_excluding(&symptom(0), &HashSet::from([FixKind::RepartitionMemory]))
+            .is_none());
+        assert_eq!(handle.kind(), SynopsisKind::NearestNeighbor);
+    }
+}

@@ -99,6 +99,19 @@ impl SynopsisKind {
             SynopsisKind::AdaBoost(n) => format!("adaboost_{n}"),
         }
     }
+
+    /// Inverse of [`SynopsisKind::label`] — used by the synopsis codec when
+    /// loading a saved model.
+    pub fn from_label(label: &str) -> Option<SynopsisKind> {
+        match label {
+            "nearest_neighbor" => Some(SynopsisKind::NearestNeighbor),
+            "k_means" => Some(SynopsisKind::KMeans),
+            other => other
+                .strip_prefix("adaboost_")
+                .and_then(|n| n.parse::<usize>().ok())
+                .map(SynopsisKind::AdaBoost),
+        }
+    }
 }
 
 enum Model {
@@ -183,6 +196,18 @@ impl Synopsis {
     /// Number of failed-fix examples recorded.
     pub fn failed_fixes_recorded(&self) -> usize {
         self.negatives.len()
+    }
+
+    /// The successful (symptom, fix) training examples, in insertion order —
+    /// what the synopsis codec persists so another store can rebuild the
+    /// model.
+    pub fn positive_examples(&self) -> &[Example] {
+        self.positives.examples()
+    }
+
+    /// The failed-fix examples, in insertion order.
+    pub fn negative_examples(&self) -> &[Example] {
+        &self.negatives
     }
 
     /// Cumulative wall-clock time spent fitting the model.

@@ -122,6 +122,13 @@ impl FixKind {
         FixKind::ALL.get(code).copied()
     }
 
+    /// Inverse of [`FixKind::label`] — used by the synopsis codec, which
+    /// persists fixes by label so saved models stay readable (and stable)
+    /// even if the enum order ever changes.
+    pub fn from_label(label: &str) -> Option<FixKind> {
+        FixKind::ALL.iter().copied().find(|k| k.label() == label)
+    }
+
     /// Default cost model for this fix (durations in ticks ≈ seconds).
     ///
     /// The values encode the paper's qualitative ordering: a microreboot or

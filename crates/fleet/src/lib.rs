@@ -15,9 +15,12 @@
 //!   workload shape (a declarative
 //!   [`selfheal_core::harness::WorkloadChoice`]: synthetic arrivals,
 //!   recorded-trace replay with per-replica phase shifts, or burst storms),
-//!   whether learning is [`LearningTopology::Shared`] or
-//!   [`LearningTopology::Isolated`], and how replicas execute
-//!   ([`ExecutionMode::Parallel`] worker threads vs the
+//!   where learned state lives (a declarative
+//!   [`selfheal_core::harness::LearnerChoice`]: a private
+//!   per-replica store, one lock-shared store, or symptom-space shards —
+//!   optionally warm-started from a saved
+//!   [`selfheal_core::snapshot::SynopsisSnapshot`]), and how replicas
+//!   execute ([`ExecutionMode::Parallel`] worker threads vs the
 //!   [`ExecutionMode::Sequential`] round-robin interleaver).
 //! * [`FleetEngine`] — builds one resumable
 //!   [`selfheal_sim::ScenarioRunner`] per replica (seeded via
@@ -53,8 +56,9 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
-use selfheal_core::harness::{PolicyChoice, WorkloadChoice};
-use selfheal_core::shared::SharedSynopsis;
+use selfheal_core::harness::{LearnerChoice, PolicyChoice, WorkloadChoice};
+use selfheal_core::snapshot::SynopsisSnapshot;
+use selfheal_core::store::{LockedStore, SynopsisStore};
 use selfheal_faults::InjectionPlan;
 use selfheal_sim::scenario::{Healer, ScenarioOutcome, ScenarioRunner};
 use selfheal_sim::seeds::{split_seed, SeedStream};
@@ -65,11 +69,14 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// How replica healers relate to each other's learned state.
+/// How replica healers relate to each other's learned state — the original
+/// two-way switch, kept as a shorthand for the [`LearnerChoice`] recipes it
+/// maps onto ([`FleetConfig::topology`] translates; [`FleetConfig::learner`]
+/// accepts the full recipe set, including sharded stores).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LearningTopology {
     /// Every replica's signature-based healer reads and teaches one
-    /// fleet-wide [`SharedSynopsis`]; updates drain in batches of `batch`.
+    /// fleet-wide [`LockedStore`]; updates drain in batches of `batch`.
     /// Non-learning policies fall back to isolated behaviour.
     Shared {
         /// Queued updates that trigger one combined drain + retrain.
@@ -83,7 +90,15 @@ impl LearningTopology {
     /// Shared learning with the default batch threshold.
     pub fn shared() -> Self {
         LearningTopology::Shared {
-            batch: SharedSynopsis::DEFAULT_BATCH,
+            batch: LockedStore::DEFAULT_BATCH,
+        }
+    }
+
+    /// The [`LearnerChoice`] recipe this topology names.
+    pub fn learner_choice(self) -> LearnerChoice {
+        match self {
+            LearningTopology::Shared { batch } => LearnerChoice::Locked { batch },
+            LearningTopology::Isolated => LearnerChoice::Private,
         }
     }
 }
@@ -115,7 +130,8 @@ pub struct FleetConfig {
     service: ServiceConfig,
     workload: WorkloadChoice,
     policy: PolicyChoice,
-    topology: LearningTopology,
+    learner: LearnerChoice,
+    warm_start: Option<SynopsisSnapshot>,
     mode: ExecutionMode,
     series_capacity: usize,
     plan_factory: Arc<PlanFactory>,
@@ -129,7 +145,8 @@ impl std::fmt::Debug for FleetConfig {
             .field("base_seed", &self.base_seed)
             .field("workload", &self.workload.label())
             .field("policy", &self.policy.label())
-            .field("topology", &self.topology)
+            .field("learner", &self.learner.label())
+            .field("warm_start", &self.warm_start.as_ref().map(|s| s.len()))
             .field("mode", &self.mode)
             .finish_non_exhaustive()
     }
@@ -137,8 +154,8 @@ impl std::fmt::Debug for FleetConfig {
 
 impl FleetConfig {
     /// Starts a builder: 4 replicas × 300 ticks of the RUBiS-like default
-    /// service under the bidding mix, no injections, no healing, isolated
-    /// learning, parallel execution.
+    /// service under the bidding mix, no injections, no healing, private
+    /// (per-replica) learning, parallel execution.
     pub fn builder() -> Self {
         FleetConfig {
             replicas: 4,
@@ -147,7 +164,8 @@ impl FleetConfig {
             service: ServiceConfig::rubis_default(),
             workload: WorkloadChoice::default(),
             policy: PolicyChoice::None,
-            topology: LearningTopology::Isolated,
+            learner: LearnerChoice::Private,
+            warm_start: None,
             mode: ExecutionMode::Parallel { threads: None },
             series_capacity: 100_000,
             plan_factory: Arc::new(|_| InjectionPlan::empty()),
@@ -199,9 +217,25 @@ impl FleetConfig {
         self
     }
 
-    /// Shared vs isolated learning.
-    pub fn topology(mut self, topology: LearningTopology) -> Self {
-        self.topology = topology;
+    /// Where learned synopsis state lives: a private per-replica store, one
+    /// lock-shared store, or a sharded store routed by symptom-space region.
+    pub fn learner(mut self, learner: LearnerChoice) -> Self {
+        self.learner = learner;
+        self
+    }
+
+    /// Shared vs isolated learning — shorthand for
+    /// [`FleetConfig::learner`] with the matching [`LearnerChoice`].
+    pub fn topology(self, topology: LearningTopology) -> Self {
+        self.learner(topology.learner_choice())
+    }
+
+    /// Warm-starts the fleet's learning from a saved snapshot: the store is
+    /// restored from the snapshot's experience before the first tick (each
+    /// replica gets its own restored copy under private learning), so
+    /// previously healed failure signatures are fixed on the first attempt.
+    pub fn warm_start(mut self, snapshot: SynopsisSnapshot) -> Self {
+        self.warm_start = Some(snapshot);
         self
     }
 
@@ -253,12 +287,22 @@ pub struct ReplicaOutcome {
 }
 
 /// Aggregated result of a fleet run.
-#[derive(Debug)]
 pub struct FleetOutcome {
     replicas: Vec<ReplicaOutcome>,
     wall: Duration,
     mode: ExecutionMode,
-    shared: Option<SharedSynopsis>,
+    store: Option<Box<dyn SynopsisStore>>,
+}
+
+impl std::fmt::Debug for FleetOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetOutcome")
+            .field("replicas", &self.replicas)
+            .field("wall", &self.wall)
+            .field("mode", &self.mode)
+            .field("store", &self.store.as_ref().map(|s| s.kind().label()))
+            .finish()
+    }
 }
 
 impl FleetOutcome {
@@ -277,10 +321,13 @@ impl FleetOutcome {
         self.mode
     }
 
-    /// The shared synopsis (flushed), when the fleet ran with shared
-    /// learning and a learning policy.
-    pub fn shared_synopsis(&self) -> Option<&SharedSynopsis> {
-        self.shared.as_ref()
+    /// The fleet-wide synopsis store (flushed), when the fleet ran a
+    /// learning policy against a shared [`LearnerChoice`] (`Locked` or
+    /// `Sharded`) — e.g. to
+    /// [`snapshot`](selfheal_core::store::SynopsisStore::snapshot) it for a
+    /// later warm start.
+    pub fn store(&self) -> Option<&dyn SynopsisStore> {
+        self.store.as_deref()
     }
 
     /// Total simulated ticks across all replicas.
@@ -373,12 +420,28 @@ impl FleetEngine {
         FleetEngine { config }
     }
 
+    /// Builds the store backing one replica's healer: a per-replica handle
+    /// to the fleet-wide store when one exists, otherwise a fresh private
+    /// store (warm-started from the fleet's snapshot, if any).
+    fn build_store(&self, fleet_store: Option<&dyn SynopsisStore>) -> Box<dyn SynopsisStore> {
+        match fleet_store {
+            Some(store) => store.clone_store(),
+            None => LearnerChoice::Private.build_store_warm(
+                self.config
+                    .policy
+                    .synopsis_kind()
+                    .expect("learning policy has a kind"),
+                self.config.warm_start.as_ref(),
+            ),
+        }
+    }
+
     /// Builds the runner for one replica, with every RNG stream split
     /// deterministically from the fleet's base seed.
     fn build_replica(
         &self,
         replica: usize,
-        shared: Option<&SharedSynopsis>,
+        fleet_store: Option<&dyn SynopsisStore>,
     ) -> ScenarioRunner<Box<dyn Healer>> {
         let config = &self.config;
         let mut service_config = config.service.clone();
@@ -390,9 +453,11 @@ impl FleetEngine {
             split_seed(config.base_seed, replica as u64, SeedStream::Workload),
             replica as u64,
         );
-        let healer = match shared {
-            Some(shared) => config.policy.build_healer_shared(&schema, targets, shared),
-            None => config.policy.build_healer(&schema, targets),
+        let healer = if config.policy.shares_learning() {
+            let store = self.build_store(fleet_store);
+            config.policy.build_healer_stored(&schema, targets, store)
+        } else {
+            config.policy.build_healer(&schema, targets)
         };
         ScenarioRunner::with_source(service, workload, (config.plan_factory)(replica), healer)
             .with_series_capacity(config.series_capacity)
@@ -401,20 +466,24 @@ impl FleetEngine {
     /// Runs every replica to completion and aggregates the results.
     pub fn run(self) -> FleetOutcome {
         let config = &self.config;
-        let shared = match (config.topology, config.policy.shares_learning()) {
-            (LearningTopology::Shared { batch }, true) => {
-                let kind = config
-                    .policy
-                    .synopsis_kind()
-                    .expect("learning policy has a kind");
-                Some(SharedSynopsis::with_batch(kind, batch))
-            }
-            _ => None,
-        };
+        let store: Option<Box<dyn SynopsisStore>> =
+            if config.learner.is_shared() && config.policy.shares_learning() {
+                Some(
+                    config.learner.build_store_warm(
+                        config
+                            .policy
+                            .synopsis_kind()
+                            .expect("learning policy has a kind"),
+                        config.warm_start.as_ref(),
+                    ),
+                )
+            } else {
+                None
+            };
 
         let start = Instant::now();
         let outcomes = match config.mode {
-            ExecutionMode::Sequential => self.run_sequential(shared.as_ref()),
+            ExecutionMode::Sequential => self.run_sequential(store.as_deref()),
             ExecutionMode::Parallel { threads } => {
                 let workers = threads
                     .unwrap_or_else(|| {
@@ -423,13 +492,13 @@ impl FleetEngine {
                             .unwrap_or(1)
                     })
                     .clamp(1, config.replicas.max(1));
-                self.run_parallel(shared.as_ref(), workers)
+                self.run_parallel(store.as_deref(), workers)
             }
         };
         let wall = start.elapsed();
 
-        if let Some(shared) = &shared {
-            shared.flush();
+        if let Some(store) = &store {
+            store.flush();
         }
         let replicas = outcomes
             .into_iter()
@@ -440,7 +509,7 @@ impl FleetEngine {
             replicas,
             wall,
             mode: self.config.mode,
-            shared,
+            store,
         }
     }
 
@@ -448,9 +517,9 @@ impl FleetEngine {
     /// tick 0 of every replica, then tick 1, and so on.  Exercises the
     /// resumable `step` path and serves as the parallel mode's single-core
     /// baseline.
-    fn run_sequential(&self, shared: Option<&SharedSynopsis>) -> Vec<ScenarioOutcome> {
+    fn run_sequential(&self, store: Option<&dyn SynopsisStore>) -> Vec<ScenarioOutcome> {
         let mut runners: Vec<_> = (0..self.config.replicas)
-            .map(|r| self.build_replica(r, shared))
+            .map(|r| self.build_replica(r, store))
             .collect();
         for _ in 0..self.config.ticks {
             for runner in &mut runners {
@@ -464,13 +533,13 @@ impl FleetEngine {
     /// worker steps its replica to completion, then takes the next.
     fn run_parallel(
         &self,
-        shared: Option<&SharedSynopsis>,
+        store: Option<&dyn SynopsisStore>,
         workers: usize,
     ) -> Vec<ScenarioOutcome> {
         let ticks = self.config.ticks;
         let queue: Arc<Mutex<ReplicaQueue>> = Arc::new(Mutex::new(
             (0..self.config.replicas)
-                .map(|r| (r, self.build_replica(r, shared)))
+                .map(|r| (r, self.build_replica(r, store)))
                 .collect(),
         ));
         let (sender, receiver) = mpsc::channel::<(usize, ScenarioOutcome)>();
@@ -538,7 +607,7 @@ mod tests {
         assert_eq!(outcome.total_ticks(), 240);
         assert!(outcome.goodput_fraction() > 0.99);
         assert_eq!(outcome.total_episodes(), 0);
-        assert!(outcome.shared_synopsis().is_none());
+        assert!(outcome.store().is_none());
         assert!(outcome.throughput_ticks_per_sec() > 0.0);
     }
 
@@ -585,10 +654,10 @@ mod tests {
             .topology(LearningTopology::shared())
             .injections_per_replica(plan)
             .run();
-        let shared = outcome.shared_synopsis().expect("shared synopsis present");
-        assert_eq!(shared.pending_updates(), 0, "flushed after the run");
+        let store = outcome.store().expect("shared store present");
+        assert_eq!(store.pending_updates(), 0, "flushed after the run");
         assert!(
-            shared.correct_fixes_learned() >= 1,
+            store.correct_fixes_learned() >= 1,
             "the fleet learned something"
         );
         assert!(outcome.total_fixes_initiated() >= 3);
@@ -597,6 +666,82 @@ mod tests {
     #[test]
     fn non_learning_policies_ignore_the_shared_topology() {
         let outcome = tiny_fleet().topology(LearningTopology::shared()).run();
-        assert!(outcome.shared_synopsis().is_none());
+        assert!(outcome.store().is_none());
+    }
+
+    #[test]
+    fn sharded_learner_exposes_a_store_and_learns() {
+        let plan = |_: usize| {
+            InjectionPlanBuilder::new(4, 3, 1)
+                .inject(
+                    20,
+                    FaultKind::BufferContention,
+                    FaultTarget::DatabaseTier,
+                    0.9,
+                )
+                .build()
+        };
+        let outcome = tiny_fleet()
+            .ticks(250)
+            .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+            .learner(LearnerChoice::sharded(4))
+            .injections_per_replica(plan)
+            .run();
+        let store = outcome.store().expect("sharded store present");
+        assert_eq!(store.kind(), SynopsisKind::NearestNeighbor);
+        assert_eq!(store.pending_updates(), 0, "flushed after the run");
+        assert!(store.correct_fixes_learned() >= 1);
+    }
+
+    #[test]
+    fn warm_started_private_replicas_skip_the_trial_and_error() {
+        let plan = |_: usize| {
+            InjectionPlanBuilder::new(4, 3, 1)
+                .inject(
+                    40,
+                    FaultKind::BufferContention,
+                    FaultTarget::DatabaseTier,
+                    0.9,
+                )
+                .build()
+        };
+        let fleet = || {
+            tiny_fleet()
+                .ticks(300)
+                .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+                .learner(LearnerChoice::locked())
+                .injections_per_replica(plan)
+        };
+        let cold = fleet().run();
+        let snapshot = cold.store().expect("learning store").snapshot();
+        assert!(snapshot.positives() >= 1, "cold fleet learned something");
+
+        // Warm start an isolated fleet from the shared fleet's experience:
+        // every replica restores its own copy before the first tick.
+        let warm = fleet()
+            .learner(LearnerChoice::Private)
+            .warm_start(snapshot)
+            .run();
+        let mean_attempts = |outcome: &FleetOutcome| {
+            let attempts: Vec<f64> = outcome
+                .replicas()
+                .iter()
+                .filter_map(|r| {
+                    r.outcome
+                        .recovery
+                        .episodes()
+                        .iter()
+                        .find(|e| e.primary_fault() == Some(FaultKind::BufferContention))
+                        .map(|e| e.fixes_attempted.len() as f64)
+                })
+                .collect();
+            attempts.iter().sum::<f64>() / attempts.len().max(1) as f64
+        };
+        assert!(
+            mean_attempts(&warm) <= mean_attempts(&cold),
+            "warm {} vs cold {}",
+            mean_attempts(&warm),
+            mean_attempts(&cold)
+        );
     }
 }

@@ -7,13 +7,19 @@
 //! ```
 //!
 //! The workspace builds without registry access (the `serde` dependency is a
-//! no-op shim), so both directions are hand-rolled here.  The parser accepts
-//! arbitrary whitespace between tokens and object keys in any order, and the
-//! pair satisfies `parse ∘ serialize = id` — asserted structurally by the
-//! codec property test in `tests/properties.rs`.
+//! no-op shim), so both directions are hand-rolled on the shared
+//! [`selfheal_jsonl`] primitives (the same scanner backs the synopsis codec
+//! in `selfheal-core`).  The parser accepts arbitrary whitespace between
+//! tokens and object keys in any order, and the pair satisfies
+//! `parse ∘ serialize = id` — asserted structurally by the codec property
+//! test in `tests/properties.rs`.
 
 use crate::request::{Request, RequestKind};
-use std::fmt;
+use selfheal_jsonl::{parse_lines, Scanner};
+
+/// A parse failure, with the 1-based line number when decoding a whole
+/// JSON-lines document (0 when parsing a single line directly).
+pub type CodecError = selfheal_jsonl::JsonError;
 
 /// The batch of requests that arrived in one tick — the unit record of a
 /// JSON-lines trace file.
@@ -31,48 +37,6 @@ impl TraceRecord {
         TraceRecord { tick, requests }
     }
 }
-
-/// A parse failure, with the 1-based line number when decoding a whole
-/// JSON-lines document (0 when parsing a single line directly).
-#[derive(Debug, Clone, PartialEq)]
-pub struct CodecError {
-    /// 1-based line of the failure; 0 for single-line parses.
-    pub line: usize,
-    /// Byte offset of the failure within the line.
-    pub offset: usize,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl CodecError {
-    fn at(offset: usize, message: impl Into<String>) -> Self {
-        CodecError {
-            line: 0,
-            offset,
-            message: message.into(),
-        }
-    }
-}
-
-impl fmt::Display for CodecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.line > 0 {
-            write!(
-                f,
-                "trace codec error at line {}, byte {}: {}",
-                self.line, self.offset, self.message
-            )
-        } else {
-            write!(
-                f,
-                "trace codec error at byte {}: {}",
-                self.offset, self.message
-            )
-        }
-    }
-}
-
-impl std::error::Error for CodecError {}
 
 /// Serializes one record as a single JSON line (no trailing newline).
 pub fn serialize_record(record: &TraceRecord) -> String {
@@ -98,15 +62,11 @@ pub fn serialize_record(record: &TraceRecord) -> String {
 
 /// Parses one JSON line back into a record.
 pub fn parse_record(line: &str) -> Result<TraceRecord, CodecError> {
-    let mut cursor = Cursor::new(line);
-    let record = cursor.parse_record()?;
-    cursor.skip_ws();
-    if !cursor.at_end() {
-        return Err(CodecError::at(
-            cursor.pos,
-            "trailing data after the record object",
-        ));
-    }
+    let mut scanner = Scanner::new(line);
+    let record = scan_record(&mut scanner)?;
+    scanner
+        .finish()
+        .map_err(|err| CodecError::at(err.offset, "trailing data after the record object"))?;
     Ok(record)
 }
 
@@ -123,222 +83,124 @@ pub fn to_jsonl(records: &[TraceRecord]) -> String {
 
 /// Parses a JSON-lines document (blank lines are skipped).
 pub fn from_jsonl(text: &str) -> Result<Vec<TraceRecord>, CodecError> {
-    let mut records = Vec::new();
-    for (index, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        records.push(parse_record(line).map_err(|mut err| {
-            err.line = index + 1;
-            err
-        })?);
-    }
-    Ok(records)
+    parse_lines(text, parse_record)
 }
 
-/// A minimal recursive-descent scanner over one line.
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+fn scan_record(s: &mut Scanner<'_>) -> Result<TraceRecord, CodecError> {
+    s.expect(b'{')?;
+    let mut tick: Option<u64> = None;
+    let mut requests: Option<Vec<Request>> = None;
+    loop {
+        let key_at = {
+            s.skip_ws();
+            s.pos()
+        };
+        let key = s.parse_string()?;
+        s.expect(b':')?;
+        match key.as_ref() {
+            "tick" => tick = Some(s.parse_u64()?),
+            "requests" => requests = Some(scan_requests(s)?),
+            other => {
+                return Err(CodecError::at(
+                    key_at,
+                    format!("unknown record field \"{other}\""),
+                ))
+            }
+        }
+        s.skip_ws();
+        match s.peek() {
+            Some(b',') => s.bump(),
+            Some(b'}') => {
+                s.bump();
+                break;
+            }
+            _ => return Err(CodecError::at(s.pos(), "expected ',' or '}' in record")),
+        }
+    }
+    match (tick, requests) {
+        (Some(tick), Some(requests)) => Ok(TraceRecord { tick, requests }),
+        (None, _) => Err(CodecError::at(s.pos(), "record is missing \"tick\"")),
+        (_, None) => Err(CodecError::at(s.pos(), "record is missing \"requests\"")),
+    }
 }
 
-impl<'a> Cursor<'a> {
-    fn new(line: &'a str) -> Self {
-        Cursor {
-            bytes: line.as_bytes(),
-            pos: 0,
-        }
+fn scan_requests(s: &mut Scanner<'_>) -> Result<Vec<Request>, CodecError> {
+    s.expect(b'[')?;
+    let mut requests = Vec::new();
+    s.skip_ws();
+    if s.peek() == Some(b']') {
+        s.bump();
+        return Ok(requests);
     }
-
-    fn at_end(&self) -> bool {
-        self.pos >= self.bytes.len()
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), CodecError> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b) if b == byte => {
-                self.pos += 1;
-                Ok(())
+    loop {
+        requests.push(scan_request(s)?);
+        s.skip_ws();
+        match s.peek() {
+            Some(b',') => s.bump(),
+            Some(b']') => {
+                s.bump();
+                return Ok(requests);
             }
-            Some(b) => Err(CodecError::at(
-                self.pos,
-                format!("expected '{}', found '{}'", byte as char, b as char),
-            )),
-            None => Err(CodecError::at(
-                self.pos,
-                format!("expected '{}', found end of line", byte as char),
-            )),
-        }
-    }
-
-    fn parse_u64(&mut self) -> Result<u64, CodecError> {
-        self.skip_ws();
-        let start = self.pos;
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        if self.pos == start {
-            return Err(CodecError::at(start, "expected an unsigned integer"));
-        }
-        let digits = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        digits
-            .parse::<u64>()
-            .map_err(|_| CodecError::at(start, format!("integer out of range: {digits}")))
-    }
-
-    /// Parses a `"..."` string.  Trace strings are request-kind labels and
-    /// object keys — plain ASCII identifiers — so escapes are rejected
-    /// rather than interpreted.
-    fn parse_string(&mut self) -> Result<&'a str, CodecError> {
-        self.expect(b'"')?;
-        let start = self.pos;
-        loop {
-            match self.peek() {
-                Some(b'"') => {
-                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
-                        .map_err(|_| CodecError::at(start, "string is not valid UTF-8"))?;
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    return Err(CodecError::at(
-                        self.pos,
-                        "escape sequences are not used in trace files",
-                    ))
-                }
-                Some(_) => self.pos += 1,
-                None => return Err(CodecError::at(self.pos, "unterminated string")),
+            _ => {
+                return Err(CodecError::at(
+                    s.pos(),
+                    "expected ',' or ']' in request array",
+                ))
             }
         }
     }
+}
 
-    fn parse_record(&mut self) -> Result<TraceRecord, CodecError> {
-        self.expect(b'{')?;
-        let mut tick: Option<u64> = None;
-        let mut requests: Option<Vec<Request>> = None;
-        loop {
-            let key_at = {
-                self.skip_ws();
-                self.pos
-            };
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            match key {
-                "tick" => tick = Some(self.parse_u64()?),
-                "requests" => requests = Some(self.parse_requests()?),
-                other => {
-                    return Err(CodecError::at(
-                        key_at,
-                        format!("unknown record field \"{other}\""),
-                    ))
-                }
+fn scan_request(s: &mut Scanner<'_>) -> Result<Request, CodecError> {
+    s.expect(b'{')?;
+    let mut id: Option<u64> = None;
+    let mut kind: Option<RequestKind> = None;
+    let mut arrival_tick: Option<u64> = None;
+    loop {
+        let key_at = {
+            s.skip_ws();
+            s.pos()
+        };
+        let key = s.parse_string()?;
+        s.expect(b':')?;
+        match key.as_ref() {
+            "id" => id = Some(s.parse_u64()?),
+            "arrival_tick" => arrival_tick = Some(s.parse_u64()?),
+            "kind" => {
+                let label_at = {
+                    s.skip_ws();
+                    s.pos()
+                };
+                let label = s.parse_string()?;
+                kind = Some(RequestKind::from_label(&label).ok_or_else(|| {
+                    CodecError::at(label_at, format!("unknown request kind \"{label}\""))
+                })?);
             }
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    break;
-                }
-                _ => return Err(CodecError::at(self.pos, "expected ',' or '}' in record")),
+            other => {
+                return Err(CodecError::at(
+                    key_at,
+                    format!("unknown request field \"{other}\""),
+                ))
             }
         }
-        match (tick, requests) {
-            (Some(tick), Some(requests)) => Ok(TraceRecord { tick, requests }),
-            (None, _) => Err(CodecError::at(self.pos, "record is missing \"tick\"")),
-            (_, None) => Err(CodecError::at(self.pos, "record is missing \"requests\"")),
+        s.skip_ws();
+        match s.peek() {
+            Some(b',') => s.bump(),
+            Some(b'}') => {
+                s.bump();
+                break;
+            }
+            _ => return Err(CodecError::at(s.pos(), "expected ',' or '}' in request")),
         }
     }
-
-    fn parse_requests(&mut self) -> Result<Vec<Request>, CodecError> {
-        self.expect(b'[')?;
-        let mut requests = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(requests);
-        }
-        loop {
-            requests.push(self.parse_request()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(requests);
-                }
-                _ => {
-                    return Err(CodecError::at(
-                        self.pos,
-                        "expected ',' or ']' in request array",
-                    ))
-                }
-            }
-        }
-    }
-
-    fn parse_request(&mut self) -> Result<Request, CodecError> {
-        self.expect(b'{')?;
-        let mut id: Option<u64> = None;
-        let mut kind: Option<RequestKind> = None;
-        let mut arrival_tick: Option<u64> = None;
-        loop {
-            let key_at = {
-                self.skip_ws();
-                self.pos
-            };
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            match key {
-                "id" => id = Some(self.parse_u64()?),
-                "arrival_tick" => arrival_tick = Some(self.parse_u64()?),
-                "kind" => {
-                    let label_at = {
-                        self.skip_ws();
-                        self.pos
-                    };
-                    let label = self.parse_string()?;
-                    kind = Some(RequestKind::from_label(label).ok_or_else(|| {
-                        CodecError::at(label_at, format!("unknown request kind \"{label}\""))
-                    })?);
-                }
-                other => {
-                    return Err(CodecError::at(
-                        key_at,
-                        format!("unknown request field \"{other}\""),
-                    ))
-                }
-            }
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    break;
-                }
-                _ => return Err(CodecError::at(self.pos, "expected ',' or '}' in request")),
-            }
-        }
-        match (id, kind, arrival_tick) {
-            (Some(id), Some(kind), Some(arrival_tick)) => Ok(Request::new(id, kind, arrival_tick)),
-            (None, ..) => Err(CodecError::at(self.pos, "request is missing \"id\"")),
-            (_, None, _) => Err(CodecError::at(self.pos, "request is missing \"kind\"")),
-            (.., None) => Err(CodecError::at(
-                self.pos,
-                "request is missing \"arrival_tick\"",
-            )),
-        }
+    match (id, kind, arrival_tick) {
+        (Some(id), Some(kind), Some(arrival_tick)) => Ok(Request::new(id, kind, arrival_tick)),
+        (None, ..) => Err(CodecError::at(s.pos(), "request is missing \"id\"")),
+        (_, None, _) => Err(CodecError::at(s.pos(), "request is missing \"kind\"")),
+        (.., None) => Err(CodecError::at(
+            s.pos(),
+            "request is missing \"arrival_tick\"",
+        )),
     }
 }
 
@@ -412,5 +274,12 @@ mod tests {
             .unwrap_err()
             .message
             .contains("trailing data"));
+    }
+
+    #[test]
+    fn escaped_keys_parse_through_the_shared_scanner() {
+        // Keys decode escapes before matching: "\u0074ick" is "tick".
+        let line = "{\"\\u0074ick\":4,\"requests\":[]}";
+        assert_eq!(parse_record(line), Ok(TraceRecord::new(4, Vec::new())));
     }
 }

@@ -5,6 +5,8 @@
 //! examples, integration tests, and downstream users can depend on a single
 //! package.
 //!
+//! * [`jsonl`] — hand-rolled JSON-lines primitives shared by the trace and
+//!   synopsis codecs (the build has no registry access for serde).
 //! * [`telemetry`] — multidimensional metric time series, SLO monitoring.
 //! * [`workload`] — RUBiS-like workloads behind the pluggable
 //!   `TraceSource` API: synthetic generation, JSON-lines trace
@@ -14,12 +16,15 @@
 //! * [`learn`] — from-scratch ML substrate (kNN, k-means, AdaBoost, ...).
 //! * [`diagnosis`] — anomaly / correlation / bottleneck diagnosis and the
 //!   manual rule baseline.
-//! * [`healing`] — FixSym, synopses (private and fleet-shared), hybrid and
-//!   proactive policies, the healing-loop harness (the paper's
-//!   contribution).
+//! * [`healing`] — FixSym, synopses behind the pluggable `SynopsisStore`
+//!   API (private, lock-shared, or sharded by symptom-space region, all
+//!   persistable to JSON-lines for warm starts), hybrid and proactive
+//!   policies, the healing-loop harness (the paper's contribution).
 //! * [`fleet`] — the fleet engine: N independently-seeded replicas on
-//!   parallel worker threads, coordinating through one shared synopsis so
-//!   every instance benefits from failures any sibling already healed.
+//!   parallel worker threads, coordinating through one shared synopsis
+//!   store so every instance benefits from failures any sibling already
+//!   healed — including failures healed by a *previous process* via
+//!   snapshot warm-start.
 //!
 //! ## Quickstart: one service
 //!
@@ -58,6 +63,34 @@
 //! assert_eq!(outcome.replicas().len(), 8);
 //! assert!(outcome.goodput_fraction() > 0.9);
 //! ```
+//!
+//! ## Quickstart: warm-starting the next fleet from this one
+//!
+//! ```
+//! use selfheal::fleet::FleetConfig;
+//! use selfheal::healing::harness::{LearnerChoice, PolicyChoice};
+//! use selfheal::healing::synopsis::SynopsisKind;
+//! use selfheal::sim::ServiceConfig;
+//!
+//! let first = FleetConfig::builder()
+//!     .service(ServiceConfig::tiny())
+//!     .replicas(4)
+//!     .ticks(150)
+//!     .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+//!     .learner(LearnerChoice::sharded(4))   // k-means-routed shards
+//!     .run();
+//! // snapshot.save(path) / SynopsisSnapshot::load(path) cross processes.
+//! let snapshot = first.store().expect("learning fleet").snapshot();
+//! let next = FleetConfig::builder()
+//!     .service(ServiceConfig::tiny())
+//!     .replicas(4)
+//!     .ticks(150)
+//!     .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+//!     .learner(LearnerChoice::locked())
+//!     .warm_start(snapshot)                 // knows every healed signature
+//!     .run();
+//! assert_eq!(next.replicas().len(), 4);
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -66,6 +99,7 @@ pub use selfheal_core as healing;
 pub use selfheal_diagnosis as diagnosis;
 pub use selfheal_faults as faults;
 pub use selfheal_fleet as fleet;
+pub use selfheal_jsonl as jsonl;
 pub use selfheal_learn as learn;
 pub use selfheal_sim as sim;
 pub use selfheal_telemetry as telemetry;

@@ -183,13 +183,13 @@ fn shared_synopsis_warm_starts_later_replicas() {
     );
 
     // The shared model saw every replica's episodes.
-    let synopsis = shared
-        .shared_synopsis()
-        .expect("shared topology exposes the synopsis");
+    let store = shared
+        .store()
+        .expect("shared topology exposes the fleet store");
     assert!(
-        synopsis.correct_fixes_learned() >= 6,
+        store.correct_fixes_learned() >= 6,
         "one success per replica at minimum, got {}",
-        synopsis.correct_fixes_learned()
+        store.correct_fixes_learned()
     );
 }
 

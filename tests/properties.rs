@@ -3,6 +3,8 @@
 use proptest::prelude::*;
 use selfheal::faults::injection::default_target;
 use selfheal::faults::{FaultId, FaultKind, FaultSpec, FixAction, FixCatalog, FixKind};
+use selfheal::healing::snapshot::SynopsisSnapshot;
+use selfheal::healing::synopsis::SynopsisKind;
 use selfheal::learn::{Classifier, Dataset, Example, NearestNeighbor};
 use selfheal::sim::{MultiTierService, ServiceConfig};
 use selfheal::telemetry::{Sample, SeriesStore};
@@ -128,6 +130,37 @@ proptest! {
         let parsed = RecordedTrace::from_jsonl(&trace.to_jsonl())
             .expect("serialized traces must parse");
         prop_assert_eq!(parsed, trace);
+    }
+
+    /// The JSON-lines synopsis codec is lossless: `parse ∘ serialize = id`
+    /// for arbitrary finite symptom vectors (compared bit-for-bit through
+    /// `SynopsisExample: PartialEq`), every fix kind, both outcomes, and
+    /// every synopsis kind.
+    #[test]
+    fn synopsis_codec_round_trips(
+        examples in prop::collection::vec(
+            (
+                prop::collection::vec(-1.0e9f64..1.0e9, 1..8),
+                0usize..FixKind::ALL.len(),
+                0usize..2,
+            ),
+            0..32,
+        ),
+        kind_idx in 0usize..4,
+    ) {
+        let kinds = [
+            SynopsisKind::NearestNeighbor,
+            SynopsisKind::KMeans,
+            SynopsisKind::AdaBoost(60),
+            SynopsisKind::AdaBoost(7),
+        ];
+        let mut snapshot = SynopsisSnapshot::new(kinds[kind_idx]);
+        for (symptoms, fix_idx, success) in examples {
+            snapshot.push(symptoms, FixKind::ALL[fix_idx], success == 1);
+        }
+        let parsed = SynopsisSnapshot::from_jsonl(&snapshot.to_jsonl())
+            .expect("serialized snapshots must parse");
+        prop_assert_eq!(parsed, snapshot);
     }
 
     /// The telemetry store respects its capacity and keeps samples in tick
