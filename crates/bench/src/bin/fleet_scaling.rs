@@ -29,15 +29,23 @@
 //!                                       # store knows fixes before the first tick and that
 //!                                       # the warm run beats a cold run at the same seed
 //! fleet_scaling --shards N            # learn through a k-means-sharded store (N shards)
+//! fleet_scaling --smoke --storm       # 50%-of-fleet fault storm: exits nonzero unless the
+//!                                     # storm run recovers, shared beats isolated, and the
+//!                                     # tick-sliced parallel fingerprints match sequential
+//! fleet_scaling --slice N             # tick-slice width of the scheduler's epochs
+//! fleet_scaling --events SPEC         # overlay events on the smoke fleet, e.g.
+//!                                     # "storm@200:0.5,surge@100:3:40"
 //! ```
 
 use selfheal_bench::fleet::{
     cold_start_comparison, mean_injected_stats, scaling_curve, smoke_fleet, smoke_workload,
-    warm_start_comparison, ColdStartReport, ScalingPoint, WarmStartReport,
+    storm_fleet, storm_recovery_comparison, warm_start_comparison, ColdStartReport, ScalingPoint,
+    StormRecoveryReport, WarmStartReport, STORM_FRACTION, STORM_TICK,
 };
-use selfheal_core::harness::{LearnerChoice, WorkloadChoice};
+use selfheal_core::harness::{EventChoice, LearnerChoice, WorkloadChoice};
 use selfheal_core::snapshot::SynopsisSnapshot;
 use selfheal_core::synopsis::{Learner, SynopsisKind};
+use selfheal_faults::FaultKind;
 use selfheal_fleet::ExecutionMode;
 use selfheal_sim::seeds::{split_seed, SeedStream};
 use selfheal_workload::{RecordedTrace, ReplayMode};
@@ -90,6 +98,42 @@ fn warm_start_json(report: &WarmStartReport) -> String {
     )
 }
 
+fn storm_recovery_json(report: &StormRecoveryReport, fingerprints_match: Option<bool>) -> String {
+    let side = |label: &str, attempts: f64, recovery: f64, matched: usize, open: usize| {
+        format!(
+            "\"{label}\": {{\"mean_fix_attempts\": {}, \"mean_recovery_ticks\": {}, \
+             \"matched_episodes\": {matched}, \"open_episodes\": {open}}}",
+            json_f64(attempts),
+            json_f64(recovery)
+        )
+    };
+    format!(
+        "{{\n    \"storm_tick\": {STORM_TICK},\n    \"fraction\": {STORM_FRACTION},\n    \
+         \"victims\": {},\n    {},\n    {},\n    \"recovered\": {},\n    \
+         \"shared_recovers_faster\": {},\n    \"fingerprints_match_sequential\": {}\n  }}",
+        report.victims,
+        side(
+            "shared",
+            report.shared_mean_attempts,
+            report.shared_mean_recovery,
+            report.shared_matched_episodes,
+            report.shared_open_episodes
+        ),
+        side(
+            "isolated",
+            report.isolated_mean_attempts,
+            report.isolated_mean_recovery,
+            report.isolated_matched_episodes,
+            report.isolated_open_episodes
+        ),
+        report.recovered(),
+        report.shared_recovers_faster(),
+        fingerprints_match
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+    )
+}
+
 fn cold_start_json(report: &ColdStartReport) -> String {
     let side = |label: &str, attempts: f64, recovery: f64, escalations: u64| {
         format!(
@@ -130,6 +174,9 @@ struct Args {
     save_synopsis: Option<PathBuf>,
     load_synopsis: Option<PathBuf>,
     shards: Option<usize>,
+    storm: bool,
+    slice: Option<u64>,
+    events: Vec<EventChoice>,
 }
 
 impl Args {
@@ -144,6 +191,9 @@ impl Args {
             || self.save_synopsis.is_some()
             || self.load_synopsis.is_some()
             || self.shards.is_some()
+            || self.storm
+            || self.slice.is_some()
+            || !self.events.is_empty()
     }
 
     /// The learner recipe the flags describe.  Persistence needs one
@@ -161,6 +211,40 @@ impl Args {
     }
 }
 
+/// Parses one `--events` element: `storm@TICK:FRACTION[:SEVERITY]` or
+/// `surge@TICK:FACTOR:DURATION`.
+fn parse_event(spec: &str) -> Result<EventChoice, String> {
+    let (kind, rest) = spec
+        .split_once('@')
+        .ok_or_else(|| format!("\"{spec}\": expected kind@tick:..."))?;
+    let parts: Vec<&str> = rest.split(':').collect();
+    let num = |part: &str| -> Result<f64, String> {
+        part.parse::<f64>()
+            .map_err(|_| format!("\"{spec}\": \"{part}\" is not a number"))
+    };
+    match (kind, parts.as_slice()) {
+        ("storm", [tick, fraction]) => Ok(EventChoice::storm(
+            num(tick)? as u64,
+            FaultKind::BufferContention,
+            num(fraction)?,
+        )),
+        ("storm", [tick, fraction, severity]) => Ok(EventChoice::FaultStorm {
+            at_tick: num(tick)? as u64,
+            kind: FaultKind::BufferContention,
+            severity: num(severity)?,
+            fraction: num(fraction)?,
+        }),
+        ("surge", [tick, factor, duration]) => Ok(EventChoice::surge(
+            num(tick)? as u64,
+            num(duration)? as u64,
+            num(factor)?,
+        )),
+        _ => Err(format!(
+            "\"{spec}\": expected storm@TICK:FRACTION[:SEVERITY] or surge@TICK:FACTOR:DURATION"
+        )),
+    }
+}
+
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
@@ -171,6 +255,9 @@ fn parse_args() -> Args {
         save_synopsis: None,
         load_synopsis: None,
         shards: None,
+        storm: false,
+        slice: None,
+        events: Vec::new(),
     };
     let mut argv = std::env::args().skip(1);
     let missing = |flag: &str| -> ! {
@@ -213,12 +300,27 @@ fn parse_args() -> Args {
                 ))
             }
             "--shards" => args.shards = Some(numeric("--shards", argv.next())),
+            "--storm" => args.storm = true,
+            "--slice" => args.slice = Some(numeric("--slice", argv.next())),
+            "--events" => {
+                let spec = argv.next().unwrap_or_else(|| missing("--events"));
+                for part in spec.split(',').filter(|p| !p.is_empty()) {
+                    match parse_event(part) {
+                        Ok(event) => args.events.push(event),
+                        Err(err) => {
+                            eprintln!("fleet_scaling: --events {err}");
+                            exit(2);
+                        }
+                    }
+                }
+            }
             other => {
                 eprintln!(
                     "fleet_scaling: unknown argument {other}\n\
                      usage: fleet_scaling [--smoke] [--record PATH] [--replay PATH] \
                      [--replicas N] [--ticks T] [--save-synopsis PATH] \
-                     [--load-synopsis PATH] [--shards N]"
+                     [--load-synopsis PATH] [--shards N] [--storm] [--slice W] \
+                     [--events SPEC]"
                 );
                 exit(2);
             }
@@ -298,15 +400,23 @@ fn run_smoke(args: &Args) {
         (snapshot, preloaded)
     });
 
+    let slice = args.slice.unwrap_or(1).max(1);
     eprintln!(
-        "fleet_scaling: smoke fleet ({replicas} replicas x {ticks} ticks, {} learning)",
+        "fleet_scaling: smoke fleet ({replicas} replicas x {ticks} ticks, {} learning, \
+         slice {slice})",
         learner.label()
     );
-    let mut fleet = smoke_fleet(replicas, ticks, base_seed, workload.clone()).learner(learner);
+    let mut fleet = smoke_fleet(replicas, ticks, base_seed, workload.clone())
+        .learner(learner)
+        .slice(slice)
+        .events(args.events.iter().copied());
     if let Some((snapshot, _)) = &loaded {
         fleet = fleet.warm_start(snapshot.clone());
     }
     let outcome = fleet.run();
+    for error in outcome.errors() {
+        eprintln!("fleet_scaling: {error}");
+    }
     let fingerprints = outcome.fingerprints();
 
     if let Some(path) = &args.save_synopsis {
@@ -368,6 +478,49 @@ fn run_smoke(args: &Args) {
         identical
     });
 
+    // The storm smoke: shared-vs-isolated recovery under a 50% fleet storm,
+    // plus the scheduler's equivalence contract — tick-sliced parallel
+    // execution must fingerprint-match the sequential interleave.
+    let storm: Option<(StormRecoveryReport, bool)> = args.storm.then(|| {
+        let storm_replicas = replicas.max(4);
+        eprintln!(
+            "fleet_scaling: storm smoke ({storm_replicas} replicas, {:.0}% hit at tick \
+             {STORM_TICK}, slice {slice})",
+            STORM_FRACTION * 100.0
+        );
+        let report = storm_recovery_comparison(storm_replicas, base_seed, slice);
+        eprintln!(
+            "  storm recovery: shared {:.2} attempts / {:.1} ticks vs isolated {:.2} / {:.1} \
+             ({} victims, {} open episodes)",
+            report.shared_mean_attempts,
+            report.shared_mean_recovery,
+            report.isolated_mean_attempts,
+            report.isolated_mean_recovery,
+            report.victims,
+            report.shared_open_episodes,
+        );
+        let shared = LearnerChoice::Locked { batch: 1 };
+        // Pin a multi-worker count: with `threads: None` a 1-core runner
+        // would clamp to one worker and compare two identical
+        // single-threaded sweeps, proving nothing about the store gate.
+        let parallel = storm_fleet(storm_replicas, base_seed, shared, slice)
+            .mode(ExecutionMode::Parallel { threads: Some(3) })
+            .run();
+        let sequential = storm_fleet(storm_replicas, base_seed, shared, slice)
+            .mode(ExecutionMode::Sequential)
+            .run();
+        let fingerprints_match = parallel.fingerprints() == sequential.fingerprints();
+        eprintln!(
+            "  equivalence: tick-sliced parallel fingerprints {} the sequential interleave",
+            if fingerprints_match {
+                "match"
+            } else {
+                "DIVERGE from"
+            }
+        );
+        (report, fingerprints_match)
+    });
+
     eprintln!("fleet_scaling: smoke scaling point + cold start (JSON emitter check)");
     let points = scaling_curve(&[replicas], ticks, base_seed);
     let cold = cold_start_comparison(3, base_seed);
@@ -381,12 +534,19 @@ fn run_smoke(args: &Args) {
         .as_ref()
         .map(warm_start_json)
         .unwrap_or_else(|| "null".to_string());
+    let storm_json = storm
+        .as_ref()
+        .map(|(report, fingerprints_match)| storm_recovery_json(report, Some(*fingerprints_match)))
+        .unwrap_or_else(|| "null".to_string());
     let json = format!(
         "{{\n  \"mode\": \"smoke\",\n  \"replicas\": {replicas},\n  \"ticks\": {ticks},\n  \
+         \"slice\": {slice},\n  \
          \"workload\": \"{}\",\n  \"learner\": \"{}\",\n  \"goodput\": {},\n  \
          \"throughput_ticks_per_s\": {},\n  \
-         \"total_fixes\": {},\n  \"episodes\": {},\n  \"fingerprints\": [{fingerprint_json}],\n  \
+         \"total_fixes\": {},\n  \"episodes\": {},\n  \"replica_errors\": {},\n  \
+         \"fingerprints\": [{fingerprint_json}],\n  \
          \"replay_byte_identical\": {},\n  \"warm_start\": {smoke_warm_json},\n  \
+         \"storm_recovery\": {storm_json},\n  \
          \"scaling\": {},\n  \"cold_start\": {}\n}}",
         workload.label(),
         learner.label(),
@@ -394,6 +554,7 @@ fn run_smoke(args: &Args) {
         json_f64(outcome.throughput_ticks_per_sec()),
         outcome.total_fixes_initiated(),
         outcome.total_episodes(),
+        outcome.errors().len(),
         replay_identical
             .map(|b| b.to_string())
             .unwrap_or_else(|| "null".to_string()),
@@ -424,6 +585,33 @@ fn run_smoke(args: &Args) {
                 "fleet_scaling: warm start regressed vs the cold run \
                  ({:.2} vs {:.2} mean fix attempts)",
                 report.warm_mean_attempts, report.cold_mean_attempts
+            );
+            exit(1);
+        }
+    }
+    // The storm gates: the storm run must heal everything it opened, shared
+    // learning must beat isolated, and the tick-sliced parallel run must be
+    // fingerprint-identical to the sequential interleave.
+    if let Some((report, fingerprints_match)) = &storm {
+        if !report.recovered() {
+            eprintln!(
+                "fleet_scaling: storm run did not recover ({} of {} victims opened an \
+                 episode, {} still open at quiesce)",
+                report.shared_matched_episodes, report.victims, report.shared_open_episodes
+            );
+            exit(1);
+        }
+        if !report.shared_recovers_faster() {
+            eprintln!(
+                "fleet_scaling: shared learning did not beat isolated under the storm \
+                 ({:.1} vs {:.1} mean recovery ticks)",
+                report.shared_mean_recovery, report.isolated_mean_recovery
+            );
+            exit(1);
+        }
+        if !fingerprints_match {
+            eprintln!(
+                "fleet_scaling: tick-sliced parallel fingerprints diverged from run_sequential"
             );
             exit(1);
         }
@@ -475,11 +663,21 @@ fn main() {
         warm.warm_mean_attempts, warm.cold_mean_attempts, warm.saved_examples, warm.preloaded_fixes
     );
 
+    eprintln!("fleet_scaling: storm recovery (50% fleet storm, shared vs isolated learning)");
+    let storm = storm_recovery_comparison(8, 42, 1);
+    eprintln!(
+        "  victims' mean recovery: shared {:.1} ticks / {:.2} attempts vs isolated {:.1} / {:.2}",
+        storm.shared_mean_recovery,
+        storm.shared_mean_attempts,
+        storm.isolated_mean_recovery,
+        storm.isolated_mean_attempts,
+    );
+
     let json = format!(
         "{{\n  \"machine\": {{\"cores\": {cores}}},\n  \"scaling\": {},\n  \"acceptance\": \
          {{\"replicas\": {}, \"ticks_per_replica\": {}, \"speedup\": {}, \
          \"speedup_claim_applicable\": {}, \"speedup_above_2x\": {}}},\n  \"cold_start\": {},\n  \
-         \"warm_start\": {}\n}}",
+         \"warm_start\": {},\n  \"storm_recovery\": {}\n}}",
         scaling_json(&points),
         full.replicas,
         full.ticks_per_replica,
@@ -488,6 +686,7 @@ fn main() {
         full.speedup() > 2.0,
         cold_start_json(&cold),
         warm_start_json(&warm),
+        storm_recovery_json(&storm, None),
     );
     println!("{json}");
 

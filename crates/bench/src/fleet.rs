@@ -4,10 +4,10 @@
 //! Used by the `fleet_scaling` binary (full scale, JSON output) and the
 //! `fleet_scaling` Criterion bench (reduced scale).
 
-use selfheal_core::harness::{LearnerChoice, PolicyChoice, WorkloadChoice};
+use selfheal_core::harness::{EventChoice, LearnerChoice, PolicyChoice, WorkloadChoice};
 use selfheal_core::snapshot::SynopsisSnapshot;
 use selfheal_core::synopsis::{Learner, SynopsisKind};
-use selfheal_faults::{FaultKind, FaultTarget, InjectionPlanBuilder};
+use selfheal_faults::{FaultKind, FaultTarget, InjectionPlanBuilder, StormSpec};
 use selfheal_fleet::{ExecutionMode, FleetConfig, FleetOutcome, LearningTopology};
 use selfheal_sim::ServiceConfig;
 use selfheal_workload::{ArrivalProcess, WorkloadMix};
@@ -67,6 +67,11 @@ fn scaling_fleet(replicas: usize, ticks: u64, seed: u64) -> FleetConfig {
         // The scaling runs only need aggregate counters, not full metric
         // history; a small ring keeps 32 × 5000-tick fleets lean.
         .series_capacity(512)
+        // The curve measures replica-simulation throughput, not epoch-sync
+        // overhead: a wide slice amortizes the scheduler's per-epoch
+        // barrier (5000 ticks -> ~78 barriers instead of 5000) while the
+        // store gate still keeps the run deterministic.
+        .slice(64)
 }
 
 /// The synthetic workload the smoke fleet runs — and the one its
@@ -358,6 +363,160 @@ pub fn warm_start_comparison(
     }
 }
 
+/// The storm-recovery experiment's failure class.
+pub const STORM_KIND: FaultKind = FaultKind::BufferContention;
+/// Tick at which the scout replica (replica 0) meets the signature alone.
+pub const STORM_SCOUT_TICK: u64 = 80;
+/// Tick at which the storm hits half the fleet at once.
+pub const STORM_TICK: u64 = 400;
+/// Fraction of the fleet the storm hits.
+pub const STORM_FRACTION: f64 = 0.5;
+
+/// Shared-vs-isolated recovery under a correlated fault storm.
+///
+/// The scenario: replica 0 (the *scout*, never a storm victim under the
+/// Bresenham spread) meets the failure signature alone at
+/// [`STORM_SCOUT_TICK`]; at [`STORM_TICK`] the same failure hits
+/// [`STORM_FRACTION`] of the fleet simultaneously.  With one shared store
+/// the victims should reach for the scout's proven fix on (close to) the
+/// first attempt; isolated victims each rediscover it by trial and error.
+#[derive(Debug, Clone, Copy)]
+pub struct StormRecoveryReport {
+    /// Number of storm victims.
+    pub victims: usize,
+    /// Victims whose storm episode was found in the shared run (a victim
+    /// whose injection never produced a labelled episode is missing).
+    pub shared_matched_episodes: usize,
+    /// Mean fix attempts over the victims' storm episodes, shared store.
+    pub shared_mean_attempts: f64,
+    /// Mean recovery ticks over the victims' storm episodes, shared store.
+    pub shared_mean_recovery: f64,
+    /// Episodes still open when the shared fleet quiesced (0 = recovered).
+    pub shared_open_episodes: usize,
+    /// Victims whose storm episode was found in the isolated run.
+    pub isolated_matched_episodes: usize,
+    /// Mean fix attempts over the victims' storm episodes, isolated.
+    pub isolated_mean_attempts: f64,
+    /// Mean recovery ticks over the victims' storm episodes, isolated.
+    pub isolated_mean_recovery: f64,
+    /// Episodes still open when the isolated fleet quiesced.
+    pub isolated_open_episodes: usize,
+}
+
+impl StormRecoveryReport {
+    /// The CI gate: every victim actually opened a storm episode (the storm
+    /// was not a silent no-op) and the shared run healed all of them.
+    pub fn recovered(&self) -> bool {
+        self.shared_matched_episodes == self.victims
+            && self.victims > 0
+            && self.shared_open_episodes == 0
+    }
+
+    /// The acceptance predicate: shared learning recovers from the storm
+    /// faster (strictly fewer mean recovery ticks) and in no more attempts
+    /// than isolated learning.
+    pub fn shared_recovers_faster(&self) -> bool {
+        self.shared_mean_recovery < self.isolated_mean_recovery
+            && self.shared_mean_attempts <= self.isolated_mean_attempts
+    }
+}
+
+/// The storm fleet: tiny service, constant bidding load, a scout injection
+/// on replica 0, and a 50% [`EventChoice::storm`] — run through the
+/// tick-sliced parallel scheduler (slice 1), which the store gate makes
+/// deterministic for shared learners.
+pub fn storm_fleet(replicas: usize, seed: u64, learner: LearnerChoice, slice: u64) -> FleetConfig {
+    FleetConfig::builder()
+        .service(ServiceConfig::tiny())
+        .synthetic_workload(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+        )
+        .replicas(replicas)
+        .ticks(STORM_TICK + 600)
+        .base_seed(seed)
+        .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+        .learner(learner)
+        .slice(slice)
+        .mode(ExecutionMode::Parallel { threads: None })
+        .series_capacity(512)
+        .injections_per_replica(|replica| {
+            if replica == 0 {
+                InjectionPlanBuilder::new(4, 3, 1)
+                    .inject(STORM_SCOUT_TICK, STORM_KIND, FaultTarget::DatabaseTier, 0.9)
+                    .build()
+            } else {
+                selfheal_faults::InjectionPlan::empty()
+            }
+        })
+        .event(EventChoice::storm(STORM_TICK, STORM_KIND, STORM_FRACTION))
+}
+
+/// Mean fix attempts, mean recovery ticks, matched-episode count, and
+/// open-episode count over the storm victims' labelled episodes.
+fn storm_victim_stats(outcome: &FleetOutcome, victims: &[usize]) -> (f64, f64, usize, usize) {
+    let mut attempts = Vec::new();
+    let mut recoveries = Vec::new();
+    let mut matched = 0usize;
+    let mut open = 0usize;
+    for replica in outcome.replicas() {
+        if !victims.contains(&replica.replica) {
+            continue;
+        }
+        if let Some(episode) = replica
+            .outcome
+            .recovery
+            .episodes()
+            .iter()
+            .find(|e| e.primary_fault() == Some(STORM_KIND))
+        {
+            matched += 1;
+            attempts.push(episode.fixes_attempted.len() as f64);
+            match episode.recovery_ticks() {
+                Some(ticks) => recoveries.push(ticks as f64),
+                None => open += 1,
+            }
+        }
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    (mean(&attempts), mean(&recoveries), matched, open)
+}
+
+/// Runs the storm fleet with a shared (batch-1 locked) store and with
+/// isolated per-replica stores, and compares the victims' recovery.
+pub fn storm_recovery_comparison(replicas: usize, seed: u64, slice: u64) -> StormRecoveryReport {
+    let victims = StormSpec::new(STORM_KIND, 0.9, STORM_FRACTION).victims(replicas);
+    // Batch 1 so the scout's experience is published the moment it is
+    // recorded — the comparison then measures sharing, not drain timing.
+    let shared = storm_fleet(replicas, seed, LearnerChoice::Locked { batch: 1 }, slice).run();
+    let isolated = storm_fleet(replicas, seed, LearnerChoice::Private, slice).run();
+    let (shared_mean_attempts, shared_mean_recovery, shared_matched_episodes, shared_open_episodes) =
+        storm_victim_stats(&shared, &victims);
+    let (
+        isolated_mean_attempts,
+        isolated_mean_recovery,
+        isolated_matched_episodes,
+        isolated_open_episodes,
+    ) = storm_victim_stats(&isolated, &victims);
+    StormRecoveryReport {
+        victims: victims.len(),
+        shared_matched_episodes,
+        shared_mean_attempts,
+        shared_mean_recovery,
+        shared_open_episodes,
+        isolated_matched_episodes,
+        isolated_mean_attempts,
+        isolated_mean_recovery,
+        isolated_open_episodes,
+    }
+}
+
 /// Runs the staggered-fault fleet under both learning topologies.
 pub fn cold_start_comparison(replicas: usize, seed: u64) -> ColdStartReport {
     let shared = cold_start_fleet(replicas, seed, LearningTopology::shared());
@@ -402,6 +561,21 @@ mod tests {
             "warm {} vs cold {} mean attempts",
             report.warm_mean_attempts,
             report.cold_mean_attempts
+        );
+    }
+
+    #[test]
+    fn storm_victims_recover_faster_with_shared_learning() {
+        let report = storm_recovery_comparison(6, 42, 1);
+        assert_eq!(report.victims, 3, "50% of 6 replicas");
+        assert!(report.recovered(), "shared storm run must quiesce healed");
+        assert!(
+            report.shared_recovers_faster(),
+            "shared {:.1} ticks / {:.1} attempts vs isolated {:.1} / {:.1}",
+            report.shared_mean_recovery,
+            report.shared_mean_attempts,
+            report.isolated_mean_recovery,
+            report.isolated_mean_attempts,
         );
     }
 

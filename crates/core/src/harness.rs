@@ -6,14 +6,16 @@
 //! assembly behind a small builder so the examples read like the experiment
 //! descriptions in the paper.
 //!
-//! Three declarative enums keep configurations data, not code:
+//! Four declarative enums keep configurations data, not code:
 //! [`PolicyChoice`] names a healing policy, [`WorkloadChoice`] names a
 //! workload shape (synthetic mix + arrivals, recorded-trace replay, or a
 //! burst storm) that can be instantiated as a fresh [`TraceSource`] for
-//! every replica of a fleet, with per-replica seeds and phase shifts, and
+//! every replica of a fleet, with per-replica seeds and phase shifts,
 //! [`LearnerChoice`] names where learned synopsis state lives (a private
 //! per-replica model, one lock-shared model, or symptom-space shards) as a
-//! recipe for a [`SynopsisStore`].
+//! recipe for a [`SynopsisStore`], and [`EventChoice`] names a fleet-wide
+//! cross-replica event (a correlated fault storm or a workload surge) that
+//! the fleet's tick-sliced scheduler resolves into per-replica actions.
 
 use crate::fixsym::{FixSymConfig, FixSymHealer};
 use crate::hybrid::HybridHealer;
@@ -23,7 +25,7 @@ use crate::shared::SharedSynopsis;
 use crate::snapshot::SynopsisSnapshot;
 use crate::store::{LockedStore, PrivateStore, ShardedStore, SynopsisStore};
 use crate::synopsis::SynopsisKind;
-use selfheal_faults::InjectionPlan;
+use selfheal_faults::{FaultKind, InjectionPlan};
 use selfheal_sim::scenario::{Healer, NoHealing, ScenarioOutcome, ScenarioRunner};
 use selfheal_sim::{MultiTierService, ServiceConfig};
 use selfheal_telemetry::{Schema, SloTargets};
@@ -136,6 +138,65 @@ impl PolicyChoice {
             PolicyChoice::FixSym(kind) => format!("fixsym_{}", kind.label()),
             PolicyChoice::Hybrid(kind) => format!("hybrid_{}", kind.label()),
             PolicyChoice::Proactive => "proactive".to_string(),
+        }
+    }
+}
+
+/// A fleet-wide event — the cross-replica mirror of [`PolicyChoice`],
+/// [`WorkloadChoice`], and [`LearnerChoice`], so fleet configs name their
+/// correlated-failure scenarios declaratively.
+///
+/// A choice is pure data: the fleet engine's event machinery resolves it
+/// against the fleet's shape (replica count, tick horizon) into per-replica
+/// actions at exact ticks, so an event-laden run stays a pure function of
+/// the configuration — at any worker count and any tick-slice width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventChoice {
+    /// A correlated fault storm: at `at_tick`, inject a fault of `kind`
+    /// (with `severity`) into a deterministic, evenly spread `fraction` of
+    /// the fleet's replicas (see [`selfheal_faults::StormSpec`]).
+    FaultStorm {
+        /// Tick at which the storm strikes every victim at once.
+        at_tick: u64,
+        /// The failure class every victim receives.
+        kind: FaultKind,
+        /// Severity of each injected fault, `[0, 1]`.
+        severity: f64,
+        /// Fraction of the fleet hit, `[0, 1]`.
+        fraction: f64,
+    },
+    /// A fleet-wide workload surge: for `duration_ticks` starting at
+    /// `at_tick`, every replica's request batches are amplified by `factor`
+    /// (a correlated flash crowd overlaid on whatever workload the replicas
+    /// already run).
+    WorkloadSurge {
+        /// First surged tick.
+        at_tick: u64,
+        /// How many ticks the surge lasts.
+        duration_ticks: u64,
+        /// Request-batch amplification factor (≥ 1.0).
+        factor: f64,
+    },
+}
+
+impl EventChoice {
+    /// Fault-storm shorthand with the scripted experiments' default
+    /// severity of 0.9.
+    pub fn storm(at_tick: u64, kind: FaultKind, fraction: f64) -> Self {
+        EventChoice::FaultStorm {
+            at_tick,
+            kind,
+            severity: 0.9,
+            fraction,
+        }
+    }
+
+    /// Workload-surge shorthand.
+    pub fn surge(at_tick: u64, duration_ticks: u64, factor: f64) -> Self {
+        EventChoice::WorkloadSurge {
+            at_tick,
+            duration_ticks,
+            factor,
         }
     }
 }

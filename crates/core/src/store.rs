@@ -82,8 +82,15 @@ pub trait SynopsisStore: Learner {
     /// Number of recorded updates not yet folded into a model.
     fn pending_updates(&self) -> usize;
 
-    /// Captures every recorded outcome (after a [`flush`](Self::flush)) so
-    /// the store can be rebuilt elsewhere — the save half of warm-start.
+    /// Captures every recorded outcome so the store can be rebuilt
+    /// elsewhere — the save half of warm-start.
+    ///
+    /// Implementations must [`flush`](Self::flush) internally before
+    /// capturing: up to `batch - 1` updates can sit in a shared store's
+    /// pending queue at any moment, and a snapshot that ignored them would
+    /// silently drop experience from saved synopses
+    /// (`tests/stores.rs::snapshots_flush_queued_updates_instead_of_dropping_them`
+    /// pins this contract).
     fn snapshot(&self) -> SynopsisSnapshot;
 
     /// Replaces the store's learned state with the snapshot's experience,

@@ -25,7 +25,9 @@
 //!
 //! On top of the catalog, the crate provides fault *injection* plans
 //! ([`injection::InjectionPlan`]) for preproduction active stimulation and
-//! for the evaluation runs, the failure-cause mix model behind Figure 1
+//! for the evaluation runs, correlated fault storms hitting a deterministic
+//! fraction of a fleet at once ([`storm::StormSpec`]), the failure-cause
+//! mix model behind Figure 1
 //! ([`mix::CauseMix`]), the per-category recovery-time model behind Figure 2
 //! ([`recovery_model::RecoveryTimeModel`]), and an operator-error model
 //! ([`operator::OperatorModel`]).
@@ -40,6 +42,7 @@ pub mod injection;
 pub mod mix;
 pub mod operator;
 pub mod recovery_model;
+pub mod storm;
 
 pub use catalog::{CatalogEntry, FixCatalog};
 pub use fault::{FailureCause, FaultId, FaultKind, FaultSpec, FaultTarget};
@@ -48,3 +51,4 @@ pub use injection::{InjectionEvent, InjectionPlan, InjectionPlanBuilder};
 pub use mix::{CauseMix, ServiceProfile};
 pub use operator::{OperatorAction, OperatorModel};
 pub use recovery_model::RecoveryTimeModel;
+pub use storm::{StormSpec, STORM_FAULT_ID_BASE};

@@ -1,0 +1,144 @@
+//! Correlated fault storms: the same failure hitting a deterministic
+//! fraction of a fleet at once.
+//!
+//! The paper studies one service instance at a time, but real outages are
+//! often *correlated* — a bad configuration push, a shared dependency
+//! failing, a thundering herd — so a fleet-scale reproduction needs a way to
+//! say "at tick T, this failure class hits half the fleet".  A [`StormSpec`]
+//! is that statement, kept deterministic on purpose: the victim set is a
+//! pure function of `(fraction, fleet size)`, so storm runs fingerprint
+//! identically at any worker count.
+//!
+//! The spec only describes the storm; scheduling it against live replicas is
+//! the fleet engine's job (its `FleetEvent` machinery resolves a storm into
+//! per-replica injections).
+
+use crate::catalog::FixCatalog;
+use crate::fault::{FaultId, FaultKind, FaultSpec};
+use crate::fix::FixKind;
+use crate::injection::default_target;
+
+/// Id namespace for storm-injected faults, far above anything an
+/// [`crate::InjectionPlanBuilder`] assigns, so storm faults never collide
+/// with a replica's scheduled plan.
+pub const STORM_FAULT_ID_BASE: u64 = 1 << 48;
+
+/// One correlated fault storm: a failure class, a severity, and the
+/// fraction of the fleet it hits.
+///
+/// Victim selection is deterministic and evenly spread: with `k` victims in
+/// a fleet of `n`, replica `r` is hit iff `⌊(r+1)·k/n⌋ > ⌊r·k/n⌋` (the
+/// Bresenham spread — exactly `k` victims, no RNG, no clustering at the low
+/// indices).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormSpec {
+    /// The failure class every victim receives.
+    pub kind: FaultKind,
+    /// Severity of each injected fault, clamped to `[0, 1]`.
+    pub severity: f64,
+    /// Fraction of the fleet hit, clamped to `[0, 1]`.
+    pub fraction: f64,
+}
+
+impl StormSpec {
+    /// Creates a storm spec (severity and fraction are clamped to `[0, 1]`).
+    pub fn new(kind: FaultKind, severity: f64, fraction: f64) -> Self {
+        StormSpec {
+            kind,
+            severity: severity.clamp(0.0, 1.0),
+            fraction: fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Number of victims in a fleet of `fleet` replicas: the rounded
+    /// fraction, at least 1 whenever the fraction is positive (a storm that
+    /// hits nobody is a no-op, not a storm).
+    pub fn victim_count(&self, fleet: usize) -> usize {
+        if fleet == 0 || self.fraction <= 0.0 {
+            return 0;
+        }
+        ((self.fraction * fleet as f64).round() as usize).clamp(1, fleet)
+    }
+
+    /// Whether replica `replica` of a fleet of `fleet` is a victim.
+    pub fn hits(&self, replica: usize, fleet: usize) -> bool {
+        if replica >= fleet {
+            return false;
+        }
+        let k = self.victim_count(fleet);
+        (replica + 1) * k / fleet > replica * k / fleet
+    }
+
+    /// The victim replica indices, in order.
+    pub fn victims(&self, fleet: usize) -> Vec<usize> {
+        (0..fleet).filter(|&r| self.hits(r, fleet)).collect()
+    }
+
+    /// The fault one victim receives, targeted at the failure class's
+    /// natural component (component 0, as scripted experiments do).  `id`
+    /// must be unique per `(storm, victim)`; callers allocate ids in the
+    /// [`STORM_FAULT_ID_BASE`] namespace.
+    pub fn fault(&self, id: u64) -> FaultSpec {
+        FaultSpec::new(
+            FaultId(id),
+            self.kind,
+            default_target(self.kind, 0),
+            self.severity,
+        )
+    }
+
+    /// The catalog's preferred (cheapest effective) fix for the storm's
+    /// failure class — what a fleet that has already learned the signature
+    /// should reach for on the first attempt.
+    pub fn expected_fix(&self) -> FixKind {
+        FixCatalog::standard().preferred_fix(self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_count_follows_the_fraction() {
+        let storm = StormSpec::new(FaultKind::BufferContention, 0.9, 0.5);
+        assert_eq!(storm.victim_count(8), 4);
+        assert_eq!(storm.victim_count(3), 2);
+        assert_eq!(storm.victim_count(0), 0);
+        // A positive fraction always claims at least one victim.
+        let sliver = StormSpec::new(FaultKind::BufferContention, 0.9, 0.01);
+        assert_eq!(sliver.victim_count(8), 1);
+        // Fractions are clamped.
+        let flood = StormSpec::new(FaultKind::BufferContention, 0.9, 7.0);
+        assert_eq!(flood.victim_count(8), 8);
+    }
+
+    #[test]
+    fn victims_are_evenly_spread_and_deterministic() {
+        let storm = StormSpec::new(FaultKind::BufferContention, 0.9, 0.5);
+        assert_eq!(storm.victims(8), vec![1, 3, 5, 7]);
+        assert_eq!(storm.victims(8), storm.victims(8));
+        let third = StormSpec::new(FaultKind::BufferContention, 0.9, 1.0 / 3.0);
+        assert_eq!(third.victims(9).len(), 3);
+        let all = StormSpec::new(FaultKind::BufferContention, 0.9, 1.0);
+        assert_eq!(all.victims(4), vec![0, 1, 2, 3]);
+        let none = StormSpec::new(FaultKind::BufferContention, 0.9, 0.0);
+        assert!(none.victims(4).is_empty());
+    }
+
+    #[test]
+    fn storm_faults_use_the_natural_target_and_the_storm_namespace() {
+        let storm = StormSpec::new(FaultKind::BufferContention, 0.8, 0.5);
+        let fault = storm.fault(STORM_FAULT_ID_BASE + 3);
+        assert_eq!(fault.kind, FaultKind::BufferContention);
+        assert_eq!(fault.target, default_target(FaultKind::BufferContention, 0));
+        assert_eq!(fault.severity, 0.8);
+        assert!(fault.id.0 >= STORM_FAULT_ID_BASE);
+    }
+
+    #[test]
+    fn expected_fix_comes_from_the_catalog() {
+        let storm = StormSpec::new(FaultKind::BufferContention, 0.9, 0.5);
+        assert_eq!(storm.expected_fix(), FixKind::RepartitionMemory);
+    }
+}

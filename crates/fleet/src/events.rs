@@ -1,0 +1,392 @@
+//! Cross-replica fleet events: correlated fault storms and fleet-wide
+//! workload surges, scheduled against a running fleet.
+//!
+//! A [`FleetEvent`] is a fleet-level statement ("at tick 400, buffer
+//! contention hits half the fleet") that the engine *resolves* into
+//! per-replica [`ReplicaAction`]s before the run starts.  Workers apply each
+//! action exactly when its replica reaches the action's tick, so an
+//! event-laden run is a pure function of the configuration — fingerprints
+//! are identical at any worker count and any tick-slice width (asserted by
+//! `tests/scheduler.rs`).
+//!
+//! Two events ship with the crate, mirroring the declarative
+//! [`selfheal_core::harness::EventChoice`] recipes:
+//!
+//! * [`FaultStorm`] — a [`selfheal_faults::StormSpec`] at a tick: every
+//!   victim replica (a deterministic, evenly spread fraction of the fleet)
+//!   receives the same fault at the same tick.
+//! * [`WorkloadSurge`] — a fleet-wide flash crowd: every replica's request
+//!   batches are amplified for a window of ticks.
+//!
+//! # Implementing the trait
+//!
+//! ```
+//! use selfheal_fleet::events::{FleetEvent, FleetShape, ReplicaAction};
+//!
+//! /// Doubles traffic on one chosen replica for 50 ticks — a targeted
+//! /// (rather than fleet-wide) surge.
+//! #[derive(Debug)]
+//! struct HotReplica {
+//!     at_tick: u64,
+//!     replica: usize,
+//! }
+//!
+//! impl FleetEvent for HotReplica {
+//!     fn due_tick(&self) -> u64 {
+//!         self.at_tick
+//!     }
+//!
+//!     fn label(&self) -> String {
+//!         format!("hot_replica_{}", self.replica)
+//!     }
+//!
+//!     fn resolve(&self, fleet: &FleetShape) -> Vec<(usize, ReplicaAction)> {
+//!         if self.replica >= fleet.replicas {
+//!             return Vec::new();
+//!         }
+//!         vec![(
+//!             self.replica,
+//!             ReplicaAction::Surge {
+//!                 factor: 2.0,
+//!                 until_tick: self.at_tick + 50,
+//!             },
+//!         )]
+//!     }
+//! }
+//!
+//! let event = HotReplica { at_tick: 10, replica: 1 };
+//! let shape = FleetShape { replicas: 4, ticks: 100, base_seed: 42 };
+//! assert_eq!(event.resolve(&shape).len(), 1);
+//! ```
+
+use selfheal_core::harness::EventChoice;
+use selfheal_faults::{FaultKind, FaultSpec, StormSpec, STORM_FAULT_ID_BASE};
+use std::collections::BTreeMap;
+
+/// The shape of the fleet an event is resolved against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetShape {
+    /// Number of replicas in the fleet.
+    pub replicas: usize,
+    /// Ticks each replica will simulate.
+    pub ticks: u64,
+    /// The fleet's base seed (for events that want deterministic
+    /// per-resolution randomness).
+    pub base_seed: u64,
+}
+
+/// One resolved per-replica effect of a fleet event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicaAction {
+    /// Inject this fault into the replica at the action's tick.
+    Inject(FaultSpec),
+    /// Amplify the replica's request batches by `factor` until `until_tick`
+    /// (exclusive), starting at the action's tick.
+    Surge {
+        /// Request-batch amplification factor (≥ 1.0).
+        factor: f64,
+        /// First tick no longer surged.
+        until_tick: u64,
+    },
+}
+
+/// A cross-replica event scheduled against a fleet run.
+///
+/// Implementations must resolve deterministically: the per-replica actions
+/// may depend only on the event itself and the [`FleetShape`], never on
+/// wall-clock state, so every execution mode reproduces the same run.
+pub trait FleetEvent: Send + Sync + std::fmt::Debug {
+    /// The tick at which the event fires (actions resolved from it default
+    /// to this tick).
+    fn due_tick(&self) -> u64;
+
+    /// Short display label for bench output.
+    fn label(&self) -> String;
+
+    /// Resolves the fleet-level event into per-replica actions, applied
+    /// when each replica reaches [`FleetEvent::due_tick`].
+    fn resolve(&self, fleet: &FleetShape) -> Vec<(usize, ReplicaAction)>;
+}
+
+/// A correlated fault storm: at [`FleetEvent::due_tick`], the storm's fault
+/// hits a deterministic fraction of the fleet (see
+/// [`StormSpec`] for the victim-selection rule).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultStorm {
+    at_tick: u64,
+    spec: StormSpec,
+}
+
+impl FaultStorm {
+    /// Creates a storm striking at `at_tick`.
+    pub fn new(at_tick: u64, kind: FaultKind, severity: f64, fraction: f64) -> Self {
+        FaultStorm {
+            at_tick,
+            spec: StormSpec::new(kind, severity, fraction),
+        }
+    }
+
+    /// The underlying storm spec.
+    pub fn spec(&self) -> StormSpec {
+        self.spec
+    }
+}
+
+impl FleetEvent for FaultStorm {
+    fn due_tick(&self) -> u64 {
+        self.at_tick
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "storm@{}x{:.2}_{}",
+            self.at_tick,
+            self.spec.fraction,
+            self.spec.kind.label()
+        )
+    }
+
+    fn resolve(&self, fleet: &FleetShape) -> Vec<(usize, ReplicaAction)> {
+        self.spec
+            .victims(fleet.replicas)
+            .into_iter()
+            .map(|victim| {
+                // The id is provisional; EventPlan::resolve re-stamps every
+                // injected fault with a unique id in the storm namespace.
+                (
+                    victim,
+                    ReplicaAction::Inject(self.spec.fault(STORM_FAULT_ID_BASE)),
+                )
+            })
+            .collect()
+    }
+}
+
+/// A fleet-wide workload surge: every replica's request batches are
+/// amplified by `factor` for `duration_ticks` starting at
+/// [`FleetEvent::due_tick`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSurge {
+    at_tick: u64,
+    duration_ticks: u64,
+    factor: f64,
+}
+
+impl WorkloadSurge {
+    /// Creates a surge covering ticks `[at_tick, at_tick + duration_ticks)`.
+    pub fn new(at_tick: u64, duration_ticks: u64, factor: f64) -> Self {
+        WorkloadSurge {
+            at_tick,
+            duration_ticks,
+            factor: factor.max(1.0),
+        }
+    }
+}
+
+impl FleetEvent for WorkloadSurge {
+    fn due_tick(&self) -> u64 {
+        self.at_tick
+    }
+
+    fn label(&self) -> String {
+        format!("surge@{}x{:.1}", self.at_tick, self.factor)
+    }
+
+    fn resolve(&self, fleet: &FleetShape) -> Vec<(usize, ReplicaAction)> {
+        let until_tick = self.at_tick.saturating_add(self.duration_ticks);
+        (0..fleet.replicas)
+            .map(|replica| {
+                (
+                    replica,
+                    ReplicaAction::Surge {
+                        factor: self.factor,
+                        until_tick,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// The schedule of cross-replica events for one fleet run.
+///
+/// Build one from declarative [`EventChoice`]s
+/// ([`EventPlan::from_choices`], what `FleetConfig::events` does under the
+/// hood) or push any custom [`FleetEvent`] implementation with
+/// [`EventPlan::with`].
+#[derive(Debug, Default)]
+pub struct EventPlan {
+    events: Vec<Box<dyn FleetEvent>>,
+}
+
+impl EventPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        EventPlan::default()
+    }
+
+    /// Builds a plan from declarative choices.
+    pub fn from_choices(choices: impl IntoIterator<Item = EventChoice>) -> Self {
+        let mut plan = EventPlan::new();
+        for choice in choices {
+            plan.push_choice(choice);
+        }
+        plan
+    }
+
+    /// Adds one event (builder style).
+    pub fn with(mut self, event: impl FleetEvent + 'static) -> Self {
+        self.events.push(Box::new(event));
+        self
+    }
+
+    /// Adds one declarative choice.
+    pub fn push_choice(&mut self, choice: EventChoice) {
+        match choice {
+            EventChoice::FaultStorm {
+                at_tick,
+                kind,
+                severity,
+                fraction,
+            } => self
+                .events
+                .push(Box::new(FaultStorm::new(at_tick, kind, severity, fraction))),
+            EventChoice::WorkloadSurge {
+                at_tick,
+                duration_ticks,
+                factor,
+            } => self.events.push(Box::new(WorkloadSurge::new(
+                at_tick,
+                duration_ticks,
+                factor,
+            ))),
+        }
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Event labels, in schedule order.
+    pub fn labels(&self) -> Vec<String> {
+        self.events.iter().map(|e| e.label()).collect()
+    }
+
+    /// Resolves every event against the fleet's shape into the per-replica,
+    /// per-tick action schedule the scheduler consults.  Injected faults are
+    /// re-stamped with unique ids in the [`STORM_FAULT_ID_BASE`] namespace
+    /// so two events can never collide with each other or with a replica's
+    /// own injection plan.
+    pub(crate) fn resolve(&self, fleet: &FleetShape) -> ActionSchedule {
+        let mut per_replica: Vec<BTreeMap<u64, Vec<ReplicaAction>>> =
+            (0..fleet.replicas).map(|_| BTreeMap::new()).collect();
+        let mut next_fault_id = STORM_FAULT_ID_BASE;
+        for event in &self.events {
+            let tick = event.due_tick();
+            for (replica, mut action) in event.resolve(fleet) {
+                if replica >= fleet.replicas {
+                    continue;
+                }
+                if let ReplicaAction::Inject(fault) = &mut action {
+                    fault.id = selfheal_faults::FaultId(next_fault_id);
+                    next_fault_id += 1;
+                }
+                per_replica[replica].entry(tick).or_default().push(action);
+            }
+        }
+        ActionSchedule { per_replica }
+    }
+}
+
+/// Per-replica, per-tick actions resolved from an [`EventPlan`] — what the
+/// scheduler's workers (and the sequential interleaver) actually consult.
+#[derive(Debug, Default)]
+pub(crate) struct ActionSchedule {
+    per_replica: Vec<BTreeMap<u64, Vec<ReplicaAction>>>,
+}
+
+impl ActionSchedule {
+    /// The actions replica `replica` must apply immediately before stepping
+    /// through `tick`.
+    pub(crate) fn actions_for(&self, replica: usize, tick: u64) -> &[ReplicaAction] {
+        self.per_replica
+            .get(replica)
+            .and_then(|by_tick| by_tick.get(&tick))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storms_resolve_to_unique_fault_ids_on_victims_only() {
+        let plan = EventPlan::from_choices([
+            EventChoice::storm(100, FaultKind::BufferContention, 0.5),
+            EventChoice::storm(100, FaultKind::DeadlockedThreads, 0.25),
+        ]);
+        let shape = FleetShape {
+            replicas: 8,
+            ticks: 500,
+            base_seed: 42,
+        };
+        let schedule = plan.resolve(&shape);
+        let mut ids = Vec::new();
+        let mut victims = 0;
+        for replica in 0..8 {
+            for action in schedule.actions_for(replica, 100) {
+                let ReplicaAction::Inject(fault) = action else {
+                    panic!("storms resolve to injections");
+                };
+                assert!(fault.id.0 >= STORM_FAULT_ID_BASE);
+                ids.push(fault.id.0);
+                victims += 1;
+            }
+            assert!(schedule.actions_for(replica, 99).is_empty());
+        }
+        assert_eq!(victims, 4 + 2);
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 6, "every storm fault gets a unique id");
+    }
+
+    #[test]
+    fn surges_cover_the_whole_fleet() {
+        let plan = EventPlan::from_choices([EventChoice::surge(40, 20, 3.0)]);
+        let shape = FleetShape {
+            replicas: 3,
+            ticks: 100,
+            base_seed: 1,
+        };
+        let schedule = plan.resolve(&shape);
+        for replica in 0..3 {
+            let actions = schedule.actions_for(replica, 40);
+            assert_eq!(
+                actions,
+                &[ReplicaAction::Surge {
+                    factor: 3.0,
+                    until_tick: 60
+                }]
+            );
+        }
+    }
+
+    #[test]
+    fn labels_name_the_events() {
+        let plan = EventPlan::from_choices([
+            EventChoice::storm(100, FaultKind::BufferContention, 0.5),
+            EventChoice::surge(40, 20, 3.0),
+        ]);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.labels()[0].starts_with("storm@100"));
+        assert!(plan.labels()[1].starts_with("surge@40"));
+    }
+}

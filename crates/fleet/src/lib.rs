@@ -24,13 +24,20 @@
 //!   [`ExecutionMode::Sequential`] round-robin interleaver).
 //! * [`FleetEngine`] — builds one resumable
 //!   [`selfheal_sim::ScenarioRunner`] per replica (seeded via
-//!   [`selfheal_sim::seeds::split_seed`]), drives them to completion, and
-//!   aggregates.  With **isolated** learning, replica `i`'s entire run is a
-//!   pure function of `(base_seed, i)` — identical at any fleet size and
-//!   thread count (asserted by `tests/fleet.rs`).  With **shared**
-//!   learning, cross-replica influence is the whole point, so per-replica
-//!   outcomes legitimately depend on what siblings learned first (and, in
-//!   parallel mode, on thread interleaving).
+//!   [`selfheal_sim::seeds::split_seed`]) and drives the whole fleet
+//!   through the tick-sliced [`scheduler`]: worker threads advance replicas
+//!   one `slice`-tick epoch at a time through a barrier, so every replica
+//!   lives concurrently and cross-replica [`events`] (correlated
+//!   [`events::FaultStorm`]s, fleet-wide [`events::WorkloadSurge`]s —
+//!   declared via [`selfheal_core::harness::EventChoice`] on the config)
+//!   land at exact ticks.  With **isolated** learning, replica `i`'s entire
+//!   run is a pure function of `(base_seed, i)` — identical at any fleet
+//!   size, thread count, and slice width (asserted by `tests/fleet.rs` and
+//!   `tests/scheduler.rs`).  With **shared** learning, store access is
+//!   gated into the sequential round-robin order, so even parallel fleets
+//!   reproduce [`ExecutionMode::Sequential`]'s fingerprints bit for bit.
+//!   A replica that panics is retired as a [`ReplicaError`] instead of
+//!   aborting the fleet.
 //! * [`FleetOutcome`] / [`ReplicaOutcome`] — per-replica scenario outcomes
 //!   plus fleet-level throughput, recovery, and shared-learning statistics.
 //!
@@ -56,7 +63,13 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
-use selfheal_core::harness::{LearnerChoice, PolicyChoice, WorkloadChoice};
+pub mod events;
+pub mod scheduler;
+
+use crate::events::{EventPlan, FleetShape};
+pub use crate::scheduler::ReplicaError;
+use crate::scheduler::StoreGate;
+use selfheal_core::harness::{EventChoice, LearnerChoice, PolicyChoice, WorkloadChoice};
 use selfheal_core::snapshot::SynopsisSnapshot;
 use selfheal_core::store::{LockedStore, SynopsisStore};
 use selfheal_faults::InjectionPlan;
@@ -64,8 +77,7 @@ use selfheal_sim::scenario::{Healer, ScenarioOutcome, ScenarioRunner};
 use selfheal_sim::seeds::{split_seed, SeedStream};
 use selfheal_sim::{MultiTierService, ServiceConfig};
 use selfheal_workload::{ArrivalProcess, WorkloadMix};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -106,21 +118,24 @@ impl LearningTopology {
 /// How the fleet's replicas are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutionMode {
-    /// Replicas are distributed over `threads` OS worker threads (`None` =
-    /// one per available core) and run to completion in parallel.
+    /// Replicas advance through the tick-sliced [`scheduler`] on `threads`
+    /// OS worker threads (`None` = one per available core): every replica
+    /// lives concurrently, epoch barriers every [`FleetConfig::slice`]
+    /// ticks, shared-store access gated into sequential order.  With
+    /// `slice >= ticks` and private learners this degenerates to the old
+    /// run-to-completion parallelism.
     Parallel {
         /// Worker thread count; `None` uses the machine's parallelism.
         threads: Option<usize>,
     },
-    /// All replicas are interleaved tick-by-tick on the calling thread —
-    /// the single-core baseline the scaling bench compares against, and a
-    /// scheduler exercise for [`ScenarioRunner::step`].
+    /// All replicas are interleaved slice-by-slice (tick-by-tick at the
+    /// default slice of 1) on the calling thread — the single-core baseline
+    /// the scaling bench compares against, and the reference interleave the
+    /// parallel scheduler reproduces for shared stores.
     Sequential,
 }
 
 type PlanFactory = dyn Fn(usize) -> InjectionPlan + Send + Sync;
-/// A replica runner tagged with its fleet index, queued for a worker.
-type ReplicaQueue = Vec<(usize, ScenarioRunner<Box<dyn Healer>>)>;
 
 /// Configuration (and builder) for one fleet run.
 pub struct FleetConfig {
@@ -133,6 +148,8 @@ pub struct FleetConfig {
     learner: LearnerChoice,
     warm_start: Option<SynopsisSnapshot>,
     mode: ExecutionMode,
+    slice: u64,
+    events: EventPlan,
     series_capacity: usize,
     plan_factory: Arc<PlanFactory>,
 }
@@ -148,6 +165,8 @@ impl std::fmt::Debug for FleetConfig {
             .field("learner", &self.learner.label())
             .field("warm_start", &self.warm_start.as_ref().map(|s| s.len()))
             .field("mode", &self.mode)
+            .field("slice", &self.slice)
+            .field("events", &self.events.labels())
             .finish_non_exhaustive()
     }
 }
@@ -167,6 +186,8 @@ impl FleetConfig {
             learner: LearnerChoice::Private,
             warm_start: None,
             mode: ExecutionMode::Parallel { threads: None },
+            slice: 1,
+            events: EventPlan::new(),
             series_capacity: 100_000,
             plan_factory: Arc::new(|_| InjectionPlan::empty()),
         }
@@ -245,6 +266,39 @@ impl FleetConfig {
         self
     }
 
+    /// Width of the scheduler's tick slices, in ticks (minimum 1, the
+    /// default): how far one replica may run ahead of another between epoch
+    /// barriers.  Private-learner outcomes are slice-invariant; larger
+    /// slices amortize the barrier when raw throughput matters, while
+    /// `slice >= ticks` collapses the run to a single epoch.
+    pub fn slice(mut self, slice: u64) -> Self {
+        self.slice = slice.max(1);
+        self
+    }
+
+    /// Schedules one declarative cross-replica event (a
+    /// [`EventChoice::FaultStorm`] or [`EventChoice::WorkloadSurge`]); may
+    /// be called repeatedly.
+    pub fn event(mut self, choice: EventChoice) -> Self {
+        self.events.push_choice(choice);
+        self
+    }
+
+    /// Schedules a batch of declarative cross-replica events.
+    pub fn events(mut self, choices: impl IntoIterator<Item = EventChoice>) -> Self {
+        for choice in choices {
+            self.events.push_choice(choice);
+        }
+        self
+    }
+
+    /// Replaces the event schedule with a full [`EventPlan`] (the escape
+    /// hatch for custom [`events::FleetEvent`] implementations).
+    pub fn event_plan(mut self, plan: EventPlan) -> Self {
+        self.events = plan;
+        self
+    }
+
     /// Metric samples each replica retains.
     pub fn series_capacity(mut self, capacity: usize) -> Self {
         self.series_capacity = capacity.max(1);
@@ -289,6 +343,7 @@ pub struct ReplicaOutcome {
 /// Aggregated result of a fleet run.
 pub struct FleetOutcome {
     replicas: Vec<ReplicaOutcome>,
+    errors: Vec<ReplicaError>,
     wall: Duration,
     mode: ExecutionMode,
     store: Option<Box<dyn SynopsisStore>>,
@@ -298,6 +353,7 @@ impl std::fmt::Debug for FleetOutcome {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FleetOutcome")
             .field("replicas", &self.replicas)
+            .field("errors", &self.errors)
             .field("wall", &self.wall)
             .field("mode", &self.mode)
             .field("store", &self.store.as_ref().map(|s| s.kind().label()))
@@ -306,9 +362,23 @@ impl std::fmt::Debug for FleetOutcome {
 }
 
 impl FleetOutcome {
-    /// Per-replica outcomes, ordered by replica index.
+    /// Per-replica outcomes, ordered by replica index.  Every replica
+    /// appears here unless it panicked mid-run, in which case its
+    /// [`ReplicaError`] is in [`FleetOutcome::errors`] instead.
     pub fn replicas(&self) -> &[ReplicaOutcome] {
         &self.replicas
+    }
+
+    /// Replicas that panicked mid-run, ordered by replica index.  The
+    /// survivors' outcomes are unaffected (aggregate statistics cover the
+    /// survivors only).
+    pub fn errors(&self) -> &[ReplicaError] {
+        &self.errors
+    }
+
+    /// Returns `true` when every replica completed its run.
+    pub fn is_complete(&self) -> bool {
+        self.errors.is_empty()
     }
 
     /// Wall-clock duration of the whole fleet run.
@@ -421,12 +491,23 @@ impl FleetEngine {
     }
 
     /// Builds the store backing one replica's healer: a per-replica handle
-    /// to the fleet-wide store when one exists, otherwise a fresh private
+    /// to the fleet-wide store when one exists (gated into sequential order
+    /// when the scheduler runs multiple workers), otherwise a fresh private
     /// store (warm-started from the fleet's snapshot, if any).
-    fn build_store(&self, fleet_store: Option<&dyn SynopsisStore>) -> Box<dyn SynopsisStore> {
-        match fleet_store {
-            Some(store) => store.clone_store(),
-            None => LearnerChoice::Private.build_store_warm(
+    fn build_store(
+        &self,
+        replica: usize,
+        fleet_store: Option<&dyn SynopsisStore>,
+        gate: Option<&Arc<StoreGate>>,
+    ) -> Box<dyn SynopsisStore> {
+        match (fleet_store, gate) {
+            (Some(store), Some(gate)) => Box::new(scheduler::GatedStore::new(
+                store.clone_store(),
+                replica,
+                Arc::clone(gate),
+            )),
+            (Some(store), None) => store.clone_store(),
+            (None, _) => LearnerChoice::Private.build_store_warm(
                 self.config
                     .policy
                     .synopsis_kind()
@@ -442,6 +523,7 @@ impl FleetEngine {
         &self,
         replica: usize,
         fleet_store: Option<&dyn SynopsisStore>,
+        gate: Option<&Arc<StoreGate>>,
     ) -> ScenarioRunner<Box<dyn Healer>> {
         let config = &self.config;
         let mut service_config = config.service.clone();
@@ -454,7 +536,7 @@ impl FleetEngine {
             replica as u64,
         );
         let healer = if config.policy.shares_learning() {
-            let store = self.build_store(fleet_store);
+            let store = self.build_store(replica, fleet_store, gate);
             config.policy.build_healer_stored(&schema, targets, store)
         } else {
             config.policy.build_healer(&schema, targets)
@@ -463,7 +545,9 @@ impl FleetEngine {
             .with_series_capacity(config.series_capacity)
     }
 
-    /// Runs every replica to completion and aggregates the results.
+    /// Runs the fleet through the tick-sliced scheduler and aggregates the
+    /// results.  Replicas that panic mid-run surface as
+    /// [`FleetOutcome::errors`]; the survivors complete normally.
     pub fn run(self) -> FleetOutcome {
         let config = &self.config;
         let store: Option<Box<dyn SynopsisStore>> =
@@ -480,106 +564,63 @@ impl FleetEngine {
             } else {
                 None
             };
+        let shape = FleetShape {
+            replicas: config.replicas,
+            ticks: config.ticks,
+            base_seed: config.base_seed,
+        };
+        let schedule = config.events.resolve(&shape);
+
+        let workers = match config.mode {
+            ExecutionMode::Sequential => 1,
+            ExecutionMode::Parallel { threads } => threads
+                .unwrap_or_else(|| {
+                    thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                })
+                .clamp(1, config.replicas.max(1)),
+        };
+        // The gate exists only when parallel workers could race on a shared
+        // store; a single sweeper already produces the reference order.
+        let gate =
+            (workers > 1 && store.is_some()).then(|| Arc::new(StoreGate::new(config.replicas)));
+
+        let runners: Vec<_> = (0..config.replicas)
+            .map(|r| self.build_replica(r, store.as_deref(), gate.as_ref()))
+            .collect();
 
         let start = Instant::now();
-        let outcomes = match config.mode {
-            ExecutionMode::Sequential => self.run_sequential(store.as_deref()),
-            ExecutionMode::Parallel { threads } => {
-                let workers = threads
-                    .unwrap_or_else(|| {
-                        thread::available_parallelism()
-                            .map(|n| n.get())
-                            .unwrap_or(1)
-                    })
-                    .clamp(1, config.replicas.max(1));
-                self.run_parallel(store.as_deref(), workers)
-            }
-        };
-        let wall = start.elapsed();
-
+        let results = scheduler::run_epochs(
+            runners,
+            config.ticks,
+            config.slice,
+            workers,
+            gate,
+            &schedule,
+        );
+        // The final drain is part of the run: flush *inside* the timed
+        // region so throughput numbers include it.
         if let Some(store) = &store {
             store.flush();
         }
-        let replicas = outcomes
-            .into_iter()
-            .enumerate()
-            .map(|(replica, outcome)| ReplicaOutcome { replica, outcome })
-            .collect();
+        let wall = start.elapsed();
+
+        let mut replicas = Vec::with_capacity(results.len());
+        let mut errors = Vec::new();
+        for (replica, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(outcome) => replicas.push(ReplicaOutcome { replica, outcome }),
+                Err(error) => errors.push(error),
+            }
+        }
         FleetOutcome {
             replicas,
+            errors,
             wall,
             mode: self.config.mode,
             store,
         }
-    }
-
-    /// Round-robin interleaving of every replica on the calling thread:
-    /// tick 0 of every replica, then tick 1, and so on.  Exercises the
-    /// resumable `step` path and serves as the parallel mode's single-core
-    /// baseline.
-    fn run_sequential(&self, store: Option<&dyn SynopsisStore>) -> Vec<ScenarioOutcome> {
-        let mut runners: Vec<_> = (0..self.config.replicas)
-            .map(|r| self.build_replica(r, store))
-            .collect();
-        for _ in 0..self.config.ticks {
-            for runner in &mut runners {
-                runner.step();
-            }
-        }
-        runners.iter().map(|r| r.outcome()).collect()
-    }
-
-    /// Replicas pulled off a shared queue by `workers` OS threads; each
-    /// worker steps its replica to completion, then takes the next.
-    fn run_parallel(
-        &self,
-        store: Option<&dyn SynopsisStore>,
-        workers: usize,
-    ) -> Vec<ScenarioOutcome> {
-        let ticks = self.config.ticks;
-        let queue: Arc<Mutex<ReplicaQueue>> = Arc::new(Mutex::new(
-            (0..self.config.replicas)
-                .map(|r| (r, self.build_replica(r, store)))
-                .collect(),
-        ));
-        let (sender, receiver) = mpsc::channel::<(usize, ScenarioOutcome)>();
-
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                let queue = Arc::clone(&queue);
-                let sender = sender.clone();
-                scope.spawn(move || {
-                    loop {
-                        // Popping from the tail keeps the dequeue O(1); the
-                        // assignment of replicas to workers does not affect
-                        // results (replica streams are split by index).
-                        let Some((replica, mut runner)) =
-                            queue.lock().expect("fleet queue poisoned").pop()
-                        else {
-                            break;
-                        };
-                        for _ in 0..ticks {
-                            runner.step();
-                        }
-                        if sender.send((replica, runner.outcome())).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-        });
-        drop(sender);
-
-        let mut outcomes: Vec<Option<ScenarioOutcome>> =
-            (0..self.config.replicas).map(|_| None).collect();
-        for (replica, outcome) in receiver {
-            outcomes[replica] = Some(outcome);
-        }
-        outcomes
-            .into_iter()
-            .enumerate()
-            .map(|(r, o)| o.unwrap_or_else(|| panic!("replica {r} produced no outcome")))
-            .collect()
     }
 }
 

@@ -1,0 +1,519 @@
+//! The tick-sliced fleet scheduler: worker threads advance every replica
+//! one tick-slice at a time through an epoch barrier.
+//!
+//! The previous parallel engine ran each replica to completion on a worker
+//! thread, which made two things impossible: cross-replica events (by the
+//! time replica 7 started, replica 0 had already finished) and reproducible
+//! shared learning (the order replicas taught the shared store depended on
+//! thread scheduling).  The scheduler replaces it with a deterministic
+//! per-epoch sweep, the fleet analogue of a cyclic block-coordinate pass:
+//!
+//! * Time is cut into **epochs** of `slice` ticks (default 1).  Within an
+//!   epoch, workers claim replicas off an atomic counter in index order and
+//!   advance each claimed replica through the epoch's ticks; a barrier
+//!   separates epochs, so the whole fleet lives concurrently and no replica
+//!   ever runs more than `slice` ticks ahead of another.
+//! * Cross-replica [`FleetEvent`](crate::events::FleetEvent)s are resolved
+//!   into per-replica actions up front and applied by whichever worker
+//!   steps the replica through the action's exact tick — event timing is
+//!   therefore independent of worker count *and* slice width.
+//! * With a fleet-shared store, every replica's store accesses go through a
+//!   store gate: replica `r`'s suggests/records wait until replicas
+//!   `0..r` have finished the current epoch.  The store therefore observes
+//!   *exactly* the sequential round-robin interleave, and a tick-sliced
+//!   parallel run is fingerprint-identical to `run_sequential` at any
+//!   worker count (`tests/scheduler.rs` asserts this) — while the
+//!   simulation work of gated replicas still overlaps (replica `r+1` can
+//!   serve traffic while replica `r` retrains).
+//! * A panicking replica no longer aborts the fleet: the panic is caught at
+//!   the slice boundary, surfaced as a [`ReplicaError`] in the fleet
+//!   outcome, and the survivors keep running (the replica slot is simply
+//!   retired).
+//!
+//! With `slice >= ticks` there is a single epoch and (for private learners)
+//! the scheduler degenerates to the old run-to-completion behaviour; shared
+//! stores keep the deterministic ordering at every slice width, because
+//! reproducible fleet learning is the point.
+
+use crate::events::{ActionSchedule, ReplicaAction};
+use selfheal_core::snapshot::SynopsisSnapshot;
+use selfheal_core::store::SynopsisStore;
+use selfheal_core::synopsis::{Learner, SynopsisKind};
+use selfheal_faults::FixKind;
+use selfheal_sim::scenario::{Healer, ScenarioOutcome, ScenarioRunner};
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::thread;
+
+/// A replica that died mid-run: its index and the panic payload, surfaced
+/// in the fleet outcome instead of aborting the surviving replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaError {
+    /// Index of the replica that failed.
+    pub replica: usize,
+    /// Human-readable panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replica {} panicked: {}", self.replica, self.message)
+    }
+}
+
+impl std::error::Error for ReplicaError {}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StoreGate
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct GateState {
+    /// Smallest replica index whose current epoch slice is not yet
+    /// complete — the only replica allowed to touch the shared store.
+    next: usize,
+    done: Vec<bool>,
+}
+
+/// Orders shared-store access within an epoch: replica `r` may touch the
+/// store only once replicas `0..r` have completed their slice, reproducing
+/// the sequential round-robin interleave under parallel execution.
+#[derive(Debug)]
+pub(crate) struct StoreGate {
+    state: Mutex<GateState>,
+    turn: Condvar,
+}
+
+impl StoreGate {
+    pub(crate) fn new(replicas: usize) -> Self {
+        StoreGate {
+            state: Mutex::new(GateState {
+                next: 0,
+                done: vec![false; replicas],
+            }),
+            turn: Condvar::new(),
+        }
+    }
+
+    /// Blocks until every replica below `replica` has completed the current
+    /// epoch.  Called by [`GatedStore`] before each store operation; the
+    /// operations of the slice being stepped keep the turn (`next` stays at
+    /// `replica` until the slice completes).
+    fn wait_for(&self, replica: usize) {
+        let mut state = self.state.lock().expect("store gate poisoned");
+        while state.next < replica {
+            state = self.turn.wait(state).expect("store gate poisoned");
+        }
+    }
+
+    /// Marks `replica`'s slice complete for this epoch and hands the turn
+    /// to the next incomplete replica.
+    fn complete(&self, replica: usize) {
+        let mut state = self.state.lock().expect("store gate poisoned");
+        state.done[replica] = true;
+        while state.next < state.done.len() && state.done[state.next] {
+            state.next += 1;
+        }
+        self.turn.notify_all();
+    }
+
+    /// Rearms the gate for the next epoch (called between the epoch
+    /// barriers, when no replica is stepping).
+    fn reset(&self) {
+        let mut state = self.state.lock().expect("store gate poisoned");
+        state.done.fill(false);
+        state.next = 0;
+    }
+}
+
+/// A per-replica handle to the fleet-shared store that waits for the
+/// replica's turn (as defined by the [`StoreGate`]) before every learning
+/// operation, making parallel shared-store runs replay the sequential
+/// interleave exactly.  Lifecycle operations (flush, snapshot, restore) are
+/// not gated — the engine only calls them outside epochs.
+pub(crate) struct GatedStore {
+    inner: Box<dyn SynopsisStore>,
+    replica: usize,
+    gate: Arc<StoreGate>,
+}
+
+impl GatedStore {
+    pub(crate) fn new(inner: Box<dyn SynopsisStore>, replica: usize, gate: Arc<StoreGate>) -> Self {
+        GatedStore {
+            inner,
+            replica,
+            gate,
+        }
+    }
+}
+
+impl std::fmt::Debug for GatedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatedStore")
+            .field("replica", &self.replica)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Learner for GatedStore {
+    fn suggest(&self, symptoms: &[f64]) -> Option<(FixKind, f64)> {
+        self.gate.wait_for(self.replica);
+        self.inner.suggest(symptoms)
+    }
+
+    fn suggest_excluding(
+        &self,
+        symptoms: &[f64],
+        excluded: &HashSet<FixKind>,
+    ) -> Option<(FixKind, f64)> {
+        self.gate.wait_for(self.replica);
+        self.inner.suggest_excluding(symptoms, excluded)
+    }
+
+    fn record(&mut self, symptoms: &[f64], fix: FixKind, success: bool) {
+        self.gate.wait_for(self.replica);
+        self.inner.record(symptoms, fix, success);
+    }
+
+    fn correct_fixes_learned(&self) -> usize {
+        self.gate.wait_for(self.replica);
+        self.inner.correct_fixes_learned()
+    }
+}
+
+impl SynopsisStore for GatedStore {
+    fn kind(&self) -> SynopsisKind {
+        self.inner.kind()
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
+
+    fn pending_updates(&self) -> usize {
+        self.inner.pending_updates()
+    }
+
+    fn snapshot(&self) -> SynopsisSnapshot {
+        self.inner.snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &SynopsisSnapshot) {
+        self.inner.restore(snapshot);
+    }
+
+    fn clone_store(&self) -> Box<dyn SynopsisStore> {
+        Box::new(GatedStore {
+            inner: self.inner.clone_store(),
+            replica: self.replica,
+            gate: Arc::clone(&self.gate),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The epoch loop
+// ---------------------------------------------------------------------------
+
+/// One replica's slot: the live runner until it completes (or `None` plus
+/// an error once it has panicked).
+struct ReplicaSlot {
+    runner: Option<ScenarioRunner<Box<dyn Healer>>>,
+    error: Option<ReplicaError>,
+}
+
+/// Everything one worker needs to sweep epochs.
+struct SweepContext<'a> {
+    slots: &'a [Mutex<ReplicaSlot>],
+    next: &'a AtomicUsize,
+    gate: Option<&'a Arc<StoreGate>>,
+    schedule: &'a ActionSchedule,
+    ticks: u64,
+    slice: u64,
+}
+
+impl SweepContext<'_> {
+    fn epochs(&self) -> u64 {
+        self.ticks.div_ceil(self.slice)
+    }
+
+    /// Claims and advances replicas through epoch `epoch` until the counter
+    /// runs dry.  Panics inside a replica's step are caught here and retire
+    /// the slot; the gate turn is always handed on so siblings never stall
+    /// behind a dead replica.
+    fn sweep_epoch(&self, epoch: u64) {
+        let start = epoch * self.slice;
+        let end = (start + self.slice).min(self.ticks);
+        loop {
+            let replica = self.next.fetch_add(1, Ordering::SeqCst);
+            if replica >= self.slots.len() {
+                break;
+            }
+            // `into_inner` on poison: a slot mutex can only be poisoned by a
+            // panic in this very function, which catch_unwind below already
+            // contains — but never let one dead replica take down the sweep.
+            let mut slot = self.slots[replica]
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if let Some(mut runner) = slot.runner.take() {
+                let stepped = catch_unwind(AssertUnwindSafe(|| {
+                    for tick in start..end {
+                        for action in self.schedule.actions_for(replica, tick) {
+                            match action {
+                                ReplicaAction::Inject(fault) => runner.inject(fault.clone()),
+                                ReplicaAction::Surge { factor, until_tick } => {
+                                    runner.apply_surge(*factor, *until_tick)
+                                }
+                            }
+                        }
+                        runner.step();
+                    }
+                    runner
+                }));
+                match stepped {
+                    Ok(runner) => slot.runner = Some(runner),
+                    Err(payload) => {
+                        slot.error = Some(ReplicaError {
+                            replica,
+                            message: panic_message(payload),
+                        });
+                    }
+                }
+            }
+            drop(slot);
+            if let Some(gate) = self.gate {
+                gate.complete(replica);
+            }
+        }
+    }
+}
+
+/// Drives `runners` for `ticks` ticks in epochs of `slice` ticks across
+/// `workers` OS threads (1 = the calling thread, no spawning), applying the
+/// resolved event `schedule` at exact ticks and serializing shared-store
+/// access through `gate` when one is given.
+///
+/// Returns one entry per replica, in index order: the outcome, or the
+/// [`ReplicaError`] describing the panic that retired it.
+pub(crate) fn run_epochs(
+    runners: Vec<ScenarioRunner<Box<dyn Healer>>>,
+    ticks: u64,
+    slice: u64,
+    workers: usize,
+    gate: Option<Arc<StoreGate>>,
+    schedule: &ActionSchedule,
+) -> Vec<Result<ScenarioOutcome, ReplicaError>> {
+    let slots: Vec<Mutex<ReplicaSlot>> = runners
+        .into_iter()
+        .map(|runner| {
+            Mutex::new(ReplicaSlot {
+                runner: Some(runner),
+                error: None,
+            })
+        })
+        .collect();
+    let next = AtomicUsize::new(0);
+    let context = SweepContext {
+        slots: &slots,
+        next: &next,
+        gate: gate.as_ref(),
+        schedule,
+        ticks,
+        slice: slice.max(1),
+    };
+
+    let workers = workers.clamp(1, slots.len().max(1));
+    if workers == 1 {
+        // The sequential interleaver: one sweep per epoch on the calling
+        // thread, no barrier needed.
+        for epoch in 0..context.epochs() {
+            context.sweep_epoch(epoch);
+            next.store(0, Ordering::SeqCst);
+            if let Some(gate) = &gate {
+                gate.reset();
+            }
+        }
+    } else {
+        let barrier = Barrier::new(workers);
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    for epoch in 0..context.epochs() {
+                        context.sweep_epoch(epoch);
+                        // Two-phase barrier: everyone finishes the epoch,
+                        // the leader rearms the claim counter and the gate,
+                        // then everyone enters the next epoch.
+                        if barrier.wait().is_leader() {
+                            next.store(0, Ordering::SeqCst);
+                            if let Some(gate) = context.gate {
+                                gate.reset();
+                            }
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            let slot = slot
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            match (slot.runner, slot.error) {
+                (Some(runner), _) => Ok(runner.outcome()),
+                (None, Some(error)) => Err(error),
+                (None, None) => unreachable!("a replica is either live or errored"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventPlan;
+    use selfheal_core::store::LockedStore;
+    use selfheal_faults::{FixAction, InjectionPlan};
+    use selfheal_sim::service::TickOutcome;
+    use selfheal_sim::{MultiTierService, ServiceConfig};
+    use selfheal_workload::{ArrivalProcess, TraceGenerator, WorkloadMix};
+
+    /// A healer that panics once its replica reaches a given tick.
+    #[derive(Debug)]
+    struct PanicAt {
+        tick: u64,
+        seen: u64,
+    }
+
+    impl Healer for PanicAt {
+        fn name(&self) -> &str {
+            "panic_at"
+        }
+
+        fn observe(&mut self, _outcome: &TickOutcome) -> Vec<FixAction> {
+            if self.seen == self.tick {
+                panic!("synthetic replica failure at tick {}", self.tick);
+            }
+            self.seen += 1;
+            Vec::new()
+        }
+    }
+
+    fn runner(healer: Box<dyn Healer>) -> ScenarioRunner<Box<dyn Healer>> {
+        let service = MultiTierService::new(ServiceConfig::tiny());
+        let workload = TraceGenerator::new(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 20.0 },
+            7,
+        );
+        ScenarioRunner::new(service, workload, InjectionPlan::empty(), healer)
+    }
+
+    fn empty_schedule(replicas: usize) -> ActionSchedule {
+        EventPlan::new().resolve(&crate::events::FleetShape {
+            replicas,
+            ticks: 100,
+            base_seed: 0,
+        })
+    }
+
+    #[test]
+    fn a_panicking_replica_is_retired_without_aborting_the_fleet() {
+        let runners = vec![
+            runner(Box::new(selfheal_sim::scenario::NoHealing)),
+            runner(Box::new(PanicAt { tick: 13, seen: 0 })),
+            runner(Box::new(selfheal_sim::scenario::NoHealing)),
+        ];
+        let results = run_epochs(runners, 40, 1, 2, None, &empty_schedule(3));
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap().ticks, 40, "survivor 0 ran on");
+        assert_eq!(results[2].as_ref().unwrap().ticks, 40, "survivor 2 ran on");
+        let error = results[1].as_ref().unwrap_err();
+        assert_eq!(error.replica, 1);
+        assert!(
+            error.message.contains("synthetic replica failure"),
+            "panic payload surfaced: {}",
+            error.message
+        );
+    }
+
+    /// A healer that consults its (gated) store on every tick — the worst
+    /// case for a gate that fails to hand the turn past a dead replica.
+    struct TouchStore {
+        store: Box<dyn SynopsisStore>,
+        touches: u64,
+    }
+
+    impl Healer for TouchStore {
+        fn name(&self) -> &str {
+            "touch_store"
+        }
+
+        fn observe(&mut self, _outcome: &TickOutcome) -> Vec<FixAction> {
+            let _ = self.store.suggest(&[1.0, 2.0, 3.0]);
+            self.touches += 1;
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn a_panicking_replica_does_not_stall_gated_siblings() {
+        let gate = Arc::new(StoreGate::new(3));
+        let store = LockedStore::new(SynopsisKind::NearestNeighbor);
+        let runners = (0..3)
+            .map(|replica| {
+                if replica == 0 {
+                    runner(Box::new(PanicAt { tick: 5, seen: 0 }))
+                } else {
+                    // Survivors consult the gated store every single tick:
+                    // if the dead replica kept the turn, they would block
+                    // forever and this test would hang.
+                    runner(Box::new(TouchStore {
+                        store: Box::new(GatedStore::new(
+                            Box::new(store.clone()),
+                            replica,
+                            Arc::clone(&gate),
+                        )),
+                        touches: 0,
+                    }))
+                }
+            })
+            .collect();
+        let results = run_epochs(
+            runners,
+            30,
+            1,
+            3,
+            Some(Arc::clone(&gate)),
+            &empty_schedule(3),
+        );
+        assert!(results[0].is_err());
+        assert_eq!(results[1].as_ref().unwrap().ticks, 30);
+        assert_eq!(results[2].as_ref().unwrap().ticks, 30);
+    }
+
+    #[test]
+    fn slice_widths_partition_the_run_exactly() {
+        for slice in [1, 7, 64, 1000] {
+            let runners = vec![runner(Box::new(selfheal_sim::scenario::NoHealing))];
+            let results = run_epochs(runners, 50, slice, 1, None, &empty_schedule(1));
+            assert_eq!(results[0].as_ref().unwrap().ticks, 50, "slice {slice}");
+        }
+    }
+}

@@ -8,9 +8,9 @@
 
 use crate::recovery::RecoveryLog;
 use crate::service::{MultiTierService, TickOutcome};
-use selfheal_faults::{FixAction, InjectionPlan};
+use selfheal_faults::{FaultSpec, FixAction, InjectionPlan};
 use selfheal_telemetry::SeriesStore;
-use selfheal_workload::TraceSource;
+use selfheal_workload::{Request, TraceSource};
 
 /// A healing policy plugged into the scenario runner.
 ///
@@ -137,6 +137,9 @@ pub struct ScenarioRunner<H: Healer> {
     recovery: RecoveryLog,
     fixes_initiated: u64,
     ticks_run: u64,
+    surge_factor: f64,
+    surge_until: u64,
+    surge_next_id: u64,
 }
 
 impl<H: Healer> ScenarioRunner<H> {
@@ -172,8 +175,16 @@ impl<H: Healer> ScenarioRunner<H> {
             recovery: RecoveryLog::new(),
             fixes_initiated: 0,
             ticks_run: 0,
+            surge_factor: 1.0,
+            surge_until: 0,
+            surge_next_id: Self::SURGE_ID_BASE,
         }
     }
+
+    /// Id namespace for requests synthesized by a workload surge, far above
+    /// anything a [`TraceSource`] emits, so overlay traffic never collides
+    /// with recorded or generated request ids.
+    pub const SURGE_ID_BASE: u64 = 1 << 40;
 
     /// Limits how many samples of history are retained (older samples are
     /// evicted); the default retains the full run for typical lengths.
@@ -220,6 +231,26 @@ impl<H: Healer> ScenarioRunner<H> {
         &self.recovery
     }
 
+    /// Injects a fault into the running service *now*, outside the
+    /// scheduled [`InjectionPlan`] — the hook fleet-level events (fault
+    /// storms hitting a fraction of the fleet mid-run) use to reach one
+    /// replica.  The fault behaves exactly as if the plan had scheduled it
+    /// at the current tick.
+    pub fn inject(&mut self, fault: FaultSpec) {
+        self.service.inject(fault);
+    }
+
+    /// Overlays a workload surge on the replica: until `until_tick`
+    /// (exclusive), each tick's request batch is amplified by `factor`
+    /// (≥ 1.0).  The extra requests are deterministic clones of the tick's
+    /// own batch, cycled in order and re-stamped with ids from
+    /// [`ScenarioRunner::SURGE_ID_BASE`], so a surged run stays a pure
+    /// function of the seed.  A new surge replaces any active one.
+    pub fn apply_surge(&mut self, factor: f64, until_tick: u64) {
+        self.surge_factor = factor.max(1.0);
+        self.surge_until = until_tick;
+    }
+
     /// Advances the scenario by exactly one tick: inject due faults, serve
     /// the tick's traffic, keep the episode books, let the healer react, and
     /// record the metric sample.  Returns the tick's outcome.
@@ -232,7 +263,17 @@ impl<H: Healer> ScenarioRunner<H> {
         }
 
         // Serve the tick's traffic.
-        let requests = self.workload.next_tick(tick);
+        let mut requests = self.workload.next_tick(tick);
+        if tick < self.surge_until && self.surge_factor > 1.0 && !requests.is_empty() {
+            let base = requests.len();
+            let extra = (base as f64 * (self.surge_factor - 1.0)).round() as usize;
+            for i in 0..extra {
+                let template = &requests[i % base];
+                let clone = Request::new(self.surge_next_id, template.kind, tick);
+                self.surge_next_id += 1;
+                requests.push(clone);
+            }
+        }
         let outcome = self.service.tick(&requests);
 
         // Episode bookkeeping: open on first confirmed violation, close

@@ -20,11 +20,13 @@
 //!   API (private, lock-shared, or sharded by symptom-space region, all
 //!   persistable to JSON-lines for warm starts), hybrid and proactive
 //!   policies, the healing-loop harness (the paper's contribution).
-//! * [`fleet`] — the fleet engine: N independently-seeded replicas on
-//!   parallel worker threads, coordinating through one shared synopsis
-//!   store so every instance benefits from failures any sibling already
-//!   healed — including failures healed by a *previous process* via
-//!   snapshot warm-start.
+//! * [`fleet`] — the fleet engine: N independently-seeded replicas driven
+//!   by a tick-sliced epoch scheduler, coordinating through one shared
+//!   synopsis store (access gated into the sequential interleave, so even
+//!   parallel fleets are bit-reproducible) so every instance benefits from
+//!   failures any sibling already healed — including failures healed by a
+//!   *previous process* via snapshot warm-start — and stress-testable with
+//!   cross-replica events: correlated fault storms and workload surges.
 //!
 //! ## Quickstart: one service
 //!
@@ -62,6 +64,28 @@
 //!     .run();
 //! assert_eq!(outcome.replicas().len(), 8);
 //! assert!(outcome.goodput_fraction() > 0.9);
+//! ```
+//!
+//! ## Quickstart: a correlated fault storm
+//!
+//! ```
+//! use selfheal::faults::FaultKind;
+//! use selfheal::fleet::FleetConfig;
+//! use selfheal::healing::harness::{EventChoice, LearnerChoice, PolicyChoice};
+//! use selfheal::healing::synopsis::SynopsisKind;
+//! use selfheal::sim::ServiceConfig;
+//!
+//! let outcome = FleetConfig::builder()
+//!     .service(ServiceConfig::tiny())
+//!     .replicas(6)
+//!     .ticks(300)
+//!     .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+//!     .learner(LearnerChoice::locked())
+//!     // At tick 100, buffer contention hits half the fleet at once.
+//!     .event(EventChoice::storm(100, FaultKind::BufferContention, 0.5))
+//!     .run();
+//! assert!(outcome.is_complete());
+//! assert!(outcome.total_episodes() >= 3, "three victims, three episodes");
 //! ```
 //!
 //! ## Quickstart: warm-starting the next fleet from this one

@@ -118,6 +118,46 @@ fn warm_started_fleets_recover_in_fewer_attempts_than_cold_ones() {
     }
 }
 
+/// Regression test: a snapshot taken while updates are still queued (fewer
+/// than `batch`, so no drain has triggered) must flush them first — a saved
+/// synopsis may never silently drop experience.
+#[test]
+fn snapshots_flush_queued_updates_instead_of_dropping_them() {
+    use selfheal::faults::FixKind;
+    use selfheal::healing::store::{LockedStore, ShardedStore, SynopsisStore};
+    use selfheal::healing::synopsis::Learner;
+
+    let stores: [Box<dyn SynopsisStore>; 2] = [
+        // Batch thresholds far above the update count: everything stays
+        // queued until something flushes.
+        Box::new(LockedStore::with_batch(SynopsisKind::NearestNeighbor, 64)),
+        Box::new(ShardedStore::with_batch(
+            SynopsisKind::NearestNeighbor,
+            4,
+            64,
+        )),
+    ];
+    for mut store in stores {
+        store.record(&[8.0, 1.0, 1.0], FixKind::RepartitionMemory, true);
+        store.record(&[1.0, 9.0, 1.0], FixKind::MicrorebootEjb, true);
+        store.record(&[1.0, 1.0, 7.0], FixKind::UpdateStatistics, false);
+        assert_eq!(store.pending_updates(), 3, "updates queued, not drained");
+
+        let snapshot = store.snapshot();
+        assert_eq!(store.pending_updates(), 0, "snapshot flushed the queue");
+        assert_eq!(snapshot.positives(), 2, "queued successes captured");
+        assert_eq!(snapshot.negatives(), 1, "queued failures captured");
+
+        // The queued experience survives a restore elsewhere.
+        let mut restored = LockedStore::new(SynopsisKind::NearestNeighbor);
+        restored.restore(&snapshot);
+        assert_eq!(
+            restored.suggest(&[8.0, 1.0, 1.0]).map(|(fix, _)| fix),
+            Some(FixKind::RepartitionMemory)
+        );
+    }
+}
+
 /// Warm starts cross store layouts: experience saved by a locked fleet
 /// restores into a sharded fleet (and into per-replica private stores) and
 /// still pays off.
