@@ -32,20 +32,30 @@
 //! fleet_scaling --smoke --storm       # 50%-of-fleet fault storm: exits nonzero unless the
 //!                                     # storm run recovers, shared beats isolated, and the
 //!                                     # tick-sliced parallel fingerprints match sequential
+//! fleet_scaling --smoke --fault-mix online:0.02
+//!                                     # demographic fault generation (CauseMix of the given
+//!                                     # profile at the given per-tick rate): exits nonzero
+//!                                     # unless the mix run quiesces healed and parallel
+//!                                     # fingerprints match sequential
+//! fleet_scaling --smoke --sweep       # one fault of every catalog class at a fixed cadence
+//!                                     # (FixSym training coverage)
+//! fleet_scaling --smoke --ungated     # skip the StoreGate serialization (throughput over
+//!                                     # reproducibility; see FleetConfig::ungated)
 //! fleet_scaling --slice N             # tick-slice width of the scheduler's epochs
 //! fleet_scaling --events SPEC         # overlay events on the smoke fleet, e.g.
 //!                                     # "storm@200:0.5,surge@100:3:40"
 //! ```
 
 use selfheal_bench::fleet::{
-    cold_start_comparison, mean_injected_stats, scaling_curve, smoke_fleet, smoke_workload,
-    storm_fleet, storm_recovery_comparison, warm_start_comparison, ColdStartReport, ScalingPoint,
+    cold_start_comparison, distinct_fault_kinds, gate_throughput_comparison, mean_injected_stats,
+    mix_fleet, open_episodes, scaling_curve, smoke_fleet, smoke_workload, storm_fleet,
+    storm_recovery_comparison, warm_start_comparison, ColdStartReport, GateReport, ScalingPoint,
     StormRecoveryReport, WarmStartReport, STORM_FRACTION, STORM_TICK,
 };
-use selfheal_core::harness::{EventChoice, LearnerChoice, WorkloadChoice};
+use selfheal_core::harness::{EventChoice, FaultChoice, LearnerChoice, WorkloadChoice};
 use selfheal_core::snapshot::SynopsisSnapshot;
 use selfheal_core::synopsis::{Learner, SynopsisKind};
-use selfheal_faults::FaultKind;
+use selfheal_faults::{CatalogSweep, FaultKind, ServiceProfile};
 use selfheal_fleet::ExecutionMode;
 use selfheal_sim::seeds::{split_seed, SeedStream};
 use selfheal_workload::{RecordedTrace, ReplayMode};
@@ -134,6 +144,21 @@ fn storm_recovery_json(report: &StormRecoveryReport, fingerprints_match: Option<
     )
 }
 
+fn store_gate_json(report: &GateReport) -> String {
+    format!(
+        "{{\"replicas\": {}, \"ticks_per_replica\": {}, \"gated_wall_s\": {}, \
+         \"ungated_wall_s\": {}, \"gated_throughput_ticks_per_s\": {}, \
+         \"ungated_throughput_ticks_per_s\": {}, \"ungated_speedup\": {}}}",
+        report.replicas,
+        report.ticks_per_replica,
+        json_f64(report.gated_wall_s),
+        json_f64(report.ungated_wall_s),
+        json_f64(report.gated_throughput),
+        json_f64(report.ungated_throughput),
+        json_f64(report.ungated_speedup()),
+    )
+}
+
 fn cold_start_json(report: &ColdStartReport) -> String {
     let side = |label: &str, attempts: f64, recovery: f64, escalations: u64| {
         format!(
@@ -175,6 +200,9 @@ struct Args {
     load_synopsis: Option<PathBuf>,
     shards: Option<usize>,
     storm: bool,
+    fault_mix: Option<(ServiceProfile, f64)>,
+    sweep: bool,
+    ungated: bool,
     slice: Option<u64>,
     events: Vec<EventChoice>,
 }
@@ -192,6 +220,9 @@ impl Args {
             || self.load_synopsis.is_some()
             || self.shards.is_some()
             || self.storm
+            || self.fault_mix.is_some()
+            || self.sweep
+            || self.ungated
             || self.slice.is_some()
             || !self.events.is_empty()
     }
@@ -209,6 +240,26 @@ impl Args {
             _ => LearnerChoice::Private,
         }
     }
+}
+
+/// Parses `--fault-mix PROFILE:RATE` (e.g. `online:0.02`).
+fn parse_fault_mix(spec: &str) -> Result<(ServiceProfile, f64), String> {
+    let (name, rate) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("\"{spec}\": expected PROFILE:RATE, e.g. online:0.02"))?;
+    let profile = ServiceProfile::ALL
+        .into_iter()
+        .find(|p| p.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            format!("\"{name}\": unknown profile (expected one of online, content, readmostly)")
+        })?;
+    let rate: f64 = rate
+        .parse()
+        .map_err(|_| format!("\"{rate}\" is not a rate"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("rate {rate} must be in [0, 1]"));
+    }
+    Ok((profile, rate))
 }
 
 /// Parses one `--events` element: `storm@TICK:FRACTION[:SEVERITY]` or
@@ -256,6 +307,9 @@ fn parse_args() -> Args {
         load_synopsis: None,
         shards: None,
         storm: false,
+        fault_mix: None,
+        sweep: false,
+        ungated: false,
         slice: None,
         events: Vec::new(),
     };
@@ -301,6 +355,18 @@ fn parse_args() -> Args {
             }
             "--shards" => args.shards = Some(numeric("--shards", argv.next())),
             "--storm" => args.storm = true,
+            "--fault-mix" => {
+                let spec = argv.next().unwrap_or_else(|| missing("--fault-mix"));
+                match parse_fault_mix(&spec) {
+                    Ok(mix) => args.fault_mix = Some(mix),
+                    Err(err) => {
+                        eprintln!("fleet_scaling: --fault-mix {err}");
+                        exit(2);
+                    }
+                }
+            }
+            "--sweep" => args.sweep = true,
+            "--ungated" => args.ungated = true,
             "--slice" => args.slice = Some(numeric("--slice", argv.next())),
             "--events" => {
                 let spec = argv.next().unwrap_or_else(|| missing("--events"));
@@ -319,7 +385,8 @@ fn parse_args() -> Args {
                     "fleet_scaling: unknown argument {other}\n\
                      usage: fleet_scaling [--smoke] [--record PATH] [--replay PATH] \
                      [--replicas N] [--ticks T] [--save-synopsis PATH] \
-                     [--load-synopsis PATH] [--shards N] [--storm] [--slice W] \
+                     [--load-synopsis PATH] [--shards N] [--storm] \
+                     [--fault-mix PROFILE:RATE] [--sweep] [--ungated] [--slice W] \
                      [--events SPEC]"
                 );
                 exit(2);
@@ -401,17 +468,41 @@ fn run_smoke(args: &Args) {
     });
 
     let slice = args.slice.unwrap_or(1).max(1);
+    // A sweep injects one fault of every catalog class: start a tenth into
+    // the run and space the classes over the following 60%, leaving a tail
+    // for the healer to drain the last classes.
+    let sweep_choice = args.sweep.then(|| {
+        let start = ticks / 10;
+        let classes = CatalogSweep::kinds().len() as u64;
+        let spacing = ((ticks * 6 / 10) / classes).max(1);
+        FaultChoice::sweep(start, spacing)
+    });
     eprintln!(
         "fleet_scaling: smoke fleet ({replicas} replicas x {ticks} ticks, {} learning, \
-         slice {slice})",
-        learner.label()
+         slice {slice}{}{})",
+        learner.label(),
+        if args.sweep { ", catalog sweep" } else { "" },
+        if args.ungated { ", ungated" } else { "" },
     );
     let mut fleet = smoke_fleet(replicas, ticks, base_seed, workload.clone())
         .learner(learner)
         .slice(slice)
         .events(args.events.iter().copied());
+    if let Some(choice) = &sweep_choice {
+        fleet = fleet.faults(choice.clone());
+    }
+    if args.ungated {
+        fleet = fleet.ungated();
+    }
     if let Some((snapshot, _)) = &loaded {
         fleet = fleet.warm_start(snapshot.clone());
+    }
+    // Persistence is incremental: the store streams every drained batch to
+    // the file as the fleet runs, so even a killed run leaves a restorable
+    // snapshot; by quiesce (the engine flushes inside the timed region) the
+    // file is complete.
+    if let Some(path) = &args.save_synopsis {
+        fleet = fleet.persist_synopsis(path.clone());
     }
     let outcome = fleet.run();
     for error in outcome.errors() {
@@ -425,14 +516,25 @@ fn run_smoke(args: &Args) {
             exit(1);
         };
         let snapshot = store.snapshot();
-        if let Err(err) = snapshot.save(path) {
-            eprintln!("fleet_scaling: cannot write {}: {err}", path.display());
+        let on_disk = match SynopsisSnapshot::load(path) {
+            Ok(on_disk) => on_disk,
+            Err(err) => {
+                eprintln!("fleet_scaling: cannot re-load {}: {err}", path.display());
+                exit(1);
+            }
+        };
+        if on_disk.len() != snapshot.len() {
+            eprintln!(
+                "fleet_scaling: incremental log holds {} outcomes but the store holds {}",
+                on_disk.len(),
+                snapshot.len()
+            );
             exit(1);
         }
         eprintln!(
-            "fleet_scaling: saved {} outcomes ({} successes) to {}",
-            snapshot.len(),
-            snapshot.positives(),
+            "fleet_scaling: streamed {} outcomes ({} successes) to {} (append-on-drain)",
+            on_disk.len(),
+            on_disk.positives(),
             path.display()
         );
     }
@@ -521,6 +623,58 @@ fn run_smoke(args: &Args) {
         (report, fingerprints_match)
     });
 
+    // The demographic-mix smoke: faults drawn from a CauseMix at a
+    // controlled rate (the paper's Section 4.2 active stimulation), run
+    // once sequentially and once tick-sliced parallel.  Gates below require
+    // the run to quiesce healed and the fingerprints to match.
+    struct MixSmoke {
+        profile: ServiceProfile,
+        rate: f64,
+        episodes: usize,
+        open: usize,
+        kinds: usize,
+        fingerprints_match: bool,
+    }
+    let mix: Option<MixSmoke> = args.fault_mix.map(|(profile, rate)| {
+        let mix_replicas = replicas.max(3);
+        // The healing tail (the quiet half of the run) must outlast a full
+        // escalation — a service restart alone takes ~300 ticks — so the
+        // mix smoke refuses to run shorter than 800 ticks.
+        let mix_ticks = ticks.max(800);
+        eprintln!(
+            "fleet_scaling: demographic-mix smoke ({mix_replicas} replicas x {mix_ticks} \
+             ticks, {} mix at rate {rate}/tick, slice {slice})",
+            profile.name()
+        );
+        let sequential = mix_fleet(mix_replicas, mix_ticks, base_seed, profile, rate, slice)
+            .mode(ExecutionMode::Sequential)
+            .run();
+        let parallel = mix_fleet(mix_replicas, mix_ticks, base_seed, profile, rate, slice)
+            .mode(ExecutionMode::Parallel { threads: Some(3) })
+            .run();
+        let episodes = sequential.total_episodes();
+        let open = open_episodes(&sequential);
+        let kinds = distinct_fault_kinds(&sequential);
+        let fingerprints_match = parallel.fingerprints() == sequential.fingerprints();
+        eprintln!(
+            "  mix run: {episodes} episodes over {kinds} distinct failure classes, {open} \
+             still open at quiesce; parallel fingerprints {} sequential",
+            if fingerprints_match {
+                "match"
+            } else {
+                "DIVERGE from"
+            }
+        );
+        MixSmoke {
+            profile,
+            rate,
+            episodes,
+            open,
+            kinds,
+            fingerprints_match,
+        }
+    });
+
     eprintln!("fleet_scaling: smoke scaling point + cold start (JSON emitter check)");
     let points = scaling_curve(&[replicas], ticks, base_seed);
     let cold = cold_start_comparison(3, base_seed);
@@ -538,16 +692,45 @@ fn run_smoke(args: &Args) {
         .as_ref()
         .map(|(report, fingerprints_match)| storm_recovery_json(report, Some(*fingerprints_match)))
         .unwrap_or_else(|| "null".to_string());
+    let mix_json = mix
+        .as_ref()
+        .map(|m| {
+            format!(
+                "{{\"profile\": \"{}\", \"rate\": {}, \"episodes\": {}, \"open_episodes\": {}, \
+                 \"distinct_fault_kinds\": {}, \"fingerprints_match_sequential\": {}}}",
+                m.profile.name(),
+                json_f64(m.rate),
+                m.episodes,
+                m.open,
+                m.kinds,
+                m.fingerprints_match,
+            )
+        })
+        .unwrap_or_else(|| "null".to_string());
+    let sweep_json = if args.sweep {
+        format!(
+            "{{\"classes\": {}, \"episodes\": {}, \"open_episodes\": {}, \
+             \"distinct_fault_kinds\": {}}}",
+            CatalogSweep::kinds().len(),
+            outcome.total_episodes(),
+            open_episodes(&outcome),
+            distinct_fault_kinds(&outcome),
+        )
+    } else {
+        "null".to_string()
+    };
     let json = format!(
         "{{\n  \"mode\": \"smoke\",\n  \"replicas\": {replicas},\n  \"ticks\": {ticks},\n  \
-         \"slice\": {slice},\n  \
+         \"slice\": {slice},\n  \"gated\": {},\n  \
          \"workload\": \"{}\",\n  \"learner\": \"{}\",\n  \"goodput\": {},\n  \
          \"throughput_ticks_per_s\": {},\n  \
          \"total_fixes\": {},\n  \"episodes\": {},\n  \"replica_errors\": {},\n  \
          \"fingerprints\": [{fingerprint_json}],\n  \
          \"replay_byte_identical\": {},\n  \"warm_start\": {smoke_warm_json},\n  \
          \"storm_recovery\": {storm_json},\n  \
+         \"fault_mix\": {mix_json},\n  \"sweep\": {sweep_json},\n  \
          \"scaling\": {},\n  \"cold_start\": {}\n}}",
+        !args.ungated,
         workload.label(),
         learner.label(),
         json_f64(outcome.goodput_fraction()),
@@ -616,6 +799,44 @@ fn run_smoke(args: &Args) {
             exit(1);
         }
     }
+    // The demographic-mix gates: the mix must actually fault, every episode
+    // must heal before quiesce, and the parallel run must be
+    // fingerprint-identical to the sequential interleave.
+    if let Some(mix) = &mix {
+        if mix.episodes == 0 {
+            eprintln!(
+                "fleet_scaling: the {} mix at rate {} injected nothing observable",
+                mix.profile.name(),
+                mix.rate
+            );
+            exit(1);
+        }
+        if mix.open > 0 {
+            eprintln!(
+                "fleet_scaling: mix run did not quiesce healed ({} of {} episodes still open)",
+                mix.open, mix.episodes
+            );
+            exit(1);
+        }
+        if !mix.fingerprints_match {
+            eprintln!("fleet_scaling: mix-run parallel fingerprints diverged from run_sequential");
+            exit(1);
+        }
+    }
+    // The sweep gates: the catalog sweep must actually manifest — episodes
+    // across several distinct failure classes — or the training-coverage
+    // run covered nothing.
+    if args.sweep {
+        let episodes = outcome.total_episodes();
+        let kinds = distinct_fault_kinds(&outcome);
+        if episodes == 0 || kinds < 2 {
+            eprintln!(
+                "fleet_scaling: catalog sweep produced {episodes} episodes over {kinds} \
+                 distinct failure classes — training coverage is broken"
+            );
+            exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -673,11 +894,21 @@ fn main() {
         storm.isolated_mean_attempts,
     );
 
+    eprintln!("fleet_scaling: store-gate cost (gated vs ungated shared-learning throughput)");
+    let gate = gate_throughput_comparison(8, 2_000, 42);
+    eprintln!(
+        "  gated {:.3}s vs ungated {:.3}s ({:.2}x ungated speedup; ungated trades \
+         reproducible fingerprints for throughput)",
+        gate.gated_wall_s,
+        gate.ungated_wall_s,
+        gate.ungated_speedup(),
+    );
+
     let json = format!(
         "{{\n  \"machine\": {{\"cores\": {cores}}},\n  \"scaling\": {},\n  \"acceptance\": \
          {{\"replicas\": {}, \"ticks_per_replica\": {}, \"speedup\": {}, \
          \"speedup_claim_applicable\": {}, \"speedup_above_2x\": {}}},\n  \"cold_start\": {},\n  \
-         \"warm_start\": {},\n  \"storm_recovery\": {}\n}}",
+         \"warm_start\": {},\n  \"storm_recovery\": {},\n  \"store_gate\": {}\n}}",
         scaling_json(&points),
         full.replicas,
         full.ticks_per_replica,
@@ -687,6 +918,7 @@ fn main() {
         cold_start_json(&cold),
         warm_start_json(&warm),
         storm_recovery_json(&storm, None),
+        store_gate_json(&gate),
     );
     println!("{json}");
 

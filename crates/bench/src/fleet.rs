@@ -4,10 +4,12 @@
 //! Used by the `fleet_scaling` binary (full scale, JSON output) and the
 //! `fleet_scaling` Criterion bench (reduced scale).
 
-use selfheal_core::harness::{EventChoice, LearnerChoice, PolicyChoice, WorkloadChoice};
+use selfheal_core::harness::{
+    EventChoice, FaultChoice, LearnerChoice, PolicyChoice, WorkloadChoice,
+};
 use selfheal_core::snapshot::SynopsisSnapshot;
 use selfheal_core::synopsis::{Learner, SynopsisKind};
-use selfheal_faults::{FaultKind, FaultTarget, InjectionPlanBuilder, StormSpec};
+use selfheal_faults::{FaultKind, FaultTarget, InjectionPlanBuilder, ServiceProfile, StormSpec};
 use selfheal_fleet::{ExecutionMode, FleetConfig, FleetOutcome, LearningTopology};
 use selfheal_sim::ServiceConfig;
 use selfheal_workload::{ArrivalProcess, WorkloadMix};
@@ -517,6 +519,142 @@ pub fn storm_recovery_comparison(replicas: usize, seed: u64, slice: u64) -> Stor
     }
 }
 
+/// Fraction of a mix run's ticks during which demographic faults may fire;
+/// the remaining tail is quiet so the healer can drain every open episode
+/// before quiesce.
+pub const MIX_ACTIVE_FRACTION: f64 = 0.5;
+
+/// The demographic-mix fleet: the tiny service under constant bidding
+/// load, faults generated stochastically from a [`ServiceProfile`]'s cause
+/// mix at `rate` per tick over the first [`MIX_ACTIVE_FRACTION`] of the
+/// run, healed by the FixSym+diagnosis hybrid (signature learning alone
+/// cannot cover first-contact operator/hardware classes).
+pub fn mix_fleet(
+    replicas: usize,
+    ticks: u64,
+    seed: u64,
+    profile: ServiceProfile,
+    rate: f64,
+    slice: u64,
+) -> FleetConfig {
+    let config = ServiceConfig::tiny();
+    let active = (ticks as f64 * MIX_ACTIVE_FRACTION) as u64;
+    FleetConfig::builder()
+        .service(config.clone())
+        .synthetic_workload(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+        )
+        .replicas(replicas)
+        .ticks(ticks)
+        .base_seed(seed)
+        .policy(PolicyChoice::Hybrid(SynopsisKind::NearestNeighbor))
+        .learner(LearnerChoice::Locked { batch: 1 })
+        .slice(slice)
+        .series_capacity(512)
+        .faults(FaultChoice::mix_for(profile, rate, &config).active_for(active))
+}
+
+/// Episodes still open (no recovery tick) across every replica of a fleet —
+/// the "did the run quiesce healed" check mix and sweep smokes gate on.
+pub fn open_episodes(outcome: &FleetOutcome) -> usize {
+    outcome
+        .replicas()
+        .iter()
+        .flat_map(|r| r.outcome.recovery.episodes())
+        .filter(|e| e.recovery_ticks().is_none())
+        .count()
+}
+
+/// Distinct primary failure classes across every episode of a fleet — how
+/// much of the catalog a demographic or sweep run actually exercised.
+pub fn distinct_fault_kinds(outcome: &FleetOutcome) -> usize {
+    let kinds: std::collections::HashSet<FaultKind> = outcome
+        .replicas()
+        .iter()
+        .flat_map(|r| r.outcome.recovery.episodes())
+        .filter_map(|e| e.primary_fault())
+        .collect();
+    kinds.len()
+}
+
+/// Gated-vs-ungated shared-learning throughput.
+///
+/// Both runs use the same parallel fleet with one lock-shared store; the
+/// gated run serializes store access into the sequential round-robin order
+/// (reproducible fingerprints), the ungated run lets replicas hit the store
+/// the moment they need it (maximum parallel throughput, thread-scheduling-
+/// dependent drain order).  See `FleetConfig::ungated` for the trade-off.
+#[derive(Debug, Clone, Copy)]
+pub struct GateReport {
+    /// Fleet size of both runs.
+    pub replicas: usize,
+    /// Ticks per replica.
+    pub ticks_per_replica: u64,
+    /// Wall-clock seconds with the store gate on (the default).
+    pub gated_wall_s: f64,
+    /// Wall-clock seconds with the gate off.
+    pub ungated_wall_s: f64,
+    /// Simulated ticks per second, gated.
+    pub gated_throughput: f64,
+    /// Simulated ticks per second, ungated.
+    pub ungated_throughput: f64,
+}
+
+impl GateReport {
+    /// Gated wall-clock over ungated wall-clock: how much reproducibility
+    /// costs under this workload.
+    pub fn ungated_speedup(&self) -> f64 {
+        if self.ungated_wall_s <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.gated_wall_s / self.ungated_wall_s
+        }
+    }
+}
+
+/// Measures the store-gate cost: the scaling fleet (shared learner, every
+/// replica healing a mid-run fault) run gated and ungated on parallel
+/// workers at slice 1 — the gate's worst case, a barrier-adjacent wait per
+/// tick.
+pub fn gate_throughput_comparison(replicas: usize, ticks: u64, seed: u64) -> GateReport {
+    let fleet = || {
+        FleetConfig::builder()
+            .service(ServiceConfig::tiny())
+            .synthetic_workload(
+                WorkloadMix::bidding(),
+                ArrivalProcess::Constant { rate: 40.0 },
+            )
+            .replicas(replicas)
+            .ticks(ticks)
+            .base_seed(seed)
+            .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+            .topology(LearningTopology::shared())
+            .injections(
+                InjectionPlanBuilder::new(4, 3, 1)
+                    .inject(
+                        ticks / 10,
+                        FaultKind::BufferContention,
+                        FaultTarget::DatabaseTier,
+                        0.9,
+                    )
+                    .build(),
+            )
+            .series_capacity(512)
+            .mode(ExecutionMode::Parallel { threads: None })
+    };
+    let gated = fleet().run();
+    let ungated = fleet().ungated().run();
+    GateReport {
+        replicas,
+        ticks_per_replica: ticks,
+        gated_wall_s: gated.wall().as_secs_f64(),
+        ungated_wall_s: ungated.wall().as_secs_f64(),
+        gated_throughput: gated.throughput_ticks_per_sec(),
+        ungated_throughput: ungated.throughput_ticks_per_sec(),
+    }
+}
+
 /// Runs the staggered-fault fleet under both learning topologies.
 pub fn cold_start_comparison(replicas: usize, seed: u64) -> ColdStartReport {
     let shared = cold_start_fleet(replicas, seed, LearningTopology::shared());
@@ -577,6 +715,41 @@ mod tests {
             report.isolated_mean_recovery,
             report.isolated_mean_attempts,
         );
+    }
+
+    #[test]
+    fn mix_fleet_quiesces_healed_and_reproduces_sequentially() {
+        let fleet = || mix_fleet(3, 600, 42, ServiceProfile::Online, 0.02, 1);
+        let sequential = fleet().mode(ExecutionMode::Sequential).run();
+        assert!(sequential.is_complete());
+        assert!(
+            sequential.total_episodes() >= 1,
+            "a 0.02-rate mix over 300 active ticks must fault somewhere"
+        );
+        assert_eq!(
+            open_episodes(&sequential),
+            0,
+            "every demographic fault heals before quiesce"
+        );
+        let parallel = fleet()
+            .mode(ExecutionMode::Parallel { threads: Some(3) })
+            .run();
+        assert_eq!(
+            parallel.fingerprints(),
+            sequential.fingerprints(),
+            "mix runs are worker-count invariant"
+        );
+    }
+
+    #[test]
+    fn gate_comparison_measures_both_modes() {
+        let report = gate_throughput_comparison(3, 120, 7);
+        assert_eq!(report.replicas, 3);
+        assert!(report.gated_wall_s > 0.0);
+        assert!(report.ungated_wall_s > 0.0);
+        assert!(report.gated_throughput > 0.0);
+        assert!(report.ungated_throughput > 0.0);
+        assert!(report.ungated_speedup() > 0.0);
     }
 
     #[test]

@@ -6,16 +6,20 @@
 //! assembly behind a small builder so the examples read like the experiment
 //! descriptions in the paper.
 //!
-//! Four declarative enums keep configurations data, not code:
+//! Five declarative enums keep configurations data, not code:
 //! [`PolicyChoice`] names a healing policy, [`WorkloadChoice`] names a
 //! workload shape (synthetic mix + arrivals, recorded-trace replay, or a
 //! burst storm) that can be instantiated as a fresh [`TraceSource`] for
 //! every replica of a fleet, with per-replica seeds and phase shifts,
+//! [`FaultChoice`] names a fault schedule (a scripted plan, stochastic
+//! demographic generation from a cause mix, a catalog coverage sweep, or a
+//! tick-wise composition) as a recipe for a [`FaultSource`],
 //! [`LearnerChoice`] names where learned synopsis state lives (a private
 //! per-replica model, one lock-shared model, or symptom-space shards) as a
 //! recipe for a [`SynopsisStore`], and [`EventChoice`] names a fleet-wide
-//! cross-replica event (a correlated fault storm or a workload surge) that
-//! the fleet's tick-sliced scheduler resolves into per-replica actions.
+//! cross-replica event (a correlated fault storm — uniform or
+//! CauseMix-catalog — or a workload surge) that the fleet's tick-sliced
+//! scheduler resolves into per-replica actions.
 
 use crate::fixsym::{FixSymConfig, FixSymHealer};
 use crate::hybrid::HybridHealer;
@@ -25,8 +29,12 @@ use crate::shared::SharedSynopsis;
 use crate::snapshot::SynopsisSnapshot;
 use crate::store::{LockedStore, PrivateStore, ShardedStore, SynopsisStore};
 use crate::synopsis::SynopsisKind;
-use selfheal_faults::{FaultKind, InjectionPlan};
+use selfheal_faults::{
+    CatalogSweep, ComposedSource, FaultKind, FaultSource, InjectionPlan, MixSource, ScriptedSource,
+    ServiceProfile, MIX_FAULT_ID_BASE, SWEEP_FAULT_ID_BASE,
+};
 use selfheal_sim::scenario::{Healer, NoHealing, ScenarioOutcome, ScenarioRunner};
+use selfheal_sim::seeds::{split_seed, SeedStream};
 use selfheal_sim::{MultiTierService, ServiceConfig};
 use selfheal_telemetry::{Schema, SloTargets};
 use selfheal_workload::{
@@ -165,6 +173,22 @@ pub enum EventChoice {
         /// Fraction of the fleet hit, `[0, 1]`.
         fraction: f64,
     },
+    /// A correlated *catalog* storm: at `at_tick`, a deterministic
+    /// `fraction` of the fleet is hit, each victim's failure class drawn
+    /// from `profile`'s cause mix (keyed by the fleet's base seed) instead
+    /// of one shared class — the Figure 1 demographics as a correlated
+    /// outage (see [`selfheal_faults::StormSpec::catalog`]).
+    CatalogStorm {
+        /// Tick at which the storm strikes every victim at once.
+        at_tick: u64,
+        /// The service profile whose cause mix supplies each victim's
+        /// failure class.
+        profile: ServiceProfile,
+        /// Severity of each injected fault, `[0, 1]`.
+        severity: f64,
+        /// Fraction of the fleet hit, `[0, 1]`.
+        fraction: f64,
+    },
     /// A fleet-wide workload surge: for `duration_ticks` starting at
     /// `at_tick`, every replica's request batches are amplified by `factor`
     /// (a correlated flash crowd overlaid on whatever workload the replicas
@@ -191,12 +215,225 @@ impl EventChoice {
         }
     }
 
+    /// Catalog-storm shorthand with the default severity of 0.9.
+    pub fn catalog_storm(at_tick: u64, profile: ServiceProfile, fraction: f64) -> Self {
+        EventChoice::CatalogStorm {
+            at_tick,
+            profile,
+            severity: 0.9,
+            fraction,
+        }
+    }
+
     /// Workload-surge shorthand.
     pub fn surge(at_tick: u64, duration_ticks: u64, factor: f64) -> Self {
         EventChoice::WorkloadSurge {
             at_tick,
             duration_ticks,
             factor,
+        }
+    }
+}
+
+/// Which fault schedule drives the service — the fault-side mirror of
+/// [`PolicyChoice`], [`WorkloadChoice`], and [`LearnerChoice`], so benches,
+/// examples, and fleet configs name their failure scenarios declaratively.
+///
+/// A choice is a *recipe*: [`FaultChoice::source_for_replica`] bakes it
+/// into a concrete [`FaultSource`] for one replica.  Fleet engines pass a
+/// per-replica seed split via
+/// [`selfheal_sim::seeds::split_seed`]`(base, replica, SeedStream::Faults)`,
+/// so sibling replicas' stochastic fault streams decorrelate while staying
+/// a pure function of `(base_seed, replica)` — at any worker count and any
+/// tick-slice width.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultChoice {
+    /// A hand-scripted [`InjectionPlan`], applied identically to every
+    /// replica (the Table 1 fault/fix-matrix experiments).
+    Scripted(InjectionPlan),
+    /// Stochastic demographic generation: at each tick in
+    /// `[0, active_ticks)` a fault fires with probability `rate`, its kind
+    /// drawn from `profile`'s cause mix (see
+    /// [`selfheal_faults::MixSource`]).
+    Mix {
+        /// The service profile whose Figure 1 demographics drive sampling.
+        profile: ServiceProfile,
+        /// Per-tick firing probability, clamped to `[0, 1]`.
+        rate: f64,
+        /// Faults may fire only in ticks `[0, active_ticks)`; bound this
+        /// below the run length so the healer gets a quiet tail to drain
+        /// every episode.
+        active_ticks: u64,
+        /// EJB count random targets are drawn from.
+        ejbs: usize,
+        /// Table count random targets are drawn from.
+        tables: usize,
+        /// Index count random targets are drawn from.
+        indexes: usize,
+    },
+    /// One fault of every [`selfheal_faults::FixCatalog`] failure class at
+    /// a fixed cadence (see [`selfheal_faults::CatalogSweep`]) — the FixSym
+    /// training-coverage run.
+    Sweep {
+        /// Tick of the first injected class.
+        start_tick: u64,
+        /// Ticks between consecutive classes.
+        spacing_ticks: u64,
+        /// Severity of every injected fault.
+        severity: f64,
+    },
+    /// A tick-wise merge of child recipes; each child gets a decorrelated
+    /// seed and a disjoint fault-id lane, so e.g. a scripted scenario can
+    /// ride on top of background demographic noise.
+    Composed(Vec<FaultChoice>),
+}
+
+impl Default for FaultChoice {
+    /// No faults: an empty scripted plan.
+    fn default() -> Self {
+        FaultChoice::Scripted(InjectionPlan::empty())
+    }
+}
+
+impl FaultChoice {
+    /// Scripted-plan shorthand.
+    pub fn scripted(plan: InjectionPlan) -> Self {
+        FaultChoice::Scripted(plan)
+    }
+
+    /// Demographic-mix shorthand: unbounded window, the workspace's
+    /// default tiny topology (4 EJBs, 3 tables, 1 index).  Chain
+    /// [`FaultChoice::active_for`] to bound the window for finite runs.
+    pub fn mix(profile: ServiceProfile, rate: f64) -> Self {
+        FaultChoice::Mix {
+            profile,
+            rate,
+            active_ticks: u64::MAX,
+            ejbs: 4,
+            tables: 3,
+            indexes: 1,
+        }
+    }
+
+    /// Demographic-mix shorthand with the target topology taken from a
+    /// [`ServiceConfig`].
+    pub fn mix_for(profile: ServiceProfile, rate: f64, config: &ServiceConfig) -> Self {
+        FaultChoice::Mix {
+            profile,
+            rate,
+            active_ticks: u64::MAX,
+            ejbs: config.ejb_count,
+            tables: config.table_count,
+            indexes: 1,
+        }
+    }
+
+    /// Catalog-sweep shorthand with the default severity of 0.9.
+    pub fn sweep(start_tick: u64, spacing_ticks: u64) -> Self {
+        FaultChoice::Sweep {
+            start_tick,
+            spacing_ticks,
+            severity: 0.9,
+        }
+    }
+
+    /// Composition shorthand.
+    pub fn composed(children: impl IntoIterator<Item = FaultChoice>) -> Self {
+        FaultChoice::Composed(children.into_iter().collect())
+    }
+
+    /// Bounds every `Mix` window (recursively, for compositions) to
+    /// `[0, active_ticks)`.  No-op for scripted plans and sweeps, whose
+    /// schedules are already finite.
+    pub fn active_for(mut self, active_ticks: u64) -> Self {
+        match &mut self {
+            FaultChoice::Mix {
+                active_ticks: window,
+                ..
+            } => *window = active_ticks,
+            FaultChoice::Composed(children) => {
+                for child in std::mem::take(children) {
+                    children.push(child.active_for(active_ticks));
+                }
+            }
+            FaultChoice::Scripted(_) | FaultChoice::Sweep { .. } => {}
+        }
+        self
+    }
+
+    /// Display label (used by bench output alongside policy, workload, and
+    /// learner labels).
+    pub fn label(&self) -> String {
+        match self {
+            FaultChoice::Scripted(plan) if plan.is_empty() => "none".to_string(),
+            FaultChoice::Scripted(_) => "scripted".to_string(),
+            FaultChoice::Mix { profile, rate, .. } => {
+                format!("mix_{}_{rate}", profile.name().to_lowercase())
+            }
+            FaultChoice::Sweep { .. } => "sweep".to_string(),
+            FaultChoice::Composed(children) => format!("composed_{}", children.len()),
+        }
+    }
+
+    /// Bakes the choice into a source for replica `replica` of a fleet.
+    ///
+    /// `seed` feeds stochastic generation; callers split it per replica via
+    /// [`selfheal_sim::seeds::split_seed`] with [`SeedStream::Faults`], so
+    /// a replica's fault stream is a pure function of `(base_seed, replica)`
+    /// — the fleet determinism tests rely on this.  Scripted plans and
+    /// sweeps ignore the seed (every replica runs the same schedule).
+    pub fn source_for_replica(&self, seed: u64, _replica: u64) -> Box<dyn FaultSource> {
+        let mut lane = 0;
+        self.build_lane(seed, &mut lane)
+    }
+
+    /// Bakes the choice into a single (replica-0) source.
+    pub fn build_source(&self, seed: u64) -> Box<dyn FaultSource> {
+        self.source_for_replica(seed, 0)
+    }
+
+    /// Builds the source with its fault-id namespace shifted into the next
+    /// free lane.  `lane` is a recipe-global counter: every id-bearing leaf
+    /// (mix, sweep) claims one sequential lane regardless of composition
+    /// nesting, so no two leaves of one recipe can ever share an id base.
+    fn build_lane(&self, seed: u64, lane: &mut u64) -> Box<dyn FaultSource> {
+        fn claim_lane(lane: &mut u64) -> u64 {
+            let shift = *lane << 36;
+            *lane += 1;
+            shift
+        }
+        match self {
+            FaultChoice::Scripted(plan) => Box::new(ScriptedSource::new(plan.clone())),
+            FaultChoice::Mix {
+                profile,
+                rate,
+                active_ticks,
+                ejbs,
+                tables,
+                indexes,
+            } => Box::new(
+                MixSource::new(*profile, *rate, seed)
+                    .active_for(*active_ticks)
+                    .with_topology(*ejbs, *tables, *indexes)
+                    .with_id_base(MIX_FAULT_ID_BASE + claim_lane(lane)),
+            ),
+            FaultChoice::Sweep {
+                start_tick,
+                spacing_ticks,
+                severity,
+            } => Box::new(
+                CatalogSweep::new(*start_tick, *spacing_ticks)
+                    .with_severity(*severity)
+                    .with_id_base(SWEEP_FAULT_ID_BASE + claim_lane(lane)),
+            ),
+            FaultChoice::Composed(children) => {
+                let mut composed = ComposedSource::new();
+                for (i, child) in children.iter().enumerate() {
+                    let child_seed = split_seed(seed, i as u64, SeedStream::Faults);
+                    composed = composed.with_boxed(child.build_lane(child_seed, lane));
+                }
+                Box::new(composed)
+            }
         }
     }
 }
@@ -467,13 +704,13 @@ enum WorkloadSpec {
     Custom(Box<dyn TraceSource>),
 }
 
-/// Builder/runner bundling service, workload, injections, policy, and the
+/// Builder/runner bundling service, workload, faults, policy, and the
 /// learner store recipe.
 #[derive(Debug)]
 pub struct SelfHealingService {
     config: ServiceConfig,
     workload: WorkloadSpec,
-    injections: InjectionPlan,
+    faults: FaultChoice,
     policy: PolicyChoice,
     learner: LearnerChoice,
     warm_start: Option<SynopsisSnapshot>,
@@ -483,13 +720,13 @@ pub struct SelfHealingService {
 impl SelfHealingService {
     /// Starts a builder with the RUBiS-like default configuration, the
     /// default workload ([`WorkloadChoice::default`]: bidding mix at
-    /// Poisson 40 requests/tick), no injections, no healing, and private
+    /// Poisson 40 requests/tick), no faults, no healing, and private
     /// (per-instance) learning.
     pub fn builder() -> Self {
         SelfHealingService {
             config: ServiceConfig::rubis_default(),
             workload: WorkloadSpec::Choice(WorkloadChoice::default()),
-            injections: InjectionPlan::empty(),
+            faults: FaultChoice::default(),
             policy: PolicyChoice::None,
             learner: LearnerChoice::Private,
             warm_start: None,
@@ -524,9 +761,17 @@ impl SelfHealingService {
         self.workload_choice(WorkloadChoice::synthetic(mix, arrivals))
     }
 
-    /// Sets the fault-injection plan.
-    pub fn injections(mut self, plan: InjectionPlan) -> Self {
-        self.injections = plan;
+    /// Sets the fault-injection plan (shorthand for
+    /// [`faults`](Self::faults) with [`FaultChoice::Scripted`]).
+    pub fn injections(self, plan: InjectionPlan) -> Self {
+        self.faults(FaultChoice::Scripted(plan))
+    }
+
+    /// Drives the service with a declarative [`FaultChoice`], instantiated
+    /// (with a fault-stream split of the builder's seed) when the run
+    /// starts.
+    pub fn faults(mut self, faults: FaultChoice) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -584,6 +829,11 @@ impl SelfHealingService {
             WorkloadSpec::Choice(choice) => choice.build_source(self.seed),
             WorkloadSpec::Custom(source) => source,
         };
+        // The fault stream gets its own seed split so demographic fault
+        // generation decorrelates from workload randomness.
+        let faults = self
+            .faults
+            .build_source(split_seed(self.seed, 0, SeedStream::Faults));
         let healer = match (self.policy.shares_learning(), store) {
             (true, Some(store)) => self.policy.build_healer_stored(&schema, targets, store),
             (true, None) => {
@@ -595,7 +845,7 @@ impl SelfHealingService {
             }
             (false, _) => self.policy.build_healer(&schema, targets),
         };
-        ScenarioRunner::with_source(service, workload, self.injections, healer)
+        ScenarioRunner::with_faults(service, workload, faults, healer)
     }
 
     /// Runs the scenario for `ticks` ticks.
@@ -712,6 +962,94 @@ mod tests {
             WorkloadChoice::burst_staggered(WorkloadMix::bidding(), 10.0, 4.0, 60, 12, 30);
         let calm = staggered.source_for_replica(3, 1).next_tick(0).len();
         assert!(calm < 25, "staggered replica 1 starts calm, got {calm}");
+    }
+
+    #[test]
+    fn fault_choice_labels_are_distinct_and_descriptive() {
+        let labels: Vec<String> = [
+            FaultChoice::default(),
+            FaultChoice::scripted(
+                InjectionPlanBuilder::new(4, 3, 1)
+                    .inject_default(10, FaultKind::BufferContention)
+                    .build(),
+            ),
+            FaultChoice::mix(selfheal_faults::ServiceProfile::Online, 0.02),
+            FaultChoice::sweep(50, 100),
+            FaultChoice::composed([
+                FaultChoice::sweep(50, 100),
+                FaultChoice::mix(selfheal_faults::ServiceProfile::Content, 0.01),
+            ]),
+        ]
+        .iter()
+        .map(FaultChoice::label)
+        .collect();
+        assert_eq!(labels[0], "none");
+        assert_eq!(labels[1], "scripted");
+        assert!(labels[2].starts_with("mix_online"));
+        assert_eq!(labels[3], "sweep");
+        assert_eq!(labels[4], "composed_2");
+        let mut unique = labels.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len());
+    }
+
+    #[test]
+    fn fault_choices_build_deterministic_decorrelated_sources() {
+        use selfheal_faults::{FaultSource as _, ServiceProfile};
+
+        let choice = FaultChoice::mix(ServiceProfile::Online, 0.5).active_for(64);
+        let drain = |mut source: Box<dyn selfheal_faults::FaultSource>| -> Vec<_> {
+            (0..64).flat_map(|t| source.due_at(t)).collect()
+        };
+        // Same (seed, replica) → same stream; different seeds → different.
+        assert_eq!(
+            drain(choice.source_for_replica(7, 0)),
+            drain(choice.source_for_replica(7, 0))
+        );
+        assert_ne!(
+            drain(choice.source_for_replica(7, 0)),
+            drain(choice.source_for_replica(8, 1))
+        );
+
+        // Composed children get decorrelated seeds and disjoint id lanes.
+        let composed = FaultChoice::composed([
+            FaultChoice::mix(ServiceProfile::Online, 1.0),
+            FaultChoice::mix(ServiceProfile::Online, 1.0),
+        ]);
+        let faults = drain(composed.source_for_replica(7, 0).clone_box());
+        assert_eq!(faults.len(), 128, "both children fire every tick");
+        let mut ids: Vec<u64> = faults.iter().map(|f| f.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 128, "id lanes never collide");
+
+        // Nested compositions keep lanes disjoint too: a grandchild must
+        // never share an id base with a direct sibling leaf.
+        let nested = FaultChoice::composed([
+            FaultChoice::composed([
+                FaultChoice::mix(ServiceProfile::Online, 1.0),
+                FaultChoice::mix(ServiceProfile::Online, 1.0),
+            ]),
+            FaultChoice::mix(ServiceProfile::Online, 1.0),
+        ]);
+        let faults = drain(nested.source_for_replica(7, 0).clone_box());
+        assert_eq!(faults.len(), 192, "all three leaves fire every tick");
+        let mut ids: Vec<u64> = faults.iter().map(|f| f.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 192, "nested id lanes never collide");
+
+        // active_for reaches through compositions.
+        let bounded = composed.active_for(10);
+        assert_eq!(bounded.build_source(7).horizon(), 9);
+
+        // Sweeps ignore the seed entirely.
+        let sweep = FaultChoice::sweep(5, 3);
+        assert_eq!(
+            drain(sweep.source_for_replica(1, 0)),
+            drain(sweep.source_for_replica(99, 3))
+        );
     }
 
     #[test]

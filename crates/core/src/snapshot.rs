@@ -21,12 +21,25 @@
 //! configured for AdaBoost warm-starts from experience a nearest-neighbor
 //! fleet saved.  Fixes are persisted by *label*, not numeric code, so saved
 //! files survive enum reordering and stay human-readable.
+//!
+//! Two file shapes share the codec:
+//!
+//! * **Complete** snapshots (the [`SynopsisSnapshot::save`] /
+//!   [`SynopsisSnapshot::to_jsonl`] path) declare their example count in
+//!   the header, and [`SynopsisSnapshot::from_jsonl`] verifies it — a
+//!   truncated file is rejected.
+//! * **Incremental** logs ([`SnapshotLog`], what
+//!   [`crate::store::SynopsisStore::persist_to`] writes) mark the header
+//!   `"incremental":true` instead: stores *append* each drained batch of
+//!   outcomes as it happens, so the file is valid — and restores everything
+//!   appended so far — even if the process dies mid-run.  The loader reads
+//!   incremental files to EOF with no count check.
 
 use crate::synopsis::SynopsisKind;
 use selfheal_faults::FixKind;
 use selfheal_jsonl::{parse_lines, push_f64, JsonError, Scanner};
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// One recorded fix outcome: the failure signature, the fix attempted, and
 /// whether it repaired the failure.
@@ -115,7 +128,9 @@ impl SynopsisSnapshot {
     }
 
     /// Parses a JSON-lines document produced by
-    /// [`SynopsisSnapshot::to_jsonl`] (blank lines are skipped).
+    /// [`SynopsisSnapshot::to_jsonl`] or appended by a [`SnapshotLog`]
+    /// (blank lines are skipped).  Complete snapshots are verified against
+    /// their declared example count; incremental logs are read to EOF.
     pub fn from_jsonl(text: &str) -> Result<SynopsisSnapshot, JsonError> {
         let lines = parse_lines(text, parse_line)?;
         let mut iter = lines.into_iter();
@@ -137,14 +152,16 @@ impl SynopsisSnapshot {
                 }
             }
         }
-        if examples.len() != declared {
-            return Err(JsonError::at(
-                0,
-                format!(
-                    "header declares {declared} examples but the file holds {}",
-                    examples.len()
-                ),
-            ));
+        if let Some(declared) = declared {
+            if examples.len() != declared {
+                return Err(JsonError::at(
+                    0,
+                    format!(
+                        "header declares {declared} examples but the file holds {}",
+                        examples.len()
+                    ),
+                ));
+            }
         }
         Ok(SynopsisSnapshot { kind, examples })
     }
@@ -177,8 +194,69 @@ fn serialize_example(out: &mut String, example: &SynopsisExample) {
     out.push('}');
 }
 
+/// The append-on-drain half of synopsis persistence: a JSON-lines file
+/// whose header is marked incremental, to which stores append every batch
+/// of drained `(symptoms, fix, success)` outcomes.
+///
+/// Created by [`crate::store::SynopsisStore::persist_to`]; loaded with the
+/// ordinary [`SynopsisSnapshot::load`].  Because each append is a single
+/// `O_APPEND` write of whole lines, the file restores everything appended
+/// so far even when the writing process is killed mid-run.
+#[derive(Debug)]
+pub struct SnapshotLog {
+    path: PathBuf,
+}
+
+impl SnapshotLog {
+    /// Creates (truncating) the log file with an incremental header of
+    /// `snapshot.kind` followed by the snapshot's current examples — the
+    /// experience the store already holds when persistence starts.
+    pub fn create(path: impl AsRef<Path>, snapshot: &SynopsisSnapshot) -> io::Result<SnapshotLog> {
+        let mut text = String::with_capacity(64 + snapshot.examples.len() * 64);
+        text.push_str("{\"synopsis\":\"");
+        text.push_str(&snapshot.kind.label());
+        text.push_str("\",\"incremental\":true}\n");
+        for example in &snapshot.examples {
+            serialize_example(&mut text, example);
+            text.push('\n');
+        }
+        std::fs::write(&path, text)?;
+        Ok(SnapshotLog {
+            path: path.as_ref().to_path_buf(),
+        })
+    }
+
+    /// Appends one batch of outcomes as whole lines in a single write.
+    pub fn append<'a>(
+        &self,
+        examples: impl IntoIterator<Item = &'a SynopsisExample>,
+    ) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut text = String::new();
+        for example in examples {
+            serialize_example(&mut text, example);
+            text.push('\n');
+        }
+        if text.is_empty() {
+            return Ok(());
+        }
+        let mut file = std::fs::OpenOptions::new().append(true).open(&self.path)?;
+        file.write_all(text.as_bytes())
+    }
+
+    /// The file being appended to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
 enum Line {
-    Header { kind: SynopsisKind, examples: usize },
+    Header {
+        kind: SynopsisKind,
+        /// `Some(count)` for complete snapshots (verified), `None` for
+        /// incremental logs (read to EOF).
+        examples: Option<usize>,
+    },
     Example(SynopsisExample),
 }
 
@@ -187,6 +265,7 @@ fn parse_line(line: &str) -> Result<Line, JsonError> {
     s.expect(b'{')?;
     let mut kind: Option<SynopsisKind> = None;
     let mut declared: Option<usize> = None;
+    let mut incremental = false;
     let mut symptoms: Option<Vec<f64>> = None;
     let mut fix: Option<FixKind> = None;
     let mut success: Option<bool> = None;
@@ -213,6 +292,10 @@ fn parse_line(line: &str) -> Result<Line, JsonError> {
             "examples" => {
                 is_header = true;
                 declared = Some(s.parse_u64()? as usize);
+            }
+            "incremental" => {
+                is_header = true;
+                incremental = s.parse_bool()?;
             }
             "symptoms" => symptoms = Some(parse_symptoms(&mut s)?),
             "fix" => {
@@ -246,8 +329,11 @@ fn parse_line(line: &str) -> Result<Line, JsonError> {
     s.finish()?;
     if is_header {
         let kind = kind.ok_or_else(|| JsonError::at(0, "header is missing \"synopsis\""))?;
-        let examples =
-            declared.ok_or_else(|| JsonError::at(0, "header is missing \"examples\""))?;
+        let examples = if incremental {
+            None
+        } else {
+            Some(declared.ok_or_else(|| JsonError::at(0, "header is missing \"examples\""))?)
+        };
         return Ok(Line::Header { kind, examples });
     }
     match (symptoms, fix, success) {
@@ -365,6 +451,46 @@ mod tests {
         let loaded = SynopsisSnapshot::load(&path).unwrap();
         assert_eq!(loaded, original);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn incremental_logs_append_and_load_without_a_count() {
+        let dir = std::env::temp_dir().join("selfheal_snapshot_log_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("incremental.jsonl");
+
+        let log = SnapshotLog::create(&path, &snapshot()).unwrap();
+        assert_eq!(log.path(), path.as_path());
+        // A freshly created log restores the seeding experience.
+        assert_eq!(SynopsisSnapshot::load(&path).unwrap().len(), 3);
+
+        let more = [
+            SynopsisExample::new(vec![2.0, 2.0], FixKind::RebootTier, true),
+            SynopsisExample::new(vec![3.0, 3.0], FixKind::KillHungQuery, false),
+        ];
+        log.append(more.iter()).unwrap();
+        log.append(std::iter::empty()).unwrap(); // empty appends are no-ops
+        let loaded = SynopsisSnapshot::load(&path).unwrap();
+        assert_eq!(loaded.len(), 5, "everything appended so far restores");
+        assert_eq!(loaded.examples[3..], more[..]);
+        assert_eq!(loaded.kind, SynopsisKind::NearestNeighbor);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn incremental_headers_skip_the_count_check() {
+        let text = "{\"synopsis\":\"k_means\",\"incremental\":true}\n\
+                    {\"symptoms\":[1.0],\"fix\":\"reboot_tier\",\"success\":true}\n";
+        let parsed = SynopsisSnapshot::from_jsonl(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed.kind, SynopsisKind::KMeans);
+        // Complete headers still verify their count.
+        let complete = "{\"synopsis\":\"k_means\",\"examples\":2}\n\
+                        {\"symptoms\":[1.0],\"fix\":\"reboot_tier\",\"success\":true}\n";
+        assert!(SynopsisSnapshot::from_jsonl(complete)
+            .unwrap_err()
+            .message
+            .contains("declares 2 examples"));
     }
 
     #[test]

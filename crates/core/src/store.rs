@@ -30,24 +30,66 @@
 //! [`crate::FixSymHealer`] and [`crate::HybridHealer`] are oblivious to
 //! which store backs them.
 
-use crate::snapshot::SynopsisSnapshot;
+use crate::snapshot::{SnapshotLog, SynopsisExample, SynopsisSnapshot};
 use crate::synopsis::{Learner, Synopsis, SynopsisKind};
 use selfheal_faults::FixKind;
 use selfheal_learn::{Classifier, Dataset, Example, KMeans};
 use std::collections::HashSet;
+use std::io;
+use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 
 /// One queued `(symptoms, fix, success)` outcome awaiting the next drain.
 type PendingUpdate = (Vec<f64>, FixKind, bool);
 
+/// Appends a batch of drained updates to the store's incremental snapshot
+/// log, when one is active (see [`SynopsisStore::persist_to`]).
+///
+/// # Panics
+/// Panics when the append fails: silently dropping experience from a file
+/// the operator asked for would defeat the point of persistence.
+fn log_drained(log: &Mutex<Option<SnapshotLog>>, updates: &[PendingUpdate]) {
+    let log = log.lock().expect("snapshot log poisoned");
+    if let Some(log) = log.as_ref() {
+        let examples: Vec<SynopsisExample> = updates
+            .iter()
+            .map(|(symptoms, fix, success)| SynopsisExample::new(symptoms.clone(), *fix, *success))
+            .collect();
+        log.append(examples.iter())
+            .expect("appending drained outcomes to the synopsis log failed");
+    }
+}
+
+/// Recreates an active incremental log from a store's post-restore
+/// experience (no-op when persistence is off).  The path is read and the
+/// log replaced in separate critical sections so the snapshot — whose
+/// flush may itself append to the log — never runs under the log lock.
+///
+/// # Panics
+/// Panics when the recreation fails (see [`log_drained`]).
+fn recreate_log(log: &Mutex<Option<SnapshotLog>>, snapshot: impl FnOnce() -> SynopsisSnapshot) {
+    let path = {
+        let guard = log.lock().expect("snapshot log poisoned");
+        guard.as_ref().map(|l| l.path().to_path_buf())
+    };
+    if let Some(path) = path {
+        let recreated = SnapshotLog::create(&path, &snapshot())
+            .expect("recreating the synopsis log after restore failed");
+        *log.lock().expect("snapshot log poisoned") = Some(recreated);
+    }
+}
+
 /// Folds a pending queue into its model with one combined refit — the one
 /// drain implementation behind [`LockedStore`] and every [`ShardedStore`]
 /// shard.  `blocking` waits for the model lock; otherwise the drain gives up
 /// (leaving the queue for a later caller) when a retrain is in progress.
+/// Drained updates are appended to `log` when incremental persistence is
+/// active.
 fn drain_into(
     model: &RwLock<Synopsis>,
     pending: &Mutex<Vec<PendingUpdate>>,
     drains: &Mutex<u64>,
+    log: &Mutex<Option<SnapshotLog>>,
     blocking: bool,
 ) {
     let mut model = if blocking {
@@ -62,6 +104,7 @@ fn drain_into(
     if updates.is_empty() {
         return;
     }
+    log_drained(log, &updates);
     model.absorb(updates);
     *drains.lock().expect("drain counter poisoned") += 1;
 }
@@ -102,6 +145,21 @@ pub trait SynopsisStore: Learner {
     /// ([`LockedStore`], [`ShardedStore`]) return a handle to the *same*
     /// state; [`PrivateStore`] returns an independent deep copy.
     fn clone_store(&self) -> Box<dyn SynopsisStore>;
+
+    /// Switches the store to *incremental* persistence: creates (truncating)
+    /// a [`SnapshotLog`] at `path` seeded with the store's current
+    /// experience, then appends every subsequently drained batch of
+    /// `(symptoms, fix, success)` outcomes as it happens — instead of one
+    /// full-file snapshot write at quiesce.  A process killed mid-run
+    /// therefore leaves a file that
+    /// [`SynopsisSnapshot::load`] restores up to the last drain.
+    ///
+    /// Shared stores log through their shared state, so every
+    /// [`clone_store`](Self::clone_store) handle feeds the same file;
+    /// [`restore`](Self::restore) recreates the file from the restored
+    /// experience.  [`PrivateStore`] applies updates immediately, so it
+    /// appends on every record.
+    fn persist_to(&mut self, path: &Path) -> io::Result<()>;
 }
 
 impl Learner for Box<dyn SynopsisStore> {
@@ -170,6 +228,7 @@ fn append_synopsis(snapshot: &mut SynopsisSnapshot, synopsis: &Synopsis) {
 #[derive(Debug)]
 pub struct PrivateStore {
     synopsis: Synopsis,
+    log: Option<SnapshotLog>,
 }
 
 impl PrivateStore {
@@ -177,6 +236,7 @@ impl PrivateStore {
     pub fn new(kind: SynopsisKind) -> Self {
         PrivateStore {
             synopsis: Synopsis::new(kind),
+            log: None,
         }
     }
 
@@ -184,6 +244,7 @@ impl PrivateStore {
     pub fn from_snapshot(kind: SynopsisKind, snapshot: &SynopsisSnapshot) -> Self {
         PrivateStore {
             synopsis: synopsis_from_snapshot(kind, snapshot),
+            log: None,
         }
     }
 
@@ -208,6 +269,16 @@ impl Learner for PrivateStore {
 
     fn record(&mut self, symptoms: &[f64], fix: FixKind, success: bool) {
         self.synopsis.update(symptoms, fix, success);
+        // A private store applies updates immediately, so every record *is*
+        // a drain — append it to the log right away.
+        if let Some(log) = &self.log {
+            log.append(std::iter::once(&SynopsisExample::new(
+                symptoms.to_vec(),
+                fix,
+                success,
+            )))
+            .expect("appending the recorded outcome to the synopsis log failed");
+        }
     }
 
     fn correct_fixes_learned(&self) -> usize {
@@ -234,10 +305,23 @@ impl SynopsisStore for PrivateStore {
 
     fn restore(&mut self, snapshot: &SynopsisSnapshot) {
         self.synopsis = synopsis_from_snapshot(self.kind(), snapshot);
+        if let Some(log) = &self.log {
+            self.log = Some(
+                SnapshotLog::create(log.path(), &SynopsisStore::snapshot(self))
+                    .expect("recreating the synopsis log after restore failed"),
+            );
+        }
     }
 
     fn clone_store(&self) -> Box<dyn SynopsisStore> {
+        // The deep copy does not inherit the log: two independent stores
+        // appending to one file would interleave unrelated experience.
         Box::new(PrivateStore::from_snapshot(self.kind(), &self.snapshot()))
+    }
+
+    fn persist_to(&mut self, path: &Path) -> io::Result<()> {
+        self.log = Some(SnapshotLog::create(path, &SynopsisStore::snapshot(self))?);
+        Ok(())
     }
 }
 
@@ -251,6 +335,7 @@ struct LockedState {
     pending: Mutex<Vec<PendingUpdate>>,
     batch: usize,
     drains: Mutex<u64>,
+    log: Mutex<Option<SnapshotLog>>,
 }
 
 /// A cloneable, thread-safe handle to one fleet-wide [`Synopsis`] behind a
@@ -293,6 +378,7 @@ impl LockedStore {
                 pending: Mutex::new(Vec::new()),
                 batch: batch.max(1),
                 drains: Mutex::new(0),
+                log: Mutex::new(None),
             }),
         }
     }
@@ -339,6 +425,7 @@ impl LockedStore {
             &self.state.model,
             &self.state.pending,
             &self.state.drains,
+            &self.state.log,
             true,
         );
     }
@@ -354,6 +441,7 @@ impl LockedStore {
             &self.state.model,
             &self.state.pending,
             &self.state.drains,
+            &self.state.log,
             false,
         );
     }
@@ -416,10 +504,17 @@ impl SynopsisStore for LockedStore {
             .expect("pending queue poisoned")
             .clear();
         *self.state.model.write().expect("synopsis lock poisoned") = rebuilt;
+        recreate_log(&self.state.log, || SynopsisStore::snapshot(self));
     }
 
     fn clone_store(&self) -> Box<dyn SynopsisStore> {
         Box::new(self.clone())
+    }
+
+    fn persist_to(&mut self, path: &Path) -> io::Result<()> {
+        let log = SnapshotLog::create(path, &SynopsisStore::snapshot(self))?;
+        *self.state.log.lock().expect("snapshot log poisoned") = Some(log);
+        Ok(())
     }
 }
 
@@ -528,6 +623,7 @@ struct ShardedState {
     shards: Vec<Shard>,
     router: RwLock<Router>,
     drains: Mutex<u64>,
+    log: Mutex<Option<SnapshotLog>>,
 }
 
 /// A fleet-shared store that partitions symptom space across `k`
@@ -575,6 +671,7 @@ impl ShardedStore {
                     .collect(),
                 router: RwLock::new(Router::new(shards, Self::DEFAULT_FIT_AFTER)),
                 drains: Mutex::new(0),
+                log: Mutex::new(None),
             }),
         }
     }
@@ -619,7 +716,13 @@ impl ShardedStore {
     }
 
     fn flush_shard(&self, shard: &Shard) {
-        drain_into(&shard.model, &shard.pending, &self.state.drains, true);
+        drain_into(
+            &shard.model,
+            &shard.pending,
+            &self.state.drains,
+            &self.state.log,
+            true,
+        );
     }
 
     /// Drains every shard and collects the store's entire experience —
@@ -637,6 +740,9 @@ impl ShardedStore {
             };
             let mut model = shard.model.write().expect("shard lock poisoned");
             if !updates.is_empty() {
+                // Re-homing drains these updates outside drain_into, so the
+                // incremental log must hear about them here.
+                log_drained(&self.state.log, &updates);
                 model.absorb(updates);
             }
             append_synopsis(&mut snapshot, &model);
@@ -663,7 +769,13 @@ impl ShardedStore {
     }
 
     fn try_drain_shard(&self, shard: &Shard) {
-        drain_into(&shard.model, &shard.pending, &self.state.drains, false);
+        drain_into(
+            &shard.model,
+            &shard.pending,
+            &self.state.drains,
+            &self.state.log,
+            false,
+        );
     }
 }
 
@@ -777,10 +889,18 @@ impl SynopsisStore for ShardedStore {
         }
         // Partition the experience by routed shard and rebuild each model.
         self.partition_into_shards(&router, snapshot);
+        drop(router);
+        recreate_log(&self.state.log, || SynopsisStore::snapshot(self));
     }
 
     fn clone_store(&self) -> Box<dyn SynopsisStore> {
         Box::new(self.clone())
+    }
+
+    fn persist_to(&mut self, path: &Path) -> io::Result<()> {
+        let log = SnapshotLog::create(path, &SynopsisStore::snapshot(self))?;
+        *self.state.log.lock().expect("snapshot log poisoned") = Some(log);
+        Ok(())
     }
 }
 
@@ -1078,6 +1198,79 @@ mod tests {
         for (class, fix) in FIXES.iter().enumerate() {
             assert_eq!(warm.suggest(&symptom(class)).unwrap().0, *fix);
         }
+    }
+
+    #[test]
+    fn incremental_persistence_appends_on_each_drain() {
+        let dir = std::env::temp_dir().join("selfheal_store_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("locked.jsonl");
+
+        let mut store = LockedStore::with_batch(SynopsisKind::NearestNeighbor, 2);
+        store.record(&symptom(0), FIXES[0], true);
+        SynopsisStore::persist_to(&mut store, &path).unwrap();
+        // The pending (undrained) update seeded the file via the flush
+        // inside snapshot().
+        assert_eq!(SynopsisSnapshot::load(&path).unwrap().len(), 1);
+
+        // One full batch drains — and lands in the file immediately, not at
+        // quiesce.
+        store.record(&symptom(1), FIXES[1], true);
+        store.record(&symptom(2), FIXES[2], false);
+        assert_eq!(LockedStore::pending_updates(&store), 0, "batch drained");
+        let mid_run = SynopsisSnapshot::load(&path).unwrap();
+        assert_eq!(mid_run.len(), 3, "drained outcomes are on disk mid-run");
+
+        // A queued-but-undrained update is not yet on disk ("restart
+        // restores everything appended so far" — i.e. up to the last
+        // drain)...
+        store.record(&symptom(0), FIXES[0], true);
+        assert_eq!(SynopsisSnapshot::load(&path).unwrap().len(), 3);
+
+        // ...and a "restarted process" warm-starts from the mid-run file.
+        let mut revived = LockedStore::new(SynopsisKind::NearestNeighbor);
+        revived.restore(&mid_run);
+        assert_eq!(revived.correct_fixes_learned(), 2);
+        assert_eq!(revived.suggest(&symptom(0)).unwrap().0, FIXES[0]);
+
+        // The final flush appends the tail.
+        LockedStore::flush(&store);
+        assert_eq!(SynopsisSnapshot::load(&path).unwrap().len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_and_private_stores_persist_incrementally_too() {
+        let dir = std::env::temp_dir().join("selfheal_store_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let sharded_path = dir.join("sharded.jsonl");
+        let mut sharded = ShardedStore::with_batch(SynopsisKind::NearestNeighbor, 3, 1);
+        sharded.persist_to(&sharded_path).unwrap();
+        // Enough traffic to trigger the centroid fit and its re-homing
+        // drain path.
+        for i in 0..(2 * ShardedStore::DEFAULT_FIT_AFTER) {
+            let class = i % 3;
+            sharded.record(&symptom(class), FIXES[class], true);
+        }
+        SynopsisStore::flush(&sharded);
+        let loaded = SynopsisSnapshot::load(&sharded_path).unwrap();
+        assert_eq!(
+            loaded.len(),
+            2 * ShardedStore::DEFAULT_FIT_AFTER,
+            "every drained outcome (incl. re-homed ones) is on disk exactly once"
+        );
+
+        let private_path = dir.join("private.jsonl");
+        let mut private = PrivateStore::new(SynopsisKind::NearestNeighbor);
+        private.record(&symptom(0), FIXES[0], true);
+        private.persist_to(&private_path).unwrap();
+        private.record(&symptom(1), FIXES[1], false);
+        // Immediate-apply store: every record is a drain.
+        assert_eq!(SynopsisSnapshot::load(&private_path).unwrap().len(), 2);
+
+        std::fs::remove_file(&sharded_path).ok();
+        std::fs::remove_file(&private_path).ok();
     }
 
     #[test]

@@ -157,50 +157,70 @@ impl InjectionPlanBuilder {
     }
 
     fn random_target<R: Rng + ?Sized>(&self, kind: FaultKind, rng: &mut R) -> FaultTarget {
-        match kind {
-            FaultKind::DeadlockedThreads
-            | FaultKind::UnhandledException
-            | FaultKind::SourceCodeBug => FaultTarget::Ejb {
-                index: rng.gen_range(0..self.ejb_count),
-            },
-            FaultKind::SoftwareAging => {
-                if rng.gen_bool(0.5) {
-                    FaultTarget::AppTier
-                } else {
-                    FaultTarget::Ejb {
-                        index: rng.gen_range(0..self.ejb_count),
-                    }
-                }
-            }
-            FaultKind::SuboptimalQueryPlan | FaultKind::TableBlockContention => {
-                FaultTarget::Table {
-                    index: rng.gen_range(0..self.table_count),
-                }
-            }
-            FaultKind::BufferContention => FaultTarget::DatabaseTier,
-            FaultKind::BottleneckedTier => match rng.gen_range(0..3) {
-                0 => FaultTarget::WebTier,
-                1 => FaultTarget::AppTier,
-                _ => FaultTarget::DatabaseTier,
-            },
-            FaultKind::OperatorMisconfiguration => match rng.gen_range(0..3) {
-                0 => FaultTarget::AppTier,
-                1 => FaultTarget::DatabaseTier,
-                _ => FaultTarget::WebTier,
-            },
-            FaultKind::OperatorProceduralError => FaultTarget::WholeService,
-            FaultKind::HardwareFailure => match rng.gen_range(0..3) {
-                0 => FaultTarget::WebTier,
-                1 => FaultTarget::AppTier,
-                _ => FaultTarget::DatabaseTier,
-            },
-            FaultKind::NetworkPartition => FaultTarget::WholeService,
-        }
+        random_target(
+            kind,
+            self.ejb_count,
+            self.table_count,
+            self.index_count,
+            rng,
+        )
     }
 
     /// Finalizes the plan.
     pub fn build(self) -> InjectionPlan {
         InjectionPlan::from_events(self.events)
+    }
+}
+
+/// Draws a random target for a fault of `kind` within a service topology of
+/// `ejb_count` EJBs, `table_count` tables, and `index_count` indexes — the
+/// target rule shared by [`InjectionPlanBuilder::inject_from_profile`] and
+/// the stochastic [`crate::source::MixSource`].
+pub fn random_target<R: Rng + ?Sized>(
+    kind: FaultKind,
+    ejb_count: usize,
+    table_count: usize,
+    _index_count: usize,
+    rng: &mut R,
+) -> FaultTarget {
+    let ejb_count = ejb_count.max(1);
+    let table_count = table_count.max(1);
+    match kind {
+        FaultKind::DeadlockedThreads | FaultKind::UnhandledException | FaultKind::SourceCodeBug => {
+            FaultTarget::Ejb {
+                index: rng.gen_range(0..ejb_count),
+            }
+        }
+        FaultKind::SoftwareAging => {
+            if rng.gen_bool(0.5) {
+                FaultTarget::AppTier
+            } else {
+                FaultTarget::Ejb {
+                    index: rng.gen_range(0..ejb_count),
+                }
+            }
+        }
+        FaultKind::SuboptimalQueryPlan | FaultKind::TableBlockContention => FaultTarget::Table {
+            index: rng.gen_range(0..table_count),
+        },
+        FaultKind::BufferContention => FaultTarget::DatabaseTier,
+        FaultKind::BottleneckedTier => match rng.gen_range(0..3) {
+            0 => FaultTarget::WebTier,
+            1 => FaultTarget::AppTier,
+            _ => FaultTarget::DatabaseTier,
+        },
+        FaultKind::OperatorMisconfiguration => match rng.gen_range(0..3) {
+            0 => FaultTarget::AppTier,
+            1 => FaultTarget::DatabaseTier,
+            _ => FaultTarget::WebTier,
+        },
+        FaultKind::OperatorProceduralError => FaultTarget::WholeService,
+        FaultKind::HardwareFailure => match rng.gen_range(0..3) {
+            0 => FaultTarget::WebTier,
+            1 => FaultTarget::AppTier,
+            _ => FaultTarget::DatabaseTier,
+        },
+        FaultKind::NetworkPartition => FaultTarget::WholeService,
     }
 }
 

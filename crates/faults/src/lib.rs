@@ -23,14 +23,17 @@
 //!    whether an attempted fix works, and by the benchmarks to score fix
 //!    identification accuracy.
 //!
-//! On top of the catalog, the crate provides fault *injection* plans
-//! ([`injection::InjectionPlan`]) for preproduction active stimulation and
-//! for the evaluation runs, correlated fault storms hitting a deterministic
-//! fraction of a fleet at once ([`storm::StormSpec`]), the failure-cause
-//! mix model behind Figure 1
-//! ([`mix::CauseMix`]), the per-category recovery-time model behind Figure 2
-//! ([`recovery_model::RecoveryTimeModel`]), and an operator-error model
-//! ([`operator::OperatorModel`]).
+//! On top of the catalog, the crate provides the pluggable [`FaultSource`]
+//! API ([`source`]): hand-scripted [`injection::InjectionPlan`]s behind
+//! [`ScriptedSource`], stochastic demographic generation from a cause mix
+//! ([`MixSource`] — the paper's Section 4.2 active stimulation), full
+//! catalog coverage sweeps ([`CatalogSweep`]), and tick-wise composition
+//! ([`ComposedSource`]).  Correlated fault storms hit a deterministic
+//! fraction of a fleet at once ([`storm::StormSpec`], uniform or
+//! CauseMix-catalog mode); the failure-cause mix model behind Figure 1 is
+//! [`mix::CauseMix`], the per-category recovery-time model behind Figure 2
+//! is [`recovery_model::RecoveryTimeModel`], and an operator-error model
+//! lives in [`operator::OperatorModel`].
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -42,6 +45,7 @@ pub mod injection;
 pub mod mix;
 pub mod operator;
 pub mod recovery_model;
+pub mod source;
 pub mod storm;
 
 pub use catalog::{CatalogEntry, FixCatalog};
@@ -51,4 +55,8 @@ pub use injection::{InjectionEvent, InjectionPlan, InjectionPlanBuilder};
 pub use mix::{CauseMix, ServiceProfile};
 pub use operator::{OperatorAction, OperatorModel};
 pub use recovery_model::RecoveryTimeModel;
+pub use source::{
+    CatalogSweep, ComposedSource, FaultSource, MixSource, ScriptedSource, MIX_FAULT_ID_BASE,
+    SWEEP_FAULT_ID_BASE,
+};
 pub use storm::{StormSpec, STORM_FAULT_ID_BASE};

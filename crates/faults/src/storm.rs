@@ -17,36 +17,66 @@ use crate::catalog::FixCatalog;
 use crate::fault::{FaultId, FaultKind, FaultSpec};
 use crate::fix::FixKind;
 use crate::injection::default_target;
+use crate::mix::ServiceProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Id namespace for storm-injected faults, far above anything an
 /// [`crate::InjectionPlanBuilder`] assigns, so storm faults never collide
 /// with a replica's scheduled plan.
 pub const STORM_FAULT_ID_BASE: u64 = 1 << 48;
 
-/// One correlated fault storm: a failure class, a severity, and the
-/// fraction of the fleet it hits.
+/// One correlated fault storm: a failure class (or a whole failure-cause
+/// *catalog*), a severity, and the fraction of the fleet it hits.
 ///
 /// Victim selection is deterministic and evenly spread: with `k` victims in
 /// a fleet of `n`, replica `r` is hit iff `⌊(r+1)·k/n⌋ > ⌊r·k/n⌋` (the
 /// Bresenham spread — exactly `k` victims, no RNG, no clustering at the low
 /// indices).
+///
+/// In the default **uniform** mode every victim receives the same
+/// [`StormSpec::kind`] (a bad configuration push: one failure class,
+/// fleet-wide).  In **catalog** mode ([`StormSpec::catalog`]) each victim's
+/// failure class is drawn from a [`ServiceProfile`]'s
+/// [`CauseMix`](crate::CauseMix) — the Figure 1 demographics as a
+/// correlated outage, e.g. a shared dependency failing and manifesting
+/// differently on every replica.  The draw is a pure function of
+/// `(storm, victim index, seed)`, so catalog storms stay deterministic at
+/// any worker count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StormSpec {
-    /// The failure class every victim receives.
+    /// The failure class every victim receives in uniform mode (in catalog
+    /// mode: the fallback class, unused while `mix` is set).
     pub kind: FaultKind,
     /// Severity of each injected fault, clamped to `[0, 1]`.
     pub severity: f64,
     /// Fraction of the fleet hit, clamped to `[0, 1]`.
     pub fraction: f64,
+    /// When set, each victim's failure class is drawn from this profile's
+    /// cause mix instead of `kind` (catalog mode).
+    pub mix: Option<ServiceProfile>,
 }
 
 impl StormSpec {
-    /// Creates a storm spec (severity and fraction are clamped to `[0, 1]`).
+    /// Creates a uniform storm spec (severity and fraction are clamped to
+    /// `[0, 1]`): every victim receives the same failure class.
     pub fn new(kind: FaultKind, severity: f64, fraction: f64) -> Self {
         StormSpec {
             kind,
             severity: severity.clamp(0.0, 1.0),
             fraction: fraction.clamp(0.0, 1.0),
+            mix: None,
+        }
+    }
+
+    /// Creates a catalog storm spec: each victim's failure class is drawn
+    /// from `profile`'s cause mix (see [`StormSpec::victim_kind`]).
+    pub fn catalog(profile: ServiceProfile, severity: f64, fraction: f64) -> Self {
+        StormSpec {
+            kind: FaultKind::BufferContention,
+            severity: severity.clamp(0.0, 1.0),
+            fraction: fraction.clamp(0.0, 1.0),
+            mix: Some(profile),
         }
     }
 
@@ -74,10 +104,40 @@ impl StormSpec {
         (0..fleet).filter(|&r| self.hits(r, fleet)).collect()
     }
 
-    /// The fault one victim receives, targeted at the failure class's
+    /// The failure class (and its Figure 1 cause category) victim `victim`
+    /// receives: in uniform mode always `(kind.cause(), kind)`; in catalog
+    /// mode a deterministic draw from the profile's cause mix keyed by
+    /// `(seed, victim)` — two victims of the same storm usually manifest
+    /// *different* classes, as the Oppenheimer demographics predict.
+    pub fn victim_kind(&self, victim: usize, seed: u64) -> (crate::FailureCause, FaultKind) {
+        /// Salt separating the storm victim-kind stream from the mix
+        /// source's per-tick stream.
+        const STORM_VICTIM_SALT: u64 = 0x570A_11CA_7A10_6000;
+        match self.mix {
+            None => (self.kind.cause(), self.kind),
+            Some(profile) => {
+                let mut rng = StdRng::seed_from_u64(crate::source::mix64(
+                    seed,
+                    victim as u64,
+                    STORM_VICTIM_SALT,
+                ));
+                profile.sample_kind(&mut rng)
+            }
+        }
+    }
+
+    /// The fault one victim receives, targeted at its failure class's
     /// natural component (component 0, as scripted experiments do).  `id`
     /// must be unique per `(storm, victim)`; callers allocate ids in the
-    /// [`STORM_FAULT_ID_BASE`] namespace.
+    /// [`STORM_FAULT_ID_BASE`] namespace.  `seed` keys the catalog-mode
+    /// class draw (ignored in uniform mode).
+    pub fn fault_for(&self, id: u64, victim: usize, seed: u64) -> FaultSpec {
+        let (cause, kind) = self.victim_kind(victim, seed);
+        FaultSpec::new(FaultId(id), kind, default_target(kind, 0), self.severity).with_cause(cause)
+    }
+
+    /// Uniform-mode shorthand for [`StormSpec::fault_for`]: the fault every
+    /// victim receives when no cause mix is set.
     pub fn fault(&self, id: u64) -> FaultSpec {
         FaultSpec::new(
             FaultId(id),
@@ -88,8 +148,10 @@ impl StormSpec {
     }
 
     /// The catalog's preferred (cheapest effective) fix for the storm's
-    /// failure class — what a fleet that has already learned the signature
-    /// should reach for on the first attempt.
+    /// uniform-mode failure class — what a fleet that has already learned
+    /// the signature should reach for on the first attempt.  (Catalog-mode
+    /// victims have per-victim classes; query
+    /// [`StormSpec::victim_kind`] and the [`FixCatalog`] directly.)
     pub fn expected_fix(&self) -> FixKind {
         FixCatalog::standard().preferred_fix(self.kind)
     }
@@ -98,6 +160,7 @@ impl StormSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FailureCause;
 
     #[test]
     fn victim_count_follows_the_fraction() {
@@ -140,5 +203,44 @@ mod tests {
     fn expected_fix_comes_from_the_catalog() {
         let storm = StormSpec::new(FaultKind::BufferContention, 0.9, 0.5);
         assert_eq!(storm.expected_fix(), FixKind::RepartitionMemory);
+    }
+
+    #[test]
+    fn catalog_storms_draw_per_victim_kinds_deterministically() {
+        let storm = StormSpec::catalog(ServiceProfile::Online, 0.9, 1.0);
+        let kinds: Vec<_> = (0..32).map(|v| storm.victim_kind(v, 42)).collect();
+        assert_eq!(
+            kinds,
+            (0..32)
+                .map(|v| storm.victim_kind(v, 42))
+                .collect::<Vec<_>>(),
+            "pure function of (victim, seed)"
+        );
+        let distinct: std::collections::HashSet<_> = kinds.iter().map(|(_, k)| *k).collect();
+        assert!(
+            distinct.len() >= 3,
+            "a 32-victim catalog storm manifests several classes: {distinct:?}"
+        );
+        // A different seed reshuffles the draw.
+        assert_ne!(
+            kinds,
+            (0..32)
+                .map(|v| storm.victim_kind(v, 43))
+                .collect::<Vec<_>>()
+        );
+        // The recorded cause matches the drawn category.
+        let fault = storm.fault_for(STORM_FAULT_ID_BASE, 5, 42);
+        assert_eq!(fault.cause, storm.victim_kind(5, 42).0);
+    }
+
+    #[test]
+    fn uniform_storms_ignore_the_victim_and_seed() {
+        let storm = StormSpec::new(FaultKind::DeadlockedThreads, 0.9, 0.5);
+        for victim in 0..8 {
+            assert_eq!(
+                storm.victim_kind(victim, victim as u64),
+                (FailureCause::Software, FaultKind::DeadlockedThreads)
+            );
+        }
     }
 }

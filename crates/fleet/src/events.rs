@@ -60,7 +60,7 @@
 //! ```
 
 use selfheal_core::harness::EventChoice;
-use selfheal_faults::{FaultKind, FaultSpec, StormSpec, STORM_FAULT_ID_BASE};
+use selfheal_faults::{FaultKind, FaultSpec, ServiceProfile, StormSpec, STORM_FAULT_ID_BASE};
 use std::collections::BTreeMap;
 
 /// The shape of the fleet an event is resolved against.
@@ -118,11 +118,23 @@ pub struct FaultStorm {
 }
 
 impl FaultStorm {
-    /// Creates a storm striking at `at_tick`.
+    /// Creates a uniform storm striking at `at_tick`: every victim receives
+    /// the same failure class.
     pub fn new(at_tick: u64, kind: FaultKind, severity: f64, fraction: f64) -> Self {
         FaultStorm {
             at_tick,
             spec: StormSpec::new(kind, severity, fraction),
+        }
+    }
+
+    /// Creates a *catalog* storm striking at `at_tick`: each victim's
+    /// failure class is drawn from `profile`'s cause mix, keyed by the
+    /// fleet's base seed at resolution time (so the draw is a pure function
+    /// of the configuration).
+    pub fn catalog(at_tick: u64, profile: ServiceProfile, severity: f64, fraction: f64) -> Self {
+        FaultStorm {
+            at_tick,
+            spec: StormSpec::catalog(profile, severity, fraction),
         }
     }
 
@@ -138,12 +150,20 @@ impl FleetEvent for FaultStorm {
     }
 
     fn label(&self) -> String {
-        format!(
-            "storm@{}x{:.2}_{}",
-            self.at_tick,
-            self.spec.fraction,
-            self.spec.kind.label()
-        )
+        match self.spec.mix {
+            Some(profile) => format!(
+                "storm@{}x{:.2}_mix_{}",
+                self.at_tick,
+                self.spec.fraction,
+                profile.name().to_lowercase()
+            ),
+            None => format!(
+                "storm@{}x{:.2}_{}",
+                self.at_tick,
+                self.spec.fraction,
+                self.spec.kind.label()
+            ),
+        }
     }
 
     fn resolve(&self, fleet: &FleetShape) -> Vec<(usize, ReplicaAction)> {
@@ -153,9 +173,15 @@ impl FleetEvent for FaultStorm {
             .map(|victim| {
                 // The id is provisional; EventPlan::resolve re-stamps every
                 // injected fault with a unique id in the storm namespace.
+                // Catalog-mode storms draw each victim's class from the
+                // cause mix, keyed by the fleet's base seed.
                 (
                     victim,
-                    ReplicaAction::Inject(self.spec.fault(STORM_FAULT_ID_BASE)),
+                    ReplicaAction::Inject(self.spec.fault_for(
+                        STORM_FAULT_ID_BASE,
+                        victim,
+                        fleet.base_seed,
+                    )),
                 )
             })
             .collect()
@@ -251,6 +277,14 @@ impl EventPlan {
             } => self
                 .events
                 .push(Box::new(FaultStorm::new(at_tick, kind, severity, fraction))),
+            EventChoice::CatalogStorm {
+                at_tick,
+                profile,
+                severity,
+                fraction,
+            } => self.events.push(Box::new(FaultStorm::catalog(
+                at_tick, profile, severity, fraction,
+            ))),
             EventChoice::WorkloadSurge {
                 at_tick,
                 duration_ticks,
@@ -377,6 +411,60 @@ mod tests {
                 }]
             );
         }
+    }
+
+    #[test]
+    fn catalog_storms_draw_per_victim_kinds_from_the_mix() {
+        let plan =
+            EventPlan::from_choices([EventChoice::catalog_storm(60, ServiceProfile::Online, 1.0)]);
+        let shape = FleetShape {
+            replicas: 24,
+            ticks: 300,
+            base_seed: 42,
+        };
+        let schedule = plan.resolve(&shape);
+        let mut kinds = Vec::new();
+        for replica in 0..24 {
+            for action in schedule.actions_for(replica, 60) {
+                let ReplicaAction::Inject(fault) = action else {
+                    panic!("storms resolve to injections");
+                };
+                assert!(fault.id.0 >= STORM_FAULT_ID_BASE);
+                kinds.push(fault.kind);
+            }
+        }
+        assert_eq!(kinds.len(), 24, "full-fraction storm hits everyone");
+        let distinct: std::collections::HashSet<_> = kinds.iter().copied().collect();
+        assert!(
+            distinct.len() >= 3,
+            "victims manifest several failure classes: {distinct:?}"
+        );
+        // Same shape, same seed → same resolution.
+        let again = plan.resolve(&shape);
+        for replica in 0..24 {
+            assert_eq!(
+                schedule.actions_for(replica, 60),
+                again.actions_for(replica, 60)
+            );
+        }
+        // A different base seed reshuffles the class draw.
+        let reseeded = plan.resolve(&FleetShape {
+            base_seed: 43,
+            ..shape
+        });
+        let rekinds: Vec<_> = (0..24).flat_map(|r| reseeded.actions_for(r, 60)).collect();
+        assert_ne!(
+            kinds,
+            rekinds
+                .iter()
+                .map(|a| {
+                    let ReplicaAction::Inject(fault) = a else {
+                        panic!("storms resolve to injections");
+                    };
+                    fault.kind
+                })
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

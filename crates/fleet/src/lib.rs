@@ -69,14 +69,17 @@ pub mod scheduler;
 use crate::events::{EventPlan, FleetShape};
 pub use crate::scheduler::ReplicaError;
 use crate::scheduler::StoreGate;
-use selfheal_core::harness::{EventChoice, LearnerChoice, PolicyChoice, WorkloadChoice};
+use selfheal_core::harness::{
+    EventChoice, FaultChoice, LearnerChoice, PolicyChoice, WorkloadChoice,
+};
 use selfheal_core::snapshot::SynopsisSnapshot;
 use selfheal_core::store::{LockedStore, SynopsisStore};
-use selfheal_faults::InjectionPlan;
+use selfheal_faults::{FaultSource, InjectionPlan, ScriptedSource};
 use selfheal_sim::scenario::{Healer, ScenarioOutcome, ScenarioRunner};
 use selfheal_sim::seeds::{split_seed, SeedStream};
 use selfheal_sim::{MultiTierService, ServiceConfig};
 use selfheal_workload::{ArrivalProcess, WorkloadMix};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -137,6 +140,24 @@ pub enum ExecutionMode {
 
 type PlanFactory = dyn Fn(usize) -> InjectionPlan + Send + Sync;
 
+/// The fault schedule a fleet carries: either a declarative [`FaultChoice`]
+/// (instantiated per replica with split seeds) or a caller-supplied
+/// per-replica [`InjectionPlan`] factory (the escape hatch staggered
+/// shared-learning experiments use).
+enum FleetFaults {
+    Choice(FaultChoice),
+    PerReplica(Arc<PlanFactory>),
+}
+
+impl FleetFaults {
+    fn label(&self) -> String {
+        match self {
+            FleetFaults::Choice(choice) => choice.label(),
+            FleetFaults::PerReplica(_) => "per_replica".to_string(),
+        }
+    }
+}
+
 /// Configuration (and builder) for one fleet run.
 pub struct FleetConfig {
     replicas: usize,
@@ -149,9 +170,11 @@ pub struct FleetConfig {
     warm_start: Option<SynopsisSnapshot>,
     mode: ExecutionMode,
     slice: u64,
+    gated: bool,
     events: EventPlan,
     series_capacity: usize,
-    plan_factory: Arc<PlanFactory>,
+    faults: FleetFaults,
+    persist_synopsis: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for FleetConfig {
@@ -163,9 +186,11 @@ impl std::fmt::Debug for FleetConfig {
             .field("workload", &self.workload.label())
             .field("policy", &self.policy.label())
             .field("learner", &self.learner.label())
+            .field("faults", &self.faults.label())
             .field("warm_start", &self.warm_start.as_ref().map(|s| s.len()))
             .field("mode", &self.mode)
             .field("slice", &self.slice)
+            .field("gated", &self.gated)
             .field("events", &self.events.labels())
             .finish_non_exhaustive()
     }
@@ -187,9 +212,11 @@ impl FleetConfig {
             warm_start: None,
             mode: ExecutionMode::Parallel { threads: None },
             slice: 1,
+            gated: true,
             events: EventPlan::new(),
             series_capacity: 100_000,
-            plan_factory: Arc::new(|_| InjectionPlan::empty()),
+            faults: FleetFaults::Choice(FaultChoice::default()),
+            persist_synopsis: None,
         }
     }
 
@@ -299,15 +326,63 @@ impl FleetConfig {
         self
     }
 
+    /// Disables the store gate's round-robin serialization of
+    /// shared-store access for throughput-over-reproducibility runs.
+    ///
+    /// **Determinism trade-off:** with the gate on (the default), a
+    /// tick-sliced parallel shared-learning run is fingerprint-identical to
+    /// [`ExecutionMode::Sequential`] at any worker count — but replica `r`
+    /// must wait for replicas `0..r` to finish the epoch before touching
+    /// the store, so parallel speedup is bounded by how often healers hit
+    /// it.  Ungated, replicas access the shared store the moment they need
+    /// it: no stalls, full parallel throughput — and the order experience
+    /// reaches the store (hence suggest results near drain boundaries)
+    /// depends on thread scheduling, so fingerprints may vary run to run.
+    /// No experience is ever lost either way; only visibility *timing*
+    /// changes.  Private-learner fleets have no shared store and are
+    /// unaffected.
+    pub fn ungated(mut self) -> Self {
+        self.gated = false;
+        self
+    }
+
+    /// Streams the fleet-wide synopsis store's experience to a JSON-lines
+    /// snapshot file *incrementally*: the file is created (with everything
+    /// the warm-started store already knows) before the first tick, and
+    /// every subsequent batch drain appends its outcomes — so a run killed
+    /// mid-flight restores everything drained so far via
+    /// [`selfheal_core::snapshot::SynopsisSnapshot::load`].  Requires a
+    /// shared learner ([`LearnerChoice::is_shared`]) and a learning policy;
+    /// ignored otherwise.
+    ///
+    /// # Panics
+    /// The run panics if the file cannot be created.
+    pub fn persist_synopsis(mut self, path: impl Into<PathBuf>) -> Self {
+        self.persist_synopsis = Some(path.into());
+        self
+    }
+
     /// Metric samples each replica retains.
     pub fn series_capacity(mut self, capacity: usize) -> Self {
         self.series_capacity = capacity.max(1);
         self
     }
 
-    /// One injection plan applied identically to every replica.
+    /// The declarative fault schedule every replica runs.  Each replica
+    /// instantiates its own [`selfheal_faults::FaultSource`] from the
+    /// choice, with a seed split from the fleet's base seed
+    /// ([`SeedStream::Faults`]), so stochastic mix streams decorrelate
+    /// across replicas while staying pure functions of
+    /// `(base_seed, replica)`.
+    pub fn faults(mut self, faults: FaultChoice) -> Self {
+        self.faults = FleetFaults::Choice(faults);
+        self
+    }
+
+    /// One injection plan applied identically to every replica (shorthand
+    /// for [`FleetConfig::faults`] with [`FaultChoice::Scripted`]).
     pub fn injections(self, plan: InjectionPlan) -> Self {
-        self.injections_per_replica(move |_| plan.clone())
+        self.faults(FaultChoice::Scripted(plan))
     }
 
     /// A per-replica injection plan (e.g. stagger the same fault so replica
@@ -316,7 +391,7 @@ impl FleetConfig {
         mut self,
         factory: impl Fn(usize) -> InjectionPlan + Send + Sync + 'static,
     ) -> Self {
-        self.plan_factory = Arc::new(factory);
+        self.faults = FleetFaults::PerReplica(Arc::new(factory));
         self
     }
 
@@ -535,13 +610,20 @@ impl FleetEngine {
             split_seed(config.base_seed, replica as u64, SeedStream::Workload),
             replica as u64,
         );
+        let faults: Box<dyn FaultSource> = match &config.faults {
+            FleetFaults::Choice(choice) => choice.source_for_replica(
+                split_seed(config.base_seed, replica as u64, SeedStream::Faults),
+                replica as u64,
+            ),
+            FleetFaults::PerReplica(factory) => Box::new(ScriptedSource::new(factory(replica))),
+        };
         let healer = if config.policy.shares_learning() {
             let store = self.build_store(replica, fleet_store, gate);
             config.policy.build_healer_stored(&schema, targets, store)
         } else {
             config.policy.build_healer(&schema, targets)
         };
-        ScenarioRunner::with_source(service, workload, (config.plan_factory)(replica), healer)
+        ScenarioRunner::with_faults(service, workload, faults, healer)
             .with_series_capacity(config.series_capacity)
     }
 
@@ -550,7 +632,7 @@ impl FleetEngine {
     /// [`FleetOutcome::errors`]; the survivors complete normally.
     pub fn run(self) -> FleetOutcome {
         let config = &self.config;
-        let store: Option<Box<dyn SynopsisStore>> =
+        let mut store: Option<Box<dyn SynopsisStore>> =
             if config.learner.is_shared() && config.policy.shares_learning() {
                 Some(
                     config.learner.build_store_warm(
@@ -564,6 +646,11 @@ impl FleetEngine {
             } else {
                 None
             };
+        if let (Some(path), Some(store)) = (&config.persist_synopsis, store.as_mut()) {
+            store
+                .persist_to(path)
+                .unwrap_or_else(|err| panic!("cannot persist synopsis to {path:?}: {err}"));
+        }
         let shape = FleetShape {
             replicas: config.replicas,
             ticks: config.ticks,
@@ -582,9 +669,11 @@ impl FleetEngine {
                 .clamp(1, config.replicas.max(1)),
         };
         // The gate exists only when parallel workers could race on a shared
-        // store; a single sweeper already produces the reference order.
-        let gate =
-            (workers > 1 && store.is_some()).then(|| Arc::new(StoreGate::new(config.replicas)));
+        // store (and the config still wants reproducibility over raw
+        // throughput — see `FleetConfig::ungated`); a single sweeper
+        // already produces the reference order.
+        let gate = (workers > 1 && store.is_some() && config.gated)
+            .then(|| Arc::new(StoreGate::new(config.replicas)));
 
         let runners: Vec<_> = (0..config.replicas)
             .map(|r| self.build_replica(r, store.as_deref(), gate.as_ref()))

@@ -222,6 +222,10 @@ impl SynopsisStore for GatedStore {
             gate: Arc::clone(&self.gate),
         })
     }
+
+    fn persist_to(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        self.inner.persist_to(path)
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,14 +1,16 @@
 //! Scenario runner: workload + fault injection + a pluggable healing policy.
 //!
 //! The runner is the harness every experiment uses: it drives the
-//! [`MultiTierService`] over a workload trace and an injection plan, hands
-//! each tick's observations to a [`Healer`], applies whatever fixes the
-//! healer requests, and keeps the books (metric series, failure episodes,
-//! recovery times, fix attempts).
+//! [`MultiTierService`] over a workload trace and a pluggable fault source
+//! (a scripted injection plan, stochastic demographic generation, a
+//! catalog sweep — anything implementing
+//! [`selfheal_faults::FaultSource`]), hands each tick's observations to a
+//! [`Healer`], applies whatever fixes the healer requests, and keeps the
+//! books (metric series, failure episodes, recovery times, fix attempts).
 
 use crate::recovery::RecoveryLog;
 use crate::service::{MultiTierService, TickOutcome};
-use selfheal_faults::{FaultSpec, FixAction, InjectionPlan};
+use selfheal_faults::{FaultSource, FaultSpec, FixAction, InjectionPlan, ScriptedSource};
 use selfheal_telemetry::SeriesStore;
 use selfheal_workload::{Request, TraceSource};
 
@@ -120,7 +122,7 @@ impl ScenarioOutcome {
     }
 }
 
-/// Drives a service + workload + injection plan + healer, one resumable
+/// Drives a service + workload + fault source + healer, one resumable
 /// tick at a time.
 ///
 /// [`ScenarioRunner::run`] remains the one-shot entry point, but all the
@@ -128,10 +130,16 @@ impl ScenarioOutcome {
 /// [`ScenarioRunner::step`] many replicas in any interleaving — round-robin
 /// on one thread, to completion on parallel worker threads — and take an
 /// [`ScenarioRunner::outcome`] snapshot whenever it likes.
+///
+/// Faults enter the run through a pluggable [`FaultSource`] — a scripted
+/// [`InjectionPlan`] (via the [`ScenarioRunner::new`] /
+/// [`ScenarioRunner::with_source`] shims), stochastic demographic
+/// generation, a catalog sweep, or any custom implementation handed to
+/// [`ScenarioRunner::with_faults`].
 pub struct ScenarioRunner<H: Healer> {
     service: MultiTierService,
     workload: Box<dyn TraceSource>,
-    injections: InjectionPlan,
+    faults: Box<dyn FaultSource>,
     healer: H,
     series: SeriesStore,
     recovery: RecoveryLog,
@@ -143,9 +151,10 @@ pub struct ScenarioRunner<H: Healer> {
 }
 
 impl<H: Healer> ScenarioRunner<H> {
-    /// Creates a runner from any [`TraceSource`] (synthetic generator,
-    /// recorded replay, burst storm, ...).  The metric history retains up to
-    /// 100 000 samples by default; see
+    /// Creates a runner from any [`TraceSource`] and a scripted
+    /// [`InjectionPlan`] (the original constructor, kept as a thin shim over
+    /// [`ScenarioRunner::with_faults`] + [`ScriptedSource`]).  The metric
+    /// history retains up to 100 000 samples by default; see
     /// [`ScenarioRunner::with_series_capacity`].
     pub fn new(
         service: MultiTierService,
@@ -153,23 +162,45 @@ impl<H: Healer> ScenarioRunner<H> {
         injections: InjectionPlan,
         healer: H,
     ) -> Self {
-        Self::with_source(service, Box::new(workload), injections, healer)
+        Self::with_faults(
+            service,
+            Box::new(workload),
+            Box::new(ScriptedSource::new(injections)),
+            healer,
+        )
     }
 
-    /// Creates a runner from an already-boxed workload source (what the
-    /// harness and the fleet engine hand over after building a
-    /// `WorkloadChoice`).
+    /// Creates a runner from an already-boxed workload source and a
+    /// scripted [`InjectionPlan`] (shim over
+    /// [`ScenarioRunner::with_faults`]).
     pub fn with_source(
         service: MultiTierService,
         workload: Box<dyn TraceSource>,
         injections: InjectionPlan,
         healer: H,
     ) -> Self {
+        Self::with_faults(
+            service,
+            workload,
+            Box::new(ScriptedSource::new(injections)),
+            healer,
+        )
+    }
+
+    /// Creates a runner from already-boxed workload and fault sources —
+    /// what the harness and the fleet engine hand over after building a
+    /// `WorkloadChoice` and a `FaultChoice`.
+    pub fn with_faults(
+        service: MultiTierService,
+        workload: Box<dyn TraceSource>,
+        faults: Box<dyn FaultSource>,
+        healer: H,
+    ) -> Self {
         let series = SeriesStore::new(service.schema().clone(), 100_000);
         ScenarioRunner {
             service,
             workload,
-            injections,
+            faults,
             healer,
             series,
             recovery: RecoveryLog::new(),
@@ -216,6 +247,11 @@ impl<H: Healer> ScenarioRunner<H> {
         self.workload.as_ref()
     }
 
+    /// Read access to the fault source driving the run.
+    pub fn faults(&self) -> &dyn FaultSource {
+        self.faults.as_ref()
+    }
+
     /// Ticks advanced so far.
     pub fn ticks_run(&self) -> u64 {
         self.ticks_run
@@ -232,10 +268,10 @@ impl<H: Healer> ScenarioRunner<H> {
     }
 
     /// Injects a fault into the running service *now*, outside the
-    /// scheduled [`InjectionPlan`] — the hook fleet-level events (fault
+    /// scheduled [`FaultSource`] — the hook fleet-level events (fault
     /// storms hitting a fraction of the fleet mid-run) use to reach one
-    /// replica.  The fault behaves exactly as if the plan had scheduled it
-    /// at the current tick.
+    /// replica.  The fault behaves exactly as if the source had scheduled
+    /// it at the current tick.
     pub fn inject(&mut self, fault: FaultSpec) {
         self.service.inject(fault);
     }
@@ -258,8 +294,8 @@ impl<H: Healer> ScenarioRunner<H> {
         let tick = self.service.current_tick();
 
         // Inject scheduled faults.
-        for fault in self.injections.due_at(tick) {
-            self.service.inject(fault.clone());
+        for fault in self.faults.due_at(tick) {
+            self.service.inject(fault);
         }
 
         // Serve the tick's traffic.

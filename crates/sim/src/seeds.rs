@@ -20,6 +20,8 @@ pub enum SeedStream {
     Service,
     /// The workload trace generator.
     Workload,
+    /// The fault source (stochastic demographic fault generation).
+    Faults,
 }
 
 impl SeedStream {
@@ -27,6 +29,7 @@ impl SeedStream {
         match self {
             SeedStream::Service => 0x5E51_1CE5_0000_0001,
             SeedStream::Workload => 0x3A01_0AD5_0000_0002,
+            SeedStream::Faults => 0xFA07_5EED_0000_0003,
         }
     }
 }
@@ -58,7 +61,11 @@ mod tests {
     fn replicas_and_streams_decorrelate() {
         let mut seen = std::collections::HashSet::new();
         for replica in 0..64 {
-            for stream in [SeedStream::Service, SeedStream::Workload] {
+            for stream in [
+                SeedStream::Service,
+                SeedStream::Workload,
+                SeedStream::Faults,
+            ] {
                 assert!(
                     seen.insert(split_seed(7, replica, stream)),
                     "collision at replica {replica} {stream:?}"

@@ -11,7 +11,11 @@
 //! * [`workload`] — RUBiS-like workloads behind the pluggable
 //!   `TraceSource` API: synthetic generation, JSON-lines trace
 //!   record/replay (with per-replica phase shifts), and burst storms.
-//! * [`faults`] — failure/fix catalog, injection plans, cause mixes.
+//! * [`faults`] — failure/fix catalog behind the pluggable `FaultSource`
+//!   API: scripted injection plans, stochastic demographic generation from
+//!   the paper's `CauseMix` demographics, catalog coverage sweeps,
+//!   tick-wise composition, and correlated fault storms (uniform or
+//!   CauseMix-catalog mode).
 //! * [`sim`] — the three-tier (web / EJB / database) service simulator.
 //! * [`learn`] — from-scratch ML substrate (kNN, k-means, AdaBoost, ...).
 //! * [`diagnosis`] — anomaly / correlation / bottleneck diagnosis and the
@@ -64,6 +68,26 @@
 //!     .run();
 //! assert_eq!(outcome.replicas().len(), 8);
 //! assert!(outcome.goodput_fraction() > 0.9);
+//! ```
+//!
+//! ## Quickstart: demographic fault generation
+//!
+//! ```
+//! use selfheal::faults::ServiceProfile;
+//! use selfheal::healing::harness::{FaultChoice, PolicyChoice, SelfHealingService};
+//! use selfheal::healing::synopsis::SynopsisKind;
+//! use selfheal::sim::ServiceConfig;
+//!
+//! let config = ServiceConfig::tiny();
+//! // Faults drawn from the Online service's Figure 1 cause mix at 3% per
+//! // tick for 150 ticks, then a quiet tail for the healer to drain.
+//! let outcome = SelfHealingService::builder()
+//!     .config(config.clone())
+//!     .faults(FaultChoice::mix_for(ServiceProfile::Online, 0.03, &config).active_for(150))
+//!     .policy(PolicyChoice::Hybrid(SynopsisKind::NearestNeighbor))
+//!     .seed(42)
+//!     .run(400);
+//! assert_eq!(outcome.ticks, 400);
 //! ```
 //!
 //! ## Quickstart: a correlated fault storm

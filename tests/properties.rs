@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use selfheal::faults::injection::default_target;
-use selfheal::faults::{FaultId, FaultKind, FaultSpec, FixAction, FixCatalog, FixKind};
+use selfheal::faults::{
+    FaultId, FaultKind, FaultSource, FaultSpec, FixAction, FixCatalog, FixKind, MixSource,
+    ServiceProfile,
+};
 use selfheal::healing::snapshot::SynopsisSnapshot;
 use selfheal::healing::synopsis::SynopsisKind;
 use selfheal::learn::{Classifier, Dataset, Example, NearestNeighbor};
@@ -161,6 +164,39 @@ proptest! {
         let parsed = SynopsisSnapshot::from_jsonl(&snapshot.to_jsonl())
             .expect("serialized snapshots must parse");
         prop_assert_eq!(parsed, snapshot);
+    }
+
+    /// `MixSource` generation converges on its configured demographics:
+    /// over a long window at rate 1.0, the frequency of every recorded
+    /// failure cause approaches the `CauseMix` weight of the profile it
+    /// was drawn from — the Figure 1 distribution realized as a generator.
+    #[test]
+    fn mix_source_cause_frequencies_converge_to_the_cause_mix(
+        profile_idx in 0usize..ServiceProfile::ALL.len(),
+        seed in 0u64..1_000,
+    ) {
+        let profile = ServiceProfile::ALL[profile_idx];
+        let mut source = MixSource::new(profile, 1.0, seed);
+        let n = 4_000u64;
+        let mut counts = std::collections::HashMap::new();
+        for tick in 0..n {
+            for fault in source.due_at(tick) {
+                *counts.entry(fault.cause).or_insert(0usize) += 1;
+            }
+        }
+        let total: usize = counts.values().sum();
+        prop_assert_eq!(total as u64, n, "rate 1.0 fires every tick");
+        let mix = profile.cause_mix();
+        for &(cause, weight) in mix.probabilities() {
+            let freq = counts.get(&cause).copied().unwrap_or(0) as f64 / total as f64;
+            // 4000 samples: 0.04 is > 5 sigma for every weight in the mixes.
+            prop_assert!(
+                (freq - weight).abs() < 0.04,
+                "{}: {} frequency {freq:.3} vs configured {weight:.3}",
+                profile.name(),
+                cause
+            );
+        }
     }
 
     /// The telemetry store respects its capacity and keeps samples in tick
