@@ -44,13 +44,16 @@
 //! fleet_scaling --slice N             # tick-slice width of the scheduler's epochs
 //! fleet_scaling --events SPEC         # overlay events on the smoke fleet, e.g.
 //!                                     # "storm@200:0.5,surge@100:3:40"
+//! fleet_scaling --bench-ticks         # tick-throughput baseline (4 replicas x 2000 ticks,
+//!                                     # both engines), written to BENCH_ticks.json at the
+//!                                     # repo root as the reference for hot-path work
 //! ```
 
 use selfheal_bench::fleet::{
     cold_start_comparison, distinct_fault_kinds, gate_throughput_comparison, mean_injected_stats,
-    mix_fleet, open_episodes, scaling_curve, smoke_fleet, smoke_workload, storm_fleet,
-    storm_recovery_comparison, warm_start_comparison, ColdStartReport, GateReport, ScalingPoint,
-    StormRecoveryReport, WarmStartReport, STORM_FRACTION, STORM_TICK,
+    mix_fleet, open_episodes, scaling_curve, scaling_point, smoke_fleet, smoke_workload,
+    storm_fleet, storm_recovery_comparison, warm_start_comparison, ColdStartReport, GateReport,
+    ScalingPoint, StormRecoveryReport, WarmStartReport, STORM_FRACTION, STORM_TICK,
 };
 use selfheal_core::harness::{EventChoice, FaultChoice, LearnerChoice, WorkloadChoice};
 use selfheal_core::snapshot::SynopsisSnapshot;
@@ -205,6 +208,7 @@ struct Args {
     ungated: bool,
     slice: Option<u64>,
     events: Vec<EventChoice>,
+    bench_ticks: bool,
 }
 
 impl Args {
@@ -312,6 +316,7 @@ fn parse_args() -> Args {
         ungated: false,
         slice: None,
         events: Vec::new(),
+        bench_ticks: false,
     };
     let mut argv = std::env::args().skip(1);
     let missing = |flag: &str| -> ! {
@@ -367,6 +372,7 @@ fn parse_args() -> Args {
             }
             "--sweep" => args.sweep = true,
             "--ungated" => args.ungated = true,
+            "--bench-ticks" => args.bench_ticks = true,
             "--slice" => args.slice = Some(numeric("--slice", argv.next())),
             "--events" => {
                 let spec = argv.next().unwrap_or_else(|| missing("--events"));
@@ -387,13 +393,84 @@ fn parse_args() -> Args {
                      [--replicas N] [--ticks T] [--save-synopsis PATH] \
                      [--load-synopsis PATH] [--shards N] [--storm] \
                      [--fault-mix PROFILE:RATE] [--sweep] [--ungated] [--slice W] \
-                     [--events SPEC]"
+                     [--events SPEC] [--bench-ticks]"
                 );
                 exit(2);
             }
         }
     }
     args
+}
+
+/// The `--bench-ticks` baseline: 4 replicas × 2000 ticks through both
+/// engines, emitted to stdout *and* written to `BENCH_ticks.json` at the
+/// repo root — the committed ticks/s reference future hot-path work
+/// compares against.
+fn run_bench_ticks() {
+    const REPLICAS: usize = 4;
+    const TICKS: u64 = 2_000;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "fleet_scaling: tick-throughput baseline ({REPLICAS} replicas x {TICKS} ticks, \
+         {cores} cores)"
+    );
+    let point = scaling_point(REPLICAS, TICKS, 42);
+    let total_ticks = (REPLICAS as u64 * TICKS) as f64;
+    let sequential_throughput = if point.sequential_wall_s > 0.0 {
+        total_ticks / point.sequential_wall_s
+    } else {
+        f64::INFINITY
+    };
+    eprintln!(
+        "  sequential {:>9.0} ticks/s ({:.3}s)   parallel {:>9.0} ticks/s ({:.3}s)   \
+         speedup {:.2}x",
+        sequential_throughput,
+        point.sequential_wall_s,
+        point.parallel_throughput,
+        point.parallel_wall_s,
+        point.speedup(),
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_ticks\",\n  \"machine\": {{\"cores\": {cores}}},\n  \
+         \"replicas\": {REPLICAS},\n  \"ticks_per_replica\": {TICKS},\n  \
+         \"sequential\": {{\"wall_s\": {}, \"ticks_per_s\": {}}},\n  \
+         \"parallel\": {{\"wall_s\": {}, \"ticks_per_s\": {}}},\n  \"speedup\": {}\n}}\n",
+        json_f64(point.sequential_wall_s),
+        json_f64(sequential_throughput),
+        json_f64(point.parallel_wall_s),
+        json_f64(point.parallel_throughput),
+        json_f64(point.speedup()),
+    );
+    print!("{json}");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ticks.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("(written to {})", path.display()),
+        Err(err) => {
+            eprintln!("fleet_scaling: could not write {}: {err}", path.display());
+            exit(1);
+        }
+    }
+}
+
+/// Per-replica failure details as a JSON array — `[]` on a clean run, so
+/// downstream tooling can gate on emptiness instead of re-parsing stderr.
+fn replica_errors_json(errors: &[selfheal_fleet::ReplicaError]) -> String {
+    if errors.is_empty() {
+        return "[]".to_string();
+    }
+    let mut out = String::from("[");
+    for (i, error) in errors.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{{\"replica\": {}, \"message\": ", error.replica);
+        selfheal_jsonl::push_json_string(&mut out, &error.message);
+        out.push('}');
+    }
+    out.push(']');
+    out
 }
 
 /// Reduced pass for CI and the record/replay quickstart: one scaling point
@@ -505,8 +582,14 @@ fn run_smoke(args: &Args) {
         fleet = fleet.persist_synopsis(path.clone());
     }
     let outcome = fleet.run();
-    for error in outcome.errors() {
-        eprintln!("fleet_scaling: {error}");
+    if !outcome.errors().is_empty() {
+        eprintln!(
+            "fleet_scaling: {} of {replicas} replicas died mid-run:",
+            outcome.errors().len()
+        );
+        for error in outcome.errors() {
+            eprintln!("  {error}");
+        }
     }
     let fingerprints = outcome.fingerprints();
 
@@ -737,7 +820,7 @@ fn run_smoke(args: &Args) {
         json_f64(outcome.throughput_ticks_per_sec()),
         outcome.total_fixes_initiated(),
         outcome.total_episodes(),
-        outcome.errors().len(),
+        replica_errors_json(outcome.errors()),
         replay_identical
             .map(|b| b.to_string())
             .unwrap_or_else(|| "null".to_string()),
@@ -841,6 +924,10 @@ fn run_smoke(args: &Args) {
 
 fn main() {
     let args = parse_args();
+    if args.bench_ticks {
+        run_bench_ticks();
+        return;
+    }
     if args.wants_smoke() {
         run_smoke(&args);
         return;

@@ -58,6 +58,6 @@ pub use policy::{DiagnosisEngine, DiagnosisHealer, EpisodeTracker};
 pub use proactive::ProactiveHealer;
 pub use shared::SharedSynopsis;
 pub use snapshot::{SynopsisExample, SynopsisSnapshot};
-pub use store::{LockedStore, PrivateStore, ShardedStore, SynopsisStore};
+pub use store::{FixStats, LockedStore, PrivateStore, ShardedStore, SynopsisStore};
 pub use symptom::SymptomExtractor;
 pub use synopsis::{Learner, Synopsis, SynopsisKind};

@@ -160,6 +160,61 @@ pub trait SynopsisStore: Learner {
     /// experience.  [`PrivateStore`] applies updates immediately, so it
     /// appends on every record.
     fn persist_to(&mut self, path: &Path) -> io::Result<()>;
+
+    /// Aggregates the store's entire experience into per-fix
+    /// success/failure counts — the introspection surface live queries
+    /// (e.g. the resident daemon's `QUERY FIXES`) read at epoch barriers.
+    ///
+    /// Flushes internally (via [`snapshot`](Self::snapshot)), so queued
+    /// updates are counted.  Fixes with no recorded attempts are omitted;
+    /// the rest appear in [`FixKind::ALL`] order.
+    fn fix_stats(&self) -> Vec<FixStats> {
+        let snapshot = self.snapshot();
+        FixKind::ALL
+            .iter()
+            .filter_map(|&fix| {
+                let mut stats = FixStats {
+                    fix,
+                    successes: 0,
+                    failures: 0,
+                };
+                for example in snapshot.examples.iter().filter(|e| e.fix == fix) {
+                    if example.success {
+                        stats.successes += 1;
+                    } else {
+                        stats.failures += 1;
+                    }
+                }
+                (stats.successes + stats.failures > 0).then_some(stats)
+            })
+            .collect()
+    }
+}
+
+/// Aggregated learned experience for one [`FixKind`]: how often the fleet
+/// tried it and how often it repaired the failure.  Produced by
+/// [`SynopsisStore::fix_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixStats {
+    /// The fix the counts describe.
+    pub fix: FixKind,
+    /// Applications recorded as having repaired the failure.
+    pub successes: usize,
+    /// Applications recorded as having failed to repair it.
+    pub failures: usize,
+}
+
+impl FixStats {
+    /// `successes / (successes + failures)`; `0.0` when nothing was
+    /// recorded.
+    pub fn success_rate(&self) -> f64 {
+        let total = self.successes + self.failures;
+        if total == 0 {
+            0.0
+        } else {
+            self.successes as f64 / total as f64
+        }
+    }
 }
 
 impl Learner for Box<dyn SynopsisStore> {

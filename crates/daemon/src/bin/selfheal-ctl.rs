@@ -1,0 +1,78 @@
+//! `selfheal-ctl` — the scripting client for `selfheal-daemon`.
+//!
+//! ```text
+//! selfheal-ctl --socket /tmp/selfheal.sock [--timeout-secs N] COMMAND [ARGS...]
+//! ```
+//!
+//! The command words are joined and sent as one protocol line (see
+//! `selfheal_daemon::protocol`), the full reply is printed, and the exit
+//! code reflects the terminator: 0 for `OK`, 1 for `ERR`, 2 for transport
+//! failures — so shell scripts and CI can gate on it directly:
+//!
+//! ```text
+//! selfheal-ctl --socket /tmp/selfheal.sock STATUS
+//! selfheal-ctl --socket /tmp/selfheal.sock ADD online:0.05
+//! selfheal-ctl --socket /tmp/selfheal.sock QUERY FIXES
+//! selfheal-ctl --socket /tmp/selfheal.sock SNAPSHOT /tmp/fixes.jsonl
+//! selfheal-ctl --socket /tmp/selfheal.sock SHUTDOWN
+//! ```
+
+use selfheal_daemon::protocol::{is_ok_reply, send_command};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "usage: selfheal-ctl --socket PATH [--timeout-secs N] COMMAND [ARGS...]
+commands: STATUS | REPLICAS | ADD <profile> | REMOVE <id>
+          | RECONFIGURE <id> <key>=<value> | QUERY FIXES [<v1,v2,...>]
+          | EPISODES OPEN | SNAPSHOT <path> | DRAIN | SHUTDOWN";
+
+fn run() -> Result<bool, String> {
+    let mut args = std::env::args().skip(1);
+    let mut socket: Option<PathBuf> = None;
+    let mut timeout = Duration::from_secs(30);
+    let mut words: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => {
+                socket = Some(PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| format!("--socket needs a value\n{USAGE}"))?,
+                ))
+            }
+            "--timeout-secs" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| format!("--timeout-secs needs a value\n{USAGE}"))?;
+                let secs: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--timeout-secs: cannot parse {value:?}"))?;
+                timeout = Duration::from_secs(secs.max(1));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            _ => {
+                words.push(arg);
+                words.extend(args.by_ref());
+            }
+        }
+    }
+    let socket = socket.ok_or_else(|| format!("--socket is required\n{USAGE}"))?;
+    if words.is_empty() {
+        return Err(format!("no command given\n{USAGE}"));
+    }
+    let line = words.join(" ");
+    let reply = send_command(&socket, &line, timeout)
+        .map_err(|err| format!("selfheal-ctl: {}: {err}", socket.display()))?;
+    print!("{reply}");
+    Ok(is_ok_reply(&reply))
+}
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! The control plane: a Unix-domain-socket server feeding parsed commands
+//! to the daemon loop, and the [`Daemon`] loop itself.
+//!
+//! The socket thread never touches the fleet.  It parses each request line
+//! into a [`Command`], enqueues it with a reply channel, and waits; the
+//! daemon loop drains the queue *between epochs* and answers through the
+//! channel.  Commands therefore land exactly at epoch barriers — the same
+//! synchronization points the batch scheduler uses — so the ticks between
+//! two control events stay deterministic per replica.
+
+use crate::protocol::{is_ok_reply, parse_command, reply_err, reply_ok, Command};
+use crate::supervisor::Supervisor;
+use crate::DaemonConfig;
+use std::collections::VecDeque;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// A parsed command awaiting its epoch barrier, with the channel its reply
+/// travels back on.
+pub struct PendingCommand {
+    command: Command,
+    reply: mpsc::Sender<String>,
+}
+
+impl PendingCommand {
+    /// The parsed command.
+    pub fn command(&self) -> &Command {
+        &self.command
+    }
+
+    /// Sends the full reply text (payload lines + terminator) back to the
+    /// waiting connection.
+    pub fn respond(self, reply: String) {
+        let _ = self.reply.send(reply);
+    }
+}
+
+struct ControlShared {
+    queue: Mutex<VecDeque<PendingCommand>>,
+    stop: AtomicBool,
+}
+
+/// The socket server: accepts connections on a Unix domain socket, parses
+/// request lines, and queues [`PendingCommand`]s for the daemon loop.
+///
+/// Connections are served one at a time (clients hold the socket only for
+/// the duration of one command; see
+/// [`send_command`](crate::protocol::send_command)).  The socket file is
+/// removed on [`Drop`].
+pub struct ControlPlane {
+    path: PathBuf,
+    shared: Arc<ControlShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ControlPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlPlane")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ControlPlane {
+    /// Binds the socket (removing any stale file at `path` first) and
+    /// starts the accept thread.
+    pub fn bind(path: &Path) -> io::Result<ControlPlane> {
+        let _ = fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(ControlShared {
+            queue: Mutex::new(VecDeque::new()),
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_path = path.to_path_buf();
+        let thread = thread::Builder::new()
+            .name("control-plane".to_string())
+            .spawn(move || accept_loop(listener, accept_shared, accept_path))?;
+        Ok(ControlPlane {
+            path: path.to_path_buf(),
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// The socket path this plane serves.
+    pub fn socket_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Drains every command queued since the last barrier.
+    pub fn take_pending(&self) -> Vec<PendingCommand> {
+        let mut queue = self.shared.queue.lock().expect("control queue poisoned");
+        queue.drain(..).collect()
+    }
+
+    /// Asks the accept thread to exit (it also unlinks the socket file).
+    pub fn request_stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for ControlPlane {
+    fn drop(&mut self) {
+        self.request_stop();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn accept_loop(listener: UnixListener, shared: Arc<ControlShared>, path: PathBuf) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = serve_connection(stream, &shared);
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = fs::remove_file(&path);
+}
+
+/// Serves one connection: a loop of request line → queue → reply.  Closes
+/// on EOF, read errors, a served `SHUTDOWN`, or a long idle stretch.
+fn serve_connection(stream: UnixStream, shared: &Arc<ControlShared>) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(1)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut buffer = String::new();
+    let mut idle = 0u32;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        buffer.clear();
+        match reader.read_line(&mut buffer) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {
+                idle = 0;
+                let line = buffer.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let (reply, was_shutdown) = match parse_command(line) {
+                    Err(message) => (reply_err(&message), false),
+                    Ok(command) => {
+                        let was_shutdown = command == Command::Shutdown;
+                        let (reply_tx, reply_rx) = mpsc::channel();
+                        shared
+                            .queue
+                            .lock()
+                            .expect("control queue poisoned")
+                            .push_back(PendingCommand {
+                                command,
+                                reply: reply_tx,
+                            });
+                        (wait_reply(reply_rx, shared), was_shutdown)
+                    }
+                };
+                writer.write_all(reply.as_bytes())?;
+                writer.flush()?;
+                if was_shutdown && is_ok_reply(&reply) {
+                    return Ok(());
+                }
+            }
+            Err(err)
+                if err.kind() == io::ErrorKind::WouldBlock
+                    || err.kind() == io::ErrorKind::TimedOut =>
+            {
+                idle += 1;
+                if idle > 600 {
+                    // A client has held the (single-served) socket idle for
+                    // ten minutes; cut it loose.
+                    return Ok(());
+                }
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+/// Waits for the daemon loop's reply, bailing out with an `ERR` when the
+/// daemon stops (or takes implausibly long to reach a barrier).
+fn wait_reply(reply_rx: mpsc::Receiver<String>, shared: &ControlShared) -> String {
+    for _ in 0..600 {
+        match reply_rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(reply) => return reply,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return reply_err("daemon is shutting down");
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return reply_err("daemon dropped the command");
+            }
+        }
+    }
+    reply_err("timed out waiting for the epoch barrier")
+}
+
+/// Launch options for a [`Daemon`] (everything that is about *this
+/// process* rather than about the fleet — the fleet is the
+/// [`DaemonConfig`]).
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// Unix-socket path the control plane serves.
+    pub socket: PathBuf,
+    /// Replicas added at launch.
+    pub replicas: usize,
+    /// Fault profile of the launch replicas (a
+    /// [`DaemonConfig::fault_profile`] word).
+    pub profile: String,
+    /// JSON-lines metrics file, appended every
+    /// [`metrics_every`](Self::metrics_every) epochs.
+    pub metrics: Option<PathBuf>,
+    /// Epochs between metrics lines (0 disables).
+    pub metrics_every: u64,
+    /// Wall-clock pause between epochs (throttle; zero = run hot).
+    pub epoch_pause: Duration,
+}
+
+impl DaemonOptions {
+    /// Defaults: 2 `default`-profile replicas, metrics off, no throttle.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        DaemonOptions {
+            socket: socket.into(),
+            replicas: 2,
+            profile: "default".to_string(),
+            metrics: None,
+            metrics_every: 50,
+            epoch_pause: Duration::ZERO,
+        }
+    }
+}
+
+/// The resident daemon: a [`Supervisor`] plus a [`ControlPlane`], glued by
+/// the epoch loop in [`run`](Daemon::run).
+pub struct Daemon {
+    supervisor: Supervisor,
+    control: ControlPlane,
+    kill: Arc<AtomicBool>,
+    options: DaemonOptions,
+    metrics: Option<File>,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("supervisor", &self.supervisor)
+            .field("control", &self.control)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Daemon {
+    /// Builds the supervisor, adds the launch replicas, opens the metrics
+    /// file (append), and binds the control socket.
+    pub fn launch(config: DaemonConfig, options: DaemonOptions) -> Result<Daemon, String> {
+        let mut supervisor = Supervisor::new(config)?;
+        for _ in 0..options.replicas {
+            supervisor.add_replica(&options.profile)?;
+        }
+        let metrics = match &options.metrics {
+            Some(path) => Some(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|err| format!("cannot open metrics file {path:?}: {err}"))?,
+            ),
+            None => None,
+        };
+        let control = ControlPlane::bind(&options.socket)
+            .map_err(|err| format!("cannot bind {:?}: {err}", options.socket))?;
+        Ok(Daemon {
+            supervisor,
+            control,
+            kill: Arc::new(AtomicBool::new(false)),
+            options,
+            metrics,
+        })
+    }
+
+    /// Read access to the supervisor (pre-`run` introspection).
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
+    }
+
+    /// A flag that hard-kills the daemon loop from another thread: on the
+    /// next barrier the loop aborts *without* the final store flush —
+    /// the in-process stand-in for `kill -9` the crash-restart tests use.
+    pub fn kill_switch(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.kill)
+    }
+
+    /// The epoch loop: apply queued commands at the barrier, advance one
+    /// epoch, emit metrics, repeat — until `SHUTDOWN` (clean: actors
+    /// stopped, store flushed) or the kill switch (abort: no flush).
+    pub fn run(mut self) -> Result<(), String> {
+        loop {
+            if self.kill.load(Ordering::SeqCst) {
+                self.control.request_stop();
+                self.supervisor.abort();
+                return Ok(());
+            }
+            for pending in self.control.take_pending() {
+                let command = pending.command().clone();
+                let (reply, shutdown) = apply_command(&mut self.supervisor, command);
+                pending.respond(reply);
+                if shutdown {
+                    self.control.request_stop();
+                    self.supervisor.shutdown();
+                    return Ok(());
+                }
+            }
+            if self.supervisor.is_drained() || self.supervisor.replica_count() == 0 {
+                thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+            self.supervisor.advance_epoch();
+            if let Some(file) = self.metrics.as_mut() {
+                if self.options.metrics_every > 0
+                    && self
+                        .supervisor
+                        .epoch()
+                        .is_multiple_of(self.options.metrics_every)
+                {
+                    let line = self.supervisor.health().to_json_line();
+                    let _ = writeln!(file, "{line}");
+                }
+            }
+            if !self.options.epoch_pause.is_zero() {
+                thread::sleep(self.options.epoch_pause);
+            }
+        }
+    }
+}
+
+/// Applies one command against the supervisor; returns the full reply text
+/// and whether this was an accepted `SHUTDOWN`.
+fn apply_command(supervisor: &mut Supervisor, command: Command) -> (String, bool) {
+    match command {
+        Command::Status => (reply_ok(&status_lines(supervisor)), false),
+        Command::Replicas => {
+            let lines: Vec<String> = supervisor
+                .replica_health()
+                .iter()
+                .map(|replica| {
+                    format!(
+                        "replica {} profile={} state={} ticks={} episodes={} open={} \
+                         fixes={} restarts={} heartbeat_ms={}",
+                        replica.id,
+                        replica.profile,
+                        replica.state.label(),
+                        replica.ticks,
+                        replica.episodes,
+                        replica.open_episodes,
+                        replica.fixes_initiated,
+                        replica.restarts,
+                        replica.last_heartbeat_ms
+                    )
+                })
+                .collect();
+            (reply_ok(&lines), false)
+        }
+        Command::Add(profile) => match supervisor.add_replica(&profile) {
+            Ok(id) => {
+                let profile = supervisor
+                    .replica_health()
+                    .iter()
+                    .find(|r| r.id == id)
+                    .map(|r| r.profile.clone())
+                    .unwrap_or_default();
+                (
+                    reply_ok(&[format!("replica {id} added profile={profile}")]),
+                    false,
+                )
+            }
+            Err(message) => (reply_err(&message), false),
+        },
+        Command::Remove(id) => match supervisor.remove_replica(id) {
+            Ok(()) => (reply_ok(&[format!("replica {id} removed")]), false),
+            Err(message) => (reply_err(&message), false),
+        },
+        Command::Reconfigure { id, key, value } => match supervisor.reconfigure(id, &key, &value) {
+            Ok(applied) => (
+                reply_ok(&[format!("replica {id} reconfigured {applied}")]),
+                false,
+            ),
+            Err(message) => (reply_err(&message), false),
+        },
+        Command::QueryFixes(Some(signature)) => match supervisor.suggest_fix(&signature) {
+            Some((fix, confidence)) => (
+                reply_ok(&[format!("fix={} confidence={confidence:.3}", fix.label())]),
+                false,
+            ),
+            None => (reply_ok(&["no_suggestion".to_string()]), false),
+        },
+        Command::QueryFixes(None) => {
+            let stats = supervisor.fix_stats();
+            let lines: Vec<String> = if stats.is_empty() {
+                vec!["no_experience".to_string()]
+            } else {
+                stats
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "fix={} successes={} failures={} success_rate={:.3}",
+                            s.fix.label(),
+                            s.successes,
+                            s.failures,
+                            s.success_rate()
+                        )
+                    })
+                    .collect()
+            };
+            (reply_ok(&lines), false)
+        }
+        Command::EpisodesOpen => {
+            let mut lines: Vec<String> = supervisor
+                .replica_health()
+                .iter()
+                .filter(|replica| replica.open_episodes > 0)
+                .map(|replica| format!("replica {} open={}", replica.id, replica.open_episodes))
+                .collect();
+            lines.push(format!("total_open={}", supervisor.total_open_episodes()));
+            (reply_ok(&lines), false)
+        }
+        Command::Snapshot(path) => match supervisor.snapshot_to(&path) {
+            Ok(examples) => (
+                reply_ok(&[format!("snapshot={} examples={examples}", path.display())]),
+                false,
+            ),
+            Err(err) => (
+                reply_err(&format!("cannot snapshot to {}: {err}", path.display())),
+                false,
+            ),
+        },
+        Command::Drain => {
+            supervisor.drain();
+            (reply_ok(&["draining".to_string()]), false)
+        }
+        Command::Shutdown => (reply_ok(&["shutting down".to_string()]), true),
+    }
+}
+
+/// The `STATUS` payload: daemon, fleet, store, and per-replica
+/// error/restart summary lines.
+fn status_lines(supervisor: &Supervisor) -> Vec<String> {
+    let health = supervisor.health();
+    let persist = supervisor
+        .store_path()
+        .map(|p| p.display().to_string())
+        .unwrap_or_else(|| "none".to_string());
+    let mut lines = vec![
+        format!(
+            "epoch={} uptime_ms={} draining={} drained={}",
+            health.epoch,
+            health.uptime_ms,
+            supervisor.draining(),
+            supervisor.is_drained()
+        ),
+        format!(
+            "replicas={} running={} restarting={} failed={}",
+            supervisor.replica_count(),
+            health.running,
+            health.restarting,
+            health.failed
+        ),
+        format!(
+            "ticks_total={} ticks_per_sec={:.1}",
+            health.total_ticks, health.ticks_per_sec
+        ),
+        format!(
+            "store={} fixes_known={} pending_updates={} restored_examples={} persist={persist}",
+            supervisor.store().kind().label(),
+            health.fixes_known,
+            health.pending_updates,
+            supervisor.restored_examples()
+        ),
+        format!(
+            "open_episodes={} restarts_total={}",
+            health.open_episodes, health.restarts
+        ),
+    ];
+    for replica in supervisor.replica_health() {
+        if replica.restarts > 0 || replica.last_error.is_some() {
+            lines.push(format!(
+                "replica {} state={} restarts={} last_error={:?}",
+                replica.id,
+                replica.state.label(),
+                replica.restarts,
+                replica.last_error.as_deref().unwrap_or("")
+            ));
+        }
+    }
+    lines
+}

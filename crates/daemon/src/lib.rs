@@ -1,0 +1,235 @@
+//! # selfheal-daemon
+//!
+//! The resident fleet daemon: the tick-sliced fleet of
+//! [`selfheal_fleet`] turned into a long-lived, inspectable service.
+//!
+//! Every earlier artifact in this reproduction is a *batch* run — the
+//! fleet, its shared [`SynopsisStore`],
+//! and all learned fixes die when the process exits.  The paper's premise,
+//! though, is a service that heals itself by accumulating fix knowledge
+//! over its lifetime.  This crate supplies the missing serving story:
+//!
+//! * [`Supervisor`] — owns one replica *actor* per worker thread and drives
+//!   them epoch by epoch (an epoch = [`DaemonConfig::slice`] ticks,
+//!   collected at a barrier).  A replica panic becomes a bounded
+//!   restart-with-backoff instead of run termination: the runner is rebuilt
+//!   from the replica's spec, its healer warm against the *still-alive*
+//!   shared store, until a restart cap retires the replica.  Per-replica
+//!   health (ticks, episodes, restarts, heartbeats) is tracked via
+//!   [`selfheal_telemetry::health`].
+//! * [`control`] — a line-oriented text protocol (see [`protocol`]) served
+//!   over a Unix domain socket, std-only.  Commands (`STATUS`, `ADD`,
+//!   `RECONFIGURE`, `QUERY FIXES`, `SNAPSHOT`, `DRAIN`, `SHUTDOWN`, ...)
+//!   are queued by the socket thread and applied by the daemon loop at
+//!   epoch barriers only, so between two control events every replica
+//!   advances exactly as a batch run would.
+//! * **Live queries** — `QUERY FIXES` and `STATUS` read the shared store
+//!   (suggestions, per-fix success rates via
+//!   [`SynopsisStore::fix_stats`],
+//!   restored-example counts) while the fleet keeps ticking.
+//! * **Crash-restart** — with [`DaemonConfig::store_path`] set, the store
+//!   persists through the incremental
+//!   [`SnapshotLog`](selfheal_core::snapshot::SnapshotLog): every drained
+//!   batch is appended as it happens, and on startup the daemon replays the
+//!   file, so a `kill -9` mid-run loses nothing already drained.
+//!
+//! ## Determinism trade-off
+//!
+//! The daemon runs the shared store *ungated* (the batch engine's
+//! [`StoreGate`](selfheal_fleet::scheduler) reproduces sequential
+//! fingerprints; a daemon whose fleet membership changes at runtime has no
+//! fixed sequential reference to reproduce).  Each replica's simulated
+//! streams — service, workload, faults — are still pure functions of
+//! `(base_seed, replica_id)`; only the *visibility timing* of shared
+//! learning varies with thread scheduling, exactly as documented on
+//! [`selfheal_fleet::FleetConfig::ungated`].
+//!
+//! ## Example
+//!
+//! ```
+//! use selfheal_daemon::{DaemonConfig, Supervisor};
+//!
+//! let mut supervisor = Supervisor::new(DaemonConfig::default()).unwrap();
+//! let id = supervisor.add_replica("online:0.05").unwrap();
+//! supervisor.advance_epoch();
+//! assert_eq!(supervisor.replica_health()[0].id, id);
+//! supervisor.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod control;
+pub mod protocol;
+pub mod supervisor;
+
+pub use control::{ControlPlane, Daemon, DaemonOptions, PendingCommand};
+pub use protocol::{parse_command, send_command, Command};
+pub use supervisor::{ReplicaSpec, Supervisor};
+
+use selfheal_core::harness::{FaultChoice, LearnerChoice, PolicyChoice, WorkloadChoice};
+use selfheal_core::store::SynopsisStore;
+use selfheal_core::synopsis::SynopsisKind;
+use selfheal_faults::ServiceProfile;
+use selfheal_sim::scenario::Healer;
+use selfheal_sim::{ScenarioRunner, ServiceConfig};
+use selfheal_workload::{ArrivalProcess, WorkloadMix};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Per-tick fault probability used when an `ADD <profile>` omits the rate.
+pub const DEFAULT_MIX_RATE: f64 = 0.02;
+
+/// Builds one replica runner — the test seam that lets supervisor tests
+/// inject deliberately panicking replicas.  The second argument is the
+/// daemon's shared store; production runners wire their healer to a
+/// [`clone_store`](selfheal_core::store::SynopsisStore::clone_store)
+/// handle of it.
+pub type RunnerFactory =
+    Arc<dyn Fn(&ReplicaSpec, &dyn SynopsisStore) -> ScenarioRunner<Box<dyn Healer>> + Send + Sync>;
+
+/// Configuration of a resident daemon (and its [`Supervisor`]).
+///
+/// The daemon *requires* shared learning — a learning policy
+/// ([`PolicyChoice::shares_learning`]) over a shared learner
+/// ([`LearnerChoice::is_shared`]) — because its restart and warm-start
+/// semantics hang off the fleet-wide store surviving individual replicas.
+#[derive(Clone)]
+pub struct DaemonConfig {
+    /// Service simulated by every replica.
+    pub service: ServiceConfig,
+    /// Healing policy driving every replica (must learn).
+    pub policy: PolicyChoice,
+    /// Where learned state lives (must be shared: `Locked` or `Sharded`).
+    pub learner: LearnerChoice,
+    /// Workload shape every replica runs (per-replica seeded).
+    pub workload: WorkloadChoice,
+    /// Fault profile replicas get when added as `default`.
+    pub default_faults: FaultChoice,
+    /// Base seed; each replica's streams are split from it by id, so a
+    /// replica's simulated inputs are a pure function of `(seed, id)`.
+    pub base_seed: u64,
+    /// Ticks per epoch: how far every replica advances between barriers
+    /// (and therefore between control-plane command applications).
+    pub slice: u64,
+    /// Metric samples each replica retains.
+    pub series_capacity: usize,
+    /// Runner rebuilds allowed per replica before it is retired as failed.
+    pub max_restarts: u32,
+    /// Base restart backoff, in epochs; doubles on every consecutive
+    /// restart of the same replica.
+    pub backoff_epochs: u64,
+    /// Incremental persistence file: replayed at startup (crash-restart),
+    /// then appended to on every store drain.  `None` = in-memory only.
+    pub store_path: Option<PathBuf>,
+    /// Test seam: overrides how replica runners are built.  `None` (the
+    /// default) builds them through
+    /// [`selfheal_fleet::FleetEngine::replica_runner_with`].
+    pub runner_factory: Option<RunnerFactory>,
+}
+
+impl Default for DaemonConfig {
+    /// A fast-ticking default: the tiny service under a constant bidding
+    /// workload, hybrid nearest-neighbor healing over one locked store that
+    /// drains every update (so persistence lags reality by at most one
+    /// in-flight record).
+    fn default() -> Self {
+        DaemonConfig {
+            service: ServiceConfig::tiny(),
+            policy: PolicyChoice::Hybrid(SynopsisKind::NearestNeighbor),
+            learner: LearnerChoice::Locked { batch: 1 },
+            workload: WorkloadChoice::synthetic(
+                WorkloadMix::bidding(),
+                ArrivalProcess::Constant { rate: 40.0 },
+            ),
+            default_faults: FaultChoice::mix_for(
+                ServiceProfile::Online,
+                DEFAULT_MIX_RATE,
+                &ServiceConfig::tiny(),
+            ),
+            base_seed: 42,
+            slice: 32,
+            series_capacity: 256,
+            max_restarts: 5,
+            backoff_epochs: 2,
+            store_path: None,
+            runner_factory: None,
+        }
+    }
+}
+
+impl fmt::Debug for DaemonConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DaemonConfig")
+            .field("policy", &self.policy.label())
+            .field("learner", &self.learner.label())
+            .field("workload", &self.workload.label())
+            .field("default_faults", &self.default_faults.label())
+            .field("base_seed", &self.base_seed)
+            .field("slice", &self.slice)
+            .field("max_restarts", &self.max_restarts)
+            .field("backoff_epochs", &self.backoff_epochs)
+            .field("store_path", &self.store_path)
+            .field(
+                "runner_factory",
+                &self.runner_factory.as_ref().map(|_| ".."),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl DaemonConfig {
+    /// Parses a fault-profile word into the [`FaultChoice`] it names:
+    /// `none` (quiet), `default` ([`DaemonConfig::default_faults`]), or
+    /// `<service>[:<rate>]` where `<service>` is a
+    /// [`ServiceProfile`] name (`online`, `content`, `readmostly`) and
+    /// `<rate>` defaults to [`DEFAULT_MIX_RATE`].  Used by `ADD`,
+    /// `RECONFIGURE <id> fault_profile=...`, and the daemon binary's
+    /// `--fault-mix` flag.
+    pub fn fault_profile(&self, text: &str) -> Result<FaultChoice, String> {
+        match text.to_ascii_lowercase().as_str() {
+            "none" => Ok(FaultChoice::default()),
+            "default" => Ok(self.default_faults.clone()),
+            other => {
+                let (name, rate) = match other.split_once(':') {
+                    Some((name, rate)) => (
+                        name,
+                        rate.parse::<f64>()
+                            .map_err(|_| format!("bad fault rate {rate:?}"))?,
+                    ),
+                    None => (other, DEFAULT_MIX_RATE),
+                };
+                let profile = ServiceProfile::ALL
+                    .into_iter()
+                    .find(|p| p.name().eq_ignore_ascii_case(name))
+                    .ok_or_else(|| {
+                        format!(
+                            "unknown fault profile {name:?} \
+                             (try online, content, readmostly, none, default)"
+                        )
+                    })?;
+                Ok(FaultChoice::mix_for(profile, rate, &self.service))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_profiles_parse_by_name_rate_and_keyword() {
+        let config = DaemonConfig::default();
+        assert_eq!(config.fault_profile("none").unwrap().label(), "none");
+        assert_eq!(
+            config.fault_profile("default").unwrap().label(),
+            config.default_faults.label()
+        );
+        let mix = config.fault_profile("readmostly:0.1").unwrap();
+        assert_eq!(mix.label(), "mix_readmostly_0.1");
+        assert!(config.fault_profile("bogus").is_err());
+        assert!(config.fault_profile("online:fast").is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! The control plane's line-oriented text protocol.
+//!
+//! One request is one line of whitespace-separated words; one reply is zero
+//! or more payload lines followed by a terminator line — `OK` on success,
+//! `ERR <message>` on failure.  The framing is deliberately primitive
+//! (std-only, no serialization dependency) so `nc -U`, shell scripts, and
+//! [`send_command`] all speak it equally well.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// A parsed control-plane request.
+///
+/// Commands are applied by the daemon at epoch barriers only — between two
+/// barriers every replica advances exactly as a batch run would, so the
+/// determinism invariants of the tick-sliced scheduler hold for the ticks
+/// between control events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `STATUS` — one-screen daemon summary (epoch, replica states, store
+    /// statistics, per-replica error/restart lines).
+    Status,
+    /// `REPLICAS` — one line per supervised replica.
+    Replicas,
+    /// `ADD <profile>` — add a replica under a fault profile
+    /// (`none`, `default`, or `<service>[:<rate>]`, e.g. `online:0.05`).
+    /// The new replica's healer warm-starts from the shared store.
+    Add(String),
+    /// `REMOVE <id>` — stop and retire one replica.  Ids are never reused.
+    Remove(usize),
+    /// `RECONFIGURE <id> <key>=<value>` — live-update one replica's fault
+    /// or workload stream (keys: `fault_rate`, `fault_profile`,
+    /// `workload_rate`).
+    Reconfigure {
+        /// The replica to reconfigure.
+        id: usize,
+        /// Which knob to turn.
+        key: String,
+        /// The new value, parsed per key.
+        value: String,
+    },
+    /// `QUERY FIXES [<signature>]` — with a comma-separated symptom vector,
+    /// ask the shared store for its best fix; without one, dump per-fix
+    /// success/failure statistics.
+    QueryFixes(Option<Vec<f64>>),
+    /// `EPISODES OPEN` — which replicas are currently inside a failure
+    /// episode.
+    EpisodesOpen,
+    /// `SNAPSHOT <path>` — save the shared store's full experience to a
+    /// JSON-lines snapshot file.
+    Snapshot(PathBuf),
+    /// `DRAIN` — stop injecting faults fleet-wide and keep ticking until
+    /// every open episode closes, then pause.
+    Drain,
+    /// `SHUTDOWN` — flush the store, stop every replica, exit cleanly.
+    Shutdown,
+}
+
+/// Parses one request line.  Command words are case-insensitive; arguments
+/// are taken verbatim.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let head = words
+        .first()
+        .map(|w| w.to_ascii_uppercase())
+        .ok_or_else(|| "empty command".to_string())?;
+    match head.as_str() {
+        "STATUS" => expect_args(&words, 0).map(|_| Command::Status),
+        "REPLICAS" => expect_args(&words, 0).map(|_| Command::Replicas),
+        "ADD" => expect_args(&words, 1).map(|args| Command::Add(args[0].to_string())),
+        "REMOVE" => {
+            let args = expect_args(&words, 1)?;
+            Ok(Command::Remove(parse_id(args[0])?))
+        }
+        "RECONFIGURE" => {
+            let args = expect_args(&words, 2)?;
+            let id = parse_id(args[0])?;
+            let (key, value) = args[1]
+                .split_once('=')
+                .ok_or_else(|| format!("expected <key>=<value>, got {:?}", args[1]))?;
+            if key.is_empty() || value.is_empty() {
+                return Err(format!("expected <key>=<value>, got {:?}", args[1]));
+            }
+            Ok(Command::Reconfigure {
+                id,
+                key: key.to_string(),
+                value: value.to_string(),
+            })
+        }
+        "QUERY" => match words.get(1).map(|w| w.to_ascii_uppercase()).as_deref() {
+            Some("FIXES") => match words.len() {
+                2 => Ok(Command::QueryFixes(None)),
+                3 => Ok(Command::QueryFixes(Some(parse_signature(words[2])?))),
+                _ => Err("usage: QUERY FIXES [<v1,v2,...>]".to_string()),
+            },
+            _ => Err("unknown query; try QUERY FIXES".to_string()),
+        },
+        "EPISODES" => match words.get(1).map(|w| w.to_ascii_uppercase()).as_deref() {
+            Some("OPEN") if words.len() == 2 => Ok(Command::EpisodesOpen),
+            _ => Err("usage: EPISODES OPEN".to_string()),
+        },
+        "SNAPSHOT" => {
+            let args = expect_args(&words, 1)?;
+            Ok(Command::Snapshot(PathBuf::from(args[0])))
+        }
+        "DRAIN" => expect_args(&words, 0).map(|_| Command::Drain),
+        "SHUTDOWN" => expect_args(&words, 0).map(|_| Command::Shutdown),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn expect_args<'a>(words: &'a [&'a str], count: usize) -> Result<&'a [&'a str], String> {
+    let args = &words[1..];
+    if args.len() == count {
+        Ok(args)
+    } else {
+        Err(format!(
+            "{} takes {count} argument(s), got {}",
+            words[0].to_ascii_uppercase(),
+            args.len()
+        ))
+    }
+}
+
+fn parse_id(word: &str) -> Result<usize, String> {
+    word.parse::<usize>()
+        .map_err(|_| format!("expected a replica id, got {word:?}"))
+}
+
+fn parse_signature(word: &str) -> Result<Vec<f64>, String> {
+    let values: Result<Vec<f64>, _> = word.split(',').map(str::parse::<f64>).collect();
+    values.map_err(|_| format!("expected a comma-separated symptom vector, got {word:?}"))
+}
+
+/// Renders a success reply: the payload lines, then the `OK` terminator.
+pub fn reply_ok(lines: &[String]) -> String {
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str("OK\n");
+    out
+}
+
+/// Renders a failure reply (`ERR <message>`, newlines flattened so the
+/// terminator stays one line).
+pub fn reply_err(message: &str) -> String {
+    format!("ERR {}\n", message.replace('\n', " "))
+}
+
+/// Whether a full reply ends in the success terminator.
+pub fn is_ok_reply(reply: &str) -> bool {
+    reply.lines().last().is_some_and(|line| line == "OK")
+}
+
+/// Whether a line is a reply terminator (`OK` or `ERR ...`).
+pub fn is_terminator(line: &str) -> bool {
+    line == "OK" || line == "ERR" || line.starts_with("ERR ")
+}
+
+/// Sends one command line over the daemon's Unix socket and reads the full
+/// reply (payload + terminator) — the client half of the protocol, used by
+/// `selfheal-ctl` and the integration tests.
+///
+/// `timeout` bounds each read; commands are applied at the daemon's next
+/// epoch barrier, so replies normally arrive within one epoch.
+pub fn send_command(socket: &Path, command: &str, timeout: Duration) -> io::Result<String> {
+    let stream = UnixStream::connect(socket)?;
+    stream.set_read_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(command.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reply = String::new();
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let done = is_terminator(&line);
+        reply.push_str(&line);
+        reply.push('\n');
+        if done {
+            break;
+        }
+    }
+    Ok(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command_form() {
+        assert_eq!(parse_command("status"), Ok(Command::Status));
+        assert_eq!(parse_command("REPLICAS"), Ok(Command::Replicas));
+        assert_eq!(
+            parse_command("ADD online:0.05"),
+            Ok(Command::Add("online:0.05".to_string()))
+        );
+        assert_eq!(parse_command("REMOVE 3"), Ok(Command::Remove(3)));
+        assert_eq!(
+            parse_command("RECONFIGURE 1 fault_rate=0.1"),
+            Ok(Command::Reconfigure {
+                id: 1,
+                key: "fault_rate".to_string(),
+                value: "0.1".to_string(),
+            })
+        );
+        assert_eq!(parse_command("QUERY FIXES"), Ok(Command::QueryFixes(None)));
+        assert_eq!(
+            parse_command("query fixes 1.5,0,-2"),
+            Ok(Command::QueryFixes(Some(vec![1.5, 0.0, -2.0])))
+        );
+        assert_eq!(parse_command("EPISODES OPEN"), Ok(Command::EpisodesOpen));
+        assert_eq!(
+            parse_command("SNAPSHOT /tmp/x.jsonl"),
+            Ok(Command::Snapshot(PathBuf::from("/tmp/x.jsonl")))
+        );
+        assert_eq!(parse_command("DRAIN"), Ok(Command::Drain));
+        assert_eq!(parse_command("SHUTDOWN"), Ok(Command::Shutdown));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_command("").is_err());
+        assert!(parse_command("FROB").is_err());
+        assert!(parse_command("REMOVE abc").is_err());
+        assert!(parse_command("RECONFIGURE 1 fault_rate").is_err());
+        assert!(parse_command("QUERY FIXES 1.0,x").is_err());
+        assert!(parse_command("STATUS now").is_err());
+    }
+
+    #[test]
+    fn reply_framing_round_trips() {
+        let ok = reply_ok(&["a=1".to_string(), "b=2".to_string()]);
+        assert_eq!(ok, "a=1\nb=2\nOK\n");
+        assert!(is_ok_reply(&ok));
+        let err = reply_err("bad\nthing");
+        assert_eq!(err, "ERR bad thing\n");
+        assert!(!is_ok_reply(&err));
+        assert!(is_terminator("OK"));
+        assert!(is_terminator("ERR nope"));
+        assert!(!is_terminator("fix=reboot"));
+    }
+}

@@ -1,0 +1,678 @@
+//! The supervisor: replica actors on worker threads, epoch barriers, and
+//! bounded restart-with-backoff.
+//!
+//! Each replica is an *actor*: a dedicated OS thread owning an optional
+//! [`ScenarioRunner`], driven over an mpsc request channel.  The supervisor
+//! advances the whole fleet one epoch ([`DaemonConfig::slice`] ticks) at a
+//! time: it sends every running actor an `Advance`, then collects one
+//! report per actor — that collection *is* the epoch barrier, and it is the
+//! only point where replicas are added, removed, reconfigured, restarted,
+//! or queried.
+//!
+//! A panicking replica is not the end of the fleet (contrast the batch
+//! scheduler, which retires panicked replicas as
+//! [`ReplicaError`](selfheal_fleet::ReplicaError)s): the actor catches the
+//! unwind, drops the poisoned runner, and reports the panic; the supervisor
+//! schedules a rebuild after an exponential backoff, rebuilding the runner
+//! from the replica's spec against the *still-alive* shared store — so the
+//! replacement healer starts with everything the fleet has learned,
+//! including whatever the doomed incarnation drained before dying.  After
+//! [`DaemonConfig::max_restarts`] rebuilds the replica is retired as
+//! failed, its last panic message kept for `STATUS`.
+
+use crate::DaemonConfig;
+use selfheal_core::harness::{FaultChoice, WorkloadChoice};
+use selfheal_core::snapshot::SynopsisSnapshot;
+use selfheal_core::store::{FixStats, SynopsisStore};
+use selfheal_core::synopsis::Learner;
+use selfheal_faults::{FaultSource, FixKind};
+use selfheal_fleet::scheduler::panic_message;
+use selfheal_fleet::{FleetConfig, FleetEngine};
+use selfheal_sim::scenario::Healer;
+use selfheal_sim::seeds::{split_seed, SeedStream};
+use selfheal_sim::ScenarioRunner;
+use selfheal_telemetry::{FleetHealth, ReplicaHealth, ReplicaState};
+use selfheal_workload::{ArrivalProcess, TraceSource};
+use std::collections::BTreeMap;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::mpsc;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::thread;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What one supervised replica *is*, independent of any runner incarnation:
+/// its identity, its fault recipe, and its workload recipe.  Restarts
+/// rebuild runners from this.
+#[derive(Debug, Clone)]
+pub struct ReplicaSpec {
+    /// Fleet-unique id (monotonically assigned, never reused) — also the
+    /// replica index all RNG streams are split by.
+    pub id: usize,
+    /// Display label of the fault recipe.
+    pub profile: String,
+    /// The replica's declarative fault recipe.
+    pub faults: FaultChoice,
+    /// The replica's declarative workload recipe.
+    pub workload: WorkloadChoice,
+}
+
+/// Requests the supervisor sends a replica actor.
+enum ActorRequest {
+    /// Install (or replace) the actor's runner.
+    Install(Box<ScenarioRunner<Box<dyn Healer>>>),
+    /// Advance the runner this many ticks, then report.
+    Advance(u64),
+    /// Swap the runner's fault source (RECONFIGURE / DRAIN).
+    SetFaults(Box<dyn FaultSource>),
+    /// Swap the runner's workload source (RECONFIGURE).
+    SetWorkload(Box<dyn TraceSource>),
+    /// Exit the actor thread.
+    Stop,
+}
+
+/// One epoch's report from a replica actor.
+#[derive(Debug, Default)]
+struct EpochReport {
+    /// Runner ticks advanced so far (this incarnation).
+    ticks: u64,
+    /// Failure episodes closed so far (this incarnation).
+    episodes: usize,
+    /// 1 when the replica is currently inside a failure episode.
+    open_episodes: usize,
+    /// Fix attempts initiated so far (this incarnation).
+    fixes_initiated: u64,
+    /// Panic message, when the runner died this epoch.
+    panic: Option<String>,
+}
+
+/// The actor body: owns the runner, steps it on demand, converts panics
+/// into reports instead of thread death.
+fn replica_actor(requests: Receiver<ActorRequest>, reports: Sender<EpochReport>) {
+    let mut runner: Option<ScenarioRunner<Box<dyn Healer>>> = None;
+    while let Ok(request) = requests.recv() {
+        match request {
+            ActorRequest::Install(replacement) => runner = Some(*replacement),
+            ActorRequest::SetFaults(faults) => {
+                if let Some(runner) = runner.as_mut() {
+                    runner.set_faults(faults);
+                }
+            }
+            ActorRequest::SetWorkload(workload) => {
+                if let Some(runner) = runner.as_mut() {
+                    runner.set_workload(workload);
+                }
+            }
+            ActorRequest::Stop => break,
+            ActorRequest::Advance(ticks) => {
+                let mut report = EpochReport::default();
+                if let Some(current) = runner.as_mut() {
+                    let stepped = catch_unwind(AssertUnwindSafe(|| {
+                        for _ in 0..ticks {
+                            current.step();
+                        }
+                    }));
+                    match stepped {
+                        Ok(()) => {
+                            report.ticks = current.ticks_run();
+                            report.episodes = current.recovery().len();
+                            report.open_episodes = usize::from(current.recovery().in_episode());
+                            report.fixes_initiated = current.fixes_initiated();
+                        }
+                        Err(payload) => {
+                            // The runner may be mid-tick inconsistent; drop
+                            // the whole incarnation.
+                            runner = None;
+                            report.panic = Some(panic_message(payload));
+                        }
+                    }
+                }
+                if reports.send(report).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// A replica's lifecycle phase, as the supervisor sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Running,
+    Restarting { resume_epoch: u64 },
+    Failed,
+}
+
+/// Supervisor-side bookkeeping for one replica actor.
+struct ReplicaEntry {
+    spec: ReplicaSpec,
+    phase: Phase,
+    restarts: u32,
+    /// Ticks accumulated by previous (dead) incarnations.
+    ticks_prior: u64,
+    health: ReplicaHealth,
+    requests: Sender<ActorRequest>,
+    reports: Receiver<EpochReport>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Owns the replica actors, the shared store, and the epoch clock — the
+/// heart of the resident daemon (see the [module docs](self)).
+pub struct Supervisor {
+    config: DaemonConfig,
+    engine: FleetEngine,
+    store: Box<dyn SynopsisStore>,
+    entries: BTreeMap<usize, ReplicaEntry>,
+    next_id: usize,
+    epoch: u64,
+    started: Instant,
+    restored: usize,
+    draining: bool,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("epoch", &self.epoch)
+            .field("replicas", &self.entries.keys().collect::<Vec<_>>())
+            .field("restored", &self.restored)
+            .field("draining", &self.draining)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Supervisor {
+    /// Builds the supervisor: validates the config (shared learning is
+    /// mandatory), replays the [`DaemonConfig::store_path`] snapshot log
+    /// when the file exists (crash-restart), and switches the store to
+    /// incremental persistence.  No replicas yet — call
+    /// [`add_replica`](Self::add_replica).
+    pub fn new(config: DaemonConfig) -> Result<Supervisor, String> {
+        if !config.policy.shares_learning() {
+            return Err(format!(
+                "the daemon requires a learning policy (got {}); try hybrid or fixsym",
+                config.policy.label()
+            ));
+        }
+        if !config.learner.is_shared() {
+            return Err(format!(
+                "the daemon requires a shared learner (got {}); try locked or sharded",
+                config.learner.label()
+            ));
+        }
+        let mut restored = 0;
+        let mut fleet = FleetConfig::builder()
+            .service(config.service.clone())
+            .workload(config.workload.clone())
+            .policy(config.policy)
+            .learner(config.learner)
+            .base_seed(config.base_seed)
+            .slice(config.slice)
+            .series_capacity(config.series_capacity)
+            .faults(config.default_faults.clone());
+        if let Some(path) = &config.store_path {
+            if path.exists() {
+                let snapshot = SynopsisSnapshot::load(path)
+                    .map_err(|err| format!("cannot replay snapshot log {path:?}: {err}"))?;
+                restored = snapshot.len();
+                fleet = fleet.warm_start(snapshot);
+            }
+            fleet = fleet.persist_synopsis(path);
+        }
+        let engine = fleet.build();
+        let store = engine
+            .build_shared_store()
+            .expect("validated: shared learner + learning policy");
+        Ok(Supervisor {
+            config,
+            engine,
+            store,
+            entries: BTreeMap::new(),
+            next_id: 0,
+            epoch: 0,
+            started: Instant::now(),
+            restored,
+            draining: false,
+        })
+    }
+
+    /// Milliseconds since the supervisor was built (the heartbeat clock).
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Epochs completed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Examples replayed from the snapshot log at startup.
+    pub fn restored_examples(&self) -> usize {
+        self.restored
+    }
+
+    /// The incremental-persistence path, when one is configured.
+    pub fn store_path(&self) -> Option<&Path> {
+        self.config.store_path.as_deref()
+    }
+
+    /// The fleet-wide synopsis store (live: replicas keep teaching it).
+    pub fn store(&self) -> &dyn SynopsisStore {
+        self.store.as_ref()
+    }
+
+    /// Number of supervised replicas (running, restarting, or failed).
+    pub fn replica_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` after [`drain`](Self::drain), until a replica is added.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// `true` when a drain was requested and every episode has closed —
+    /// the daemon loop stops ticking then.
+    pub fn is_drained(&self) -> bool {
+        self.draining && self.total_open_episodes() == 0
+    }
+
+    /// Failure episodes currently open, summed over replicas.
+    pub fn total_open_episodes(&self) -> usize {
+        self.entries
+            .values()
+            .map(|entry| entry.health.open_episodes)
+            .sum()
+    }
+
+    /// Per-replica health records, ordered by id.
+    pub fn replica_health(&self) -> Vec<ReplicaHealth> {
+        self.entries
+            .values()
+            .map(|entry| entry.health.clone())
+            .collect()
+    }
+
+    /// The fleet-wide health roll-up at the current barrier — also the
+    /// daemon's periodic JSON metrics line
+    /// ([`FleetHealth::to_json_line`]).
+    pub fn health(&self) -> FleetHealth {
+        let mut health = FleetHealth {
+            epoch: self.epoch,
+            uptime_ms: self.uptime_ms(),
+            fixes_known: self.store.correct_fixes_learned(),
+            pending_updates: self.store.pending_updates(),
+            ..FleetHealth::default()
+        };
+        health.absorb_replicas(self.entries.values().map(|entry| &entry.health));
+        let secs = self.started.elapsed().as_secs_f64();
+        health.ticks_per_sec = if secs > 0.0 {
+            health.total_ticks as f64 / secs
+        } else {
+            0.0
+        };
+        health
+    }
+
+    /// The store's best fix for a failure signature (live query).
+    pub fn suggest_fix(&self, symptoms: &[f64]) -> Option<(FixKind, f64)> {
+        self.store.suggest(symptoms)
+    }
+
+    /// Per-fix success/failure statistics over the store's experience.
+    pub fn fix_stats(&self) -> Vec<FixStats> {
+        self.store.fix_stats()
+    }
+
+    /// Saves the store's full experience to a snapshot file; returns the
+    /// example count written.
+    pub fn snapshot_to(&self, path: &Path) -> io::Result<usize> {
+        let snapshot = self.store.snapshot();
+        snapshot.save(path)?;
+        Ok(snapshot.len())
+    }
+
+    /// Adds a replica under a fault profile (see
+    /// [`DaemonConfig::fault_profile`] for the accepted words) and installs
+    /// its runner.  The replica warm-starts by construction: its healer is
+    /// built against a handle of the shared store, so every fix the fleet
+    /// has learned is already known to it.  Clears a pending drain.
+    pub fn add_replica(&mut self, profile: &str) -> Result<usize, String> {
+        let faults = self.config.fault_profile(profile)?;
+        let id = self.next_id;
+        let spec = ReplicaSpec {
+            id,
+            profile: faults.label(),
+            faults,
+            workload: self.config.workload.clone(),
+        };
+        self.spawn_replica(spec)?;
+        self.next_id += 1;
+        self.draining = false;
+        Ok(id)
+    }
+
+    /// Stops and retires one replica.  Its id is never reused.
+    pub fn remove_replica(&mut self, id: usize) -> Result<(), String> {
+        let mut entry = self
+            .entries
+            .remove(&id)
+            .ok_or_else(|| format!("no replica {id}"))?;
+        let _ = entry.requests.send(ActorRequest::Stop);
+        if let Some(thread) = entry.thread.take() {
+            let _ = thread.join();
+        }
+        Ok(())
+    }
+
+    /// Live-updates one replica's input streams.  Keys:
+    ///
+    /// * `fault_rate=<f64>` — per-tick fault probability (the replica must
+    ///   already run a demographic mix).
+    /// * `fault_profile=<word>` — any [`DaemonConfig::fault_profile`] word.
+    /// * `workload_rate=<f64>` — synthetic arrival rate.
+    ///
+    /// The rebuilt source is seeded exactly as at construction
+    /// ([`split_seed`] by replica id) and swapped into the live runner; the
+    /// spec is updated so restarts keep the new recipe.  Returns a
+    /// `key=value` description of what was applied.
+    pub fn reconfigure(&mut self, id: usize, key: &str, value: &str) -> Result<String, String> {
+        if !self.entries.contains_key(&id) {
+            return Err(format!("no replica {id}"));
+        }
+        enum Change {
+            Faults(FaultChoice),
+            Workload(WorkloadChoice),
+        }
+        let change = match key {
+            "fault_rate" => {
+                let rate: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad fault rate {value:?}"))?;
+                let mut faults = self.entries[&id].spec.faults.clone();
+                match &mut faults {
+                    FaultChoice::Mix { rate: current, .. } => *current = rate.clamp(0.0, 1.0),
+                    _ => {
+                        return Err(format!(
+                            "replica {id} runs no demographic mix; set fault_profile first"
+                        ))
+                    }
+                }
+                Change::Faults(faults)
+            }
+            "fault_profile" => Change::Faults(self.config.fault_profile(value)?),
+            "workload_rate" => {
+                let rate: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad workload rate {value:?}"))?;
+                let mut workload = self.entries[&id].spec.workload.clone();
+                match &mut workload {
+                    WorkloadChoice::Synthetic { arrivals, .. } => {
+                        set_arrival_rate(arrivals, rate.max(0.0))
+                    }
+                    _ => {
+                        return Err(format!(
+                            "replica {id} runs a non-synthetic workload; \
+                             workload_rate applies to synthetic arrivals only"
+                        ))
+                    }
+                }
+                Change::Workload(workload)
+            }
+            other => {
+                return Err(format!(
+                    "unknown key {other:?} (try fault_rate, fault_profile, workload_rate)"
+                ))
+            }
+        };
+        let base_seed = self.config.base_seed;
+        let entry = self.entries.get_mut(&id).expect("checked above");
+        match change {
+            Change::Faults(choice) => {
+                let source = choice.source_for_replica(
+                    split_seed(base_seed, id as u64, SeedStream::Faults),
+                    id as u64,
+                );
+                entry
+                    .requests
+                    .send(ActorRequest::SetFaults(source))
+                    .map_err(|_| format!("replica {id}'s actor is gone"))?;
+                entry.spec.profile = choice.label();
+                entry.health.profile = entry.spec.profile.clone();
+                entry.spec.faults = choice;
+                Ok(format!("faults={}", entry.spec.profile))
+            }
+            Change::Workload(choice) => {
+                let source = choice.source_for_replica(
+                    split_seed(base_seed, id as u64, SeedStream::Workload),
+                    id as u64,
+                );
+                entry
+                    .requests
+                    .send(ActorRequest::SetWorkload(source))
+                    .map_err(|_| format!("replica {id}'s actor is gone"))?;
+                entry.spec.workload = choice;
+                Ok(format!("workload={}", entry.spec.workload.label()))
+            }
+        }
+    }
+
+    /// Stops fault injection fleet-wide: every replica's fault recipe is
+    /// swapped for the quiet one, while ticking continues so open episodes
+    /// heal out.  [`is_drained`](Self::is_drained) turns true once they
+    /// have; [`add_replica`](Self::add_replica) resumes normal operation.
+    pub fn drain(&mut self) {
+        self.draining = true;
+        let base_seed = self.config.base_seed;
+        for (id, entry) in self.entries.iter_mut() {
+            let choice = FaultChoice::default();
+            let source = choice.source_for_replica(
+                split_seed(base_seed, *id as u64, SeedStream::Faults),
+                *id as u64,
+            );
+            let _ = entry.requests.send(ActorRequest::SetFaults(source));
+            entry.spec.profile = choice.label();
+            entry.health.profile = entry.spec.profile.clone();
+            entry.spec.faults = choice;
+        }
+    }
+
+    /// Advances every running replica one epoch ([`DaemonConfig::slice`]
+    /// ticks) and collects their reports — the epoch barrier.  Replicas
+    /// whose backoff expired are rebuilt first; replicas that panic during
+    /// the epoch enter backoff (or retire at the restart cap).  Returns the
+    /// number of replicas that advanced.
+    pub fn advance_epoch(&mut self) -> usize {
+        self.epoch += 1;
+
+        // Rebuild replicas whose backoff expired.
+        let due: Vec<usize> = self
+            .entries
+            .iter()
+            .filter_map(|(id, entry)| match entry.phase {
+                Phase::Restarting { resume_epoch } if resume_epoch <= self.epoch => Some(*id),
+                _ => None,
+            })
+            .collect();
+        for id in due {
+            let spec = self.entries[&id].spec.clone();
+            let runner = self.build_runner(&spec);
+            let entry = self.entries.get_mut(&id).expect("due id exists");
+            if entry
+                .requests
+                .send(ActorRequest::Install(Box::new(runner)))
+                .is_ok()
+            {
+                entry.phase = Phase::Running;
+                entry.health.state = ReplicaState::Running;
+            } else {
+                entry.phase = Phase::Failed;
+                entry.health.state = ReplicaState::Failed;
+                entry.health.last_error = Some("replica actor is gone".to_string());
+            }
+        }
+
+        // Dispatch the epoch to every running actor...
+        let slice = self.config.slice;
+        let running: Vec<usize> = self
+            .entries
+            .iter()
+            .filter(|(_, entry)| entry.phase == Phase::Running)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &running {
+            let entry = self.entries.get_mut(id).expect("running id exists");
+            if entry.requests.send(ActorRequest::Advance(slice)).is_err() {
+                entry.phase = Phase::Failed;
+                entry.health.state = ReplicaState::Failed;
+                entry.health.last_error = Some("replica actor is gone".to_string());
+            }
+        }
+
+        // ...and collect one report per actor: the barrier itself.
+        let now_ms = self.uptime_ms();
+        let max_restarts = self.config.max_restarts;
+        let backoff_epochs = self.config.backoff_epochs.max(1);
+        let epoch = self.epoch;
+        let mut advanced = 0;
+        for id in running {
+            let entry = self.entries.get_mut(&id).expect("running id exists");
+            if entry.phase != Phase::Running {
+                continue;
+            }
+            let report = match entry.reports.recv_timeout(Duration::from_secs(60)) {
+                Ok(report) => report,
+                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                    entry.phase = Phase::Failed;
+                    entry.health.state = ReplicaState::Failed;
+                    entry.health.last_error = Some("replica actor unresponsive".to_string());
+                    continue;
+                }
+            };
+            entry.health.last_heartbeat_ms = now_ms;
+            match report.panic {
+                None => {
+                    advanced += 1;
+                    entry.health.ticks = entry.ticks_prior + report.ticks;
+                    entry.health.episodes = report.episodes;
+                    entry.health.open_episodes = report.open_episodes;
+                    entry.health.fixes_initiated = report.fixes_initiated;
+                }
+                Some(message) => {
+                    entry.ticks_prior = entry.health.ticks;
+                    entry.health.open_episodes = 0;
+                    entry.health.last_error = Some(message);
+                    if entry.restarts >= max_restarts {
+                        entry.phase = Phase::Failed;
+                        entry.health.state = ReplicaState::Failed;
+                    } else {
+                        entry.restarts += 1;
+                        entry.health.restarts = entry.restarts;
+                        let doubling = (entry.restarts - 1).min(16);
+                        let backoff = backoff_epochs.saturating_mul(1 << doubling);
+                        entry.phase = Phase::Restarting {
+                            resume_epoch: epoch + backoff,
+                        };
+                        entry.health.state = ReplicaState::Restarting;
+                    }
+                }
+            }
+        }
+        advanced
+    }
+
+    /// Clean exit: stops every actor, then flushes the store (folding any
+    /// queued updates into the model — and, with persistence on, into the
+    /// snapshot log).
+    pub fn shutdown(mut self) {
+        self.stop_actors();
+        self.store.flush();
+    }
+
+    /// Simulated `kill -9`: stops every actor *without* the final flush, so
+    /// only experience already drained to the snapshot log survives —
+    /// exactly what dying mid-run loses.  The crash-restart tests restart a
+    /// supervisor from the same store path after this.
+    pub fn abort(mut self) {
+        self.stop_actors();
+    }
+
+    fn stop_actors(&mut self) {
+        let ids: Vec<usize> = self.entries.keys().copied().collect();
+        for id in ids {
+            if let Some(mut entry) = self.entries.remove(&id) {
+                let _ = entry.requests.send(ActorRequest::Stop);
+                if let Some(thread) = entry.thread.take() {
+                    let _ = thread.join();
+                }
+            }
+        }
+    }
+
+    /// Builds one runner for `spec` — through the config's test factory
+    /// when set, through the fleet engine's public replica surface
+    /// otherwise.
+    fn build_runner(&self, spec: &ReplicaSpec) -> ScenarioRunner<Box<dyn Healer>> {
+        if let Some(factory) = &self.config.runner_factory {
+            factory(spec, self.store.as_ref())
+        } else {
+            self.engine.replica_runner_with(
+                spec.id,
+                Some(&spec.faults),
+                Some(&spec.workload),
+                Some(self.store.as_ref()),
+            )
+        }
+    }
+
+    fn spawn_replica(&mut self, spec: ReplicaSpec) -> Result<(), String> {
+        let (request_tx, request_rx) = mpsc::channel();
+        let (report_tx, report_rx) = mpsc::channel();
+        let thread = thread::Builder::new()
+            .name(format!("replica-{}", spec.id))
+            .spawn(move || replica_actor(request_rx, report_tx))
+            .map_err(|err| format!("cannot spawn replica actor: {err}"))?;
+        let runner = self.build_runner(&spec);
+        request_tx
+            .send(ActorRequest::Install(Box::new(runner)))
+            .map_err(|_| "replica actor died at birth".to_string())?;
+        let health = ReplicaHealth {
+            id: spec.id,
+            profile: spec.profile.clone(),
+            state: ReplicaState::Running,
+            ticks: 0,
+            episodes: 0,
+            open_episodes: 0,
+            fixes_initiated: 0,
+            restarts: 0,
+            last_heartbeat_ms: self.uptime_ms(),
+            last_error: None,
+        };
+        self.entries.insert(
+            spec.id,
+            ReplicaEntry {
+                spec,
+                phase: Phase::Running,
+                restarts: 0,
+                ticks_prior: 0,
+                health,
+                requests: request_tx,
+                reports: report_rx,
+                thread: Some(thread),
+            },
+        );
+        Ok(())
+    }
+}
+
+/// Updates the "rate" knob shared by every arrival model.
+fn set_arrival_rate(arrivals: &mut ArrivalProcess, rate: f64) {
+    match arrivals {
+        ArrivalProcess::Constant { rate: current } | ArrivalProcess::Poisson { rate: current } => {
+            *current = rate
+        }
+        ArrivalProcess::Diurnal { base, .. } | ArrivalProcess::Surge { base, .. } => *base = rate,
+    }
+}

@@ -78,7 +78,7 @@ use selfheal_faults::{FaultSource, InjectionPlan, ScriptedSource};
 use selfheal_sim::scenario::{Healer, ScenarioOutcome, ScenarioRunner};
 use selfheal_sim::seeds::{split_seed, SeedStream};
 use selfheal_sim::{MultiTierService, ServiceConfig};
-use selfheal_workload::{ArrivalProcess, WorkloadMix};
+use selfheal_workload::{ArrivalProcess, TraceSource, WorkloadMix};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread;
@@ -601,11 +601,6 @@ impl FleetEngine {
         gate: Option<&Arc<StoreGate>>,
     ) -> ScenarioRunner<Box<dyn Healer>> {
         let config = &self.config;
-        let mut service_config = config.service.clone();
-        service_config.seed = split_seed(config.base_seed, replica as u64, SeedStream::Service);
-        let service = MultiTierService::new(service_config);
-        let schema = service.schema().clone();
-        let targets = config.service.slo_targets();
         let workload = config.workload.source_for_replica(
             split_seed(config.base_seed, replica as u64, SeedStream::Workload),
             replica as u64,
@@ -617,8 +612,92 @@ impl FleetEngine {
             ),
             FleetFaults::PerReplica(factory) => Box::new(ScriptedSource::new(factory(replica))),
         };
+        let store = config
+            .policy
+            .shares_learning()
+            .then(|| self.build_store(replica, fleet_store, gate));
+        self.assemble_replica(replica, workload, faults, store)
+    }
+
+    /// Builds a standalone runner for replica index `replica` — the public
+    /// replica-construction surface the resident daemon's supervisor uses
+    /// to add, restart, and warm-start replicas *outside* a batch
+    /// [`FleetEngine::run`].  Seeds are split exactly as [`run`](FleetEngine::run) splits
+    /// them, so the replica's simulated streams are the same pure function
+    /// of `(base_seed, replica)`.
+    ///
+    /// When `store` is given and the policy learns, the healer is built
+    /// against a [`clone_store`](SynopsisStore::clone_store) handle of it
+    /// (ungated — the supervisor serializes access at its own epoch
+    /// barriers); a learning policy with no `store` gets a private
+    /// warm-started store, and non-learning policies ignore `store`.
+    pub fn replica_runner(
+        &self,
+        replica: usize,
+        store: Option<&dyn SynopsisStore>,
+    ) -> ScenarioRunner<Box<dyn Healer>> {
+        self.replica_runner_with(replica, None, None, store)
+    }
+
+    /// [`replica_runner`](Self::replica_runner) with per-replica overrides:
+    /// `faults`/`workload` replace the fleet-wide choices for this replica
+    /// only (still seeded from the fleet's split streams) — how the daemon
+    /// gives each added replica its own fault profile and applies
+    /// `RECONFIGURE`.
+    pub fn replica_runner_with(
+        &self,
+        replica: usize,
+        faults: Option<&FaultChoice>,
+        workload: Option<&WorkloadChoice>,
+        store: Option<&dyn SynopsisStore>,
+    ) -> ScenarioRunner<Box<dyn Healer>> {
+        let config = &self.config;
+        let workload_source = workload.unwrap_or(&config.workload).source_for_replica(
+            split_seed(config.base_seed, replica as u64, SeedStream::Workload),
+            replica as u64,
+        );
+        let fault_seed = split_seed(config.base_seed, replica as u64, SeedStream::Faults);
+        let fault_source: Box<dyn FaultSource> = match faults {
+            Some(choice) => choice.source_for_replica(fault_seed, replica as u64),
+            None => match &config.faults {
+                FleetFaults::Choice(choice) => {
+                    choice.source_for_replica(fault_seed, replica as u64)
+                }
+                FleetFaults::PerReplica(factory) => Box::new(ScriptedSource::new(factory(replica))),
+            },
+        };
+        let store = (config.policy.shares_learning())
+            .then(|| store.map(|s| s.clone_store()))
+            .flatten();
+        self.assemble_replica(replica, workload_source, fault_source, store)
+    }
+
+    /// Common replica assembly: seeds the service, wires the healer to the
+    /// provided store handle (or a private warm-started one), and caps the
+    /// series history.
+    fn assemble_replica(
+        &self,
+        replica: usize,
+        workload: Box<dyn TraceSource>,
+        faults: Box<dyn FaultSource>,
+        store: Option<Box<dyn SynopsisStore>>,
+    ) -> ScenarioRunner<Box<dyn Healer>> {
+        let config = &self.config;
+        let mut service_config = config.service.clone();
+        service_config.seed = split_seed(config.base_seed, replica as u64, SeedStream::Service);
+        let service = MultiTierService::new(service_config);
+        let schema = service.schema().clone();
+        let targets = config.service.slo_targets();
         let healer = if config.policy.shares_learning() {
-            let store = self.build_store(replica, fleet_store, gate);
+            let store = store.unwrap_or_else(|| {
+                LearnerChoice::Private.build_store_warm(
+                    config
+                        .policy
+                        .synopsis_kind()
+                        .expect("learning policy has a kind"),
+                    config.warm_start.as_ref(),
+                )
+            });
             config.policy.build_healer_stored(&schema, targets, store)
         } else {
             config.policy.build_healer(&schema, targets)
@@ -627,10 +706,18 @@ impl FleetEngine {
             .with_series_capacity(config.series_capacity)
     }
 
-    /// Runs the fleet through the tick-sliced scheduler and aggregates the
-    /// results.  Replicas that panic mid-run surface as
-    /// [`FleetOutcome::errors`]; the survivors complete normally.
-    pub fn run(self) -> FleetOutcome {
+    /// Builds the fleet-wide synopsis store this configuration calls for —
+    /// `Some` when the learner is shared ([`LearnerChoice::is_shared`]) and
+    /// the policy learns, warm-started from the config's snapshot and
+    /// switched to incremental persistence when
+    /// [`FleetConfig::persist_synopsis`] was set.  [`run`](Self::run) calls
+    /// this internally; the resident daemon calls it once at boot and keeps
+    /// the store alive across epochs and replica restarts.
+    ///
+    /// # Panics
+    /// Panics when the persistence file cannot be created (same contract as
+    /// [`FleetConfig::persist_synopsis`]).
+    pub fn build_shared_store(&self) -> Option<Box<dyn SynopsisStore>> {
         let config = &self.config;
         let mut store: Option<Box<dyn SynopsisStore>> =
             if config.learner.is_shared() && config.policy.shares_learning() {
@@ -651,6 +738,15 @@ impl FleetEngine {
                 .persist_to(path)
                 .unwrap_or_else(|err| panic!("cannot persist synopsis to {path:?}: {err}"));
         }
+        store
+    }
+
+    /// Runs the fleet through the tick-sliced scheduler and aggregates the
+    /// results.  Replicas that panic mid-run surface as
+    /// [`FleetOutcome::errors`]; the survivors complete normally.
+    pub fn run(self) -> FleetOutcome {
+        let config = &self.config;
+        let store = self.build_shared_store();
         let shape = FleetShape {
             replicas: config.replicas,
             ticks: config.ticks,

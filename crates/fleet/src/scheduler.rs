@@ -65,8 +65,10 @@ impl std::fmt::Display for ReplicaError {
 
 impl std::error::Error for ReplicaError {}
 
-/// Extracts a printable message from a caught panic payload.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Extracts a printable message from a caught panic payload — shared with
+/// the resident daemon's supervisor, which catches replica panics the same
+/// way this scheduler does.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(message) = payload.downcast_ref::<&str>() {
         (*message).to_string()
     } else if let Some(message) = payload.downcast_ref::<String>() {

@@ -252,9 +252,30 @@ impl<H: Healer> ScenarioRunner<H> {
         self.faults.as_ref()
     }
 
+    /// Replaces the fault source mid-run — the live-reconfiguration hook
+    /// (e.g. the resident daemon's `RECONFIGURE`/`DRAIN` commands, applied
+    /// at epoch barriers).  The new source is queried from the *current*
+    /// tick onward; faults already injected into the service keep running
+    /// to their natural end.
+    pub fn set_faults(&mut self, faults: Box<dyn FaultSource>) {
+        self.faults = faults;
+    }
+
+    /// Replaces the workload source mid-run (see
+    /// [`set_faults`](Self::set_faults) for the semantics): the new trace
+    /// feeds arrivals from the current tick onward.
+    pub fn set_workload(&mut self, workload: Box<dyn TraceSource>) {
+        self.workload = workload;
+    }
+
     /// Ticks advanced so far.
     pub fn ticks_run(&self) -> u64 {
         self.ticks_run
+    }
+
+    /// Fix attempts the healer has initiated so far.
+    pub fn fixes_initiated(&self) -> u64 {
+        self.fixes_initiated
     }
 
     /// The metric history recorded so far.

@@ -53,6 +53,7 @@
 #![deny(unsafe_code)]
 
 pub mod export;
+pub mod health;
 pub mod metric;
 pub mod sample;
 pub mod schema;
@@ -61,6 +62,7 @@ pub mod slo;
 pub mod stats;
 pub mod window;
 
+pub use health::{FleetHealth, ReplicaHealth, ReplicaState};
 pub use metric::{InstrumentationCost, MetricDef, MetricId, MetricKind, Tier};
 pub use sample::Sample;
 pub use schema::{Schema, SchemaBuilder};

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the resident fleet daemon (the CI daemon job):
+#
+#   launch (2 replicas, online fault mix, incremental snapshot log)
+#     -> wait for the shared store to learn a fix
+#     -> ADD / REPLICAS / QUERY FIXES / SNAPSHOT over selfheal-ctl
+#     -> kill -9, relaunch from the same log
+#     -> STATUS must show restored synopsis counts
+#     -> clean SHUTDOWN within a bounded wait
+#
+# Exits 1 on any failed step.  Binaries default to target/release; override
+# with DAEMON= / CTL=.
+set -u
+
+DAEMON="${DAEMON:-target/release/selfheal-daemon}"
+CTL="${CTL:-target/release/selfheal-ctl}"
+DIR="$(mktemp -d)"
+SOCKET="$DIR/control.sock"
+STORE="$DIR/synopsis.jsonl"
+SNAPSHOT="$DIR/fixes.jsonl"
+PID=""
+
+fail() {
+    echo "daemon_smoke: FAIL: $*" >&2
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null
+    rm -rf "$DIR"
+    exit 1
+}
+
+ctl() { "$CTL" --socket "$SOCKET" --timeout-secs 20 "$@"; }
+
+launch() {
+    "$DAEMON" --socket "$SOCKET" --store "$STORE" --replicas 2 \
+        --fault-mix online:0.02 &
+    PID=$!
+    # The socket file may be stale from a previous (killed) life, so poll
+    # for a served STATUS rather than for the file.
+    for _ in $(seq 1 100); do
+        ctl STATUS >/dev/null 2>&1 && return 0
+        kill -0 "$PID" 2>/dev/null || fail "daemon exited at launch"
+        sleep 0.1
+    done
+    fail "control socket never answered"
+}
+
+[ -x "$DAEMON" ] || fail "$DAEMON is not built (cargo build --release)"
+[ -x "$CTL" ] || fail "$CTL is not built (cargo build --release)"
+
+# First life: learn under the fault mix.
+launch
+LEARNED=""
+for _ in $(seq 1 300); do
+    STATUS="$(ctl STATUS 2>/dev/null)" || STATUS=""
+    if printf '%s\n' "$STATUS" | grep -q 'fixes_known=[1-9]'; then
+        LEARNED=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$LEARNED" ] || fail "fleet never learned a fix; last STATUS: $STATUS"
+
+# Control plane: grow the fleet, inspect it, query the live store.
+ctl ADD online:0.05 >/dev/null || fail "ADD rejected"
+REPLICAS="$(ctl REPLICAS)" || fail "REPLICAS rejected"
+COUNT="$(printf '%s\n' "$REPLICAS" | grep -c '^replica ')"
+[ "$COUNT" -eq 3 ] || fail "expected 3 replicas, got $COUNT: $REPLICAS"
+ctl QUERY FIXES | grep -q 'fix=' || fail "QUERY FIXES returned no experience"
+
+# Snapshot on demand: the file must hold actual examples.
+ctl SNAPSHOT "$SNAPSHOT" >/dev/null || fail "SNAPSHOT rejected"
+[ -s "$SNAPSHOT" ] || fail "snapshot file is empty"
+grep -q '"fix"' "$SNAPSHOT" || fail "snapshot holds no examples"
+
+# kill -9: only what the incremental log already drained survives.
+kill -9 "$PID" || fail "kill -9 failed"
+wait "$PID" 2>/dev/null
+PID=""
+[ -s "$STORE" ] || fail "snapshot log is empty after the crash"
+
+# Second life: the log replay restores the synopsis.
+launch
+STATUS="$(ctl STATUS)" || fail "STATUS after restart rejected"
+printf '%s\n' "$STATUS" | grep -q 'restored_examples=[1-9]' \
+    || fail "nothing restored after the crash: $STATUS"
+printf '%s\n' "$STATUS" | grep -q 'fixes_known=[1-9]' \
+    || fail "restored store knows no fixes: $STATUS"
+
+# Clean shutdown, bounded.
+ctl SHUTDOWN | grep -q 'shutting down' || fail "SHUTDOWN rejected"
+for _ in $(seq 1 100); do
+    kill -0 "$PID" 2>/dev/null || { PID=""; break; }
+    sleep 0.1
+done
+[ -z "$PID" ] || fail "daemon still alive after SHUTDOWN"
+
+rm -rf "$DIR"
+echo "daemon_smoke: OK"

@@ -24,6 +24,11 @@
 //!   API (private, lock-shared, or sharded by symptom-space region, all
 //!   persistable to JSON-lines for warm starts), hybrid and proactive
 //!   policies, the healing-loop harness (the paper's contribution).
+//! * [`daemon`] — the resident fleet daemon: supervised replica actors
+//!   with bounded restart-with-backoff, a line-oriented control plane over
+//!   a Unix domain socket (`selfheal-daemon` / `selfheal-ctl` binaries),
+//!   live synopsis queries, and crash-restart durability via the
+//!   incremental snapshot log.
 //! * [`fleet`] — the fleet engine: N independently-seeded replicas driven
 //!   by a tick-sliced epoch scheduler, coordinating through one shared
 //!   synopsis store (access gated into the sequential interleave, so even
@@ -144,6 +149,7 @@
 #![deny(unsafe_code)]
 
 pub use selfheal_core as healing;
+pub use selfheal_daemon as daemon;
 pub use selfheal_diagnosis as diagnosis;
 pub use selfheal_faults as faults;
 pub use selfheal_fleet as fleet;

@@ -1,0 +1,345 @@
+//! Integration tests for the resident fleet daemon: supervisor
+//! restart-with-backoff, crash-restart durability through the incremental
+//! snapshot log, and a scripted end-to-end daemon session over the
+//! control-plane socket.
+
+use selfheal::daemon::protocol::send_command;
+use selfheal::daemon::{Daemon, DaemonConfig, DaemonOptions, ReplicaSpec, Supervisor};
+use selfheal::faults::{FixAction, InjectionPlan};
+use selfheal::healing::snapshot::SynopsisSnapshot;
+use selfheal::sim::scenario::{Healer, NoHealing, ScenarioRunner};
+use selfheal::sim::service::TickOutcome;
+use selfheal::sim::{MultiTierService, ServiceConfig};
+use selfheal::telemetry::ReplicaState;
+use selfheal::workload::{ArrivalProcess, TraceGenerator, WorkloadMix};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A scratch directory unique to one test, cleaned up on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("selfheal-daemon-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A healer that panics once its incarnation reaches a given tick —
+/// the synthetic replica failure the supervisor must absorb.
+#[derive(Debug)]
+struct PanicAt {
+    tick: u64,
+    seen: u64,
+}
+
+impl Healer for PanicAt {
+    fn name(&self) -> &str {
+        "panic_at"
+    }
+
+    fn observe(&mut self, _outcome: &TickOutcome) -> Vec<FixAction> {
+        if self.seen == self.tick {
+            panic!("deliberate panic at tick {}", self.tick);
+        }
+        self.seen += 1;
+        Vec::new()
+    }
+}
+
+fn bare_runner(spec: &ReplicaSpec, healer: Box<dyn Healer>) -> ScenarioRunner<Box<dyn Healer>> {
+    let service = MultiTierService::new(ServiceConfig::tiny());
+    let workload = TraceGenerator::new(
+        WorkloadMix::bidding(),
+        ArrivalProcess::Constant { rate: 20.0 },
+        spec.id as u64 + 7,
+    );
+    ScenarioRunner::new(service, workload, InjectionPlan::empty(), healer)
+}
+
+/// Config for the supervisor tests: tight slices, short backoff, and a
+/// runner factory whose incarnation counter decides who panics.
+fn panicky_config(
+    max_restarts: u32,
+    factory: impl Fn(&ReplicaSpec, usize) -> Box<dyn Healer> + Send + Sync + 'static,
+) -> (DaemonConfig, Arc<AtomicUsize>) {
+    let incarnations = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&incarnations);
+    let config = DaemonConfig {
+        slice: 16,
+        max_restarts,
+        backoff_epochs: 2,
+        runner_factory: Some(Arc::new(move |spec, _store| {
+            let incarnation = counter.fetch_add(1, Ordering::SeqCst);
+            bare_runner(spec, factory(spec, incarnation))
+        })),
+        ..DaemonConfig::default()
+    };
+    (config, incarnations)
+}
+
+#[test]
+fn supervisor_restarts_a_panicking_replica_after_backoff() {
+    // Incarnation 0 panics mid-epoch; every rebuild runs clean.
+    let (config, incarnations) = panicky_config(5, |_, incarnation| {
+        if incarnation == 0 {
+            Box::new(PanicAt { tick: 5, seen: 0 })
+        } else {
+            Box::new(NoHealing)
+        }
+    });
+    let mut supervisor = Supervisor::new(config).unwrap();
+    supervisor.add_replica("none").unwrap();
+
+    // Epoch 1: the panic lands; the replica enters backoff.
+    assert_eq!(supervisor.advance_epoch(), 0);
+    let health = &supervisor.replica_health()[0];
+    assert_eq!(health.state, ReplicaState::Restarting);
+    assert_eq!(health.restarts, 1);
+    assert!(
+        health
+            .last_error
+            .as_deref()
+            .unwrap_or("")
+            .contains("deliberate panic"),
+        "panic payload surfaced: {:?}",
+        health.last_error
+    );
+
+    // Epoch 2 is still inside the 2-epoch backoff: nothing advances.
+    assert_eq!(supervisor.advance_epoch(), 0);
+    assert_eq!(
+        supervisor.replica_health()[0].state,
+        ReplicaState::Restarting
+    );
+
+    // Epoch 3: backoff expired, the rebuilt runner advances a full slice.
+    assert_eq!(supervisor.advance_epoch(), 1);
+    let health = &supervisor.replica_health()[0];
+    assert_eq!(health.state, ReplicaState::Running);
+    assert_eq!(health.ticks, 16, "one clean slice after the restart");
+    assert_eq!(supervisor.advance_epoch(), 1);
+    assert_eq!(supervisor.replica_health()[0].ticks, 32);
+    assert_eq!(incarnations.load(Ordering::SeqCst), 2, "one rebuild");
+    supervisor.shutdown();
+}
+
+#[test]
+fn restart_cap_retires_a_permanently_broken_replica() {
+    // Every incarnation panics: the replica must be retired as failed
+    // after max_restarts rebuilds, with exponentially growing backoff
+    // (resume epochs 3 and 7 for backoff_epochs=2).
+    let (config, incarnations) = panicky_config(2, |_, _| Box::new(PanicAt { tick: 5, seen: 0 }));
+    let mut supervisor = Supervisor::new(config).unwrap();
+    supervisor.add_replica("none").unwrap();
+
+    for epoch in 1..=7u64 {
+        supervisor.advance_epoch();
+        let state = supervisor.replica_health()[0].state;
+        match epoch {
+            1..=6 => assert_eq!(state, ReplicaState::Restarting, "epoch {epoch}"),
+            _ => assert_eq!(state, ReplicaState::Failed, "epoch {epoch}"),
+        }
+    }
+    let health = &supervisor.replica_health()[0];
+    assert_eq!(health.restarts, 2, "both rebuilds consumed");
+    assert!(health.last_error.is_some());
+    assert_eq!(
+        incarnations.load(Ordering::SeqCst),
+        3,
+        "birth + two rebuilds (epochs 3 and 7)"
+    );
+    // A retired replica never advances again.
+    assert_eq!(supervisor.advance_epoch(), 0);
+    let roll_up = supervisor.health();
+    assert_eq!(roll_up.failed, 1);
+    assert_eq!(roll_up.restarts, 2);
+    supervisor.shutdown();
+}
+
+/// Drives a supervisor until its store has drained at least one example to
+/// the snapshot log, then returns how many epochs that took.
+fn run_until_learned(supervisor: &mut Supervisor, cap: u64) -> u64 {
+    for epoch in 1..=cap {
+        supervisor.advance_epoch();
+        if supervisor.store().correct_fixes_learned() >= 1
+            && !supervisor.store().snapshot().is_empty()
+        {
+            return epoch;
+        }
+    }
+    panic!(
+        "no fix learned within {cap} epochs (episodes={})",
+        supervisor.health().open_episodes
+    );
+}
+
+#[test]
+fn crash_restart_replays_the_snapshot_log() {
+    let scratch = Scratch::new("crash-restart");
+    let store_path = scratch.path("synopsis.jsonl");
+    let config = DaemonConfig {
+        store_path: Some(store_path.clone()),
+        ..DaemonConfig::default()
+    };
+
+    // First life: learn under the default fault mix, then die unflushed.
+    let mut supervisor = Supervisor::new(config.clone()).unwrap();
+    assert_eq!(supervisor.restored_examples(), 0, "fresh log");
+    supervisor.add_replica("default").unwrap();
+    supervisor.add_replica("default").unwrap();
+    run_until_learned(&mut supervisor, 400);
+    let fixes_before = supervisor.store().correct_fixes_learned();
+    supervisor.abort(); // kill -9: no final flush.
+
+    // Only what was already drained to the log survives the crash...
+    let on_disk = SynopsisSnapshot::load(&store_path).expect("log is replayable");
+    assert!(
+        !on_disk.is_empty(),
+        "incremental persistence streamed drained observations before the crash"
+    );
+
+    // ...and the second life starts from exactly that.
+    let supervisor = Supervisor::new(config).unwrap();
+    assert_eq!(
+        supervisor.restored_examples(),
+        on_disk.len(),
+        "startup replays the whole log"
+    );
+    assert!(
+        supervisor.store().correct_fixes_learned() >= 1,
+        "restored store knows fixes before any replica ticks"
+    );
+    assert!(fixes_before >= 1);
+    supervisor.shutdown();
+}
+
+/// Extracts `key=<u64>` from a space-separated reply.
+fn field(reply: &str, key: &str) -> Option<u64> {
+    reply
+        .split_whitespace()
+        .find_map(|token| token.strip_prefix(key))
+        .and_then(|value| value.parse().ok())
+}
+
+/// Polls `command` against the socket until `predicate` accepts the reply.
+fn wait_for(socket: &Path, command: &str, what: &str, predicate: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(reply) = send_command(socket, command, Duration::from_secs(10)) {
+            if predicate(&reply) {
+                return reply;
+            }
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn ctl(socket: &Path, command: &str) -> String {
+    send_command(socket, command, Duration::from_secs(10))
+        .unwrap_or_else(|err| panic!("{command}: {err}"))
+}
+
+/// The scripted end-to-end session from the issue: start → faults via the
+/// mix source → `QUERY FIXES` returns learned fixes → `ADD` a replica that
+/// warm-starts from the shared store → `kill -9` → restart → `STATUS`
+/// shows restored synopsis counts → clean `SHUTDOWN`.
+#[test]
+fn end_to_end_daemon_session_survives_kill_dash_nine() {
+    let scratch = Scratch::new("e2e");
+    let socket = scratch.path("control.sock");
+    let store_path = scratch.path("synopsis.jsonl");
+    let snapshot_path = scratch.path("fixes.jsonl");
+
+    let config = DaemonConfig {
+        store_path: Some(store_path.clone()),
+        ..DaemonConfig::default()
+    };
+
+    let mut options = DaemonOptions::new(&socket);
+    options.replicas = 2;
+
+    // First life.
+    let daemon = Daemon::launch(config.clone(), options.clone()).unwrap();
+    let kill = daemon.kill_switch();
+    let life_one = thread::spawn(move || daemon.run());
+
+    // The mix faults replicas; the shared store learns fixes.
+    let status = wait_for(&socket, "STATUS", "the fleet to learn a fix", |reply| {
+        field(reply, "fixes_known=").unwrap_or(0) >= 1
+    });
+    assert!(status.contains("replicas=2"), "status: {status}");
+
+    // Live query: per-fix experience from the shared store.
+    let fixes = ctl(&socket, "QUERY FIXES");
+    assert!(fixes.contains("fix="), "learned fixes listed: {fixes}");
+    assert!(fixes.contains("success_rate="), "stats included: {fixes}");
+
+    // ADD: the new replica warm-starts against the shared store.
+    let added = ctl(&socket, "ADD online:0.05");
+    assert!(added.contains("replica 2 added"), "add reply: {added}");
+    let replicas = ctl(&socket, "REPLICAS");
+    assert_eq!(
+        replicas
+            .lines()
+            .filter(|l| l.starts_with("replica "))
+            .count(),
+        3,
+        "three replicas listed: {replicas}"
+    );
+
+    // SNAPSHOT: the store's full experience, written on demand.
+    let snap = ctl(&socket, &format!("SNAPSHOT {}", snapshot_path.display()));
+    let examples = field(&snap, "examples=").unwrap_or(0);
+    assert!(examples >= 1, "snapshot non-empty: {snap}");
+    let snapshot_text = std::fs::read_to_string(&snapshot_path).unwrap();
+    assert!(snapshot_text.contains("\"fix\""), "snapshot holds examples");
+
+    // kill -9: abort without the final flush.
+    kill.store(true, Ordering::SeqCst);
+    life_one.join().unwrap().unwrap();
+
+    // Second life, same store path: the log replay restores the synopsis.
+    let daemon = Daemon::launch(config, options).unwrap();
+    let restored = daemon.supervisor().restored_examples();
+    assert!(restored >= 1, "snapshot log replayed after the crash");
+    let life_two = thread::spawn(move || daemon.run());
+
+    let status = wait_for(
+        &socket,
+        "STATUS",
+        "the restarted daemon's status",
+        |reply| field(reply, "restored_examples=").is_some(),
+    );
+    assert_eq!(
+        field(&status, "restored_examples="),
+        Some(restored as u64),
+        "status reports the restored synopsis count: {status}"
+    );
+    assert!(
+        field(&status, "fixes_known=").unwrap_or(0) >= 1,
+        "restored store knows fixes immediately: {status}"
+    );
+
+    // Clean shutdown flushes and exits the loop.
+    let bye = ctl(&socket, "SHUTDOWN");
+    assert!(bye.ends_with("OK\n"), "shutdown accepted: {bye}");
+    life_two.join().unwrap().unwrap();
+}
