@@ -46,14 +46,30 @@
 //!                                     # "storm@200:0.5,surge@100:3:40"
 //! fleet_scaling --bench-ticks         # tick-throughput baseline (4 replicas x 2000 ticks,
 //!                                     # both engines), written to BENCH_ticks.json at the
-//!                                     # repo root as the reference for hot-path work
+//!                                     # repo root as the reference for hot-path work; when a
+//!                                     # committed baseline from the same core count exists,
+//!                                     # exits nonzero if sequential ticks/s regressed >30%
+//! fleet_scaling --smoke --adversary   # reactive adversary strikes the weakest replica at
+//!                                     # every epoch barrier: exits nonzero unless shared
+//!                                     # learning beats isolated under fire and parallel
+//!                                     # fingerprints match sequential
+//! fleet_scaling --smoke --seasons     # seeded calm/moderate/stormy fault seasons: exits
+//!                                     # nonzero unless the run faults, quiesces healed, and
+//!                                     # parallel fingerprints match sequential
+//! fleet_scaling --smoke --cascade     # a scout failure propagates along the ring dependency
+//!                                     # via the reactive cascade engine: exits nonzero unless
+//!                                     # it propagates within budget, heals, and parallel
+//!                                     # fingerprints match sequential
 //! ```
 
 use selfheal_bench::fleet::{
+    adversarial_fleet, adversarial_recovery_comparison, cascade_fleet, cascade_injections,
     cold_start_comparison, distinct_fault_kinds, gate_throughput_comparison, mean_injected_stats,
-    mix_fleet, open_episodes, scaling_curve, scaling_point, smoke_fleet, smoke_workload,
-    storm_fleet, storm_recovery_comparison, warm_start_comparison, ColdStartReport, GateReport,
-    ScalingPoint, StormRecoveryReport, WarmStartReport, STORM_FRACTION, STORM_TICK,
+    mix_fleet, open_episodes, open_fault_episodes, reactive_strike_stats, scaling_curve,
+    scaling_point, seasons_fleet, smoke_fleet, smoke_workload, storm_fleet,
+    storm_recovery_comparison, warm_start_comparison, AdversarialRecoveryReport, ColdStartReport,
+    GateReport, ScalingPoint, StormRecoveryReport, WarmStartReport, ADVERSARY_START,
+    ADVERSARY_UNTIL, STORM_FRACTION, STORM_TICK,
 };
 use selfheal_core::harness::{EventChoice, FaultChoice, LearnerChoice, WorkloadChoice};
 use selfheal_core::snapshot::SynopsisSnapshot;
@@ -147,6 +163,47 @@ fn storm_recovery_json(report: &StormRecoveryReport, fingerprints_match: Option<
     )
 }
 
+fn adversarial_recovery_json(
+    report: &AdversarialRecoveryReport,
+    fingerprints_match: Option<bool>,
+) -> String {
+    let side =
+        |label: &str, strikes: usize, matched: usize, attempts: f64, recovery: f64, open: usize| {
+            format!(
+                "\"{label}\": {{\"strikes\": {strikes}, \"matched_episodes\": {matched}, \
+             \"mean_fix_attempts\": {}, \"mean_recovery_ticks\": {}, \"open_episodes\": {open}}}",
+                json_f64(attempts),
+                json_f64(recovery)
+            )
+        };
+    format!(
+        "{{\n    \"window\": [{ADVERSARY_START}, {ADVERSARY_UNTIL}],\n    {},\n    {},\n    \
+         \"struck_and_recovered\": {},\n    \"shared_recovers_faster\": {},\n    \
+         \"fingerprints_match_sequential\": {}\n  }}",
+        side(
+            "shared",
+            report.shared_strikes,
+            report.shared_matched,
+            report.shared_mean_attempts,
+            report.shared_mean_recovery,
+            report.shared_open_episodes
+        ),
+        side(
+            "isolated",
+            report.isolated_strikes,
+            report.isolated_matched,
+            report.isolated_mean_attempts,
+            report.isolated_mean_recovery,
+            report.isolated_open_episodes
+        ),
+        report.struck_and_recovered(),
+        report.shared_recovers_faster(),
+        fingerprints_match
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+    )
+}
+
 fn store_gate_json(report: &GateReport) -> String {
     format!(
         "{{\"replicas\": {}, \"ticks_per_replica\": {}, \"gated_wall_s\": {}, \
@@ -209,6 +266,9 @@ struct Args {
     slice: Option<u64>,
     events: Vec<EventChoice>,
     bench_ticks: bool,
+    adversary: bool,
+    seasons: bool,
+    cascade: bool,
 }
 
 impl Args {
@@ -229,6 +289,9 @@ impl Args {
             || self.ungated
             || self.slice.is_some()
             || !self.events.is_empty()
+            || self.adversary
+            || self.seasons
+            || self.cascade
     }
 
     /// The learner recipe the flags describe.  Persistence needs one
@@ -317,6 +380,9 @@ fn parse_args() -> Args {
         slice: None,
         events: Vec::new(),
         bench_ticks: false,
+        adversary: false,
+        seasons: false,
+        cascade: false,
     };
     let mut argv = std::env::args().skip(1);
     let missing = |flag: &str| -> ! {
@@ -373,6 +439,9 @@ fn parse_args() -> Args {
             "--sweep" => args.sweep = true,
             "--ungated" => args.ungated = true,
             "--bench-ticks" => args.bench_ticks = true,
+            "--adversary" => args.adversary = true,
+            "--seasons" => args.seasons = true,
+            "--cascade" => args.cascade = true,
             "--slice" => args.slice = Some(numeric("--slice", argv.next())),
             "--events" => {
                 let spec = argv.next().unwrap_or_else(|| missing("--events"));
@@ -393,7 +462,7 @@ fn parse_args() -> Args {
                      [--replicas N] [--ticks T] [--save-synopsis PATH] \
                      [--load-synopsis PATH] [--shards N] [--storm] \
                      [--fault-mix PROFILE:RATE] [--sweep] [--ungated] [--slice W] \
-                     [--events SPEC] [--bench-ticks]"
+                     [--events SPEC] [--bench-ticks] [--adversary] [--seasons] [--cascade]"
                 );
                 exit(2);
             }
@@ -402,21 +471,52 @@ fn parse_args() -> Args {
     args
 }
 
+/// Pulls `"cores"` and the sequential `"ticks_per_s"` out of a committed
+/// `BENCH_ticks.json` without a JSON parser dependency: the file is written
+/// by this binary, so the field order is known.
+fn parse_bench_baseline(json: &str) -> Option<(usize, f64)> {
+    let field = |hay: &str, key: &str| -> Option<f64> {
+        let start = hay.find(key)? + key.len();
+        let rest = hay[start..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    };
+    let cores = field(json, "\"cores\":")? as usize;
+    let sequential = json.split("\"sequential\":").nth(1)?;
+    let ticks_per_s = field(sequential, "\"ticks_per_s\":")?;
+    Some((cores, ticks_per_s))
+}
+
+/// Fraction of the committed baseline the fresh sequential throughput must
+/// reach: a >30% drop fails the `--bench-ticks` run.
+const BENCH_TICKS_FLOOR: f64 = 0.7;
+
 /// The `--bench-ticks` baseline: 4 replicas × 2000 ticks through both
 /// engines, emitted to stdout *and* written to `BENCH_ticks.json` at the
 /// repo root — the committed ticks/s reference future hot-path work
-/// compares against.
+/// compares against.  When a committed baseline from a machine with the
+/// same core count exists, a sequential throughput more than 30% below it
+/// exits nonzero (and leaves the baseline file untouched) so hot-path
+/// regressions fail CI instead of silently re-baselining.
 fn run_bench_ticks() {
     const REPLICAS: usize = 4;
     const TICKS: u64 = 2_000;
+    // Best of three: transient machine load easily costs 30%+ on one
+    // sample, so the gate compares peak capability, not one noisy draw.
+    const SAMPLES: usize = 3;
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     eprintln!(
         "fleet_scaling: tick-throughput baseline ({REPLICAS} replicas x {TICKS} ticks, \
-         {cores} cores)"
+         {cores} cores, best of {SAMPLES})"
     );
-    let point = scaling_point(REPLICAS, TICKS, 42);
+    let point = (0..SAMPLES)
+        .map(|_| scaling_point(REPLICAS, TICKS, 42))
+        .min_by(|a, b| a.sequential_wall_s.total_cmp(&b.sequential_wall_s))
+        .expect("at least one sample");
     let total_ticks = (REPLICAS as u64 * TICKS) as f64;
     let sequential_throughput = if point.sequential_wall_s > 0.0 {
         total_ticks / point.sequential_wall_s
@@ -445,6 +545,35 @@ fn run_bench_ticks() {
     );
     print!("{json}");
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ticks.json");
+    if let Ok(committed) = std::fs::read_to_string(&path) {
+        match parse_bench_baseline(&committed) {
+            Some((baseline_cores, baseline_seq)) if baseline_cores == cores => {
+                let floor = baseline_seq * BENCH_TICKS_FLOOR;
+                if sequential_throughput < floor {
+                    eprintln!(
+                        "fleet_scaling: sequential throughput regressed >30% below the \
+                         committed baseline ({sequential_throughput:.0} ticks/s vs \
+                         {baseline_seq:.0}; floor {floor:.0}) — baseline left untouched. \
+                         To re-baseline deliberately, delete {} and rerun.",
+                        path.display()
+                    );
+                    exit(1);
+                }
+                eprintln!(
+                    "  regression gate: {sequential_throughput:.0} ticks/s >= {floor:.0} \
+                     (70% of the committed {baseline_seq:.0})"
+                );
+            }
+            Some((baseline_cores, _)) => eprintln!(
+                "  regression gate skipped: baseline is from a {baseline_cores}-core machine, \
+                 this one has {cores}"
+            ),
+            None => eprintln!(
+                "  regression gate skipped: could not parse {}",
+                path.display()
+            ),
+        }
+    }
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("(written to {})", path.display()),
         Err(err) => {
@@ -758,6 +887,121 @@ fn run_smoke(args: &Args) {
         }
     });
 
+    // The adversarial smoke: a reactive adversary strikes the currently-
+    // weakest replica at every epoch barrier, once against a shared store
+    // and once against isolated stores, both auto-quiesced.  The equivalence
+    // leg re-runs the shared fleet tick-sliced parallel: reactive actions
+    // resolve at deterministic barriers, so the fingerprints must match.
+    let adversary: Option<(AdversarialRecoveryReport, bool)> = args.adversary.then(|| {
+        let n = replicas.max(6);
+        eprintln!(
+            "fleet_scaling: adversarial smoke ({n} replicas, strikes in \
+             [{ADVERSARY_START}, {ADVERSARY_UNTIL}), auto-quiesce)"
+        );
+        let report = adversarial_recovery_comparison(n, base_seed);
+        eprintln!(
+            "  adversarial recovery: shared {:.2} attempts / {:.1} ticks over {} matched \
+             strikes vs isolated {:.2} / {:.1} over {}",
+            report.shared_mean_attempts,
+            report.shared_mean_recovery,
+            report.shared_matched,
+            report.isolated_mean_attempts,
+            report.isolated_mean_recovery,
+            report.isolated_matched,
+        );
+        let shared = LearnerChoice::Locked { batch: 1 };
+        let parallel = adversarial_fleet(n, base_seed, shared, 64)
+            .mode(ExecutionMode::Parallel { threads: Some(3) })
+            .run_to_quiescence();
+        let sequential = adversarial_fleet(n, base_seed, shared, 64).run_to_quiescence();
+        let fingerprints_match = parallel.fingerprints() == sequential.fingerprints();
+        eprintln!(
+            "  equivalence: reactive parallel fingerprints {} the sequential interleave",
+            if fingerprints_match {
+                "match"
+            } else {
+                "DIVERGE from"
+            }
+        );
+        (report, fingerprints_match)
+    });
+
+    // The seasons smoke: seeded calm/moderate/stormy generation-rate
+    // seasons, sequential vs tick-sliced parallel.
+    struct SeasonsSmoke {
+        episodes: usize,
+        open: usize,
+        fingerprints_match: bool,
+    }
+    let seasons: Option<SeasonsSmoke> = args.seasons.then(|| {
+        let n = replicas.max(3);
+        let season_ticks = ticks.max(1024);
+        eprintln!(
+            "fleet_scaling: seasons smoke ({n} replicas x {season_ticks} ticks, 128-tick \
+             seasons over rates [0, 0.02, 0.06])"
+        );
+        let sequential = seasons_fleet(n, season_ticks, base_seed, 64).run();
+        let parallel = seasons_fleet(n, season_ticks, base_seed, 64)
+            .mode(ExecutionMode::Parallel { threads: Some(3) })
+            .run();
+        let episodes = sequential.total_episodes();
+        let open = open_fault_episodes(&sequential);
+        let fingerprints_match = parallel.fingerprints() == sequential.fingerprints();
+        eprintln!(
+            "  seasons run: {episodes} episodes, {open} still open at quiesce; parallel \
+             fingerprints {} sequential",
+            if fingerprints_match {
+                "match"
+            } else {
+                "DIVERGE from"
+            }
+        );
+        SeasonsSmoke {
+            episodes,
+            open,
+            fingerprints_match,
+        }
+    });
+
+    // The cascade smoke: a scout failure on replica 0 propagates along the
+    // ring dependency through the reactive cascade engine.
+    struct CascadeSmoke {
+        budget: usize,
+        propagated: usize,
+        matched: usize,
+        open: usize,
+        fingerprints_match: bool,
+    }
+    let cascade: Option<CascadeSmoke> = args.cascade.then(|| {
+        let n = replicas.max(4);
+        let budget = 3usize;
+        eprintln!("fleet_scaling: cascade smoke ({n} replicas, budget {budget}, auto-quiesce)");
+        let sequential =
+            cascade_fleet(n, base_seed, LearnerChoice::locked(), budget, 64).run_to_quiescence();
+        let parallel = cascade_fleet(n, base_seed, LearnerChoice::locked(), budget, 64)
+            .mode(ExecutionMode::Parallel { threads: Some(3) })
+            .run_to_quiescence();
+        let propagated = cascade_injections(&sequential);
+        let (_, matched, open, _, _) = reactive_strike_stats(&sequential);
+        let fingerprints_match = parallel.fingerprints() == sequential.fingerprints();
+        eprintln!(
+            "  cascade run: {propagated} propagations ({matched} attributable, {open} still \
+             open); parallel fingerprints {} sequential",
+            if fingerprints_match {
+                "match"
+            } else {
+                "DIVERGE from"
+            }
+        );
+        CascadeSmoke {
+            budget,
+            propagated,
+            matched,
+            open,
+            fingerprints_match,
+        }
+    });
+
     eprintln!("fleet_scaling: smoke scaling point + cold start (JSON emitter check)");
     let points = scaling_curve(&[replicas], ticks, base_seed);
     let cold = cold_start_comparison(3, base_seed);
@@ -790,6 +1034,32 @@ fn run_smoke(args: &Args) {
             )
         })
         .unwrap_or_else(|| "null".to_string());
+    let adversary_json = adversary
+        .as_ref()
+        .map(|(report, fingerprints_match)| {
+            adversarial_recovery_json(report, Some(*fingerprints_match))
+        })
+        .unwrap_or_else(|| "null".to_string());
+    let seasons_json = seasons
+        .as_ref()
+        .map(|s| {
+            format!(
+                "{{\"episodes\": {}, \"open_episodes\": {}, \
+                 \"fingerprints_match_sequential\": {}}}",
+                s.episodes, s.open, s.fingerprints_match,
+            )
+        })
+        .unwrap_or_else(|| "null".to_string());
+    let cascade_json = cascade
+        .as_ref()
+        .map(|c| {
+            format!(
+                "{{\"budget\": {}, \"propagations\": {}, \"matched_episodes\": {}, \
+                 \"open_episodes\": {}, \"fingerprints_match_sequential\": {}}}",
+                c.budget, c.propagated, c.matched, c.open, c.fingerprints_match,
+            )
+        })
+        .unwrap_or_else(|| "null".to_string());
     let sweep_json = if args.sweep {
         format!(
             "{{\"classes\": {}, \"episodes\": {}, \"open_episodes\": {}, \
@@ -811,6 +1081,8 @@ fn run_smoke(args: &Args) {
          \"fingerprints\": [{fingerprint_json}],\n  \
          \"replay_byte_identical\": {},\n  \"warm_start\": {smoke_warm_json},\n  \
          \"storm_recovery\": {storm_json},\n  \
+         \"adversarial_recovery\": {adversary_json},\n  \
+         \"seasons\": {seasons_json},\n  \"cascade\": {cascade_json},\n  \
          \"fault_mix\": {mix_json},\n  \"sweep\": {sweep_json},\n  \
          \"scaling\": {},\n  \"cold_start\": {}\n}}",
         !args.ungated,
@@ -879,6 +1151,81 @@ fn run_smoke(args: &Args) {
             eprintln!(
                 "fleet_scaling: tick-sliced parallel fingerprints diverged from run_sequential"
             );
+            exit(1);
+        }
+    }
+    // The adversarial gates: both runs must land attributable strikes that
+    // all heal, shared learning must beat isolated under targeted fire, and
+    // the reactive parallel run must fingerprint-match sequential.
+    if let Some((report, fingerprints_match)) = &adversary {
+        if !report.struck_and_recovered() {
+            eprintln!(
+                "fleet_scaling: adversarial run did not strike-and-recover (shared {} strikes \
+                 / {} matched / {} open; isolated {} / {} / {})",
+                report.shared_strikes,
+                report.shared_matched,
+                report.shared_open_episodes,
+                report.isolated_strikes,
+                report.isolated_matched,
+                report.isolated_open_episodes,
+            );
+            exit(1);
+        }
+        if !report.shared_recovers_faster() {
+            eprintln!(
+                "fleet_scaling: shared learning did not beat isolated under the adversary \
+                 ({:.1} vs {:.1} mean recovery ticks)",
+                report.shared_mean_recovery, report.isolated_mean_recovery
+            );
+            exit(1);
+        }
+        if !fingerprints_match {
+            eprintln!(
+                "fleet_scaling: adversarial parallel fingerprints diverged from run_sequential"
+            );
+            exit(1);
+        }
+    }
+    // The seasons gates: the stormy seasons must fault, the run must
+    // quiesce healed, and parallel must fingerprint-match sequential.
+    if let Some(seasons) = &seasons {
+        if seasons.episodes == 0 {
+            eprintln!("fleet_scaling: the fault seasons injected nothing observable");
+            exit(1);
+        }
+        if seasons.open > 0 {
+            eprintln!(
+                "fleet_scaling: seasons run did not quiesce healed ({} of {} episodes open)",
+                seasons.open, seasons.episodes
+            );
+            exit(1);
+        }
+        if !seasons.fingerprints_match {
+            eprintln!("fleet_scaling: seasons parallel fingerprints diverged from run_sequential");
+            exit(1);
+        }
+    }
+    // The cascade gates: the scout must seed 1..=budget propagations, at
+    // least one must open an attributable episode, every attributed episode
+    // must heal, and parallel must fingerprint-match sequential.
+    if let Some(cascade) = &cascade {
+        if cascade.propagated == 0 || cascade.propagated > cascade.budget {
+            eprintln!(
+                "fleet_scaling: cascade propagated {} times (expected 1..={})",
+                cascade.propagated, cascade.budget
+            );
+            exit(1);
+        }
+        if cascade.matched == 0 || cascade.open > 0 {
+            eprintln!(
+                "fleet_scaling: cascade episodes not attributable or unhealed ({} matched, \
+                 {} open)",
+                cascade.matched, cascade.open
+            );
+            exit(1);
+        }
+        if !cascade.fingerprints_match {
+            eprintln!("fleet_scaling: cascade parallel fingerprints diverged from run_sequential");
             exit(1);
         }
     }
@@ -981,6 +1328,21 @@ fn main() {
         storm.isolated_mean_attempts,
     );
 
+    eprintln!(
+        "fleet_scaling: adversarial recovery (weakest-replica targeting, shared vs isolated)"
+    );
+    let adversary = adversarial_recovery_comparison(6, 42);
+    eprintln!(
+        "  victims' mean recovery: shared {:.1} ticks / {:.2} attempts over {} matched strikes \
+         vs isolated {:.1} / {:.2} over {}",
+        adversary.shared_mean_recovery,
+        adversary.shared_mean_attempts,
+        adversary.shared_matched,
+        adversary.isolated_mean_recovery,
+        adversary.isolated_mean_attempts,
+        adversary.isolated_matched,
+    );
+
     eprintln!("fleet_scaling: store-gate cost (gated vs ungated shared-learning throughput)");
     let gate = gate_throughput_comparison(8, 2_000, 42);
     eprintln!(
@@ -995,7 +1357,8 @@ fn main() {
         "{{\n  \"machine\": {{\"cores\": {cores}}},\n  \"scaling\": {},\n  \"acceptance\": \
          {{\"replicas\": {}, \"ticks_per_replica\": {}, \"speedup\": {}, \
          \"speedup_claim_applicable\": {}, \"speedup_above_2x\": {}}},\n  \"cold_start\": {},\n  \
-         \"warm_start\": {},\n  \"storm_recovery\": {},\n  \"store_gate\": {}\n}}",
+         \"warm_start\": {},\n  \"storm_recovery\": {},\n  \"adversarial_recovery\": {},\n  \
+         \"store_gate\": {}\n}}",
         scaling_json(&points),
         full.replicas,
         full.ticks_per_replica,
@@ -1005,6 +1368,7 @@ fn main() {
         cold_start_json(&cold),
         warm_start_json(&warm),
         storm_recovery_json(&storm, None),
+        adversarial_recovery_json(&adversary, None),
         store_gate_json(&gate),
     );
     println!("{json}");

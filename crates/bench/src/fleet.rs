@@ -5,11 +5,13 @@
 //! `fleet_scaling` Criterion bench (reduced scale).
 
 use selfheal_core::harness::{
-    EventChoice, FaultChoice, LearnerChoice, PolicyChoice, WorkloadChoice,
+    EventChoice, FaultChoice, LearnerChoice, PolicyChoice, ReactiveChoice, WorkloadChoice,
 };
 use selfheal_core::snapshot::SynopsisSnapshot;
 use selfheal_core::synopsis::{Learner, SynopsisKind};
 use selfheal_faults::{FaultKind, FaultTarget, InjectionPlanBuilder, ServiceProfile, StormSpec};
+use selfheal_fleet::events::ReplicaAction;
+use selfheal_fleet::reactive::REACTIVE_PERIOD;
 use selfheal_fleet::{ExecutionMode, FleetConfig, FleetOutcome, LearningTopology};
 use selfheal_sim::ServiceConfig;
 use selfheal_workload::{ArrivalProcess, WorkloadMix};
@@ -519,6 +521,301 @@ pub fn storm_recovery_comparison(replicas: usize, seed: u64, slice: u64) -> Stor
     }
 }
 
+/// The adversarial-recovery experiment's failure class — what the reactive
+/// adversary injects into the weakest replica at every epoch barrier.
+pub const ADVERSARY_KIND: FaultKind = FaultKind::BufferContention;
+/// Tick of the scout injection: the *last* replica (never the weakest under
+/// the low-id tie-break while the fleet is healthy) meets the signature
+/// alone and, with a shared store, publishes the proven fix before the
+/// adversary's first strike.  Past the service's warm-up ramp, so the
+/// symptoms the scout records match what steady-state victims will report.
+pub const ADVERSARY_SCOUT_TICK: u64 = 80;
+/// First tick (an epoch barrier) at which the adversary may strike — late
+/// enough that the scout's episode has healed in both learning topologies,
+/// so strikes open *fresh* episodes on the healthy fleet.
+pub const ADVERSARY_START: u64 = 256;
+/// Tick (exclusive) after which the adversary stands down — barriers at
+/// 256, 320, …, 512 give five strikes.
+pub const ADVERSARY_UNTIL: u64 = 576;
+
+/// The adversarial fleet: the tiny service under constant bidding load, a
+/// scout injection on the last replica, and a reactive
+/// [`ReactiveChoice::adversary`] striking the currently-weakest replica at
+/// every epoch barrier in `[ADVERSARY_START, ADVERSARY_UNTIL)`.
+///
+/// The dynamics this sets up: while the fleet is healthy the low-id
+/// tie-break aims the first strike at replica 0; the strike opens an
+/// episode, which makes replica 0 *the* weakest, so the adversary keeps
+/// piling on until the replica heals — the worst case for a learner that
+/// has not yet seen the fix.  With a shared store the scout's fix transfers
+/// and each strike is cleared on the first attempt; isolated victims
+/// rediscover it under fire.
+///
+/// Sequential by default (callers chain `.mode(..)` for the parallel
+/// fingerprint gate); run it via `run_to_quiescence()` — the stimulus
+/// horizon is finite, so the fleet stops one healing tail after the last
+/// possible strike instead of at a hand-tuned tick count.
+pub fn adversarial_fleet(
+    replicas: usize,
+    seed: u64,
+    learner: LearnerChoice,
+    slice: u64,
+) -> FleetConfig {
+    let scout = replicas.saturating_sub(1);
+    FleetConfig::builder()
+        .service(ServiceConfig::tiny())
+        .synthetic_workload(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+        )
+        .replicas(replicas)
+        .base_seed(seed)
+        .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+        .learner(learner)
+        .slice(slice)
+        .mode(ExecutionMode::Sequential)
+        .series_capacity(512)
+        .injections_per_replica(move |replica| {
+            if replica == scout {
+                InjectionPlanBuilder::new(4, 3, 1)
+                    .inject(
+                        ADVERSARY_SCOUT_TICK,
+                        ADVERSARY_KIND,
+                        FaultTarget::DatabaseTier,
+                        0.9,
+                    )
+                    .build()
+            } else {
+                selfheal_faults::InjectionPlan::empty()
+            }
+        })
+        .reactive(ReactiveChoice::adversary(
+            ADVERSARY_KIND,
+            0.9,
+            ADVERSARY_START,
+            ADVERSARY_UNTIL,
+        ))
+}
+
+/// Shared-vs-isolated recovery under adversarial weakest-replica targeting.
+///
+/// Each run carries its own strike log (the adversary reacts to that run's
+/// health, so shared and isolated fleets are hit where *they* are weak);
+/// strikes are attributed to the episode on the target replica whose
+/// detection falls inside the strike's epoch window and whose primary fault
+/// matches the injected class.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversarialRecoveryReport {
+    /// Adversary strikes landed in the shared run.
+    pub shared_strikes: usize,
+    /// Shared-run strikes matched to a labelled episode.
+    pub shared_matched: usize,
+    /// Mean fix attempts over matched episodes, shared store.
+    pub shared_mean_attempts: f64,
+    /// Mean recovery ticks over matched episodes, shared store.
+    pub shared_mean_recovery: f64,
+    /// Matched episodes still open when the shared fleet quiesced.
+    pub shared_open_episodes: usize,
+    /// Adversary strikes landed in the isolated run.
+    pub isolated_strikes: usize,
+    /// Isolated-run strikes matched to a labelled episode.
+    pub isolated_matched: usize,
+    /// Mean fix attempts over matched episodes, isolated stores.
+    pub isolated_mean_attempts: f64,
+    /// Mean recovery ticks over matched episodes, isolated stores.
+    pub isolated_mean_recovery: f64,
+    /// Matched episodes still open when the isolated fleet quiesced.
+    pub isolated_open_episodes: usize,
+}
+
+impl AdversarialRecoveryReport {
+    /// The CI gate: both adversaries actually struck, strikes were
+    /// attributable in both runs, and every attributed episode healed
+    /// before quiesce (the auto-quiesce horizon left enough healing tail).
+    pub fn struck_and_recovered(&self) -> bool {
+        self.shared_strikes > 0
+            && self.isolated_strikes > 0
+            && self.shared_matched > 0
+            && self.isolated_matched > 0
+            && self.shared_open_episodes == 0
+            && self.isolated_open_episodes == 0
+    }
+
+    /// The acceptance predicate: under weakest-replica targeting, victims
+    /// backed by the shared store recover strictly faster and in no more
+    /// attempts than isolated victims.
+    pub fn shared_recovers_faster(&self) -> bool {
+        self.shared_mean_recovery < self.isolated_mean_recovery
+            && self.shared_mean_attempts <= self.isolated_mean_attempts
+    }
+}
+
+/// Strike count, matched count, open-matched count, and mean attempts /
+/// mean recovery over the episodes attributable to reactive injections in
+/// `outcome`'s strike log.  A strike that lands while its victim is already
+/// mid-episode merges into that episode (the pile-on case) and is counted
+/// as a strike but not matched; a strike on a healthy replica opens a fresh
+/// episode inside its epoch window with the injected class as primary.
+pub fn reactive_strike_stats(outcome: &FleetOutcome) -> (usize, usize, usize, f64, f64) {
+    let mut strikes = 0usize;
+    let mut matched = 0usize;
+    let mut open = 0usize;
+    let mut attempts = Vec::new();
+    let mut recoveries = Vec::new();
+    for record in outcome.reactive_log() {
+        let ReplicaAction::Inject(spec) = &record.action else {
+            continue;
+        };
+        strikes += 1;
+        let Some(replica) = outcome
+            .replicas()
+            .iter()
+            .find(|r| r.replica == record.replica)
+        else {
+            continue;
+        };
+        if let Some(episode) = replica.outcome.recovery.episodes().iter().find(|e| {
+            e.detected_at >= record.tick
+                && e.detected_at < record.tick + REACTIVE_PERIOD
+                && e.primary_fault() == Some(spec.kind)
+        }) {
+            matched += 1;
+            attempts.push(episode.fixes_attempted.len() as f64);
+            match episode.recovery_ticks() {
+                Some(ticks) => recoveries.push(ticks as f64),
+                None => open += 1,
+            }
+        }
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    (strikes, matched, open, mean(&attempts), mean(&recoveries))
+}
+
+/// Runs the adversarial fleet with a shared (batch-1 locked) store and with
+/// isolated per-replica stores, both to quiescence, and compares how fast
+/// the targeted victims recover.
+pub fn adversarial_recovery_comparison(replicas: usize, seed: u64) -> AdversarialRecoveryReport {
+    let shared = adversarial_fleet(replicas, seed, LearnerChoice::Locked { batch: 1 }, 64)
+        .run_to_quiescence();
+    let isolated =
+        adversarial_fleet(replicas, seed, LearnerChoice::Private, 64).run_to_quiescence();
+    let (
+        shared_strikes,
+        shared_matched,
+        shared_open_episodes,
+        shared_mean_attempts,
+        shared_mean_recovery,
+    ) = reactive_strike_stats(&shared);
+    let (
+        isolated_strikes,
+        isolated_matched,
+        isolated_open_episodes,
+        isolated_mean_attempts,
+        isolated_mean_recovery,
+    ) = reactive_strike_stats(&isolated);
+    AdversarialRecoveryReport {
+        shared_strikes,
+        shared_matched,
+        shared_mean_attempts,
+        shared_mean_recovery,
+        shared_open_episodes,
+        isolated_strikes,
+        isolated_matched,
+        isolated_mean_attempts,
+        isolated_mean_recovery,
+        isolated_open_episodes,
+    }
+}
+
+/// The fault-seasons fleet: demographic generation whose rate switches
+/// between calm (0), moderate, and stormy seasons every 128 ticks on a
+/// schedule shared by the whole fleet — correlated bad *weeks* without
+/// correlated faults.  Active for the first half of the run.
+pub fn seasons_fleet(replicas: usize, ticks: u64, seed: u64, slice: u64) -> FleetConfig {
+    let active = ticks / 2;
+    FleetConfig::builder()
+        .service(ServiceConfig::tiny())
+        .synthetic_workload(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+        )
+        .replicas(replicas)
+        .ticks(ticks)
+        .base_seed(seed)
+        .policy(PolicyChoice::Hybrid(SynopsisKind::NearestNeighbor))
+        .learner(LearnerChoice::Locked { batch: 1 })
+        .slice(slice)
+        .mode(ExecutionMode::Sequential)
+        .series_capacity(512)
+        .faults(
+            FaultChoice::seasons(ServiceProfile::Online, vec![0.0, 0.02, 0.06], 128)
+                .active_for(active),
+        )
+}
+
+/// The cascade experiment's failure class.
+pub const CASCADE_KIND: FaultKind = FaultKind::BufferContention;
+/// Tick of the scout injection that seeds the cascade — close enough to the
+/// first epoch barrier (64) that the episode is still open when the cascade
+/// engine first looks.
+pub const CASCADE_SCOUT_TICK: u64 = 50;
+
+/// The cascade fleet: a scout injection opens an episode on replica 0 just
+/// before the first epoch barrier; a [`ReactiveChoice::cascade`] then
+/// propagates correlated faults along the ring dependency (0 → 1 → 2 → …)
+/// as each newly failing replica is observed, up to `budget` propagations.
+pub fn cascade_fleet(
+    replicas: usize,
+    seed: u64,
+    learner: LearnerChoice,
+    budget: usize,
+    slice: u64,
+) -> FleetConfig {
+    FleetConfig::builder()
+        .service(ServiceConfig::tiny())
+        .synthetic_workload(
+            WorkloadMix::bidding(),
+            ArrivalProcess::Constant { rate: 40.0 },
+        )
+        .replicas(replicas)
+        .base_seed(seed)
+        .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
+        .learner(learner)
+        .slice(slice)
+        .mode(ExecutionMode::Sequential)
+        .series_capacity(512)
+        .injections_per_replica(|replica| {
+            if replica == 0 {
+                InjectionPlanBuilder::new(4, 3, 1)
+                    .inject(
+                        CASCADE_SCOUT_TICK,
+                        CASCADE_KIND,
+                        FaultTarget::DatabaseTier,
+                        0.9,
+                    )
+                    .build()
+            } else {
+                selfheal_faults::InjectionPlan::empty()
+            }
+        })
+        .reactive(ReactiveChoice::cascade(CASCADE_KIND, 0.9, budget, 512))
+}
+
+/// Cascade propagations actually landed in an outcome's strike log.
+pub fn cascade_injections(outcome: &FleetOutcome) -> usize {
+    outcome
+        .reactive_log()
+        .iter()
+        .filter(|r| matches!(r.action, ReplicaAction::Inject(_)))
+        .count()
+}
+
 /// Fraction of a mix run's ticks during which demographic faults may fire;
 /// the remaining tail is quiet so the healer can drain every open episode
 /// before quiesce.
@@ -563,6 +860,21 @@ pub fn open_episodes(outcome: &FleetOutcome) -> usize {
         .iter()
         .flat_map(|r| r.outcome.recovery.episodes())
         .filter(|e| e.recovery_ticks().is_none())
+        .count()
+}
+
+/// Open episodes that are attributable to an actual fault (a primary
+/// failure class was diagnosed).  Long runs grow a tail of spontaneous
+/// SLO-flap episodes with no fault behind them — a flap that opens a tick
+/// or two before quiesce is noise, not an unhealed fault, so
+/// horizon-sensitive gates (seasons, cascade, auto-quiesced runs) count
+/// only the attributable remainder.
+pub fn open_fault_episodes(outcome: &FleetOutcome) -> usize {
+    outcome
+        .replicas()
+        .iter()
+        .flat_map(|r| r.outcome.recovery.episodes())
+        .filter(|e| e.recovery_ticks().is_none() && e.primary_fault().is_some())
         .count()
 }
 
@@ -643,6 +955,14 @@ pub fn gate_throughput_comparison(replicas: usize, ticks: u64, seed: u64) -> Gat
             .series_capacity(512)
             .mode(ExecutionMode::Parallel { threads: None })
     };
+    // Warm-up: one untimed run per mode first.  The original measurement
+    // ran gated-then-ungated cold, so the gated run paid the process's
+    // one-time costs (page faults, allocator pool growth, thread-pool
+    // spin-up) and the "ungated speedup" came out *below* 1 — the gate
+    // itself is nearly free at these scales, and the ordering artifact
+    // dominated the signal.
+    let _ = fleet().run();
+    let _ = fleet().ungated().run();
     let gated = fleet().run();
     let ungated = fleet().ungated().run();
     GateReport {
@@ -739,6 +1059,56 @@ mod tests {
             sequential.fingerprints(),
             "mix runs are worker-count invariant"
         );
+    }
+
+    #[test]
+    fn adversary_strikes_land_and_shared_learning_recovers_faster() {
+        let report = adversarial_recovery_comparison(6, 42);
+        assert!(
+            report.struck_and_recovered(),
+            "strikes shared {} (matched {}) / isolated {} (matched {}), open {} / {}",
+            report.shared_strikes,
+            report.shared_matched,
+            report.isolated_strikes,
+            report.isolated_matched,
+            report.shared_open_episodes,
+            report.isolated_open_episodes,
+        );
+        assert!(
+            report.shared_recovers_faster(),
+            "shared {:.1} ticks / {:.1} attempts vs isolated {:.1} / {:.1}",
+            report.shared_mean_recovery,
+            report.shared_mean_attempts,
+            report.isolated_mean_recovery,
+            report.isolated_mean_attempts,
+        );
+    }
+
+    #[test]
+    fn cascade_propagates_and_quiesces_healed() {
+        let outcome = cascade_fleet(4, 42, LearnerChoice::locked(), 3, 64).run_to_quiescence();
+        let propagated = cascade_injections(&outcome);
+        assert!(
+            (1..=3).contains(&propagated),
+            "scout episode must seed 1..=budget propagations, got {propagated}"
+        );
+        let (strikes, matched, open, _, _) = reactive_strike_stats(&outcome);
+        assert_eq!(strikes, propagated);
+        assert!(
+            matched >= 1,
+            "at least one propagation opens an attributable episode"
+        );
+        assert_eq!(open, 0, "every attributed cascade episode heals");
+    }
+
+    #[test]
+    fn seasons_fleet_faults_in_stormy_seasons_and_quiesces() {
+        let outcome = seasons_fleet(3, 1024, 42, 64).run();
+        assert!(
+            outcome.total_episodes() >= 1,
+            "a 0.06-rate stormy season must fault somewhere"
+        );
+        assert_eq!(open_fault_episodes(&outcome), 0);
     }
 
     #[test]

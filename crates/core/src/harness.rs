@@ -6,7 +6,7 @@
 //! assembly behind a small builder so the examples read like the experiment
 //! descriptions in the paper.
 //!
-//! Five declarative enums keep configurations data, not code:
+//! Six declarative enums keep configurations data, not code:
 //! [`PolicyChoice`] names a healing policy, [`WorkloadChoice`] names a
 //! workload shape (synthetic mix + arrivals, recorded-trace replay, or a
 //! burst storm) that can be instantiated as a fresh [`TraceSource`] for
@@ -19,7 +19,10 @@
 //! recipe for a [`SynopsisStore`], and [`EventChoice`] names a fleet-wide
 //! cross-replica event (a correlated fault storm — uniform or
 //! CauseMix-catalog — or a workload surge) that the fleet's tick-sliced
-//! scheduler resolves into per-replica actions.
+//! scheduler resolves into per-replica actions, and [`ReactiveChoice`]
+//! names a *state-observing* chaos engine (an adversary targeting the
+//! weakest replica, or a dependency cascade) evaluated at deterministic
+//! epoch barriers.
 
 use crate::fixsym::{FixSymConfig, FixSymHealer};
 use crate::hybrid::HybridHealer;
@@ -30,8 +33,9 @@ use crate::snapshot::SynopsisSnapshot;
 use crate::store::{LockedStore, PrivateStore, ShardedStore, SynopsisStore};
 use crate::synopsis::SynopsisKind;
 use selfheal_faults::{
-    CatalogSweep, ComposedSource, FaultKind, FaultSource, InjectionPlan, MixSource, ScriptedSource,
-    ServiceProfile, MIX_FAULT_ID_BASE, SWEEP_FAULT_ID_BASE,
+    CatalogSweep, ComposedSource, FaultKind, FaultSource, InjectionPlan, MixSource, OperatorSource,
+    ScriptedSource, SeasonalSource, ServiceProfile, MIX_FAULT_ID_BASE, OPERATOR_FAULT_ID_BASE,
+    SEASON_FAULT_ID_BASE, SWEEP_FAULT_ID_BASE,
 };
 use selfheal_sim::scenario::{Healer, NoHealing, ScenarioOutcome, ScenarioRunner};
 use selfheal_sim::seeds::{split_seed, SeedStream};
@@ -235,6 +239,82 @@ impl EventChoice {
     }
 }
 
+/// A *reactive* chaos engine — the state-observing mirror of
+/// [`EventChoice`].  Where an event's schedule is fixed when the run is
+/// configured, a reactive engine watches the fleet's health at deterministic
+/// epoch barriers and aims its next blow at what it sees: the adversary
+/// always strikes the currently-weakest replica, the cascade follows open
+/// failures along the service-dependency topology.
+///
+/// A choice is pure data: the fleet engine bakes it into a
+/// `ReactiveEvent` (see the fleet crate's `reactive` module), which is
+/// evaluated only at fixed barrier ticks — never mid-slice — so reactive
+/// runs stay a pure function of the configuration at any worker count and
+/// any compatible tick-slice width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReactiveChoice {
+    /// An adversarial injector: at each epoch barrier in
+    /// `[start_tick, until_tick)`, inject one fault of `kind` into the
+    /// replica with the most open failure episodes (ties broken toward the
+    /// lowest replica id) — a worst-case scheduler that piles on wherever
+    /// the fleet is already hurting.
+    Adversary {
+        /// The failure class every strike injects.
+        kind: FaultKind,
+        /// Severity of each injected fault, `[0, 1]`.
+        severity: f64,
+        /// First tick (inclusive) at which strikes may land.
+        start_tick: u64,
+        /// Tick (exclusive) after which the adversary stands down.
+        until_tick: u64,
+    },
+    /// A dependency cascade: when a replica *newly* enters an open failure
+    /// episode, its downstream dependent (ring topology: replica `r` feeds
+    /// `r + 1 mod n`) receives a correlated fault of `kind` at the next
+    /// epoch barrier, up to `budget` propagations in total.
+    Cascade {
+        /// The failure class propagated to dependents.
+        kind: FaultKind,
+        /// Severity of each propagated fault, `[0, 1]`.
+        severity: f64,
+        /// Maximum number of propagations over the whole run.
+        budget: usize,
+        /// Tick (exclusive) after which the cascade stops propagating.
+        until_tick: u64,
+    },
+}
+
+impl ReactiveChoice {
+    /// Adversary shorthand.
+    pub fn adversary(kind: FaultKind, severity: f64, start_tick: u64, until_tick: u64) -> Self {
+        ReactiveChoice::Adversary {
+            kind,
+            severity,
+            start_tick,
+            until_tick,
+        }
+    }
+
+    /// Cascade shorthand.
+    pub fn cascade(kind: FaultKind, severity: f64, budget: usize, until_tick: u64) -> Self {
+        ReactiveChoice::Cascade {
+            kind,
+            severity,
+            budget,
+            until_tick,
+        }
+    }
+
+    /// Display label (used by bench output alongside the other choice
+    /// labels).
+    pub fn label(&self) -> String {
+        match self {
+            ReactiveChoice::Adversary { kind, .. } => format!("adversary_{}", kind.label()),
+            ReactiveChoice::Cascade { kind, .. } => format!("cascade_{}", kind.label()),
+        }
+    }
+}
+
 /// Which fault schedule drives the service — the fault-side mirror of
 /// [`PolicyChoice`], [`WorkloadChoice`], and [`LearnerChoice`], so benches,
 /// examples, and fleet configs name their failure scenarios declaratively.
@@ -281,6 +361,42 @@ pub enum FaultChoice {
         spacing_ticks: u64,
         /// Severity of every injected fault.
         severity: f64,
+    },
+    /// Seeded fault *seasons*: demographic generation whose per-tick rate
+    /// is re-drawn from `rates` at every `season_ticks` boundary by a
+    /// schedule keyed on `schedule_seed` alone (see
+    /// [`selfheal_faults::SeasonalSource`]).  Replicas with different draw
+    /// seeds but one `schedule_seed` share calm and stormy seasons, giving
+    /// the fleet correlated load *epochs* without correlated faults.
+    Seasons {
+        /// The service profile whose Figure 1 demographics drive sampling.
+        profile: ServiceProfile,
+        /// Candidate per-tick rates the schedule cycles through.
+        rates: Vec<f64>,
+        /// Ticks each season lasts before the rate is re-drawn.
+        season_ticks: u64,
+        /// Seed of the fleet-wide season schedule (deliberately *not* the
+        /// per-replica draw seed, so siblings share seasons).
+        schedule_seed: u64,
+        /// Faults may fire only in ticks `[0, active_ticks)`.
+        active_ticks: u64,
+        /// EJB count random targets are drawn from.
+        ejbs: usize,
+        /// Table count random targets are drawn from.
+        tables: usize,
+        /// Index count random targets are drawn from.
+        indexes: usize,
+    },
+    /// A live flaky operator: at each tick an operator action fires with
+    /// probability `action_rate` and manifests as a fault per the
+    /// [`selfheal_faults::OperatorModel`]'s error rate — the Figure 1
+    /// operator-error demographics as an online [`FaultSource`] (see
+    /// [`selfheal_faults::OperatorSource`]).
+    Operator {
+        /// Per-tick probability that the operator acts at all.
+        action_rate: f64,
+        /// Actions may fire only in ticks `[0, active_ticks)`.
+        active_ticks: u64,
     },
     /// A tick-wise merge of child recipes; each child gets a decorrelated
     /// seed and a disjoint fault-id lane, so e.g. a scripted scenario can
@@ -337,17 +453,49 @@ impl FaultChoice {
         }
     }
 
+    /// Fault-season shorthand: unbounded window, the workspace's default
+    /// tiny topology, and a schedule keyed on seed 0.  Chain
+    /// [`FaultChoice::active_for`] to bound the window for finite runs.
+    pub fn seasons(profile: ServiceProfile, rates: Vec<f64>, season_ticks: u64) -> Self {
+        FaultChoice::Seasons {
+            profile,
+            rates,
+            season_ticks,
+            schedule_seed: 0,
+            active_ticks: u64::MAX,
+            ejbs: 4,
+            tables: 3,
+            indexes: 1,
+        }
+    }
+
+    /// Flaky-operator shorthand with an unbounded window.
+    pub fn operator(action_rate: f64) -> Self {
+        FaultChoice::Operator {
+            action_rate,
+            active_ticks: u64::MAX,
+        }
+    }
+
     /// Composition shorthand.
     pub fn composed(children: impl IntoIterator<Item = FaultChoice>) -> Self {
         FaultChoice::Composed(children.into_iter().collect())
     }
 
-    /// Bounds every `Mix` window (recursively, for compositions) to
-    /// `[0, active_ticks)`.  No-op for scripted plans and sweeps, whose
-    /// schedules are already finite.
+    /// Bounds every `Mix`, `Seasons`, and `Operator` window (recursively,
+    /// for compositions) to `[0, active_ticks)`.  No-op for scripted plans
+    /// and sweeps, whose schedules are already finite.
     pub fn active_for(mut self, active_ticks: u64) -> Self {
         match &mut self {
             FaultChoice::Mix {
+                active_ticks: window,
+                ..
+            }
+            | FaultChoice::Seasons {
+                active_ticks: window,
+                ..
+            }
+            | FaultChoice::Operator {
                 active_ticks: window,
                 ..
             } => *window = active_ticks,
@@ -371,6 +519,12 @@ impl FaultChoice {
                 format!("mix_{}_{rate}", profile.name().to_lowercase())
             }
             FaultChoice::Sweep { .. } => "sweep".to_string(),
+            FaultChoice::Seasons {
+                profile,
+                season_ticks,
+                ..
+            } => format!("seasons_{}_{season_ticks}", profile.name().to_lowercase()),
+            FaultChoice::Operator { action_rate, .. } => format!("operator_{action_rate}"),
             FaultChoice::Composed(children) => format!("composed_{}", children.len()),
         }
     }
@@ -425,6 +579,29 @@ impl FaultChoice {
                 CatalogSweep::new(*start_tick, *spacing_ticks)
                     .with_severity(*severity)
                     .with_id_base(SWEEP_FAULT_ID_BASE + claim_lane(lane)),
+            ),
+            FaultChoice::Seasons {
+                profile,
+                rates,
+                season_ticks,
+                schedule_seed,
+                active_ticks,
+                ejbs,
+                tables,
+                indexes,
+            } => Box::new(
+                SeasonalSource::new(*profile, rates.clone(), *season_ticks, seed, *schedule_seed)
+                    .active_for(*active_ticks)
+                    .with_topology(*ejbs, *tables, *indexes)
+                    .with_id_base(SEASON_FAULT_ID_BASE + claim_lane(lane)),
+            ),
+            FaultChoice::Operator {
+                action_rate,
+                active_ticks,
+            } => Box::new(
+                OperatorSource::new(*action_rate, seed)
+                    .active_for(*active_ticks)
+                    .with_id_base(OPERATOR_FAULT_ID_BASE + claim_lane(lane)),
             ),
             FaultChoice::Composed(children) => {
                 let mut composed = ComposedSource::new();

@@ -52,7 +52,9 @@ pub mod symptom;
 pub mod synopsis;
 
 pub use fixsym::{EpisodeResult, FixSymConfig, FixSymEngine, FixSymHealer};
-pub use harness::{EventChoice, LearnerChoice, PolicyChoice, SelfHealingService, WorkloadChoice};
+pub use harness::{
+    EventChoice, LearnerChoice, PolicyChoice, ReactiveChoice, SelfHealingService, WorkloadChoice,
+};
 pub use hybrid::HybridHealer;
 pub use policy::{DiagnosisEngine, DiagnosisHealer, EpisodeTracker};
 pub use proactive::ProactiveHealer;

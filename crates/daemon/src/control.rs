@@ -494,6 +494,18 @@ fn status_lines(supervisor: &Supervisor) -> Vec<String> {
             "open_episodes={} restarts_total={}",
             health.open_episodes, health.restarts
         ),
+        format!(
+            "adversary={} adversary_target={}",
+            if supervisor.adversary_enabled() {
+                "on"
+            } else {
+                "off"
+            },
+            supervisor
+                .adversary_target()
+                .map(|id| id.to_string())
+                .unwrap_or_else(|| "none".to_string())
+        ),
     ];
     for replica in supervisor.replica_health() {
         if replica.restarts > 0 || replica.last_error.is_some() {

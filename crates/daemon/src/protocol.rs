@@ -32,7 +32,9 @@ pub enum Command {
     Remove(usize),
     /// `RECONFIGURE <id> <key>=<value>` — live-update one replica's fault
     /// or workload stream (keys: `fault_rate`, `fault_profile`,
-    /// `workload_rate`).
+    /// `workload_rate`), or toggle the fleet-wide adversary
+    /// (`adversary=on`/`off`; the id names which replica's reply channel
+    /// acknowledges, the engine itself targets the whole fleet).
     Reconfigure {
         /// The replica to reconfigure.
         id: usize,

@@ -25,7 +25,9 @@ use selfheal_core::harness::{FaultChoice, WorkloadChoice};
 use selfheal_core::snapshot::SynopsisSnapshot;
 use selfheal_core::store::{FixStats, SynopsisStore};
 use selfheal_core::synopsis::Learner;
-use selfheal_faults::{FaultSource, FixKind};
+use selfheal_faults::injection::default_target;
+use selfheal_faults::{FaultId, FaultKind, FaultSource, FaultSpec, FixKind};
+use selfheal_fleet::reactive::REACTIVE_FAULT_ID_BASE;
 use selfheal_fleet::scheduler::panic_message;
 use selfheal_fleet::{FleetConfig, FleetEngine};
 use selfheal_sim::scenario::Healer;
@@ -69,6 +71,9 @@ enum ActorRequest {
     SetFaults(Box<dyn FaultSource>),
     /// Swap the runner's workload source (RECONFIGURE).
     SetWorkload(Box<dyn TraceSource>),
+    /// Inject one fault directly into the live service (the adversary's
+    /// strike); takes effect from the next tick the runner steps.
+    Inject(FaultSpec),
     /// Exit the actor thread.
     Stop,
 }
@@ -103,6 +108,11 @@ fn replica_actor(requests: Receiver<ActorRequest>, reports: Sender<EpochReport>)
             ActorRequest::SetWorkload(workload) => {
                 if let Some(runner) = runner.as_mut() {
                     runner.set_workload(workload);
+                }
+            }
+            ActorRequest::Inject(spec) => {
+                if let Some(runner) = runner.as_mut() {
+                    runner.inject(spec);
                 }
             }
             ActorRequest::Stop => break,
@@ -170,6 +180,9 @@ pub struct Supervisor {
     started: Instant,
     restored: usize,
     draining: bool,
+    adversary: bool,
+    adversary_strikes: u64,
+    adversary_target: Option<usize>,
 }
 
 impl std::fmt::Debug for Supervisor {
@@ -179,6 +192,7 @@ impl std::fmt::Debug for Supervisor {
             .field("replicas", &self.entries.keys().collect::<Vec<_>>())
             .field("restored", &self.restored)
             .field("draining", &self.draining)
+            .field("adversary", &self.adversary)
             .finish_non_exhaustive()
     }
 }
@@ -235,6 +249,9 @@ impl Supervisor {
             started: Instant::now(),
             restored,
             draining: false,
+            adversary: false,
+            adversary_strikes: 0,
+            adversary_target: None,
         })
     }
 
@@ -273,6 +290,17 @@ impl Supervisor {
         self.draining
     }
 
+    /// `true` while the fleet-wide adversary is enabled
+    /// (`RECONFIGURE <id> adversary=on`).
+    pub fn adversary_enabled(&self) -> bool {
+        self.adversary
+    }
+
+    /// The replica the adversary struck at the most recent barrier.
+    pub fn adversary_target(&self) -> Option<usize> {
+        self.adversary_target
+    }
+
     /// `true` when a drain was requested and every episode has closed —
     /// the daemon loop stops ticking then.
     pub fn is_drained(&self) -> bool {
@@ -304,6 +332,7 @@ impl Supervisor {
             uptime_ms: self.uptime_ms(),
             fixes_known: self.store.correct_fixes_learned(),
             pending_updates: self.store.pending_updates(),
+            adversary_target: self.adversary_target,
             ..FleetHealth::default()
         };
         health.absorb_replicas(self.entries.values().map(|entry| &entry.health));
@@ -373,6 +402,9 @@ impl Supervisor {
     ///   already run a demographic mix).
     /// * `fault_profile=<word>` — any [`DaemonConfig::fault_profile`] word.
     /// * `workload_rate=<f64>` — synthetic arrival rate.
+    /// * `adversary=on|off` — toggles the *fleet-wide* adversarial chaos
+    ///   engine (the id names which replica the command rode in on, but the
+    ///   engine targets whichever replica is weakest at each barrier).
     ///
     /// The rebuilt source is seeded exactly as at construction
     /// ([`split_seed`] by replica id) and swapped into the live runner; the
@@ -387,6 +419,18 @@ impl Supervisor {
             Workload(WorkloadChoice),
         }
         let change = match key {
+            "adversary" => {
+                let enable = match value {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("bad adversary value {other:?} (try on, off)")),
+                };
+                self.adversary = enable;
+                if !enable {
+                    self.adversary_target = None;
+                }
+                return Ok(format!("adversary={}", if enable { "on" } else { "off" }));
+            }
             "fault_rate" => {
                 let rate: f64 = value
                     .parse()
@@ -423,7 +467,8 @@ impl Supervisor {
             }
             other => {
                 return Err(format!(
-                    "unknown key {other:?} (try fault_rate, fault_profile, workload_rate)"
+                    "unknown key {other:?} (try fault_rate, fault_profile, workload_rate, \
+                     adversary)"
                 ))
             }
         };
@@ -511,6 +556,38 @@ impl Supervisor {
                 entry.phase = Phase::Failed;
                 entry.health.state = ReplicaState::Failed;
                 entry.health.last_error = Some("replica actor is gone".to_string());
+            }
+        }
+
+        // The adversarial chaos engine: at every barrier while enabled,
+        // strike the currently-weakest running replica (worst open-episode
+        // count from the last barrier's health, ties toward the lowest id —
+        // the same policy as the batch engine's `AdversarySource`).  The
+        // strike is queued before the epoch's `Advance`, so it lands at the
+        // first tick of the epoch it reacts to.
+        self.adversary_target = None;
+        if self.adversary {
+            let weakest = self
+                .entries
+                .iter()
+                .filter(|(_, entry)| entry.phase == Phase::Running)
+                .max_by(|(a_id, a), (b_id, b)| {
+                    (a.health.open_episodes, std::cmp::Reverse(**a_id))
+                        .cmp(&(b.health.open_episodes, std::cmp::Reverse(**b_id)))
+                })
+                .map(|(id, _)| *id);
+            if let Some(id) = weakest {
+                let spec = FaultSpec::new(
+                    FaultId(REACTIVE_FAULT_ID_BASE + self.adversary_strikes),
+                    ADVERSARY_FAULT_KIND,
+                    default_target(ADVERSARY_FAULT_KIND, 0),
+                    ADVERSARY_FAULT_SEVERITY,
+                );
+                let entry = self.entries.get_mut(&id).expect("weakest id exists");
+                if entry.requests.send(ActorRequest::Inject(spec)).is_ok() {
+                    self.adversary_strikes += 1;
+                    self.adversary_target = Some(id);
+                }
             }
         }
 
@@ -666,6 +743,13 @@ impl Supervisor {
         Ok(())
     }
 }
+
+/// The failure class the daemon's adversary injects — the catalog's
+/// cheapest-to-heal contention fault, so a live fleet under adversarial
+/// load degrades rather than collapses.
+const ADVERSARY_FAULT_KIND: FaultKind = FaultKind::BufferContention;
+/// Severity of the daemon adversary's strikes.
+const ADVERSARY_FAULT_SEVERITY: f64 = 0.9;
 
 /// Updates the "rate" knob shared by every arrival model.
 fn set_arrival_rate(arrivals: &mut ArrivalProcess, rate: f64) {

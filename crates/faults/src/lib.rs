@@ -27,13 +27,15 @@
 //! API ([`source`]): hand-scripted [`injection::InjectionPlan`]s behind
 //! [`ScriptedSource`], stochastic demographic generation from a cause mix
 //! ([`MixSource`] — the paper's Section 4.2 active stimulation), full
-//! catalog coverage sweeps ([`CatalogSweep`]), and tick-wise composition
+//! catalog coverage sweeps ([`CatalogSweep`]), seeded time-varying fault
+//! *seasons* ([`SeasonalSource`]), live flaky-operator stimulation
+//! ([`OperatorSource`]), and tick-wise composition
 //! ([`ComposedSource`]).  Correlated fault storms hit a deterministic
 //! fraction of a fleet at once ([`storm::StormSpec`], uniform or
 //! CauseMix-catalog mode); the failure-cause mix model behind Figure 1 is
 //! [`mix::CauseMix`], the per-category recovery-time model behind Figure 2
-//! is [`recovery_model::RecoveryTimeModel`], and an operator-error model
-//! lives in [`operator::OperatorModel`].
+//! is [`recovery_model::RecoveryTimeModel`], and the operator-error model
+//! behind [`OperatorSource`] lives in [`operator::OperatorModel`].
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -56,7 +58,8 @@ pub use mix::{CauseMix, ServiceProfile};
 pub use operator::{OperatorAction, OperatorModel};
 pub use recovery_model::RecoveryTimeModel;
 pub use source::{
-    CatalogSweep, ComposedSource, FaultSource, MixSource, ScriptedSource, MIX_FAULT_ID_BASE,
+    CatalogSweep, ComposedSource, FaultSource, MixSource, OperatorSource, ScriptedSource,
+    SeasonalSource, MIX_FAULT_ID_BASE, OPERATOR_FAULT_ID_BASE, SEASON_FAULT_ID_BASE,
     SWEEP_FAULT_ID_BASE,
 };
 pub use storm::{StormSpec, STORM_FAULT_ID_BASE};

@@ -71,6 +71,7 @@ use crate::catalog::FixCatalog;
 use crate::fault::{FaultId, FaultKind, FaultSpec};
 use crate::injection::{default_target, random_target, InjectionPlan};
 use crate::mix::ServiceProfile;
+use crate::operator::OperatorModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -81,6 +82,12 @@ pub const MIX_FAULT_ID_BASE: u64 = 1 << 44;
 
 /// Id namespace for [`CatalogSweep`]-generated faults.
 pub const SWEEP_FAULT_ID_BASE: u64 = 1 << 45;
+
+/// Id namespace for [`SeasonalSource`]-generated faults.
+pub const SEASON_FAULT_ID_BASE: u64 = 1 << 43;
+
+/// Id namespace for [`OperatorSource`]-generated faults.
+pub const OPERATOR_FAULT_ID_BASE: u64 = 1 << 47;
 
 /// A source of scheduled fault activations.
 ///
@@ -476,6 +483,212 @@ impl FaultSource for ComposedSource {
     }
 }
 
+// ---------------------------------------------------------------------------
+// SeasonalSource
+// ---------------------------------------------------------------------------
+
+/// Salt keying a [`SeasonalSource`]'s season-to-rate schedule draw.
+const SEASON_SCHEDULE_SALT: u64 = 0xBB67_AE85_84CA_A73B;
+
+/// Fault *seasons*: a [`MixSource`] whose per-tick rate is not constant but
+/// a seeded, time-varying schedule.  Time is cut into fixed-length seasons
+/// (`season_ticks` each); season `s` draws its rate from the configured
+/// `rates` menu via a hash of `(schedule_seed, s)`, so calm and stormy
+/// stretches alternate deterministically.
+///
+/// The schedule seed is deliberately separate from the per-tick draw seed:
+/// a fleet hands every replica the *same* `schedule_seed` (seasons are
+/// weather — fleet-wide phenomena) while per-replica draw seeds keep the
+/// concrete faults decorrelated across replicas inside a shared season.
+///
+/// Like [`MixSource`], every decision derives from `(seed, tick)` alone —
+/// call order, worker count, and slice width cannot perturb the stream, and
+/// [`reset`](FaultSource::reset) is free.  Fault ids live in the
+/// [`SEASON_FAULT_ID_BASE`] namespace by default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeasonalSource {
+    inner: MixSource,
+    rates: Vec<f64>,
+    season_ticks: u64,
+    schedule_seed: u64,
+    active_ticks: u64,
+}
+
+impl SeasonalSource {
+    /// Creates a seasonal source over `profile` demographics: each season
+    /// lasts `season_ticks` (minimum 1) and draws its per-tick rate from
+    /// `rates` (empty menus get a single quiet 0.0 season).  `seed` keys
+    /// the per-tick fault draws, `schedule_seed` keys the season schedule.
+    pub fn new(
+        profile: ServiceProfile,
+        rates: Vec<f64>,
+        season_ticks: u64,
+        seed: u64,
+        schedule_seed: u64,
+    ) -> Self {
+        let rates = if rates.is_empty() { vec![0.0] } else { rates };
+        SeasonalSource {
+            inner: MixSource::new(profile, 0.0, seed).with_id_base(SEASON_FAULT_ID_BASE),
+            rates: rates.into_iter().map(|r| r.clamp(0.0, 1.0)).collect(),
+            season_ticks: season_ticks.max(1),
+            schedule_seed,
+            active_ticks: u64::MAX,
+        }
+    }
+
+    /// Restricts generation to ticks `[0, active_ticks)` so the horizon
+    /// becomes finite and quiesce detection can bound the run.
+    pub fn active_for(mut self, active_ticks: u64) -> Self {
+        self.active_ticks = active_ticks;
+        self
+    }
+
+    /// Sets the service topology random targets are drawn from.
+    pub fn with_topology(
+        mut self,
+        ejb_count: usize,
+        table_count: usize,
+        index_count: usize,
+    ) -> Self {
+        self.inner = self
+            .inner
+            .with_topology(ejb_count, table_count, index_count);
+        self
+    }
+
+    /// Overrides the fault-id namespace.
+    pub fn with_id_base(mut self, id_base: u64) -> Self {
+        self.inner = self.inner.with_id_base(id_base);
+        self
+    }
+
+    /// The rate in force at `tick`: the schedule's draw for that season.
+    pub fn rate_at(&self, tick: u64) -> f64 {
+        let season = tick / self.season_ticks;
+        let draw = mix64(self.schedule_seed, season, SEASON_SCHEDULE_SALT);
+        self.rates[(draw % self.rates.len() as u64) as usize]
+    }
+}
+
+impl FaultSource for SeasonalSource {
+    fn due_at(&mut self, tick: u64) -> Vec<FaultSpec> {
+        if tick >= self.active_ticks {
+            return Vec::new();
+        }
+        self.inner.rate = self.rate_at(tick);
+        self.inner.due_at(tick)
+    }
+
+    fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn FaultSource> {
+        Box::new(self.clone())
+    }
+
+    fn horizon(&self) -> u64 {
+        if self.active_ticks == u64::MAX {
+            u64::MAX
+        } else {
+            self.active_ticks.saturating_sub(1)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OperatorSource
+// ---------------------------------------------------------------------------
+
+/// Salt distinguishing [`OperatorSource`]'s per-tick stream.
+const OPERATOR_TICK_SALT: u64 = 0x3C6E_F372_FE94_F82B;
+
+/// The [`OperatorModel`] as a live stimulus: at every tick inside the
+/// active window, an operator performs a configuration action with
+/// probability `action_rate`; the model decides whether that action is
+/// botched (its `error_rate`) and, if so, which fault the mistake
+/// manifests as.  The effective fault rate is therefore
+/// `action_rate * error_rate`.
+///
+/// Decisions are a pure function of `(seed, tick)` — the same stateless
+/// construction as [`MixSource`] — so the stream survives worker-count and
+/// slice-width changes untouched.  Fault ids are `id_base + tick` in the
+/// [`OPERATOR_FAULT_ID_BASE`] namespace by default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorSource {
+    model: OperatorModel,
+    action_rate: f64,
+    seed: u64,
+    active_ticks: u64,
+    id_base: u64,
+}
+
+impl OperatorSource {
+    /// Creates an operator source performing actions with probability
+    /// `action_rate` per tick (clamped to `[0, 1]`) under the standard
+    /// [`OperatorModel`], unbounded in time.
+    pub fn new(action_rate: f64, seed: u64) -> Self {
+        OperatorSource {
+            model: OperatorModel::standard(),
+            action_rate: action_rate.clamp(0.0, 1.0),
+            seed,
+            active_ticks: u64::MAX,
+            id_base: OPERATOR_FAULT_ID_BASE,
+        }
+    }
+
+    /// Overrides the operator-behaviour model.
+    pub fn with_model(mut self, model: OperatorModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Restricts actions to ticks `[0, active_ticks)` (finite horizon).
+    pub fn active_for(mut self, active_ticks: u64) -> Self {
+        self.active_ticks = active_ticks;
+        self
+    }
+
+    /// Overrides the fault-id namespace.
+    pub fn with_id_base(mut self, id_base: u64) -> Self {
+        self.id_base = id_base;
+        self
+    }
+
+    /// The model driving botched-action decisions.
+    pub fn model(&self) -> &OperatorModel {
+        &self.model
+    }
+}
+
+impl FaultSource for OperatorSource {
+    fn due_at(&mut self, tick: u64) -> Vec<FaultSpec> {
+        if tick >= self.active_ticks || self.action_rate <= 0.0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(mix64(self.seed, tick, OPERATOR_TICK_SALT));
+        if rng.gen_range(0.0..1.0) >= self.action_rate {
+            return Vec::new();
+        }
+        self.model
+            .perform_action(self.id_base + tick, &mut rng)
+            .into_iter()
+            .collect()
+    }
+
+    fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn FaultSource> {
+        Box::new(self.clone())
+    }
+
+    fn horizon(&self) -> u64 {
+        if self.active_ticks == u64::MAX {
+            u64::MAX
+        } else {
+            self.active_ticks.saturating_sub(1)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -620,6 +833,90 @@ mod tests {
         assert!(empty.is_empty());
         assert_eq!(empty.horizon(), 0);
         assert!(empty.due_at(0).is_empty());
+    }
+
+    #[test]
+    fn seasonal_source_varies_rate_by_season_deterministically() {
+        let source = SeasonalSource::new(ServiceProfile::Online, vec![0.0, 0.6], 50, 7, 99);
+        // The schedule is a pure function of (schedule_seed, season): the
+        // rate is constant within a season and both menu entries appear
+        // across enough seasons.
+        let mut seen = Vec::new();
+        for season in 0..32u64 {
+            let rate = source.rate_at(season * 50);
+            assert_eq!(rate, source.rate_at(season * 50 + 49));
+            seen.push(rate);
+        }
+        assert!(seen.contains(&0.0), "some seasons must be calm");
+        assert!(seen.contains(&0.6), "some seasons must be stormy");
+
+        // Calm seasons produce no faults; the stream is replayable.
+        let mut a = SeasonalSource::new(ServiceProfile::Online, vec![0.0, 0.6], 50, 7, 99);
+        let mut b = a.clone();
+        for tick in 0..1600 {
+            let faults = a.due_at(tick);
+            assert_eq!(faults, b.due_at(tick));
+            if a.rate_at(tick) == 0.0 {
+                assert!(faults.is_empty(), "calm season fired at tick {tick}");
+            }
+            for fault in &faults {
+                assert!(fault.id.0 >= SEASON_FAULT_ID_BASE);
+            }
+        }
+    }
+
+    #[test]
+    fn seasonal_source_respects_window_and_shares_schedule_across_seeds() {
+        let mut source =
+            SeasonalSource::new(ServiceProfile::Content, vec![1.0], 10, 3, 5).active_for(30);
+        assert_eq!(source.horizon(), 29);
+        assert!(!source.due_at(7).is_empty(), "rate 1.0 fires inside window");
+        assert!(source.due_at(30).is_empty());
+        assert!(source.due_at(500).is_empty());
+        // Same schedule seed, different draw seeds: identical season rates,
+        // different concrete faults.
+        let a = SeasonalSource::new(ServiceProfile::Online, vec![0.1, 0.9], 25, 1, 42);
+        let b = SeasonalSource::new(ServiceProfile::Online, vec![0.1, 0.9], 25, 2, 42);
+        for season in 0..16u64 {
+            assert_eq!(a.rate_at(season * 25), b.rate_at(season * 25));
+        }
+    }
+
+    #[test]
+    fn operator_source_fires_operator_faults_at_the_composed_rate() {
+        let model = OperatorModel {
+            error_rate: 0.5,
+            ..OperatorModel::standard()
+        };
+        let mut source = OperatorSource::new(0.5, 11).with_model(model);
+        let faults: Vec<_> = (0..20_000).flat_map(|t| source.due_at(t)).collect();
+        let rate = faults.len() as f64 / 20_000.0;
+        assert!(
+            (rate - 0.25).abs() < 0.02,
+            "action 0.5 * error 0.5 should fire ~0.25/tick, got {rate}"
+        );
+        for fault in &faults {
+            assert_eq!(fault.cause, FailureCause::Operator);
+            assert!(fault.id.0 >= OPERATOR_FAULT_ID_BASE);
+            assert!(fault.severity >= 0.5);
+        }
+    }
+
+    #[test]
+    fn operator_source_is_deterministic_and_windowed() {
+        let mut a = OperatorSource::new(0.8, 13).active_for(100);
+        let mut b = a.clone();
+        assert_eq!(a.horizon(), 99);
+        let forwards: Vec<_> = (0..200).flat_map(|t| a.due_at(t)).collect();
+        let backwards: Vec<_> = (0..200).rev().flat_map(|t| b.due_at(t)).collect();
+        let mut backwards_sorted = backwards;
+        backwards_sorted.sort_by_key(|f| f.id);
+        assert_eq!(forwards, backwards_sorted);
+        assert!(!forwards.is_empty(), "dense operators must blunder");
+        assert!(forwards
+            .iter()
+            .all(|f| f.id.0 < OPERATOR_FAULT_ID_BASE + 100));
+        assert!(OperatorSource::new(0.0, 13).due_at(5).is_empty());
     }
 
     #[test]

@@ -106,6 +106,14 @@ pub trait FleetEvent: Send + Sync + std::fmt::Debug {
     /// Resolves the fleet-level event into per-replica actions, applied
     /// when each replica reaches [`FleetEvent::due_tick`].
     fn resolve(&self, fleet: &FleetShape) -> Vec<(usize, ReplicaAction)>;
+
+    /// The last tick at which this event's effects can still be introduced
+    /// (defaults to [`FleetEvent::due_tick`]; events with extended effects,
+    /// like surges, report when the effect ends) — quiesce detection runs
+    /// the fleet past the horizon plus a healing tail.
+    fn horizon(&self) -> u64 {
+        self.due_tick()
+    }
 }
 
 /// A correlated fault storm: at [`FleetEvent::due_tick`], the storm's fault
@@ -218,6 +226,12 @@ impl FleetEvent for WorkloadSurge {
         format!("surge@{}x{:.1}", self.at_tick, self.factor)
     }
 
+    fn horizon(&self) -> u64 {
+        self.at_tick
+            .saturating_add(self.duration_ticks)
+            .saturating_sub(1)
+    }
+
     fn resolve(&self, fleet: &FleetShape) -> Vec<(usize, ReplicaAction)> {
         let until_tick = self.at_tick.saturating_add(self.duration_ticks);
         (0..fleet.replicas)
@@ -310,6 +324,14 @@ impl EventPlan {
     /// Event labels, in schedule order.
     pub fn labels(&self) -> Vec<String> {
         self.events.iter().map(|e| e.label()).collect()
+    }
+
+    /// The last tick at which any scheduled event can still introduce an
+    /// effect, or `None` for an empty plan.  Quiesce detection
+    /// ([`crate::FleetConfig::run_to_quiescence`]) runs the fleet past this
+    /// horizon plus a healing tail.
+    pub fn horizon(&self) -> Option<u64> {
+        self.events.iter().map(|e| e.horizon()).max()
     }
 
     /// Resolves every event against the fleet's shape into the per-replica,

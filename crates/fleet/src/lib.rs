@@ -64,13 +64,15 @@
 #![deny(unsafe_code)]
 
 pub mod events;
+pub mod reactive;
 pub mod scheduler;
 
 use crate::events::{EventPlan, FleetShape};
+use crate::reactive::{ReactiveContext, ReactivePlan, ReactiveRecord};
 pub use crate::scheduler::ReplicaError;
 use crate::scheduler::StoreGate;
 use selfheal_core::harness::{
-    EventChoice, FaultChoice, LearnerChoice, PolicyChoice, WorkloadChoice,
+    EventChoice, FaultChoice, LearnerChoice, PolicyChoice, ReactiveChoice, WorkloadChoice,
 };
 use selfheal_core::snapshot::SynopsisSnapshot;
 use selfheal_core::store::{LockedStore, SynopsisStore};
@@ -172,10 +174,16 @@ pub struct FleetConfig {
     slice: u64,
     gated: bool,
     events: EventPlan,
+    reactive: ReactivePlan,
     series_capacity: usize,
     faults: FleetFaults,
     persist_synopsis: Option<PathBuf>,
 }
+
+/// Ticks [`FleetConfig::run_to_quiescence`] appends past the last stimulus
+/// horizon: enough for a full-service restart (~300 ticks) plus retries and
+/// detection lag, so every episode the stimuli can open has room to close.
+pub const HEALING_TAIL: u64 = 600;
 
 impl std::fmt::Debug for FleetConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -192,6 +200,7 @@ impl std::fmt::Debug for FleetConfig {
             .field("slice", &self.slice)
             .field("gated", &self.gated)
             .field("events", &self.events.labels())
+            .field("reactive", &self.reactive.labels())
             .finish_non_exhaustive()
     }
 }
@@ -214,6 +223,7 @@ impl FleetConfig {
             slice: 1,
             gated: true,
             events: EventPlan::new(),
+            reactive: ReactivePlan::new(),
             series_capacity: 100_000,
             faults: FleetFaults::Choice(FaultChoice::default()),
             persist_synopsis: None,
@@ -326,6 +336,26 @@ impl FleetConfig {
         self
     }
 
+    /// Wires in one declarative reactive chaos engine (a
+    /// [`ReactiveChoice::Adversary`] or [`ReactiveChoice::Cascade`]); may
+    /// be called repeatedly.  Reactive engines observe the fleet at epoch
+    /// barriers every [`reactive::REACTIVE_PERIOD`] ticks and emit actions
+    /// for the next window, so their runs stay fingerprint-identical at any
+    /// worker count — the run panics unless the configured
+    /// [`slice`](FleetConfig::slice) divides the reactive period.
+    pub fn reactive(mut self, choice: ReactiveChoice) -> Self {
+        self.reactive.push_choice(choice);
+        self
+    }
+
+    /// Replaces the reactive engines with a full [`ReactivePlan`] (the
+    /// escape hatch for custom [`reactive::ReactiveEvent`]
+    /// implementations).
+    pub fn reactive_plan(mut self, plan: ReactivePlan) -> Self {
+        self.reactive = plan;
+        self
+    }
+
     /// Disables the store gate's round-robin serialization of
     /// shared-store access for throughput-over-reproducibility runs.
     ///
@@ -404,6 +434,53 @@ impl FleetConfig {
     pub fn run(self) -> FleetOutcome {
         self.build().run()
     }
+
+    /// The last tick at which any configured stimulus — per-replica fault
+    /// sources, scheduled cross-replica events, or reactive engines — can
+    /// still introduce work, `None` when every stimulus is unbounded (or
+    /// absent).  Unbounded sources (horizon `u64::MAX`) are ignored: they
+    /// admit no quiesce point.
+    pub fn stimulus_horizon(&self) -> Option<u64> {
+        let mut horizon: Option<u64> = None;
+        let mut observe = |h: u64| {
+            if h != u64::MAX {
+                horizon = Some(horizon.unwrap_or(0).max(h));
+            }
+        };
+        for replica in 0..self.replicas {
+            let h = match &self.faults {
+                FleetFaults::Choice(choice) => choice
+                    .source_for_replica(
+                        split_seed(self.base_seed, replica as u64, SeedStream::Faults),
+                        replica as u64,
+                    )
+                    .horizon(),
+                FleetFaults::PerReplica(factory) => factory(replica).horizon(),
+            };
+            observe(h);
+        }
+        if let Some(h) = self.events.horizon() {
+            observe(h);
+        }
+        if let Some(h) = self.reactive.horizon() {
+            observe(h);
+        }
+        horizon
+    }
+
+    /// Horizon-aware auto-quiesce: runs until one [`HEALING_TAIL`] past the
+    /// [`stimulus_horizon`](FleetConfig::stimulus_horizon), replacing
+    /// hand-tuned tick counts — the run is exactly long enough for every
+    /// episode the stimuli can open to close, however the stimuli are
+    /// composed.  Falls back to the configured
+    /// [`ticks`](FleetConfig::ticks) when every stimulus is unbounded,
+    /// since no finite run can outlast them.
+    pub fn run_to_quiescence(self) -> FleetOutcome {
+        match self.stimulus_horizon() {
+            Some(horizon) => self.ticks(horizon + 1 + HEALING_TAIL).run(),
+            None => self.run(),
+        }
+    }
 }
 
 /// One replica's result.
@@ -422,6 +499,7 @@ pub struct FleetOutcome {
     wall: Duration,
     mode: ExecutionMode,
     store: Option<Box<dyn SynopsisStore>>,
+    reactive_log: Vec<ReactiveRecord>,
 }
 
 impl std::fmt::Debug for FleetOutcome {
@@ -432,6 +510,7 @@ impl std::fmt::Debug for FleetOutcome {
             .field("wall", &self.wall)
             .field("mode", &self.mode)
             .field("store", &self.store.as_ref().map(|s| s.kind().label()))
+            .field("reactive_log", &self.reactive_log.len())
             .finish()
     }
 }
@@ -541,6 +620,13 @@ impl FleetOutcome {
     /// Total failure episodes across the fleet.
     pub fn total_episodes(&self) -> usize {
         self.replicas.iter().map(|r| r.outcome.recovery.len()).sum()
+    }
+
+    /// Every action the reactive engines emitted, in emission order — the
+    /// audit trail that lets benches attribute failure episodes to
+    /// adversarial injections (empty when no engines were configured).
+    pub fn reactive_log(&self) -> &[ReactiveRecord] {
+        &self.reactive_log
     }
 
     /// Per-replica outcome fingerprints (ordered by replica index) — the
@@ -753,6 +839,17 @@ impl FleetEngine {
             base_seed: config.base_seed,
         };
         let schedule = config.events.resolve(&shape);
+        let mut reactive = (!config.reactive.is_empty()).then(|| {
+            assert!(
+                reactive::REACTIVE_PERIOD.is_multiple_of(config.slice),
+                "reactive engines evaluate at {}-tick barriers, so the slice \
+                 ({}) must divide the reactive period — use a slice of 1, 2, \
+                 4, 8, 16, 32, or 64",
+                reactive::REACTIVE_PERIOD,
+                config.slice,
+            );
+            ReactiveContext::new(config.reactive.clone())
+        });
 
         let workers = match config.mode {
             ExecutionMode::Sequential => 1,
@@ -783,6 +880,7 @@ impl FleetEngine {
             workers,
             gate,
             &schedule,
+            reactive.as_mut(),
         );
         // The final drain is part of the run: flush *inside* the timed
         // region so throughput numbers include it.
@@ -805,6 +903,7 @@ impl FleetEngine {
             wall,
             mode: self.config.mode,
             store,
+            reactive_log: reactive.map(ReactiveContext::into_log).unwrap_or_default(),
         }
     }
 }

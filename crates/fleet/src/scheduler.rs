@@ -36,12 +36,13 @@
 //! reproducible fleet learning is the point.
 
 use crate::events::{ActionSchedule, ReplicaAction};
+use crate::reactive::{FleetView, ReactiveContext, ReplicaView, REACTIVE_PERIOD};
 use selfheal_core::snapshot::SynopsisSnapshot;
 use selfheal_core::store::SynopsisStore;
 use selfheal_core::synopsis::{Learner, SynopsisKind};
 use selfheal_faults::FixKind;
 use selfheal_sim::scenario::{Healer, ScenarioOutcome, ScenarioRunner};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Condvar, Mutex};
@@ -235,10 +236,12 @@ impl SynopsisStore for GatedStore {
 // ---------------------------------------------------------------------------
 
 /// One replica's slot: the live runner until it completes (or `None` plus
-/// an error once it has panicked).
+/// an error once it has panicked), and the reactive actions scheduled
+/// against it for upcoming ticks.
 struct ReplicaSlot {
     runner: Option<ScenarioRunner<Box<dyn Healer>>>,
     error: Option<ReplicaError>,
+    pending: BTreeMap<u64, Vec<ReplicaAction>>,
 }
 
 /// Everything one worker needs to sweep epochs.
@@ -275,9 +278,20 @@ impl SweepContext<'_> {
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             if let Some(mut runner) = slot.runner.take() {
+                // Reactive actions due inside this epoch window (barrier
+                // evaluation only ever schedules into the next window, so
+                // nothing earlier can be pending).
+                let later = slot.pending.split_off(&end);
+                let mut due = std::mem::replace(&mut slot.pending, later);
                 let stepped = catch_unwind(AssertUnwindSafe(|| {
                     for tick in start..end {
-                        for action in self.schedule.actions_for(replica, tick) {
+                        let reactive = due.remove(&tick).unwrap_or_default();
+                        for action in self
+                            .schedule
+                            .actions_for(replica, tick)
+                            .iter()
+                            .chain(reactive.iter())
+                        {
                             match action {
                                 ReplicaAction::Inject(fault) => runner.inject(fault.clone()),
                                 ReplicaAction::Surge { factor, until_tick } => {
@@ -307,10 +321,67 @@ impl SweepContext<'_> {
     }
 }
 
+/// Builds the [`FleetView`] the reactive engines observe at a barrier:
+/// every live replica has completed exactly `tick` ticks, so the view is a
+/// pure function of the run so far.  Called only between epochs (no worker
+/// holds a slot lock).
+fn fleet_view(slots: &[Mutex<ReplicaSlot>], tick: u64) -> FleetView {
+    let replicas = slots
+        .iter()
+        .enumerate()
+        .map(|(replica, slot)| {
+            let slot = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            match &slot.runner {
+                Some(runner) => {
+                    let recovery = runner.recovery();
+                    let recent: Vec<u64> = recovery
+                        .episodes()
+                        .iter()
+                        .rev()
+                        .filter_map(|e| e.recovery_ticks())
+                        .take(5)
+                        .collect();
+                    ReplicaView {
+                        replica,
+                        ticks: runner.ticks_run(),
+                        retired: false,
+                        open_episodes: usize::from(recovery.in_episode()),
+                        episodes: recovery.len(),
+                        recent_mean_recovery: (!recent.is_empty())
+                            .then(|| recent.iter().sum::<u64>() as f64 / recent.len() as f64),
+                        fixes_initiated: runner.fixes_initiated(),
+                        restarts: 0,
+                    }
+                }
+                None => ReplicaView::retired(replica),
+            }
+        })
+        .collect();
+    FleetView { tick, replicas }
+}
+
+/// One reactive barrier: observe the fleet, run the engines, and schedule
+/// the emitted actions into the target replicas' pending maps (they apply
+/// from `tick`, the first tick of the next epoch window).
+fn evaluate_reactive(reactive: &mut ReactiveContext, slots: &[Mutex<ReplicaSlot>], tick: u64) {
+    let view = fleet_view(slots, tick);
+    for (replica, action) in reactive.evaluate(&view) {
+        let mut slot = slots[replica]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        slot.pending.entry(tick).or_default().push(action);
+    }
+}
+
 /// Drives `runners` for `ticks` ticks in epochs of `slice` ticks across
 /// `workers` OS threads (1 = the calling thread, no spawning), applying the
 /// resolved event `schedule` at exact ticks and serializing shared-store
 /// access through `gate` when one is given.
+///
+/// When a `reactive` context is given, its engines are evaluated at tick 0
+/// and at every epoch barrier landing on a [`REACTIVE_PERIOD`] multiple —
+/// the caller must ensure `slice` divides the period so slice-1 and
+/// slice-64 runs observe identical view sequences.
 ///
 /// Returns one entry per replica, in index order: the outcome, or the
 /// [`ReplicaError`] describing the panic that retired it.
@@ -321,6 +392,7 @@ pub(crate) fn run_epochs(
     workers: usize,
     gate: Option<Arc<StoreGate>>,
     schedule: &ActionSchedule,
+    mut reactive: Option<&mut ReactiveContext>,
 ) -> Vec<Result<ScenarioOutcome, ReplicaError>> {
     let slots: Vec<Mutex<ReplicaSlot>> = runners
         .into_iter()
@@ -328,6 +400,7 @@ pub(crate) fn run_epochs(
             Mutex::new(ReplicaSlot {
                 runner: Some(runner),
                 error: None,
+                pending: BTreeMap::new(),
             })
         })
         .collect();
@@ -341,6 +414,18 @@ pub(crate) fn run_epochs(
         slice: slice.max(1),
     };
 
+    // Initial reactive barrier: the engines see the untouched fleet at tick
+    // 0 and may act from the very first tick.
+    if let Some(reactive) = reactive.as_deref_mut() {
+        evaluate_reactive(reactive, &slots, 0);
+    }
+    // The barrier tick reached after `epoch` completes; reactive engines
+    // run there only on REACTIVE_PERIOD multiples strictly inside the run.
+    let reactive_due = |epoch: u64| {
+        let tick = ((epoch + 1) * context.slice).min(ticks);
+        (tick < ticks && tick.is_multiple_of(REACTIVE_PERIOD)).then_some(tick)
+    };
+
     let workers = workers.clamp(1, slots.len().max(1));
     if workers == 1 {
         // The sequential interleaver: one sweep per epoch on the calling
@@ -351,21 +436,35 @@ pub(crate) fn run_epochs(
             if let Some(gate) = &gate {
                 gate.reset();
             }
+            if let (Some(reactive), Some(tick)) = (reactive.as_deref_mut(), reactive_due(epoch)) {
+                evaluate_reactive(reactive, &slots, tick);
+            }
         }
     } else {
         let barrier = Barrier::new(workers);
+        let reactive_cell = Mutex::new(reactive);
         thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     for epoch in 0..context.epochs() {
                         context.sweep_epoch(epoch);
                         // Two-phase barrier: everyone finishes the epoch,
-                        // the leader rearms the claim counter and the gate,
-                        // then everyone enters the next epoch.
+                        // the leader rearms the claim counter and the gate
+                        // and runs the reactive engines (every worker is
+                        // parked at the second wait, so the fleet state is
+                        // frozen), then everyone enters the next epoch.
                         if barrier.wait().is_leader() {
                             next.store(0, Ordering::SeqCst);
                             if let Some(gate) = context.gate {
                                 gate.reset();
+                            }
+                            let mut guard = reactive_cell
+                                .lock()
+                                .unwrap_or_else(|poisoned| poisoned.into_inner());
+                            if let (Some(reactive), Some(tick)) =
+                                (guard.as_deref_mut(), reactive_due(epoch))
+                            {
+                                evaluate_reactive(reactive, &slots, tick);
                             }
                         }
                         barrier.wait();
@@ -446,7 +545,7 @@ mod tests {
             runner(Box::new(PanicAt { tick: 13, seen: 0 })),
             runner(Box::new(selfheal_sim::scenario::NoHealing)),
         ];
-        let results = run_epochs(runners, 40, 1, 2, None, &empty_schedule(3));
+        let results = run_epochs(runners, 40, 1, 2, None, &empty_schedule(3), None);
         assert_eq!(results.len(), 3);
         assert_eq!(results[0].as_ref().unwrap().ticks, 40, "survivor 0 ran on");
         assert_eq!(results[2].as_ref().unwrap().ticks, 40, "survivor 2 ran on");
@@ -508,6 +607,7 @@ mod tests {
             3,
             Some(Arc::clone(&gate)),
             &empty_schedule(3),
+            None,
         );
         assert!(results[0].is_err());
         assert_eq!(results[1].as_ref().unwrap().ticks, 30);
@@ -518,7 +618,7 @@ mod tests {
     fn slice_widths_partition_the_run_exactly() {
         for slice in [1, 7, 64, 1000] {
             let runners = vec![runner(Box::new(selfheal_sim::scenario::NoHealing))];
-            let results = run_epochs(runners, 50, slice, 1, None, &empty_schedule(1));
+            let results = run_epochs(runners, 50, slice, 1, None, &empty_schedule(1), None);
             assert_eq!(results[0].as_ref().unwrap().ticks, 50, "slice {slice}");
         }
     }

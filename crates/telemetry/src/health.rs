@@ -118,6 +118,9 @@ pub struct FleetHealth {
     pub pending_updates: usize,
     /// Simulated ticks per wall-clock second since the supervisor started.
     pub ticks_per_sec: f64,
+    /// Replica the fleet-wide adversary struck at the last barrier, when
+    /// the adversarial chaos engine is enabled and found a target.
+    pub adversary_target: Option<usize>,
 }
 
 impl FleetHealth {
@@ -163,6 +166,10 @@ impl FleetHealth {
         out.push_str(&self.pending_updates.to_string());
         out.push_str(",\"ticks_per_sec\":");
         push_f64(&mut out, self.ticks_per_sec);
+        if let Some(target) = self.adversary_target {
+            out.push_str(",\"adversary_target\":");
+            out.push_str(&target.to_string());
+        }
         out.push('}');
         out
     }
@@ -182,6 +189,7 @@ impl Default for FleetHealth {
             fixes_known: 0,
             pending_updates: 0,
             ticks_per_sec: 0.0,
+            adversary_target: None,
         }
     }
 }
@@ -237,6 +245,9 @@ mod tests {
         let line = health.to_json_line();
         assert!(line.contains("\"epoch\":9"));
         assert!(line.contains("\"fixes_known\":5"));
+        assert!(!line.contains("adversary_target"));
         assert!(!line.contains('\n'));
+        health.adversary_target = Some(2);
+        assert!(health.to_json_line().contains("\"adversary_target\":2"));
     }
 }

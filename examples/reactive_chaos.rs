@@ -1,0 +1,101 @@
+//! Reactive chaos: state-observing engines that watch the fleet at epoch
+//! barriers and strike back — plus horizon-aware auto-quiesce.
+//!
+//! ```bash
+//! cargo run --release --example reactive_chaos
+//! ```
+//!
+//! Demonstrates the reactive subsystem end to end:
+//!
+//! 1. **Adversary** — a weakest-replica targeter strikes whichever replica
+//!    has the most open episodes at every reactive barrier.  A scout
+//!    injection teaches the shared synopsis the fix first, so every strike
+//!    is healed on the first attempt.
+//! 2. **Auto-quiesce** — `run_to_quiescence()` reads the configuration's
+//!    stimulus horizon (scripted plans, fault sources, reactive engines)
+//!    and runs exactly one healing tail past it: no hand-tuned tick counts.
+//! 3. **Shared vs isolated under attack** — the paper's claim, forced: an
+//!    adversary that piles onto the weak makes shared fix synopses
+//!    out-heal isolated learners.
+//! 4. **Cascade** — a correlated-failure ring: each replica that *enters*
+//!    an episode seeds a fault in its dependent, bounded by a budget.
+//!
+//! All reactive runs are fingerprint-deterministic at any worker count
+//! because engines observe the fleet only at barriers, where every replica
+//! has completed exactly the same tick.
+
+use selfheal::fleet::{ExecutionMode, HEALING_TAIL};
+use selfheal::healing::harness::LearnerChoice;
+use selfheal_bench::fleet::{
+    adversarial_fleet, adversarial_recovery_comparison, cascade_fleet, cascade_injections,
+    reactive_strike_stats, ADVERSARY_UNTIL,
+};
+
+fn main() {
+    // 1 + 2. An adversarial fleet, auto-quiesced: the horizon is the last
+    // tick the adversary may still strike, and the run extends one healing
+    // tail past it.
+    let config = adversarial_fleet(6, 42, LearnerChoice::Locked { batch: 1 }, 64);
+    let horizon = config.stimulus_horizon().expect("adversary is bounded");
+    assert_eq!(horizon, ADVERSARY_UNTIL - 1, "the last strikeable tick");
+    let outcome = config.run_to_quiescence();
+    let ticks_per_replica = outcome.total_ticks() / outcome.replicas().len() as u64;
+    println!(
+        "auto-quiesce: stimulus horizon {horizon}, healing tail {HEALING_TAIL} \
+         -> {ticks_per_replica} ticks per replica"
+    );
+    assert_eq!(ticks_per_replica, horizon + 1 + HEALING_TAIL);
+
+    println!("\nadversary strike log (each strike targets the weakest replica):");
+    for record in outcome.reactive_log() {
+        println!(
+            "  tick {:>4}  {} -> replica {}",
+            record.tick, record.event, record.replica
+        );
+    }
+    let (strikes, matched, open, attempts, recovery) = reactive_strike_stats(&outcome);
+    println!(
+        "shared synopsis: {strikes} strikes, {matched} matched episodes, {open} open, \
+         {attempts:.2} mean attempts, {recovery:.1} mean recovery ticks"
+    );
+
+    // 3. The head-to-head: one fleet pools its fixes, the other learns in
+    // isolation; the adversary reacts to each fleet's own health.
+    let report = adversarial_recovery_comparison(6, 42);
+    println!("\nshared vs isolated under adversarial targeting:");
+    println!(
+        "  shared   {} strikes, {} matched, {:.2} attempts, {:>5.1} recovery ticks",
+        report.shared_strikes,
+        report.shared_matched,
+        report.shared_mean_attempts,
+        report.shared_mean_recovery
+    );
+    println!(
+        "  isolated {} strikes, {} matched, {:.2} attempts, {:>5.1} recovery ticks",
+        report.isolated_strikes,
+        report.isolated_matched,
+        report.isolated_mean_attempts,
+        report.isolated_mean_recovery
+    );
+    assert!(report.shared_recovers_faster());
+
+    // 4. The cascade ring, and worker-count determinism: the same reactive
+    // run, sequential and parallel, is fingerprint-identical.
+    let sequential = cascade_fleet(4, 7, LearnerChoice::locked(), 3, 64).run_to_quiescence();
+    let parallel = cascade_fleet(4, 7, LearnerChoice::locked(), 3, 64)
+        .mode(ExecutionMode::Parallel { threads: Some(3) })
+        .run_to_quiescence();
+    println!("\ncascade propagation chain:");
+    for record in sequential.reactive_log() {
+        println!(
+            "  tick {:>4}  {} seeds replica {}",
+            record.tick, record.event, record.replica
+        );
+    }
+    println!(
+        "cascade: {} propagations within budget 3, fingerprints parallel == sequential: {}",
+        cascade_injections(&sequential),
+        parallel.fingerprints() == sequential.fingerprints()
+    );
+    assert_eq!(parallel.fingerprints(), sequential.fingerprints());
+}

@@ -4,6 +4,7 @@
 #   launch (2 replicas, online fault mix, incremental snapshot log)
 #     -> wait for the shared store to learn a fix
 #     -> ADD / REPLICAS / QUERY FIXES / SNAPSHOT over selfheal-ctl
+#     -> RECONFIGURE adversary=on, STATUS must show a strike target
 #     -> kill -9, relaunch from the same log
 #     -> STATUS must show restored synopsis counts
 #     -> clean SHUTDOWN within a bounded wait
@@ -65,6 +66,25 @@ REPLICAS="$(ctl REPLICAS)" || fail "REPLICAS rejected"
 COUNT="$(printf '%s\n' "$REPLICAS" | grep -c '^replica ')"
 [ "$COUNT" -eq 3 ] || fail "expected 3 replicas, got $COUNT: $REPLICAS"
 ctl QUERY FIXES | grep -q 'fix=' || fail "QUERY FIXES returned no experience"
+
+# Live adversary: turn the fleet-wide weakest-replica targeter on, wait
+# for STATUS to report a strike target, then stand it down.
+ctl RECONFIGURE 0 adversary=on | grep -q 'adversary=on' \
+    || fail "RECONFIGURE adversary=on rejected"
+TARGETED=""
+for _ in $(seq 1 300); do
+    STATUS="$(ctl STATUS 2>/dev/null)" || STATUS=""
+    if printf '%s\n' "$STATUS" | grep -q 'adversary_target=[0-9]'; then
+        TARGETED=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$TARGETED" ] || fail "adversary never struck; last STATUS: $STATUS"
+ctl RECONFIGURE 0 adversary=off | grep -q 'adversary=off' \
+    || fail "RECONFIGURE adversary=off rejected"
+ctl STATUS | grep -q 'adversary=off adversary_target=none' \
+    || fail "adversary did not stand down"
 
 # Snapshot on demand: the file must hold actual examples.
 ctl SNAPSHOT "$SNAPSHOT" >/dev/null || fail "SNAPSHOT rejected"

@@ -230,6 +230,67 @@ fn crash_restart_replays_the_snapshot_log() {
     supervisor.shutdown();
 }
 
+#[test]
+fn adversary_reconfigure_strikes_the_weakest_replica() {
+    let mut supervisor = Supervisor::new(DaemonConfig {
+        slice: 64,
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let first = supervisor.add_replica("none").unwrap();
+    let second = supervisor.add_replica("none").unwrap();
+
+    // Off by default: barriers pass without a strike.
+    supervisor.advance_epoch();
+    assert!(!supervisor.adversary_enabled());
+    assert_eq!(supervisor.adversary_target(), None);
+    assert!(!supervisor
+        .health()
+        .to_json_line()
+        .contains("adversary_target"));
+
+    // Bad values are rejected; the engine stays off.
+    assert!(supervisor.reconfigure(first, "adversary", "maybe").is_err());
+    assert!(!supervisor.adversary_enabled());
+
+    assert_eq!(
+        supervisor.reconfigure(first, "adversary", "on").unwrap(),
+        "adversary=on"
+    );
+    supervisor.advance_epoch();
+    // Both replicas are healthy at the barrier, so the low-id tie-break
+    // aims the first strike at the first replica.
+    assert_eq!(supervisor.adversary_target(), Some(first));
+    let line = supervisor.health().to_json_line();
+    assert!(
+        line.contains(&format!("\"adversary_target\":{first}")),
+        "health line carries the target: {line}"
+    );
+
+    // The strike lands during the next epoch: the victim opens (and, once
+    // the fix is learned, quickly closes) episodes while the bystander
+    // stays clean.  An episode can open and heal inside one 64-tick epoch,
+    // so the closed-episode count is the reliable witness.
+    let mut victim_struck = false;
+    for _ in 0..6 {
+        supervisor.advance_epoch();
+        let health = supervisor.replica_health();
+        if health[first].episodes > 0 || health[first].open_episodes > 0 {
+            victim_struck = true;
+        }
+        assert_eq!(health[second].open_episodes, 0, "only the target suffers");
+    }
+    assert!(victim_struck, "the strikes opened episodes on the target");
+
+    assert_eq!(
+        supervisor.reconfigure(second, "adversary", "off").unwrap(),
+        "adversary=off"
+    );
+    supervisor.advance_epoch();
+    assert_eq!(supervisor.adversary_target(), None);
+    supervisor.shutdown();
+}
+
 /// Extracts `key=<u64>` from a space-separated reply.
 fn field(reply: &str, key: &str) -> Option<u64> {
     reply
