@@ -307,7 +307,6 @@ fn warm_start_fleet(
             ArrivalProcess::Constant { rate: 40.0 },
         )
         .replicas(replicas)
-        .ticks(600)
         .base_seed(seed)
         .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
         .learner(learner)
@@ -328,7 +327,9 @@ fn warm_start_fleet(
     if let Some(snapshot) = snapshot {
         config = config.warm_start(snapshot);
     }
-    config.run()
+    // Healed-outcome experiment: run one healing tail past the stimulus
+    // horizon rather than a hand-tuned 600 ticks.
+    config.run_to_quiescence()
 }
 
 /// Runs the warm-vs-cold experiment with the given (shared) learner recipe:

@@ -7,6 +7,7 @@
 //! print it and write it as CSV, and the Criterion benches can time the
 //! underlying computation on reduced sizes.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fleet;

@@ -37,7 +37,7 @@
 //! with a healing policy for the examples and benches).
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod control;
 pub mod fixsym;

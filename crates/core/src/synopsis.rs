@@ -13,6 +13,8 @@
 use selfheal_faults::FixKind;
 use selfheal_learn::{AdaBoost, Classifier, Dataset, Example, KMeans, NearestNeighbor};
 use std::collections::HashSet;
+// lint:allow(nondeterminism): wall-time import feeds the training_wall_time
+// metric only, never a learned or fingerprinted value.
 use std::time::{Duration, Instant};
 
 /// A learned failure-signature → fix mapping, abstracted so healing policies
@@ -274,6 +276,8 @@ impl Synopsis {
     }
 
     fn refit(&mut self) {
+        // lint:allow(nondeterminism): measures training wall time for the
+        // report; the fitted model sees none of it.
         let start = Instant::now();
         self.model.as_classifier_mut().fit(&self.positives);
         self.training_wall_time += start.elapsed();
@@ -329,7 +333,13 @@ impl Synopsis {
             Model::AdaBoost(model) => {
                 let mut scores: Vec<(usize, f64)> =
                     model.class_scores(symptoms).into_iter().collect();
-                scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite score"));
+                // Tie-break equal scores toward the lower label code so the
+                // re-ranked suggestion never depends on map iteration order.
+                scores.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .expect("finite score")
+                        .then(a.0.cmp(&b.0))
+                });
                 for (code, score) in scores {
                     if let Some(fix) = FixKind::from_code(code) {
                         if !excluded.contains(&fix) {

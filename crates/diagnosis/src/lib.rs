@@ -24,7 +24,7 @@
 //! can be combined with the signature-based FixSym engine (Section 5.1).
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod anomaly;
 pub mod bottleneck;

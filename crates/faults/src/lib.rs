@@ -38,11 +38,12 @@
 //! behind [`OperatorSource`] lives in [`operator::OperatorModel`].
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod fault;
 pub mod fix;
+pub mod id_space;
 pub mod injection;
 pub mod mix;
 pub mod operator;

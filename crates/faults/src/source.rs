@@ -69,6 +69,7 @@
 
 use crate::catalog::FixCatalog;
 use crate::fault::{FaultId, FaultKind, FaultSpec};
+use crate::id_space;
 use crate::injection::{default_target, random_target, InjectionPlan};
 use crate::mix::ServiceProfile;
 use crate::operator::OperatorModel;
@@ -77,17 +78,18 @@ use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// Id namespace for [`MixSource`]-generated faults, disjoint from scripted
-/// plans (ids from 0), surge requests, and storm faults.
-pub const MIX_FAULT_ID_BASE: u64 = 1 << 44;
+/// plans (ids from 0), surge requests, and storm faults — see
+/// [`crate::id_space`] for the lane manifest.
+pub const MIX_FAULT_ID_BASE: u64 = id_space::lane_base(id_space::MIX_ID_BIT);
 
 /// Id namespace for [`CatalogSweep`]-generated faults.
-pub const SWEEP_FAULT_ID_BASE: u64 = 1 << 45;
+pub const SWEEP_FAULT_ID_BASE: u64 = id_space::lane_base(id_space::SWEEP_ID_BIT);
 
 /// Id namespace for [`SeasonalSource`]-generated faults.
-pub const SEASON_FAULT_ID_BASE: u64 = 1 << 43;
+pub const SEASON_FAULT_ID_BASE: u64 = id_space::lane_base(id_space::SEASON_ID_BIT);
 
 /// Id namespace for [`OperatorSource`]-generated faults.
-pub const OPERATOR_FAULT_ID_BASE: u64 = 1 << 47;
+pub const OPERATOR_FAULT_ID_BASE: u64 = id_space::lane_base(id_space::OPERATOR_ID_BIT);
 
 /// A source of scheduled fault activations.
 ///

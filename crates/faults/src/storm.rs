@@ -16,6 +16,7 @@
 use crate::catalog::FixCatalog;
 use crate::fault::{FaultId, FaultKind, FaultSpec};
 use crate::fix::FixKind;
+use crate::id_space;
 use crate::injection::default_target;
 use crate::mix::ServiceProfile;
 use rand::rngs::StdRng;
@@ -23,8 +24,9 @@ use rand::SeedableRng;
 
 /// Id namespace for storm-injected faults, far above anything an
 /// [`crate::InjectionPlanBuilder`] assigns, so storm faults never collide
-/// with a replica's scheduled plan.
-pub const STORM_FAULT_ID_BASE: u64 = 1 << 48;
+/// with a replica's scheduled plan — see [`crate::id_space`] for the lane
+/// manifest.
+pub const STORM_FAULT_ID_BASE: u64 = id_space::lane_base(id_space::STORM_ID_BIT);
 
 /// One correlated fault storm: a failure class (or a whole failure-cause
 /// *catalog*), a severity, and the fraction of the fleet it hits.

@@ -61,7 +61,7 @@
 //! ```
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod events;
 pub mod reactive;
@@ -84,6 +84,8 @@ use selfheal_workload::{ArrivalProcess, TraceSource, WorkloadMix};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread;
+// lint:allow(nondeterminism): wall-time import feeds the wall_time report
+// field only; simulation state never reads it.
 use std::time::{Duration, Instant};
 
 /// How replica healers relate to each other's learned state — the original
@@ -872,6 +874,8 @@ impl FleetEngine {
             .map(|r| self.build_replica(r, store.as_deref(), gate.as_ref()))
             .collect();
 
+        // lint:allow(nondeterminism): wall-clock duration is reported, not
+        // simulated; fingerprints are computed from tick state alone.
         let start = Instant::now();
         let results = scheduler::run_epochs(
             runners,

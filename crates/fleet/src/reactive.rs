@@ -92,6 +92,7 @@
 
 use crate::events::ReplicaAction;
 use selfheal_core::harness::ReactiveChoice;
+use selfheal_faults::id_space;
 use selfheal_faults::injection::default_target;
 use selfheal_faults::{FaultId, FaultKind, FaultSpec};
 
@@ -103,8 +104,9 @@ use selfheal_faults::{FaultId, FaultKind, FaultSpec};
 pub const REACTIVE_PERIOD: u64 = 64;
 
 /// Id namespace for reactively-injected faults, disjoint from scripted
-/// plans, mix/sweep/season/operator sources, surge requests, and storms.
-pub const REACTIVE_FAULT_ID_BASE: u64 = 1 << 46;
+/// plans, mix/sweep/season/operator sources, surge requests, and storms —
+/// see [`selfheal_faults::id_space`] for the lane manifest.
+pub const REACTIVE_FAULT_ID_BASE: u64 = id_space::lane_base(id_space::REACTIVE_ID_BIT);
 
 /// One replica's state as observable at an epoch barrier.
 #[derive(Debug, Clone, PartialEq)]

@@ -23,7 +23,7 @@
 //! property tests in `tests/properties.rs`.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 use std::borrow::Cow;
 use std::fmt;

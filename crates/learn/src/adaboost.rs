@@ -19,7 +19,7 @@ use crate::dataset::Dataset;
 use crate::stump::DecisionStump;
 use crate::{Classifier, Label};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One boosting round: a weak learner and its vote weight.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -72,8 +72,13 @@ impl AdaBoost {
 
     /// Per-class weighted vote scores for a feature vector, normalized to
     /// sum to 1.0 (empty map before fitting).
-    pub fn class_scores(&self, features: &[f64]) -> HashMap<Label, f64> {
-        let mut scores: HashMap<Label, f64> = HashMap::new();
+    ///
+    /// Returned as a [`BTreeMap`] so iteration (and the normalization sum,
+    /// whose floating-point result depends on summation order) is always in
+    /// ascending label order — callers ranking these scores stay
+    /// deterministic without re-sorting.
+    pub fn class_scores(&self, features: &[f64]) -> BTreeMap<Label, f64> {
+        let mut scores: BTreeMap<Label, f64> = BTreeMap::new();
         for member in &self.ensemble {
             *scores.entry(member.stump.predict(features)).or_insert(0.0) += member.alpha;
         }
@@ -283,6 +288,29 @@ mod tests {
         let scores = model.class_scores(&[5.0, 5.0]);
         let total: f64 = scores.values().sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Regression test for an iteration-order leak: `class_scores` used to
+    /// return a `HashMap`, so the normalization sum (floating-point, hence
+    /// order-sensitive) and any caller ranking tied scores depended on the
+    /// map's per-instance random iteration order.  Two identically fitted
+    /// models must now produce bitwise-identical, label-ascending scores.
+    #[test]
+    fn class_scores_are_label_ordered_and_bitwise_deterministic() {
+        let train = three_class_blobs(20, 7);
+        let mut a = AdaBoost::new(20);
+        let mut b = AdaBoost::new(20);
+        a.fit(&train);
+        b.fit(&train);
+        for probe in [[5.0, 5.0], [0.0, 0.0], [10.0, 0.0]] {
+            let sa: Vec<(Label, f64)> = a.class_scores(&probe).into_iter().collect();
+            let sb: Vec<(Label, f64)> = b.class_scores(&probe).into_iter().collect();
+            assert_eq!(sa, sb, "identically fitted models must score identically");
+            assert!(
+                sa.windows(2).all(|w| w[0].0 < w[1].0),
+                "scores must iterate in ascending label order"
+            );
+        }
     }
 
     #[test]

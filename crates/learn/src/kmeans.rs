@@ -29,7 +29,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How the clusters are formed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -116,7 +116,7 @@ impl KMeans {
     }
 
     fn fit_label_partition(&mut self, data: &Dataset) {
-        let mut by_label: HashMap<Label, (Vec<f64>, usize)> = HashMap::new();
+        let mut by_label: BTreeMap<Label, (Vec<f64>, usize)> = BTreeMap::new();
         for (features, label) in data.iter() {
             let entry = by_label
                 .entry(label)
@@ -208,7 +208,7 @@ impl KMeans {
         // Label each cluster by majority vote.
         let mut clusters = Vec::with_capacity(k);
         for (c, centroid) in centroids.into_iter().enumerate() {
-            let mut votes: HashMap<Label, usize> = HashMap::new();
+            let mut votes: BTreeMap<Label, usize> = BTreeMap::new();
             let mut size = 0usize;
             for (i, e) in examples.iter().enumerate() {
                 if assignment[i] == c {

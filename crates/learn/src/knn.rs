@@ -14,7 +14,7 @@ use crate::dataset::{Dataset, Example};
 use crate::distance::Distance;
 use crate::{Classifier, Label};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// k-nearest-neighbor classifier (k = 1 reproduces the paper's synopsis).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -102,7 +102,7 @@ impl Classifier for NearestNeighbor {
             return (0, 0.0);
         }
         let neighbors = self.neighbors(features);
-        let mut votes: HashMap<Label, usize> = HashMap::new();
+        let mut votes: BTreeMap<Label, usize> = BTreeMap::new();
         for (_, label) in &neighbors {
             *votes.entry(*label).or_insert(0) += 1;
         }

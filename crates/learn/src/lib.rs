@@ -34,7 +34,7 @@
 //! [`rand::Rng`]).
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod adaboost;
 pub mod dataset;

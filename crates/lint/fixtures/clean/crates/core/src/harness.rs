@@ -1,0 +1,13 @@
+//! Fixture harness: the declarative mirror of the fixture traits.
+
+pub enum FaultChoice {
+    Scripted,
+}
+
+impl FaultChoice {
+    pub fn build(self) -> ScriptedSource {
+        match self {
+            FaultChoice::Scripted => ScriptedSource,
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture manifest: two disjoint lanes, both registered.
+
+pub const ALPHA_ID_BIT: u32 = 40;
+pub const BETA_ID_BIT: u32 = 44;
+
+pub const ID_LANES: &[(&str, u32)] = &[
+    ("ALPHA_ID_BIT", ALPHA_ID_BIT),
+    ("BETA_ID_BIT", BETA_ID_BIT),
+];
+
+pub const fn lane_base(bit: u32) -> u64 {
+    1u64 << bit
+}

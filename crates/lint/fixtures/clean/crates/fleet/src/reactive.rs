@@ -1,0 +1,8 @@
+//! Fixture reactive layer: the barrier period and a conforming slice.
+
+pub const REACTIVE_PERIOD: u64 = 64;
+
+pub fn reactive_fixture_fleet() -> u64 {
+    let config = FleetConfig::new().slice(16);
+    config.run()
+}

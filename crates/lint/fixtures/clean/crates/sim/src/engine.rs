@@ -1,0 +1,9 @@
+//! Fixture simulation core: seeded, ordered, clock-free.
+
+use std::collections::BTreeMap;
+
+pub fn run(base_seed: u64) -> u64 {
+    let counts: BTreeMap<u64, u64> = BTreeMap::new();
+    let child = split_seed(base_seed, 0);
+    counts.values().sum::<u64>() ^ child
+}

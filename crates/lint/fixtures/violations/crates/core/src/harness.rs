@@ -1,0 +1,13 @@
+//! Fixture harness: mirrors ScriptedSource but not RogueSource.
+
+pub enum FaultChoice {
+    Scripted,
+}
+
+impl FaultChoice {
+    pub fn build(self) -> ScriptedSource {
+        match self {
+            FaultChoice::Scripted => ScriptedSource,
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture rogue source: implements the trait but no enum variant reaches
+//! it.
+
+pub struct RogueSource;
+
+impl FaultSource for RogueSource {
+    fn next(&mut self) -> u64 {
+        0
+    }
+}

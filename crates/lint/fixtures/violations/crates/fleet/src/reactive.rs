@@ -1,0 +1,8 @@
+//! Fixture reactive layer: a slice width that does not divide the period.
+
+pub const REACTIVE_PERIOD: u64 = 64;
+
+pub fn reactive_fixture_fleet() -> u64 {
+    let config = FleetConfig::new().slice(48);
+    config.run()
+}

@@ -1,0 +1,144 @@
+//! `barrier-period`: literal slice widths in reactive contexts divide
+//! `REACTIVE_PERIOD`.
+//!
+//! The reactive engine only fires at epoch barriers landing on
+//! `REACTIVE_PERIOD` multiples, and it *asserts* that the configured
+//! barrier slice divides the period — otherwise reactive decisions would
+//! depend on how ticks happen to be sliced, breaking slice-invariance.
+//! That assert fires at run time, possibly deep into a long benchmark;
+//! this rule moves the check to lint time for every **literal** slice
+//! width written in a file that touches the reactive layer.  Computed
+//! slices are the engine's problem (it clamps and asserts).
+
+use crate::engine::{Finding, Rule};
+use crate::scan::tokens;
+use crate::workspace::Workspace;
+
+const PERIOD_SUFFIX: &str = "fleet/src/reactive.rs";
+
+/// See the module docs.
+pub struct BarrierPeriod;
+
+impl Rule for BarrierPeriod {
+    fn name(&self) -> &'static str {
+        "barrier-period"
+    }
+
+    fn description(&self) -> &'static str {
+        "literal slice widths in reactive code divide REACTIVE_PERIOD"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let period = ws.file_ending_with(PERIOD_SUFFIX).and_then(|f| {
+            crate::scan::find_consts(&f.lines)
+                .into_iter()
+                .find(|c| c.name == "REACTIVE_PERIOD")
+                .and_then(|c| parse_literal(&c.expr))
+        });
+        let Some(period) = period else {
+            findings.push(Finding {
+                rule: self.name(),
+                file: format!("crates/{PERIOD_SUFFIX}"),
+                line: 1,
+                message: "REACTIVE_PERIOD is missing or not a literal — the barrier contract needs a fixed period".into(),
+            });
+            return findings;
+        };
+
+        for file in &ws.files {
+            // Only files that touch the reactive layer carry the contract.
+            let reactive = file.lines.iter().any(|l| {
+                tokens(&l.code)
+                    .iter()
+                    .any(|(_, t)| t.to_ascii_lowercase().contains("reactive"))
+            });
+            if !reactive {
+                continue;
+            }
+            for (idx, line) in file.lines.iter().enumerate() {
+                for slice in literal_slices(&line.code) {
+                    if slice == 0 {
+                        findings.push(Finding {
+                            rule: self.name(),
+                            file: file.rel_path.clone(),
+                            line: idx + 1,
+                            message: "slice width 0 — barrier slices must be positive".into(),
+                        });
+                    } else if period % slice != 0 {
+                        findings.push(Finding {
+                            rule: self.name(),
+                            file: file.rel_path.clone(),
+                            line: idx + 1,
+                            message: format!(
+                                "slice width {slice} does not divide REACTIVE_PERIOD ({period}) — reactive barriers would drift"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        findings
+    }
+}
+
+/// Literal widths written as `.slice(N)` or `slice: N` on this line.
+fn literal_slices(code: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(at) = code[from..].find(".slice(") {
+        let start = from + at + ".slice(".len();
+        if let Some(close) = code[start..].find(')') {
+            if let Some(n) = parse_literal(&code[start..start + close]) {
+                out.push(n);
+            }
+            from = start + close;
+        } else {
+            break;
+        }
+    }
+    for (pos, tok) in tokens(code) {
+        if tok != "slice" {
+            continue;
+        }
+        let rest = code[pos + tok.len()..].trim_start();
+        let Some(rest) = rest.strip_prefix(':') else {
+            continue;
+        };
+        let value: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '_')
+            .collect();
+        if let Some(n) = parse_literal(&value) {
+            out.push(n);
+        }
+    }
+    out
+}
+
+fn parse_literal(expr: &str) -> Option<u64> {
+    let cleaned: String = expr.chars().filter(|c| *c != '_').collect();
+    let cleaned = cleaned.trim();
+    if cleaned.is_empty() {
+        return None;
+    }
+    cleaned.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_literals_are_harvested() {
+        assert_eq!(literal_slices(".slice(16).slice(24)"), vec![16, 24]);
+        assert_eq!(literal_slices("slice: 32,"), vec![32]);
+        assert_eq!(
+            literal_slices("slice: args.slice.max(1),"),
+            Vec::<u64>::new()
+        );
+        assert_eq!(literal_slices(".slice(slice)"), Vec::<u64>::new());
+        assert_eq!(literal_slices("pub slice: u64,"), Vec::<u64>::new());
+    }
+}

@@ -1,0 +1,200 @@
+//! `id-space`: fault/surge id namespaces derive from one manifest and are
+//! pairwise disjoint.
+//!
+//! Generated fault ids must never collide across sources, or composed
+//! scenarios silently merge distinct failures into one episode.  The
+//! runtime half of this invariant lives in `faults::id_space`'s unit
+//! tests; this rule is the static mirror:
+//!
+//! 1. the manifest (`crates/faults/src/id_space.rs`) declares every
+//!    `*_ID_BIT` lane with a distinct bit inside the legal range, and
+//!    registers each one in `ID_LANES`;
+//! 2. every `*_ID_BASE` constant anywhere else derives from the manifest
+//!    (its initializer references `id_space`) rather than hand-rolling a
+//!    shift; and
+//! 3. no two `*_ID_BASE` constants claim the same manifest lane.
+
+use crate::engine::{Finding, Rule};
+use crate::scan::{find_consts, tokens};
+use crate::workspace::Workspace;
+
+const MANIFEST_SUFFIX: &str = "faults/src/id_space.rs";
+const MIN_BIT: u64 = 32;
+const MAX_BIT: u64 = 62;
+
+/// See the module docs.
+pub struct IdSpace;
+
+impl Rule for IdSpace {
+    fn name(&self) -> &'static str {
+        "id-space"
+    }
+
+    fn description(&self) -> &'static str {
+        "every *_ID_BASE derives from the faults::id_space manifest; lanes are pairwise disjoint"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let Some(manifest) = ws.file_ending_with(MANIFEST_SUFFIX) else {
+            findings.push(Finding {
+                rule: self.name(),
+                file: format!("crates/{MANIFEST_SUFFIX}"),
+                line: 1,
+                message: "id-space manifest is missing: declare every id lane in faults::id_space"
+                    .into(),
+            });
+            return findings;
+        };
+
+        // 1. Parse the manifest's lane declarations.
+        let consts = find_consts(&manifest.lines);
+        let mut lanes: Vec<(String, u64, usize)> = Vec::new();
+        for c in &consts {
+            if !c.name.ends_with("_ID_BIT") {
+                continue;
+            }
+            match parse_int(&c.expr) {
+                Some(bit) => lanes.push((c.name.clone(), bit, c.line)),
+                None => findings.push(Finding {
+                    rule: self.name(),
+                    file: manifest.rel_path.clone(),
+                    line: c.line,
+                    message: format!(
+                        "lane `{}` must be a literal bit number, found `{}`",
+                        c.name, c.expr
+                    ),
+                }),
+            }
+        }
+        for (i, (name, bit, line)) in lanes.iter().enumerate() {
+            if !(MIN_BIT..=MAX_BIT).contains(bit) {
+                findings.push(Finding {
+                    rule: self.name(),
+                    file: manifest.rel_path.clone(),
+                    line: *line,
+                    message: format!(
+                        "lane `{name}` claims bit {bit} outside the legal range [{MIN_BIT}, {MAX_BIT}]"
+                    ),
+                });
+            }
+            for (other, other_bit, _) in &lanes[..i] {
+                if bit == other_bit {
+                    findings.push(Finding {
+                        rule: self.name(),
+                        file: manifest.rel_path.clone(),
+                        line: *line,
+                        message: format!(
+                            "lane `{name}` reuses bit {bit} already claimed by `{other}` — lanes must be pairwise disjoint"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // 2. Every lane must be registered in the ID_LANES table.
+        let registry = registry_block(manifest);
+        for (name, _, line) in &lanes {
+            if !registry.contains(name.as_str()) {
+                findings.push(Finding {
+                    rule: self.name(),
+                    file: manifest.rel_path.clone(),
+                    line: *line,
+                    message: format!("lane `{name}` is not registered in ID_LANES"),
+                });
+            }
+        }
+
+        // 3. Every *_ID_BASE constant outside the manifest derives from the
+        // manifest, and no two claim the same lane.
+        let mut claimed: Vec<(String, String, usize, String)> = Vec::new(); // (lane, file, line, const)
+        for file in &ws.files {
+            if file.rel_path.ends_with(MANIFEST_SUFFIX) {
+                continue;
+            }
+            for c in find_consts(&file.lines) {
+                if !c.name.ends_with("_ID_BASE") {
+                    continue;
+                }
+                let expr_tokens: Vec<&str> = tokens(&c.expr).into_iter().map(|(_, t)| t).collect();
+                if !expr_tokens.contains(&"id_space") {
+                    findings.push(Finding {
+                        rule: self.name(),
+                        file: file.rel_path.clone(),
+                        line: c.line,
+                        message: format!(
+                            "`{}` must derive from the faults::id_space manifest (found `{}`)",
+                            c.name, c.expr
+                        ),
+                    });
+                    continue;
+                }
+                for tok in expr_tokens {
+                    if tok.ends_with("_ID_BIT") {
+                        if let Some((lane, other_file, other_line, other_const)) =
+                            claimed.iter().find(|(lane, ..)| lane == tok)
+                        {
+                            findings.push(Finding {
+                                rule: self.name(),
+                                file: file.rel_path.clone(),
+                                line: c.line,
+                                message: format!(
+                                    "`{}` claims lane `{lane}` already taken by `{other_const}` at {other_file}:{other_line}",
+                                    c.name
+                                ),
+                            });
+                        } else {
+                            claimed.push((
+                                tok.to_string(),
+                                file.rel_path.clone(),
+                                c.line,
+                                c.name.clone(),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        findings
+    }
+}
+
+/// The token set of the manifest's `ID_LANES` initializer block.
+fn registry_block(manifest: &crate::workspace::SourceFile) -> std::collections::BTreeSet<String> {
+    let mut set = std::collections::BTreeSet::new();
+    let mut in_block = false;
+    for line in &manifest.lines {
+        let mut code = line.code.as_str();
+        if !in_block {
+            // Enter at the initializer's `&[`, past the declaration's type
+            // (which itself contains brackets).
+            let Some(at) = code.find("ID_LANES") else {
+                continue;
+            };
+            let Some(open) = code[at..].find("&[") else {
+                in_block = true;
+                continue;
+            };
+            code = &code[at + open..];
+            in_block = true;
+        }
+        let closed = code.contains("];");
+        let body = match code.find("];") {
+            Some(end) => &code[..end],
+            None => code,
+        };
+        for (_, tok) in tokens(body) {
+            set.insert(tok.to_string());
+        }
+        if closed {
+            break;
+        }
+    }
+    set
+}
+
+fn parse_int(expr: &str) -> Option<u64> {
+    let cleaned: String = expr.chars().filter(|c| *c != '_').collect();
+    cleaned.trim().parse().ok()
+}

@@ -1,0 +1,200 @@
+//! `nondeterminism`: no wall clocks or hash-order iteration in the
+//! deterministic core.
+//!
+//! The house invariant — fingerprint equality across worker counts and
+//! byte-identical replay — only holds if the simulation core never reads
+//! ambient entropy.  Two sources have bitten before:
+//!
+//! * **wall clocks** (`SystemTime`, `Instant`, `thread::current`): any
+//!   value derived from them differs run to run.  Timing-only metrics in
+//!   the measurement crates (`bench`, `telemetry`, `daemon`) are fine and
+//!   those crates are not scanned; a wall-clock *metric* inside a scanned
+//!   crate annotates `lint:allow(nondeterminism)` at the use site.
+//! * **hash-map iteration**: `std`'s `RandomState` seeds differently per
+//!   map instance, so `HashMap`/`HashSet` iteration order — and anything
+//!   folded from it, like a float sum — is nondeterministic.  Lookups are
+//!   fine; iteration is not.  The fix is `BTreeMap`/`BTreeSet`, or
+//!   collecting and sorting before the fold.
+
+use crate::engine::{Finding, Rule};
+use crate::scan::{ident_ending_before, tokens};
+use crate::workspace::{SourceFile, Workspace};
+use std::collections::BTreeSet;
+
+/// Crates whose output feeds fingerprints and replay.
+const DETERMINISTIC_CRATES: &[&str] = &["core", "faults", "fleet", "learn", "sim", "workload"];
+
+/// Method calls whose visit order follows the map's internal order.
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+    ".retain(",
+];
+
+/// See the module docs.
+pub struct Nondeterminism;
+
+impl Rule for Nondeterminism {
+    fn name(&self) -> &'static str {
+        "nondeterminism"
+    }
+
+    fn description(&self) -> &'static str {
+        "no wall clocks or HashMap/HashSet iteration in the deterministic crates"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let scanned: Vec<&SourceFile> = ws
+            .files
+            .iter()
+            .filter(|f| {
+                f.crate_name
+                    .as_deref()
+                    .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c))
+            })
+            .collect();
+
+        // Functions returning hash maps are visible across files; local
+        // bindings only shadow within their own file.
+        let global_fns = hash_named(&scanned, NameKind::FnReturn);
+
+        let mut findings = Vec::new();
+        for file in &scanned {
+            let local = hash_named(&[file], NameKind::Binding);
+            for (idx, line) in file.lines.iter().enumerate() {
+                let code = &line.code;
+                let toks = tokens(code);
+
+                // Wall clocks.
+                for (_, tok) in &toks {
+                    if matches!(*tok, "SystemTime" | "Instant") {
+                        findings.push(Finding {
+                            rule: self.name(),
+                            file: file.rel_path.clone(),
+                            line: idx + 1,
+                            message: format!(
+                                "`{tok}` reads the wall clock — deterministic crates must only see simulated time"
+                            ),
+                        });
+                    }
+                }
+                if toks
+                    .windows(2)
+                    .any(|w| w[0].1 == "thread" && w[1].1 == "current")
+                {
+                    findings.push(Finding {
+                        rule: self.name(),
+                        file: file.rel_path.clone(),
+                        line: idx + 1,
+                        message: "`thread::current` is scheduler-dependent — derive identity from replica ids".into(),
+                    });
+                }
+
+                // Hash-order iteration: `receiver.iter()` forms.
+                for method in ITER_METHODS {
+                    let mut from = 0;
+                    while let Some(at) = code[from..].find(method) {
+                        let pos = from + at;
+                        if let Some(recv) = ident_ending_before(code, pos) {
+                            if local.contains(recv) || global_fns.contains(recv) {
+                                findings.push(Finding {
+                                    rule: self.name(),
+                                    file: file.rel_path.clone(),
+                                    line: idx + 1,
+                                    message: format!(
+                                        "`{recv}{method}` iterates a HashMap/HashSet — order is nondeterministic; use a BTree map or sort first"
+                                    ),
+                                });
+                            }
+                        }
+                        from = pos + method.len();
+                    }
+                }
+
+                // Hash-order iteration: `for x in map` heads.
+                if toks.first().is_some_and(|(_, t)| *t == "for") {
+                    if let Some(in_at) = toks.iter().position(|(_, t)| *t == "in") {
+                        if let Some((head_pos, head)) =
+                            toks.iter().skip(in_at + 1).find(|(_, t)| *t != "mut")
+                        {
+                            // Only a bare `for x in map` head: a following
+                            // `.method()` was already handled above, and
+                            // range heads like `0..n` are not identifiers.
+                            let after = code[head_pos + head.len()..].trim_start();
+                            let bare = !after.starts_with('.');
+                            if bare && (local.contains(*head) || global_fns.contains(*head)) {
+                                findings.push(Finding {
+                                    rule: self.name(),
+                                    file: file.rel_path.clone(),
+                                    line: idx + 1,
+                                    message: format!(
+                                        "`for .. in {head}` iterates a HashMap/HashSet — order is nondeterministic; use a BTree map or sort first"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        findings
+    }
+}
+
+enum NameKind {
+    /// `name: HashMap<..>` fields/params and `name = HashMap::new()` lets.
+    Binding,
+    /// `fn name(..) -> HashMap<..>` return positions.
+    FnReturn,
+}
+
+/// Names bound to hash-ordered collections in `files`.
+fn hash_named(files: &[&SourceFile], kind: NameKind) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for file in files {
+        for line in &file.lines {
+            let code = &line.code;
+            for (pos, tok) in tokens(code) {
+                if !matches!(tok, "HashMap" | "HashSet") {
+                    continue;
+                }
+                let pre = code[..pos].trim_end();
+                match kind {
+                    NameKind::Binding => {
+                        let target = if let Some(stripped) = pre.strip_suffix(':') {
+                            Some(stripped)
+                        } else {
+                            pre.strip_suffix('=')
+                                .filter(|p| !p.ends_with(['=', '<', '>', '!']))
+                        };
+                        if let Some(before) = target {
+                            if let Some(name) = ident_ending_before(before, before.len()) {
+                                if name != "mut" {
+                                    names.insert(name.to_string());
+                                }
+                            }
+                        }
+                    }
+                    NameKind::FnReturn => {
+                        if pre.ends_with("->") {
+                            let toks = tokens(code);
+                            if let Some(fn_at) = toks.iter().position(|(_, t)| *t == "fn") {
+                                if let Some((_, name)) = toks.get(fn_at + 1) {
+                                    names.insert(name.to_string());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    names
+}

@@ -36,7 +36,7 @@
 //!   synopsis experiments.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod actuator;
 pub mod config;

@@ -10,6 +10,7 @@
 
 use crate::recovery::RecoveryLog;
 use crate::service::{MultiTierService, TickOutcome};
+use selfheal_faults::id_space;
 use selfheal_faults::{FaultSource, FaultSpec, FixAction, InjectionPlan, ScriptedSource};
 use selfheal_telemetry::SeriesStore;
 use selfheal_workload::{Request, TraceSource};
@@ -214,8 +215,9 @@ impl<H: Healer> ScenarioRunner<H> {
 
     /// Id namespace for requests synthesized by a workload surge, far above
     /// anything a [`TraceSource`] emits, so overlay traffic never collides
-    /// with recorded or generated request ids.
-    pub const SURGE_ID_BASE: u64 = 1 << 40;
+    /// with recorded or generated request ids — see
+    /// [`selfheal_faults::id_space`] for the lane manifest.
+    pub const SURGE_ID_BASE: u64 = id_space::lane_base(id_space::SURGE_ID_BIT);
 
     /// Limits how many samples of history are retained (older samples are
     /// evicted); the default retains the full run for typical lengths.

@@ -31,7 +31,7 @@
 //!   a Poisson baseline.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod arrival;
 pub mod burst;

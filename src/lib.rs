@@ -146,7 +146,7 @@
 //! ```
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub use selfheal_core as healing;
 pub use selfheal_daemon as daemon;

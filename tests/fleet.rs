@@ -136,14 +136,15 @@ fn shared_synopsis_warm_starts_later_replicas() {
                 ArrivalProcess::Constant { rate: 40.0 },
             )
             .replicas(6)
-            .ticks(100 + 500 * 6 + 400)
             .base_seed(77)
             .policy(PolicyChoice::FixSym(SynopsisKind::NearestNeighbor))
             .topology(topology)
             // Tick-interleaved so "later replica" is true by construction.
             .mode(ExecutionMode::Sequential)
             .injections_per_replica(staggered)
-            .run()
+            // The last stagger lands at tick 2600; auto-quiesce runs one
+            // healing tail past it instead of hand-tuning the length.
+            .run_to_quiescence()
     };
 
     let shared = build(LearningTopology::shared());
@@ -318,4 +319,24 @@ fn phase_shifted_replay_replicas_match_their_standalone_equivalents() {
         &aligned.replicas()[1].outcome,
     );
     assert_eq!(a.arrived, b.arrived, "aligned replicas see the same trace");
+}
+
+/// Regression test for the AdaBoost class-score iteration-order leak: the
+/// ensemble synopsis ranks per-class vote scores when re-suggesting fixes,
+/// and those scores used to ride on `HashMap` iteration order (randomized
+/// per map instance), so two identically configured fleets could diverge.
+/// With `BTreeMap`-backed scores, repeated shared-learning AdaBoost runs
+/// must be fingerprint-identical.
+#[test]
+fn adaboost_fleets_are_fingerprint_deterministic_across_runs() {
+    let run = || {
+        fleet(3, 320)
+            .policy(PolicyChoice::FixSym(SynopsisKind::AdaBoost(20)))
+            .topology(LearningTopology::Shared { batch: 4 })
+            .mode(ExecutionMode::Sequential)
+            .run()
+            .fingerprints()
+    };
+    let first = run();
+    assert_eq!(first, run(), "same config must reproduce bit-for-bit");
 }

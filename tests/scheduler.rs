@@ -215,12 +215,14 @@ fn warm_started_fleets_shrug_off_a_storm() {
             .learner(LearnerChoice::locked())
             .event(EventChoice::storm(120, storm_kind, 0.5))
     };
-    let cold = fleet().run();
+    // Healed-outcome comparison: auto-quiesce past the storm instead of
+    // hand-tuning the run length.
+    let cold = fleet().run_to_quiescence();
     assert!(cold.is_complete());
     let snapshot = cold.store().expect("learning fleet").snapshot();
     assert!(snapshot.positives() >= 1, "the cold fleet healed the storm");
 
-    let warm = fleet().warm_start(snapshot).run();
+    let warm = fleet().warm_start(snapshot).run_to_quiescence();
     let victim_attempts = |outcome: &selfheal::fleet::FleetOutcome| -> f64 {
         let attempts: Vec<f64> = outcome
             .replicas()

@@ -99,7 +99,9 @@ fn sharded_fleet_runs_are_deterministic() {
 #[test]
 fn warm_started_fleets_recover_in_fewer_attempts_than_cold_ones() {
     for learner in [LearnerChoice::locked(), LearnerChoice::sharded(4)] {
-        let cold = fleet(learner).run();
+        // Healed-outcome comparison: let the horizon, not a hand-tuned tick
+        // count, decide when every episode has had time to close.
+        let cold = fleet(learner).run_to_quiescence();
         let snapshot = cold.store().expect("learning fleet").snapshot();
         assert!(snapshot.positives() >= 1, "cold fleet learned successes");
 
@@ -108,7 +110,7 @@ fn warm_started_fleets_recover_in_fewer_attempts_than_cold_ones() {
             SynopsisSnapshot::from_jsonl(&snapshot.to_jsonl()).expect("codec round trip");
         assert_eq!(restored, snapshot);
 
-        let warm = fleet(learner).warm_start(restored).run();
+        let warm = fleet(learner).warm_start(restored).run_to_quiescence();
         let (cold_attempts, warm_attempts) = (mean_attempts(&cold), mean_attempts(&warm));
         assert!(
             warm_attempts < cold_attempts,
