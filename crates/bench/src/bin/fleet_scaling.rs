@@ -208,7 +208,10 @@ fn store_gate_json(report: &GateReport) -> String {
     format!(
         "{{\"replicas\": {}, \"ticks_per_replica\": {}, \"gated_wall_s\": {}, \
          \"ungated_wall_s\": {}, \"gated_throughput_ticks_per_s\": {}, \
-         \"ungated_throughput_ticks_per_s\": {}, \"ungated_speedup\": {}}}",
+         \"ungated_throughput_ticks_per_s\": {}, \"ungated_speedup\": {}, \
+         \"note\": \"warmed up, best of 3 per mode; an earlier sub-1.0 speedup was a \
+         cold-start ordering artifact (the gated run went first and paid the process's \
+         one-time costs), not gate overhead\"}}",
         report.replicas,
         report.ticks_per_replica,
         json_f64(report.gated_wall_s),
@@ -266,6 +269,7 @@ struct Args {
     slice: Option<u64>,
     events: Vec<EventChoice>,
     bench_ticks: bool,
+    store_gate: bool,
     adversary: bool,
     seasons: bool,
     cascade: bool,
@@ -380,6 +384,7 @@ fn parse_args() -> Args {
         slice: None,
         events: Vec::new(),
         bench_ticks: false,
+        store_gate: false,
         adversary: false,
         seasons: false,
         cascade: false,
@@ -439,6 +444,7 @@ fn parse_args() -> Args {
             "--sweep" => args.sweep = true,
             "--ungated" => args.ungated = true,
             "--bench-ticks" => args.bench_ticks = true,
+            "--store-gate" => args.store_gate = true,
             "--adversary" => args.adversary = true,
             "--seasons" => args.seasons = true,
             "--cascade" => args.cascade = true,
@@ -462,7 +468,8 @@ fn parse_args() -> Args {
                      [--replicas N] [--ticks T] [--save-synopsis PATH] \
                      [--load-synopsis PATH] [--shards N] [--storm] \
                      [--fault-mix PROFILE:RATE] [--sweep] [--ungated] [--slice W] \
-                     [--events SPEC] [--bench-ticks] [--adversary] [--seasons] [--cascade]"
+                     [--events SPEC] [--bench-ticks] [--store-gate] [--adversary] \
+                     [--seasons] [--cascade]"
                 );
                 exit(2);
             }
@@ -581,6 +588,23 @@ fn run_bench_ticks() {
             exit(1);
         }
     }
+}
+
+/// The `--store-gate` path: just the gated-vs-ungated comparison (same
+/// 8×2000 shape as the full run's `store_gate` section), printed as that
+/// section's JSON row.  Exists so the committed `results/fleet_scaling.json`
+/// row can be regenerated — and anomalies like the original below-1.0
+/// "speedup" investigated — without the multi-minute full suite.
+fn run_store_gate() {
+    eprintln!("fleet_scaling: store-gate cost (gated vs ungated, warmed up, best of 3)");
+    let gate = gate_throughput_comparison(8, 2_000, 42);
+    eprintln!(
+        "  gated {:.3}s vs ungated {:.3}s ({:.2}x ungated speedup)",
+        gate.gated_wall_s,
+        gate.ungated_wall_s,
+        gate.ungated_speedup(),
+    );
+    println!("{}", store_gate_json(&gate));
 }
 
 /// Per-replica failure details as a JSON array — `[]` on a clean run, so
@@ -1273,6 +1297,10 @@ fn main() {
     let args = parse_args();
     if args.bench_ticks {
         run_bench_ticks();
+        return;
+    }
+    if args.store_gate {
+        run_store_gate();
         return;
     }
     if args.wants_smoke() {

@@ -964,8 +964,18 @@ pub fn gate_throughput_comparison(replicas: usize, ticks: u64, seed: u64) -> Gat
     // dominated the signal.
     let _ = fleet().run();
     let _ = fleet().ungated().run();
-    let gated = fleet().run();
-    let ungated = fleet().ungated().run();
+    // Best of three per mode, like `run_bench_ticks`: the two walls are
+    // compared against each other, so one noisy draw on either side skews
+    // the ratio; the minimum is the scheduler-noise-free capability.
+    const SAMPLES: usize = 3;
+    let gated = (0..SAMPLES)
+        .map(|_| fleet().run())
+        .min_by_key(|run| run.wall())
+        .expect("at least one sample");
+    let ungated = (0..SAMPLES)
+        .map(|_| fleet().ungated().run())
+        .min_by_key(|run| run.wall())
+        .expect("at least one sample");
     GateReport {
         replicas,
         ticks_per_replica: ticks,

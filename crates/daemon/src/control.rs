@@ -10,6 +10,7 @@
 
 use crate::protocol::{is_ok_reply, parse_command, reply_err, reply_ok, Command};
 use crate::supervisor::Supervisor;
+use crate::tenants::TenantRegistry;
 use crate::DaemonConfig;
 use std::collections::VecDeque;
 use std::fs::{self, File, OpenOptions};
@@ -245,10 +246,10 @@ impl DaemonOptions {
     }
 }
 
-/// The resident daemon: a [`Supervisor`] plus a [`ControlPlane`], glued by
-/// the epoch loop in [`run`](Daemon::run).
+/// The resident daemon: a [`TenantRegistry`] of supervised fleets plus a
+/// [`ControlPlane`], glued by the epoch loop in [`run`](Daemon::run).
 pub struct Daemon {
-    supervisor: Supervisor,
+    registry: TenantRegistry,
     control: ControlPlane,
     kill: Arc<AtomicBool>,
     options: DaemonOptions,
@@ -258,19 +259,23 @@ pub struct Daemon {
 impl std::fmt::Debug for Daemon {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Daemon")
-            .field("supervisor", &self.supervisor)
+            .field("registry", &self.registry)
             .field("control", &self.control)
             .finish_non_exhaustive()
     }
 }
 
 impl Daemon {
-    /// Builds the supervisor, adds the launch replicas, opens the metrics
-    /// file (append), and binds the control socket.
+    /// Builds the tenant registry (which recreates persisted tenants and
+    /// replays their snapshot logs), adds the launch replicas to the
+    /// `default` tenant, opens the metrics file (append), and binds the
+    /// control socket.
     pub fn launch(config: DaemonConfig, options: DaemonOptions) -> Result<Daemon, String> {
-        let mut supervisor = Supervisor::new(config)?;
+        let mut registry = TenantRegistry::new(config)?;
         for _ in 0..options.replicas {
-            supervisor.add_replica(&options.profile)?;
+            registry
+                .default_supervisor_mut()
+                .add_replica(&options.profile)?;
         }
         let metrics = match &options.metrics {
             Some(path) => Some(
@@ -285,7 +290,7 @@ impl Daemon {
         let control = ControlPlane::bind(&options.socket)
             .map_err(|err| format!("cannot bind {:?}: {err}", options.socket))?;
         Ok(Daemon {
-            supervisor,
+            registry,
             control,
             kill: Arc::new(AtomicBool::new(false)),
             options,
@@ -293,9 +298,15 @@ impl Daemon {
         })
     }
 
-    /// Read access to the supervisor (pre-`run` introspection).
+    /// Read access to the `default` tenant's supervisor (pre-`run`
+    /// introspection; most single-tenant tests want exactly this).
     pub fn supervisor(&self) -> &Supervisor {
-        &self.supervisor
+        self.registry.default_supervisor()
+    }
+
+    /// Read access to the whole tenant registry.
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.registry
     }
 
     /// A flag that hard-kills the daemon loop from another thread: on the
@@ -305,40 +316,44 @@ impl Daemon {
         Arc::clone(&self.kill)
     }
 
-    /// The epoch loop: apply queued commands at the barrier, advance one
-    /// epoch, emit metrics, repeat — until `SHUTDOWN` (clean: actors
-    /// stopped, store flushed) or the kill switch (abort: no flush).
+    /// The epoch loop: apply queued commands at the barrier, advance every
+    /// active tenant one epoch, emit metrics, repeat — until `SHUTDOWN`
+    /// (clean: actors stopped, stores flushed) or the kill switch (abort:
+    /// no flush).
     pub fn run(mut self) -> Result<(), String> {
+        // Metrics cadence counts loop iterations rather than any one
+        // tenant's epoch clock: tenants tick independently, so no single
+        // epoch counter describes the daemon as a whole.
+        let mut iterations: u64 = 0;
         loop {
             if self.kill.load(Ordering::SeqCst) {
                 self.control.request_stop();
-                self.supervisor.abort();
+                self.registry.abort();
                 return Ok(());
             }
             for pending in self.control.take_pending() {
                 let command = pending.command().clone();
-                let (reply, shutdown) = apply_command(&mut self.supervisor, command);
+                let (reply, shutdown) = apply_command(&mut self.registry, command);
                 pending.respond(reply);
                 if shutdown {
                     self.control.request_stop();
-                    self.supervisor.shutdown();
+                    self.registry.shutdown();
                     return Ok(());
                 }
             }
-            if self.supervisor.is_drained() || self.supervisor.replica_count() == 0 {
+            if !self.registry.any_active() {
                 thread::sleep(Duration::from_millis(20));
                 continue;
             }
-            self.supervisor.advance_epoch();
+            self.registry.advance_all();
+            iterations += 1;
             if let Some(file) = self.metrics.as_mut() {
                 if self.options.metrics_every > 0
-                    && self
-                        .supervisor
-                        .epoch()
-                        .is_multiple_of(self.options.metrics_every)
+                    && iterations.is_multiple_of(self.options.metrics_every)
                 {
-                    let line = self.supervisor.health().to_json_line();
-                    let _ = writeln!(file, "{line}");
+                    for line in self.registry.health_lines() {
+                        let _ = writeln!(file, "{line}");
+                    }
                 }
             }
             if !self.options.epoch_pause.is_zero() {
@@ -348,9 +363,41 @@ impl Daemon {
     }
 }
 
-/// Applies one command against the supervisor; returns the full reply text
+/// Applies one command against the registry; returns the full reply text
 /// and whether this was an accepted `SHUTDOWN`.
-fn apply_command(supervisor: &mut Supervisor, command: Command) -> (String, bool) {
+///
+/// Daemon-wide commands (`TENANT ...`, `SHUTDOWN`) are handled here;
+/// everything else is a fleet command, routed to the `@<tenant>` scope it
+/// names or to the `default` tenant when unscoped — so a single-tenant
+/// daemon behaves exactly as it did before tenancy existed.
+fn apply_command(registry: &mut TenantRegistry, command: Command) -> (String, bool) {
+    match command {
+        Command::Shutdown => (reply_ok(&["shutting down".to_string()]), true),
+        Command::TenantCreate { name, shared_pool } => match registry.create(&name, shared_pool) {
+            Ok(()) => (
+                reply_ok(&[format!(
+                    "tenant {name} created shared_pool={}",
+                    if shared_pool { "on" } else { "off" }
+                )]),
+                false,
+            ),
+            Err(message) => (reply_err(&message), false),
+        },
+        Command::TenantDrop(name) => match registry.drop_tenant(&name) {
+            Ok(()) => (reply_ok(&[format!("tenant {name} dropped")]), false),
+            Err(message) => (reply_err(&message), false),
+        },
+        Command::TenantList => (reply_ok(&registry.list_lines()), false),
+        Command::Scoped { tenant, inner } => match registry.supervisor_mut(&tenant) {
+            Some(supervisor) => apply_fleet_command(supervisor, *inner),
+            None => (reply_err(&format!("no tenant {tenant:?}")), false),
+        },
+        other => apply_fleet_command(registry.default_supervisor_mut(), other),
+    }
+}
+
+/// Applies one per-fleet command against a single tenant's supervisor.
+fn apply_fleet_command(supervisor: &mut Supervisor, command: Command) -> (String, bool) {
     match command {
         Command::Status => (reply_ok(&status_lines(supervisor)), false),
         Command::Replicas => {
@@ -410,7 +457,7 @@ fn apply_command(supervisor: &mut Supervisor, command: Command) -> (String, bool
         },
         Command::QueryFixes(None) => {
             let stats = supervisor.fix_stats();
-            let lines: Vec<String> = if stats.is_empty() {
+            let mut lines: Vec<String> = if stats.is_empty() {
                 vec!["no_experience".to_string()]
             } else {
                 stats
@@ -426,8 +473,22 @@ fn apply_command(supervisor: &mut Supervisor, command: Command) -> (String, bool
                     })
                     .collect()
             };
+            // A pooled tenant also reports what the cross-tenant pool knows
+            // (prefixed so namespace and pool experience never blur).
+            if let Some(pool_stats) = supervisor.pool_stats() {
+                for s in &pool_stats {
+                    lines.push(format!(
+                        "pool fix={} successes={} failures={} success_rate={:.3}",
+                        s.fix.label(),
+                        s.successes,
+                        s.failures,
+                        s.success_rate()
+                    ));
+                }
+            }
             (reply_ok(&lines), false)
         }
+        Command::Metrics => (reply_ok(&[supervisor.health().to_json_line()]), false),
         Command::EpisodesOpen => {
             let mut lines: Vec<String> = supervisor
                 .replica_health()
@@ -452,7 +513,16 @@ fn apply_command(supervisor: &mut Supervisor, command: Command) -> (String, bool
             supervisor.drain();
             (reply_ok(&["draining".to_string()]), false)
         }
-        Command::Shutdown => (reply_ok(&["shutting down".to_string()]), true),
+        // Unreachable through the parser (it rejects `@t <global>`), kept
+        // for programmatic construction.
+        Command::Shutdown
+        | Command::TenantCreate { .. }
+        | Command::TenantDrop(_)
+        | Command::TenantList
+        | Command::Scoped { .. } => (
+            reply_err("daemon-wide commands cannot be applied to one tenant"),
+            false,
+        ),
     }
 }
 
@@ -504,6 +574,15 @@ fn status_lines(supervisor: &Supervisor) -> Vec<String> {
             supervisor
                 .adversary_target()
                 .map(|id| id.to_string())
+                .unwrap_or_else(|| "none".to_string())
+        ),
+        format!(
+            "tenant={} shared_pool={} pool_fixes_known={}",
+            supervisor.label().unwrap_or("standalone"),
+            if supervisor.pooled() { "on" } else { "off" },
+            supervisor
+                .pool_fixes_known()
+                .map(|n| n.to_string())
                 .unwrap_or_else(|| "none".to_string())
         ),
     ];

@@ -32,6 +32,12 @@
 //!   [`SnapshotLog`](selfheal_core::snapshot::SnapshotLog): every drained
 //!   batch is appended as it happens, and on startup the daemon replays the
 //!   file, so a `kill -9` mid-run loses nothing already drained.
+//! * **Multi-tenancy** — a [`TenantRegistry`] runs several named fleets in
+//!   one daemon (`TENANT CREATE/DROP/LIST`, `@<tenant>` command scoping),
+//!   each with its own store namespace and snapshot log, plus an opt-in
+//!   cross-tenant [`PooledStore`] so fix knowledge can transfer between
+//!   consenting tenants.  The HTTP gateway (`crates/gateway`) exposes the
+//!   same [`Command`] surface over authenticated HTTP/JSON.
 //!
 //! ## Determinism trade-off
 //!
@@ -43,6 +49,12 @@
 //! `(base_seed, replica_id)`; only the *visibility timing* of shared
 //! learning varies with thread scheduling, exactly as documented on
 //! [`selfheal_fleet::FleetConfig::ungated`].
+//!
+//! Tenancy does not change this: tenants advance sequentially inside the
+//! daemon loop and never share mutable state except the opt-in pool.  A
+//! *single-replica* tenant is fully serialized (one actor, one barrier), so
+//! its fingerprints are byte-identical to the same config run standalone —
+//! the isolation property `tests/tenants.rs` pins.
 //!
 //! ## Example
 //!
@@ -60,12 +72,16 @@
 #![forbid(unsafe_code)]
 
 pub mod control;
+pub mod pool;
 pub mod protocol;
 pub mod supervisor;
+pub mod tenants;
 
 pub use control::{ControlPlane, Daemon, DaemonOptions, PendingCommand};
-pub use protocol::{parse_command, send_command, Command};
+pub use pool::PooledStore;
+pub use protocol::{parse_command, render_command, send_command, Command};
 pub use supervisor::{ReplicaSpec, Supervisor};
+pub use tenants::{Tenant, TenantRegistry, DEFAULT_TENANT};
 
 use selfheal_core::harness::{FaultChoice, LearnerChoice, PolicyChoice, WorkloadChoice};
 use selfheal_core::store::SynopsisStore;

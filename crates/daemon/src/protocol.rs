@@ -56,14 +56,80 @@ pub enum Command {
     /// `DRAIN` — stop injecting faults fleet-wide and keep ticking until
     /// every open episode closes, then pause.
     Drain,
-    /// `SHUTDOWN` — flush the store, stop every replica, exit cleanly.
+    /// `METRICS` — one tenant-tagged [`FleetHealth`] JSON line, the same
+    /// record the metrics file receives (the gateway's streaming endpoint
+    /// polls this).
+    ///
+    /// [`FleetHealth`]: selfheal_telemetry::FleetHealth
+    Metrics,
+    /// `TENANT CREATE <name> [pool]` — create a named fleet with its own
+    /// `SynopsisStore` namespace and snapshot log.  With the trailing
+    /// `pool` word the tenant opts into the cross-tenant shared pool:
+    /// its healers' drained updates are mirrored into a pooled store that
+    /// every opted-in tenant may fall back to.
+    TenantCreate {
+        /// The tenant's name (`[a-z0-9_-]`, at most 32 bytes).
+        name: String,
+        /// Whether the tenant joins the cross-tenant shared pool.
+        shared_pool: bool,
+    },
+    /// `TENANT DROP <name>` — stop the tenant's replicas and delete its
+    /// snapshot log.  The `default` tenant cannot be dropped.
+    TenantDrop(String),
+    /// `TENANT LIST` — one line per tenant.
+    TenantList,
+    /// `@<tenant> <command>` — scope a per-fleet command to a named
+    /// tenant.  Unscoped per-fleet commands address the `default` tenant;
+    /// global commands (`SHUTDOWN`, `TENANT ...`) cannot be scoped.
+    Scoped {
+        /// The tenant the inner command addresses.
+        tenant: String,
+        /// The per-fleet command to apply.
+        inner: Box<Command>,
+    },
+    /// `SHUTDOWN` — flush every tenant's store, stop every replica, exit
+    /// cleanly.
     Shutdown,
+}
+
+impl Command {
+    /// Whether the command addresses the whole daemon rather than one
+    /// tenant's fleet (global commands reject `@<tenant>` scoping).
+    pub fn is_global(&self) -> bool {
+        matches!(
+            self,
+            Command::Shutdown
+                | Command::TenantCreate { .. }
+                | Command::TenantDrop(_)
+                | Command::TenantList
+                | Command::Scoped { .. }
+        )
+    }
 }
 
 /// Parses one request line.  Command words are case-insensitive; arguments
 /// are taken verbatim.
 pub fn parse_command(line: &str) -> Result<Command, String> {
     let words: Vec<&str> = line.split_whitespace().collect();
+    if let Some(tenant) = words.first().and_then(|w| w.strip_prefix('@')) {
+        if tenant.is_empty() {
+            return Err("expected @<tenant> <command>".to_string());
+        }
+        let inner = parse_command(&words[1..].join(" "))?;
+        if matches!(inner, Command::Scoped { .. }) {
+            return Err("nested tenant scopes are not allowed".to_string());
+        }
+        if inner.is_global() {
+            return Err(format!(
+                "{} is a daemon-wide command and cannot be tenant-scoped",
+                words[1].to_ascii_uppercase()
+            ));
+        }
+        return Ok(Command::Scoped {
+            tenant: tenant.to_string(),
+            inner: Box::new(inner),
+        });
+    }
     let head = words
         .first()
         .map(|w| w.to_ascii_uppercase())
@@ -108,8 +174,61 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             Ok(Command::Snapshot(PathBuf::from(args[0])))
         }
         "DRAIN" => expect_args(&words, 0).map(|_| Command::Drain),
+        "METRICS" => expect_args(&words, 0).map(|_| Command::Metrics),
+        "TENANT" => match words.get(1).map(|w| w.to_ascii_uppercase()).as_deref() {
+            Some("CREATE") => match &words[2..] {
+                [name] => Ok(Command::TenantCreate {
+                    name: name.to_string(),
+                    shared_pool: false,
+                }),
+                [name, pool] if pool.eq_ignore_ascii_case("pool") => Ok(Command::TenantCreate {
+                    name: name.to_string(),
+                    shared_pool: true,
+                }),
+                _ => Err("usage: TENANT CREATE <name> [pool]".to_string()),
+            },
+            Some("DROP") if words.len() == 3 => Ok(Command::TenantDrop(words[2].to_string())),
+            Some("LIST") if words.len() == 2 => Ok(Command::TenantList),
+            _ => Err(
+                "usage: TENANT CREATE <name> [pool] | TENANT DROP <name> | TENANT LIST".to_string(),
+            ),
+        },
         "SHUTDOWN" => expect_args(&words, 0).map(|_| Command::Shutdown),
         other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Renders a command back into its request line — the exact inverse of
+/// [`parse_command`] (round-trip tested), used by the HTTP gateway so the
+/// two command surfaces share one encoding.
+///
+/// Arguments that the line framing cannot carry (whitespace in snapshot
+/// paths or profile names) would not round-trip; the daemon never produces
+/// such values and the gateway's router rejects them.
+pub fn render_command(command: &Command) -> String {
+    match command {
+        Command::Status => "STATUS".to_string(),
+        Command::Replicas => "REPLICAS".to_string(),
+        Command::Add(profile) => format!("ADD {profile}"),
+        Command::Remove(id) => format!("REMOVE {id}"),
+        Command::Reconfigure { id, key, value } => format!("RECONFIGURE {id} {key}={value}"),
+        Command::QueryFixes(None) => "QUERY FIXES".to_string(),
+        Command::QueryFixes(Some(signature)) => {
+            let joined: Vec<String> = signature.iter().map(|v| v.to_string()).collect();
+            format!("QUERY FIXES {}", joined.join(","))
+        }
+        Command::EpisodesOpen => "EPISODES OPEN".to_string(),
+        Command::Snapshot(path) => format!("SNAPSHOT {}", path.display()),
+        Command::Drain => "DRAIN".to_string(),
+        Command::Metrics => "METRICS".to_string(),
+        Command::TenantCreate { name, shared_pool } => {
+            let pool = if *shared_pool { " pool" } else { "" };
+            format!("TENANT CREATE {name}{pool}")
+        }
+        Command::TenantDrop(name) => format!("TENANT DROP {name}"),
+        Command::TenantList => "TENANT LIST".to_string(),
+        Command::Scoped { tenant, inner } => format!("@{tenant} {}", render_command(inner)),
+        Command::Shutdown => "SHUTDOWN".to_string(),
     }
 }
 
@@ -222,6 +341,40 @@ mod tests {
             Ok(Command::Snapshot(PathBuf::from("/tmp/x.jsonl")))
         );
         assert_eq!(parse_command("DRAIN"), Ok(Command::Drain));
+        assert_eq!(parse_command("METRICS"), Ok(Command::Metrics));
+        assert_eq!(
+            parse_command("tenant create scout pool"),
+            Ok(Command::TenantCreate {
+                name: "scout".to_string(),
+                shared_pool: true,
+            })
+        );
+        assert_eq!(
+            parse_command("TENANT CREATE loner"),
+            Ok(Command::TenantCreate {
+                name: "loner".to_string(),
+                shared_pool: false,
+            })
+        );
+        assert_eq!(
+            parse_command("TENANT DROP scout"),
+            Ok(Command::TenantDrop("scout".to_string()))
+        );
+        assert_eq!(parse_command("TENANT LIST"), Ok(Command::TenantList));
+        assert_eq!(
+            parse_command("@scout status"),
+            Ok(Command::Scoped {
+                tenant: "scout".to_string(),
+                inner: Box::new(Command::Status),
+            })
+        );
+        assert_eq!(
+            parse_command("@scout QUERY FIXES 1.5,0"),
+            Ok(Command::Scoped {
+                tenant: "scout".to_string(),
+                inner: Box::new(Command::QueryFixes(Some(vec![1.5, 0.0]))),
+            })
+        );
         assert_eq!(parse_command("SHUTDOWN"), Ok(Command::Shutdown));
     }
 
@@ -233,6 +386,57 @@ mod tests {
         assert!(parse_command("RECONFIGURE 1 fault_rate").is_err());
         assert!(parse_command("QUERY FIXES 1.0,x").is_err());
         assert!(parse_command("STATUS now").is_err());
+        assert!(parse_command("TENANT CREATE a b").is_err());
+        assert!(parse_command("TENANT").is_err());
+        assert!(parse_command("@").is_err());
+        assert!(parse_command("@scout").is_err());
+        assert!(parse_command("@scout SHUTDOWN").is_err());
+        assert!(parse_command("@scout TENANT LIST").is_err());
+        assert!(parse_command("@a @b STATUS").is_err());
+    }
+
+    #[test]
+    fn render_parse_round_trips_every_variant() {
+        let commands = vec![
+            Command::Status,
+            Command::Replicas,
+            Command::Add("online:0.05".to_string()),
+            Command::Remove(3),
+            Command::Reconfigure {
+                id: 1,
+                key: "fault_rate".to_string(),
+                value: "0.1".to_string(),
+            },
+            Command::QueryFixes(None),
+            Command::QueryFixes(Some(vec![1.5, 0.0, -2.0])),
+            Command::EpisodesOpen,
+            Command::Snapshot(PathBuf::from("/tmp/x.jsonl")),
+            Command::Drain,
+            Command::Metrics,
+            Command::TenantCreate {
+                name: "scout".to_string(),
+                shared_pool: true,
+            },
+            Command::TenantCreate {
+                name: "loner".to_string(),
+                shared_pool: false,
+            },
+            Command::TenantDrop("scout".to_string()),
+            Command::TenantList,
+            Command::Scoped {
+                tenant: "scout".to_string(),
+                inner: Box::new(Command::QueryFixes(Some(vec![0.5, 2.0]))),
+            },
+            Command::Shutdown,
+        ];
+        for command in commands {
+            let line = render_command(&command);
+            assert_eq!(
+                parse_command(&line),
+                Ok(command.clone()),
+                "round-trip failed for {line:?}"
+            );
+        }
     }
 
     #[test]

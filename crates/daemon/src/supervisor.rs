@@ -20,6 +20,7 @@
 //! [`DaemonConfig::max_restarts`] rebuilds the replica is retired as
 //! failed, its last panic message kept for `STATUS`.
 
+use crate::pool::PooledStore;
 use crate::DaemonConfig;
 use selfheal_core::harness::{FaultChoice, WorkloadChoice};
 use selfheal_core::snapshot::SynopsisSnapshot;
@@ -74,6 +75,10 @@ enum ActorRequest {
     /// Inject one fault directly into the live service (the adversary's
     /// strike); takes effect from the next tick the runner steps.
     Inject(FaultSpec),
+    /// Report the runner's deterministic outcome fingerprint (0 when no
+    /// runner is installed).  Computed on demand — tests and operators ask
+    /// rarely, so epochs never pay for the outcome clone.
+    Fingerprint(Sender<u64>),
     /// Exit the actor thread.
     Stop,
 }
@@ -114,6 +119,13 @@ fn replica_actor(requests: Receiver<ActorRequest>, reports: Sender<EpochReport>)
                 if let Some(runner) = runner.as_mut() {
                     runner.inject(spec);
                 }
+            }
+            ActorRequest::Fingerprint(reply) => {
+                let value = runner
+                    .as_ref()
+                    .map(|current| current.outcome().fingerprint())
+                    .unwrap_or(0);
+                let _ = reply.send(value);
             }
             ActorRequest::Stop => break,
             ActorRequest::Advance(ticks) => {
@@ -174,6 +186,13 @@ pub struct Supervisor {
     config: DaemonConfig,
     engine: FleetEngine,
     store: Box<dyn SynopsisStore>,
+    /// A handle to the daemon-wide cross-tenant pool, when this fleet opted
+    /// in (`shared_pool = on`); `store` is then a [`PooledStore`] wrapping
+    /// the private primary.
+    pool: Option<Box<dyn SynopsisStore>>,
+    /// The tenant name stamped into health records (`None` for standalone
+    /// supervisors outside a tenant registry).
+    label: Option<String>,
     entries: BTreeMap<usize, ReplicaEntry>,
     next_id: usize,
     epoch: u64,
@@ -204,6 +223,19 @@ impl Supervisor {
     /// incremental persistence.  No replicas yet — call
     /// [`add_replica`](Self::add_replica).
     pub fn new(config: DaemonConfig) -> Result<Supervisor, String> {
+        Self::with_pool(config, None)
+    }
+
+    /// Like [`new`](Self::new), but optionally wraps the fleet's store in a
+    /// [`PooledStore`] against a daemon-wide pool handle: the fleet's
+    /// healers then mirror every recorded outcome into the pool and fall
+    /// back to it on suggestion misses, while snapshots, the incremental
+    /// log, and per-fix statistics keep reading the private primary only.
+    /// Used by the tenant registry for `shared_pool = on` tenants.
+    pub fn with_pool(
+        config: DaemonConfig,
+        pool: Option<Box<dyn SynopsisStore>>,
+    ) -> Result<Supervisor, String> {
         if !config.policy.shares_learning() {
             return Err(format!(
                 "the daemon requires a learning policy (got {}); try hybrid or fixsym",
@@ -239,10 +271,18 @@ impl Supervisor {
         let store = engine
             .build_shared_store()
             .expect("validated: shared learner + learning policy");
+        // Wrap *after* persistence is wired so the snapshot log stays a
+        // pure per-fleet namespace; the pool never touches the file.
+        let store: Box<dyn SynopsisStore> = match &pool {
+            Some(pool) => Box::new(PooledStore::new(store, pool.clone_store())),
+            None => store,
+        };
         Ok(Supervisor {
             config,
             engine,
             store,
+            pool,
+            label: None,
             entries: BTreeMap::new(),
             next_id: 0,
             epoch: 0,
@@ -278,6 +318,67 @@ impl Supervisor {
     /// The fleet-wide synopsis store (live: replicas keep teaching it).
     pub fn store(&self) -> &dyn SynopsisStore {
         self.store.as_ref()
+    }
+
+    /// A live handle to the fleet-wide store — shared stores hand back the
+    /// same state, so records through the handle are visible to (and
+    /// pooled exactly like) the fleet's own healers.
+    pub fn store_handle(&self) -> Box<dyn SynopsisStore> {
+        self.store.clone_store()
+    }
+
+    /// Stamps the tenant name this fleet serves; `health()` tags its
+    /// records with it.
+    pub fn set_label(&mut self, label: &str) {
+        self.label = Some(label.to_string());
+    }
+
+    /// The tenant name stamped by [`set_label`](Self::set_label), if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// Whether this fleet participates in the cross-tenant shared pool.
+    pub fn pooled(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Successful-fix examples visible through the cross-tenant pool
+    /// (`None` when the fleet is not pooled).
+    pub fn pool_fixes_known(&self) -> Option<usize> {
+        self.pool.as_ref().map(|pool| pool.correct_fixes_learned())
+    }
+
+    /// Per-fix statistics over the cross-tenant pool's experience (`None`
+    /// when the fleet is not pooled).  Kept separate from
+    /// [`fix_stats`](Self::fix_stats) so a tenant's own record never blurs
+    /// with borrowed knowledge.
+    pub fn pool_stats(&self) -> Option<Vec<FixStats>> {
+        self.pool.as_ref().map(|pool| pool.fix_stats())
+    }
+
+    /// Each running replica's deterministic outcome fingerprint at the
+    /// current barrier, ordered by id — the byte-identity surface the
+    /// tenant-isolation tests compare against standalone fleets.
+    pub fn fingerprints(&self) -> Vec<(usize, u64)> {
+        let mut out = Vec::new();
+        for (id, entry) in &self.entries {
+            if entry.phase != Phase::Running {
+                continue;
+            }
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if entry
+                .requests
+                .send(ActorRequest::Fingerprint(reply_tx))
+                .is_err()
+            {
+                continue;
+            }
+            if let Ok(fingerprint) = reply_rx.recv_timeout(Duration::from_secs(60)) {
+                out.push((*id, fingerprint));
+            }
+        }
+        out
     }
 
     /// Number of supervised replicas (running, restarting, or failed).
@@ -333,6 +434,7 @@ impl Supervisor {
             fixes_known: self.store.correct_fixes_learned(),
             pending_updates: self.store.pending_updates(),
             adversary_target: self.adversary_target,
+            tenant: self.label.clone(),
             ..FleetHealth::default()
         };
         health.absorb_replicas(self.entries.values().map(|entry| &entry.health));

@@ -1,0 +1,83 @@
+//! `selfheal-gateway` — the HTTP serving binary.
+//!
+//! ```text
+//! selfheal-gateway --listen 127.0.0.1:7171 --socket /tmp/selfheal.sock \
+//!     --tokens tokens.toml [--audit audit.log] [--stream-millis 200] \
+//!     [--timeout-secs 30]
+//! ```
+//!
+//! Serves the route table in `selfheal_gateway::router` against the daemon
+//! listening on `--socket`, authorizing every request against the bearer
+//! tokens in `--tokens`.  Prints the bound address on stdout once
+//! listening, then serves until killed.
+
+use selfheal_gateway::auth::AuthConfig;
+use selfheal_gateway::server::{Gateway, GatewayOptions};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "usage: selfheal-gateway --listen ADDR --socket PATH --tokens FILE
+                        [--audit FILE] [--stream-millis N] [--timeout-secs N]";
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let mut listen: Option<String> = None;
+    let mut socket: Option<PathBuf> = None;
+    let mut tokens: Option<PathBuf> = None;
+    let mut audit: Option<PathBuf> = None;
+    let mut stream_interval = Duration::from_millis(200);
+    let mut command_timeout = Duration::from_secs(30);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--listen" => listen = Some(value("--listen")?),
+            "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--tokens" => tokens = Some(PathBuf::from(value("--tokens")?)),
+            "--audit" => audit = Some(PathBuf::from(value("--audit")?)),
+            "--stream-millis" => {
+                let text = value("--stream-millis")?;
+                let millis: u64 = text
+                    .parse()
+                    .map_err(|_| format!("--stream-millis: cannot parse {text:?}"))?;
+                stream_interval = Duration::from_millis(millis.max(1));
+            }
+            "--timeout-secs" => {
+                let text = value("--timeout-secs")?;
+                let secs: u64 = text
+                    .parse()
+                    .map_err(|_| format!("--timeout-secs: cannot parse {text:?}"))?;
+                command_timeout = Duration::from_secs(secs.max(1));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    let listen = listen.ok_or_else(|| format!("--listen is required\n{USAGE}"))?;
+    let socket = socket.ok_or_else(|| format!("--socket is required\n{USAGE}"))?;
+    let tokens = tokens.ok_or_else(|| format!("--tokens is required\n{USAGE}"))?;
+    let auth = AuthConfig::load(&tokens)?;
+    if auth.is_empty() {
+        return Err(format!(
+            "{}: no tokens configured; every request would be denied",
+            tokens.display()
+        ));
+    }
+    let mut options = GatewayOptions::new(listen, socket, auth);
+    options.audit = audit;
+    options.stream_interval = stream_interval;
+    options.command_timeout = command_timeout;
+    let gateway = Gateway::launch(options)?;
+    println!("listening on http://{}", gateway.addr());
+    gateway.join();
+    Ok(())
+}
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("{message}");
+        std::process::exit(2);
+    }
+}

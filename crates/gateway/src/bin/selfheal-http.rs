@@ -1,0 +1,108 @@
+//! `selfheal-http` — the scripting client for `selfheal-gateway` (the
+//! smoke scripts' curl replacement).
+//!
+//! ```text
+//! selfheal-http [--token SECRET] [--body JSON] [--stream N]
+//!               [--timeout-secs N] METHOD URL
+//! ```
+//!
+//! The response body is printed on stdout.  The exit code mirrors the
+//! exchange so shell scripts can gate on it: 0 for a 2xx status, 1 for any
+//! other HTTP status, 2 for transport/usage failures.  With `--stream N`
+//! the URL must be a streaming route; N lines are printed as they arrive.
+//!
+//! ```text
+//! selfheal-http --token swordfish GET http://127.0.0.1:7171/v1/tenants
+//! selfheal-http --token swordfish --body '{"name":"scout","shared_pool":true}' \
+//!     POST http://127.0.0.1:7171/v1/tenants
+//! selfheal-http --token hunter2 --stream 3 \
+//!     GET http://127.0.0.1:7171/v1/tenants/scout/metrics/stream
+//! ```
+
+use selfheal_gateway::client::{request, stream_lines};
+use std::time::Duration;
+
+const USAGE: &str =
+    "usage: selfheal-http [--token SECRET] [--body JSON] [--stream N] [--timeout-secs N] METHOD URL";
+
+fn run() -> Result<bool, String> {
+    let mut args = std::env::args().skip(1);
+    let mut token: Option<String> = None;
+    let mut body: Option<String> = None;
+    let mut stream: Option<usize> = None;
+    let mut timeout = Duration::from_secs(30);
+    let mut positional: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--token" => token = Some(value("--token")?),
+            "--body" => body = Some(value("--body")?),
+            "--stream" => {
+                let text = value("--stream")?;
+                let lines: usize = text
+                    .parse()
+                    .map_err(|_| format!("--stream: cannot parse {text:?}"))?;
+                stream = Some(lines.max(1));
+            }
+            "--timeout-secs" => {
+                let text = value("--timeout-secs")?;
+                let secs: u64 = text
+                    .parse()
+                    .map_err(|_| format!("--timeout-secs: cannot parse {text:?}"))?;
+                timeout = Duration::from_secs(secs.max(1));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            _ => positional.push(arg),
+        }
+    }
+    let [method, url] = positional.as_slice() else {
+        return Err(format!("expected METHOD URL\n{USAGE}"));
+    };
+    let method = method.to_ascii_uppercase();
+    let (addr, target) = split_url(url)?;
+
+    if let Some(max_lines) = stream {
+        let lines = stream_lines(&addr, &target, token.as_deref(), max_lines, timeout)
+            .map_err(|err| format!("selfheal-http: {url}: {err}"))?;
+        for line in &lines {
+            println!("{line}");
+        }
+        return Ok(!lines.is_empty());
+    }
+    let reply = request(&addr, &method, &target, token.as_deref(), body.as_deref())
+        .map_err(|err| format!("selfheal-http: {url}: {err}"))?;
+    println!("{}", reply.body);
+    if !reply.is_success() {
+        eprintln!("selfheal-http: {method} {url}: status {}", reply.status);
+    }
+    Ok(reply.is_success())
+}
+
+/// Splits `http://host:port/path?query` into (`host:port`, `/path?query`).
+fn split_url(url: &str) -> Result<(String, String), String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("only http:// URLs are supported, got {url:?}"))?;
+    let (addr, target) = match rest.split_once('/') {
+        Some((addr, target)) => (addr, format!("/{target}")),
+        None => (rest, "/".to_string()),
+    };
+    if addr.is_empty() {
+        return Err(format!("no host in {url:?}"));
+    }
+    Ok((addr.to_string(), target))
+}
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -7,9 +7,12 @@
 //!
 //! * **wall clocks** (`SystemTime`, `Instant`, `thread::current`): any
 //!   value derived from them differs run to run.  Timing-only metrics in
-//!   the measurement crates (`bench`, `telemetry`, `daemon`) are fine and
-//!   those crates are not scanned; a wall-clock *metric* inside a scanned
-//!   crate annotates `lint:allow(nondeterminism)` at the use site.
+//!   the measurement and serving crates (`bench`, `telemetry`, `daemon`,
+//!   `gateway`) are fine and those crates are not scanned — the gateway is
+//!   I/O glue over real sockets (read timeouts, stream pacing, audit
+//!   timestamps), none of which feeds a fingerprint; a wall-clock *metric*
+//!   inside a scanned crate annotates `lint:allow(nondeterminism)` at the
+//!   use site.
 //! * **hash-map iteration**: `std`'s `RandomState` seeds differently per
 //!   map instance, so `HashMap`/`HashSet` iteration order — and anything
 //!   folded from it, like a float sum — is nondeterministic.  Lookups are
@@ -21,7 +24,12 @@ use crate::scan::{ident_ending_before, tokens};
 use crate::workspace::{SourceFile, Workspace};
 use std::collections::BTreeSet;
 
-/// Crates whose output feeds fingerprints and replay.
+/// Crates whose output feeds fingerprints and replay.  `daemon` and
+/// `gateway` stay off this list deliberately: both are wall-clock I/O
+/// layers (socket timeouts, metrics cadence, audit timestamps) around the
+/// deterministic fleets, and the determinism they must preserve — a
+/// single-replica tenant reproducing a standalone fleet bit-for-bit — is
+/// pinned by `tests/tenants.rs` instead.
 const DETERMINISTIC_CRATES: &[&str] = &["core", "faults", "fleet", "learn", "sim", "workload"];
 
 /// Method calls whose visit order follows the map's internal order.

@@ -121,6 +121,10 @@ pub struct FleetHealth {
     /// Replica the fleet-wide adversary struck at the last barrier, when
     /// the adversarial chaos engine is enabled and found a target.
     pub adversary_target: Option<usize>,
+    /// The tenant this fleet serves, when the supervisor runs inside a
+    /// multi-tenant daemon; standalone fleets leave it unset and the key
+    /// is omitted from the JSON line.
+    pub tenant: Option<String>,
 }
 
 impl FleetHealth {
@@ -170,6 +174,10 @@ impl FleetHealth {
             out.push_str(",\"adversary_target\":");
             out.push_str(&target.to_string());
         }
+        if let Some(tenant) = &self.tenant {
+            out.push_str(",\"tenant\":");
+            push_json_string(&mut out, tenant);
+        }
         out.push('}');
         out
     }
@@ -190,6 +198,7 @@ impl Default for FleetHealth {
             pending_updates: 0,
             ticks_per_sec: 0.0,
             adversary_target: None,
+            tenant: None,
         }
     }
 }
@@ -246,8 +255,11 @@ mod tests {
         assert!(line.contains("\"epoch\":9"));
         assert!(line.contains("\"fixes_known\":5"));
         assert!(!line.contains("adversary_target"));
+        assert!(!line.contains("tenant"));
         assert!(!line.contains('\n'));
         health.adversary_target = Some(2);
         assert!(health.to_json_line().contains("\"adversary_target\":2"));
+        health.tenant = Some("scout".to_string());
+        assert!(health.to_json_line().contains("\"tenant\":\"scout\""));
     }
 }

@@ -67,6 +67,16 @@ COUNT="$(printf '%s\n' "$REPLICAS" | grep -c '^replica ')"
 [ "$COUNT" -eq 3 ] || fail "expected 3 replicas, got $COUNT: $REPLICAS"
 ctl QUERY FIXES | grep -q 'fix=' || fail "QUERY FIXES returned no experience"
 
+# Exit codes are part of the ctl contract: a daemon ERR reply exits 1 —
+# distinct from transport failures, which exit 2 — so scripts like this
+# one can gate on them.
+ctl BOGUS >/dev/null 2>&1
+[ $? -eq 1 ] || fail "ctl must exit 1 on an ERR reply (unknown command)"
+ctl @ghost STATUS >/dev/null 2>&1
+[ $? -eq 1 ] || fail "ctl must exit 1 on an ERR reply (unknown tenant)"
+"$CTL" --socket "$DIR/absent.sock" --timeout-secs 2 STATUS >/dev/null 2>&1
+[ $? -eq 2 ] || fail "ctl must exit 2 when the socket is unreachable"
+
 # Live adversary: turn the fleet-wide weakest-replica targeter on, wait
 # for STATUS to report a strike target, then stand it down.
 ctl RECONFIGURE 0 adversary=on | grep -q 'adversary=on' \

@@ -27,8 +27,13 @@
 //! * [`daemon`] — the resident fleet daemon: supervised replica actors
 //!   with bounded restart-with-backoff, a line-oriented control plane over
 //!   a Unix domain socket (`selfheal-daemon` / `selfheal-ctl` binaries),
-//!   live synopsis queries, and crash-restart durability via the
-//!   incremental snapshot log.
+//!   live synopsis queries, multi-tenant fleets with per-tenant snapshot
+//!   logs, and crash-restart durability via the incremental snapshot log.
+//! * [`gateway`] — the HTTP/JSON serving layer over the daemon: a
+//!   hand-rolled HTTP/1.1 server (`selfheal-gateway` / `selfheal-http`
+//!   binaries) mapping REST-ish routes onto the control-plane commands,
+//!   with bearer-token auth scoped per tenant and a chunked JSON-lines
+//!   metrics stream.
 //! * [`fleet`] — the fleet engine: N independently-seeded replicas driven
 //!   by a tick-sliced epoch scheduler, coordinating through one shared
 //!   synopsis store (access gated into the sequential interleave, so even
@@ -153,6 +158,7 @@ pub use selfheal_daemon as daemon;
 pub use selfheal_diagnosis as diagnosis;
 pub use selfheal_faults as faults;
 pub use selfheal_fleet as fleet;
+pub use selfheal_gateway as gateway;
 pub use selfheal_jsonl as jsonl;
 pub use selfheal_learn as learn;
 pub use selfheal_sim as sim;

@@ -1,0 +1,209 @@
+//! End-to-end tests for the HTTP gateway: an in-process daemon behind an
+//! in-process [`Gateway`], driven through the real TCP client — auth
+//! denials, tenant lifecycle, the streaming metrics feed, the audit log,
+//! and daemon-unreachable handling.
+
+use selfheal::daemon::{Daemon, DaemonConfig, DaemonOptions};
+use selfheal::gateway::auth::{AuthConfig, Scope, Token};
+use selfheal::gateway::client::{request, stream_lines, HttpReply};
+use selfheal::gateway::server::{Gateway, GatewayOptions};
+use std::path::PathBuf;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A scratch directory unique to one test, cleaned up on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("selfheal-gateway-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The three-persona token set the issue's smoke test also uses: a
+/// wildcard admin, an operator bound to `scout`, a reader bound to
+/// `victim`.
+fn tokens() -> AuthConfig {
+    AuthConfig::new(vec![
+        Token::new("ops", "swordfish", "*", Scope::Admin),
+        Token::new("scout-op", "hunter2", "scout", Scope::Operate),
+        Token::new("victim-ro", "letmein", "victim", Scope::Read),
+    ])
+}
+
+fn get(addr: &str, target: &str, token: Option<&str>) -> HttpReply {
+    request(addr, "GET", target, token, None).expect("GET")
+}
+
+fn post(addr: &str, target: &str, token: Option<&str>, body: Option<&str>) -> HttpReply {
+    request(addr, "POST", target, token, body).expect("POST")
+}
+
+#[test]
+fn gateway_serves_tenants_auth_and_streams_end_to_end() {
+    let scratch = Scratch::new("e2e");
+    let socket = scratch.path("control.sock");
+    let audit_path = scratch.path("audit.log");
+
+    // The daemon runs in-process, exactly as `selfheal-daemon` would.
+    let mut options = DaemonOptions::new(&socket);
+    options.replicas = 1;
+    let daemon = Daemon::launch(DaemonConfig::default(), options).unwrap();
+    let daemon_thread = thread::spawn(move || daemon.run());
+
+    let mut gateway_options = GatewayOptions::new("127.0.0.1:0", &socket, tokens());
+    gateway_options.audit = Some(audit_path.clone());
+    gateway_options.stream_interval = Duration::from_millis(20);
+    let gateway = Gateway::launch(gateway_options).unwrap();
+    let addr = gateway.addr().to_string();
+
+    // Routing comes before auth: unknown paths are 404 for everyone.
+    assert_eq!(get(&addr, "/nope", None).status, 404);
+    // Known routes demand a token...
+    assert_eq!(get(&addr, "/v1/tenants", None).status, 401);
+    assert_eq!(get(&addr, "/v1/tenants", Some("wrong")).status, 401);
+    // ...with the right binding: daemon-wide routes need a `*` token, and
+    // scope ranks are enforced per route.
+    assert_eq!(get(&addr, "/v1/tenants", Some("hunter2")).status, 403);
+    let denied = post(
+        &addr,
+        "/v1/tenants",
+        Some("letmein"),
+        Some("{\"name\":\"x\"}"),
+    );
+    assert_eq!(denied.status, 403);
+    assert!(
+        denied.body.contains("error"),
+        "structured body: {}",
+        denied.body
+    );
+
+    // Tenant lifecycle through the admin token.
+    let created = post(
+        &addr,
+        "/v1/tenants",
+        Some("swordfish"),
+        Some("{\"name\":\"scout\",\"shared_pool\":true}"),
+    );
+    assert_eq!(created.status, 200, "create scout: {}", created.body);
+    assert!(
+        created.body.contains("\"ok\":true"),
+        "body: {}",
+        created.body
+    );
+    let duplicate = post(
+        &addr,
+        "/v1/tenants",
+        Some("swordfish"),
+        Some("{\"name\":\"scout\"}"),
+    );
+    assert_eq!(
+        duplicate.status, 400,
+        "daemon ERR maps to 400: {}",
+        duplicate.body
+    );
+    assert!(duplicate.body.contains("error"), "body: {}", duplicate.body);
+    let listed = get(&addr, "/v1/tenants", Some("swordfish"));
+    assert_eq!(listed.status, 200);
+    assert!(
+        listed.body.contains("tenant=scout shared_pool=on"),
+        "list: {}",
+        listed.body
+    );
+
+    // The scout operator drives its own fleet but nobody else's.
+    let added = post(
+        &addr,
+        "/v1/tenants/scout/replicas",
+        Some("hunter2"),
+        Some("{\"profile\":\"default\"}"),
+    );
+    assert_eq!(added.status, 200, "add replica: {}", added.body);
+    assert_eq!(
+        get(&addr, "/v1/tenants/scout/status", Some("hunter2")).status,
+        200
+    );
+    assert_eq!(
+        get(&addr, "/v1/tenants/default/status", Some("hunter2")).status,
+        403,
+        "tenant-bound tokens cannot reach other tenants"
+    );
+
+    // The metrics stream is chunked JSON-lines, tenant-tagged.
+    let lines = stream_lines(
+        &addr,
+        "/v1/tenants/scout/metrics/stream",
+        Some("hunter2"),
+        2,
+        Duration::from_secs(30),
+    )
+    .expect("stream");
+    assert_eq!(lines.len(), 2);
+    for line in &lines {
+        assert!(
+            line.contains("\"tenant\":\"scout\"") && line.contains("\"epoch\""),
+            "stream line: {line}"
+        );
+    }
+
+    // Mutating requests — granted and denied — landed in the audit log.
+    let audit = std::fs::read_to_string(&audit_path).expect("audit log");
+    assert!(
+        audit.contains("token=ops") && audit.contains("path=/v1/tenants status=200"),
+        "audit: {audit}"
+    );
+    assert!(
+        audit.contains("token=victim-ro") && audit.contains("status=403"),
+        "denied mutations are audited too: {audit}"
+    );
+    assert!(
+        !audit.contains("swordfish"),
+        "secrets never reach the audit log"
+    );
+
+    // Shutdown is an admin route; the daemon thread exits cleanly.
+    assert_eq!(
+        post(&addr, "/v1/shutdown", Some("hunter2"), None).status,
+        403
+    );
+    assert_eq!(
+        post(&addr, "/v1/shutdown", Some("swordfish"), None).status,
+        200
+    );
+    daemon_thread.join().unwrap().unwrap();
+
+    // With the daemon gone the gateway stays up and reports 502.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let reply = get(&addr, "/v1/tenants", Some("swordfish"));
+        if reply.status == 502 {
+            assert!(
+                reply.body.contains("daemon unreachable"),
+                "body: {}",
+                reply.body
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "expected 502 once the daemon exited"
+        );
+        thread::sleep(Duration::from_millis(50));
+    }
+
+    gateway.stop();
+}
